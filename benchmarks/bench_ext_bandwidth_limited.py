@@ -1,0 +1,110 @@
+"""Extension: what the Fig. 11 demand curves cost in *actual* runtime.
+
+Fig. 11 reports the bandwidth needed for stall-free operation and
+observes it exceeds commodity DRAM at scale.  The paper stops there;
+this extension runs the follow-up experiment with the bandwidth-limited
+runtime model: for each partition count, how slow does the layer run on
+a fixed-bandwidth device, and how much bandwidth buys back stall-free
+speed (the provisioning question)?
+
+Expected shape: under a finite-bandwidth device, adding partitions
+stops helping once the layer becomes transfer-bound — the speedup curve
+flattens and then *reverses*, turning Fig. 11's abstract sweet spot
+into an actual runtime minimum.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.config.presets import paper_scaling_config
+from repro.dataflow.factory import engine_for
+from repro.engine.stalls import bandwidth_limited_runtime, sweet_spot_bandwidth
+from repro.memory.bandwidth import compute_dram_traffic
+from repro.memory.buffers import BufferSet
+from repro.mapping.dims import gemm_from_mapping, map_layer
+from repro.utils.mathutils import split_evenly
+from repro.workloads.language import language_layer
+
+TF0 = language_layer("TF0")
+TOTAL_MACS = 2**16
+PARTITION_COUNTS = [1, 4, 16, 64, 256]
+DEVICE_BW = 64.0  # bytes/cycle: a strong multi-channel DRAM
+
+
+def square_grid(count: int):
+    rows = 1
+    while rows * rows < count:
+        rows <<= 1
+    return (count // rows, rows)
+
+
+def partition_traffic(count: int):
+    """Traffic of the slowest (largest-tile) partition, and the grid."""
+    shape = square_grid(TOTAL_MACS // count)
+    grid = square_grid(count)
+    config = paper_scaling_config(shape[0], shape[1], grid[0], grid[1])
+    per_config = config.partition_config()
+    mapping = map_layer(TF0, config.dataflow)
+    tile_sr = max(split_evenly(mapping.sr, grid[0]))
+    tile_sc = max(split_evenly(mapping.sc, grid[1]))
+    m, k, n = gemm_from_mapping(tile_sr, tile_sc, mapping.t, config.dataflow)
+    engine = engine_for(
+        type(TF0)("tile", m=m, k=k, n=n), config.dataflow,
+        per_config.array_rows, per_config.array_cols,
+    )
+    traffic = compute_dram_traffic(
+        engine, BufferSet.from_config(per_config), config.word_bytes
+    )
+    return traffic, count
+
+
+def test_bandwidth_limited_partition_sweep(benchmark, reporter):
+    def run():
+        rows = []
+        for count in PARTITION_COUNTS:
+            traffic, _ = partition_traffic(count)
+            # The device bandwidth is shared by all partitions.
+            per_partition_bw = DEVICE_BW / count
+            stalled = bandwidth_limited_runtime(traffic, per_partition_bw)
+            rows.append(
+                {
+                    "partitions": count,
+                    "stall_free_cycles": traffic.total_cycles,
+                    "stalled_cycles": round(stalled.total_cycles),
+                    "slowdown": round(stalled.slowdown, 3),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    reporter.emit("tf0 on 64B-per-cycle device", rows)
+
+    # Stall-free runtime keeps improving with partitions...
+    stall_free = [row["stall_free_cycles"] for row in rows]
+    assert stall_free == sorted(stall_free, reverse=True)
+    # ...but actual runtime under the device bottoms out and reverses:
+    actual = [row["stalled_cycles"] for row in rows]
+    best_index = actual.index(min(actual))
+    assert 0 < best_index < len(actual) - 1 or actual[-1] > min(actual)
+    assert rows[-1]["slowdown"] > rows[0]["slowdown"]
+
+
+def test_provisioning_bandwidth_grows_with_partitions(benchmark, reporter):
+    def run():
+        rows = []
+        for count in PARTITION_COUNTS:
+            traffic, _ = partition_traffic(count)
+            needed = sweet_spot_bandwidth(traffic, tolerance=0.05) * count
+            rows.append(
+                {
+                    "partitions": count,
+                    "bw_for_5pct_stall": round(needed, 2),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    reporter.emit("bandwidth to stay within 5pct", rows)
+    series = [row["bw_for_5pct_stall"] for row in rows]
+    assert series == sorted(series)

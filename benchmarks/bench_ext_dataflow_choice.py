@@ -1,0 +1,75 @@
+"""Extension: how much a per-layer dataflow choice is worth.
+
+The paper fixes OS for its scaling study; SCALE-Sim supports all three
+dataflows.  This extension plans the dataflow per layer (closed forms,
+`repro.analytical.dataflow_choice`) and measures the total
+runtime/DRAM savings over always-OS, for ResNet-50 and the Table IV
+language layers.
+
+Expected shape: conv networks are fairly OS-friendly (small savings);
+GEMM suites with short-K or short-M layers gain real runtime from
+switching stationarity, and no per-layer plan is ever worse than the
+fixed choice.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analytical.dataflow_choice import plan_network_dataflows, plan_savings
+from repro.config.presets import paper_scaling_config
+from repro.workloads.language import language_models
+from repro.workloads.resnet50 import resnet50
+
+CONFIG = paper_scaling_config(32, 32)
+NETWORKS = [resnet50(), language_models()]
+
+
+def test_per_layer_dataflow_savings(benchmark, reporter):
+    def run():
+        rows = []
+        for network in NETWORKS:
+            for objective in ("runtime", "dram"):
+                fixed, best = plan_savings(network, CONFIG, objective)
+                rows.append(
+                    {
+                        "network": network.name,
+                        "objective": objective,
+                        "fixed_os": int(fixed),
+                        "per_layer_best": int(best),
+                        "saving": round(1 - best / fixed, 4),
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, run)
+    reporter.emit("per-layer dataflow savings", rows)
+
+    assert all(row["saving"] >= 0 for row in rows)
+    # Somewhere the choice genuinely matters.
+    assert any(row["saving"] > 0.05 for row in rows)
+
+
+def test_dataflow_preferences_by_layer_shape(benchmark, reporter):
+    def run():
+        rows = []
+        plan = plan_network_dataflows(language_models(), CONFIG, "runtime")
+        for name, choice in plan.items():
+            rows.append(
+                {
+                    "layer": name,
+                    "chosen": choice.dataflow.value,
+                    "advantage": round(choice.advantage(), 3),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    reporter.emit("table4 dataflow plan", rows)
+
+    chosen = {row["layer"]: row["chosen"] for row in rows}
+    # DB0 (K=50000, N=16) is the deep-reduction archetype: OS.
+    assert chosen["DB0"] == "os"
+    # The choice is non-trivial across the suite.
+    assert len(set(chosen.values())) >= 2
+    assert all(row["advantage"] >= 1.0 for row in rows)

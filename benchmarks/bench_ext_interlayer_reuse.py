@@ -1,0 +1,70 @@
+"""Extension: how much DRAM traffic inter-layer forwarding removes.
+
+The paper treats each layer independently (cold IFMAP fetch per layer);
+Tangram/Simba-style designs forward one layer's OFMAP to the next on
+chip.  This extension measures the saving on AlexNet-like chained conv
+stacks as a function of the OFMAP SRAM size.
+
+Expected shape: savings grow with the OFMAP buffer (more layers'
+outputs fit) and saturate at the fraction of traffic that is
+chain-eligible; with a tiny buffer the saving is zero.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.config.hardware import HardwareConfig
+from repro.engine.interlayer import interlayer_savings
+from repro.engine.simulator import Simulator
+from repro.topology.layer import ConvLayer
+from repro.topology.network import Network
+
+OFMAP_KB_SWEEP = [1, 8, 64, 512, 4096]
+
+
+def chained_stack() -> Network:
+    """A five-conv stack whose tensors chain end to end."""
+    layers = []
+    side, channels = 34, 8
+    for index in range(5):
+        out_channels = channels * 2 if index % 2 else channels
+        layers.append(
+            ConvLayer(
+                name=f"conv{index}",
+                ifmap_h=side, ifmap_w=side, filter_h=3, filter_w=3,
+                channels=channels, num_filters=out_channels, stride=1,
+            )
+        )
+        side -= 2
+        channels = out_channels
+    return Network("chained-stack", layers)
+
+
+def test_interlayer_savings_vs_ofmap_sram(benchmark, reporter):
+    net = chained_stack()
+
+    def run():
+        rows = []
+        for ofmap_kb in OFMAP_KB_SWEEP:
+            config = HardwareConfig(
+                array_rows=16, array_cols=16,
+                ifmap_sram_kb=256, filter_sram_kb=256, ofmap_sram_kb=ofmap_kb,
+            )
+            simulator = Simulator(config)
+            saving = interlayer_savings(simulator, net)
+            rows.append(
+                {
+                    "ofmap_sram_kb": ofmap_kb,
+                    "dram_traffic_saved": round(saving, 4),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    reporter.emit("savings vs ofmap sram", rows)
+
+    savings = [row["dram_traffic_saved"] for row in rows]
+    assert savings == sorted(savings)  # bigger buffer never hurts
+    assert savings[0] == 0.0  # 1 KB holds nothing
+    assert savings[-1] > 0.15  # real savings once everything fits

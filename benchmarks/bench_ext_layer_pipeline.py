@@ -1,0 +1,62 @@
+"""Extension: layer pipelining vs data parallelism on one grid.
+
+The paper's scale-out is data-parallel (every partition works on the
+current layer).  Tangram/Simba-style systems pipeline layer groups
+across partition groups instead.  This extension runs both modes on the
+same grids and compares steady-state throughput.
+
+Expected shape: data parallelism wins when layers fold cleanly onto the
+full grid; pipelining wins (throughput_speedup > 1) when per-layer
+tiles leave the big grid underutilized — and its advantage grows with
+the stage count until imbalance eats it.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.config.presets import paper_scaling_config
+from repro.engine.pipeline import run_pipelined
+from repro.workloads.alexnet import alexnet
+from repro.workloads.resnet50 import resnet50
+
+GRID = paper_scaling_config(16, 16, 4, 4)  # 16 partitions, 4096 MACs
+STAGE_COUNTS = [1, 2, 4, 8]
+
+
+def test_pipeline_vs_data_parallel(benchmark, reporter):
+    def run():
+        rows = []
+        for name, network in (("alexnet", alexnet()), ("resnet50-head", None)):
+            if network is None:
+                full = resnet50()
+                network = full.subset(full.layer_names()[:12], name="resnet50-head")
+            for num_stages in STAGE_COUNTS:
+                result = run_pipelined(network, GRID, num_stages=num_stages)
+                rows.append(
+                    {
+                        "network": network.name,
+                        "stages": num_stages,
+                        "interval": result.interval,
+                        "latency": result.latency,
+                        "serial_cycles": result.serial_cycles,
+                        "throughput_speedup": round(result.throughput_speedup, 3),
+                        "imbalance": round(result.imbalance, 3),
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, run)
+    reporter.emit("pipeline vs data parallel", rows)
+
+    for network in {row["network"] for row in rows}:
+        series = [row for row in rows if row["network"] == network]
+        # One stage IS data parallelism.
+        assert series[0]["throughput_speedup"] == 1.0
+        # Latency per sample never beats the full grid's serial run by
+        # much (stages use smaller grids), while interval may.
+        for row in series:
+            assert row["interval"] <= row["latency"]
+            assert row["imbalance"] >= 1.0
+    # Somewhere in the sweep pipelining actually pays.
+    assert any(row["throughput_speedup"] > 1.0 for row in rows)

@@ -1,0 +1,63 @@
+"""Extension: the runtime/bandwidth/energy pareto front, machine-checked.
+
+The paper's abstract promises to "identify sweet spots for various
+workloads and hardware configurations" — Figs. 11/12 do it by eyeball.
+This extension computes the three-objective (runtime, DRAM bytes,
+energy) pareto front over the full Fig. 9a design space using the
+closed-form scoring models, for TF0 and a ResNet-50 layer.
+
+Expected shape: the front is a small fraction of the space; its
+runtime-sorted traversal moves from many-partition configs (fast,
+bandwidth-hungry) toward monolithic ones (slow, frugal) — the same
+trade-off Figs. 11/12 show, now as one non-dominated set.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analytical.objectives import pareto_front, score_candidates
+from repro.analytical.search import search_space
+from repro.workloads.language import language_layer
+from repro.workloads.resnet50 import PAPER_CBA3_LAYER, resnet50
+
+TOTAL_MACS = 2**14
+LAYERS = [language_layer("TF0"), resnet50()[PAPER_CBA3_LAYER]]
+
+
+def test_pareto_front_over_fig9_space(benchmark, reporter):
+    def run():
+        rows = []
+        for layer in LAYERS:
+            candidates = search_space(layer, TOTAL_MACS, min_array_dim=8)
+            scores = score_candidates(layer, candidates)
+            front = pareto_front(scores)
+            for rank, score in enumerate(front, start=1):
+                rows.append(
+                    {
+                        "layer": layer.name,
+                        "rank": rank,
+                        "config": score.candidate.label(),
+                        "partitions": score.candidate.num_partitions,
+                        "runtime": score.runtime,
+                        "dram_bytes": score.dram_bytes,
+                        "avg_bw": round(score.avg_bandwidth, 2),
+                        "energy": round(score.energy, 1),
+                        "space_size": len(scores),
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, run)
+    reporter.emit("three-objective front", rows)
+
+    for layer in LAYERS:
+        front_rows = [row for row in rows if row["layer"] == layer.name]
+        space_size = front_rows[0]["space_size"]
+        # The front prunes the space meaningfully.
+        assert 1 <= len(front_rows) < space_size
+        # Fast end uses more partitions than the frugal end.
+        assert front_rows[0]["partitions"] >= front_rows[-1]["partitions"]
+        # Bandwidth falls as we walk toward the slow/frugal end.
+        bandwidths = [row["avg_bw"] for row in front_rows]
+        assert bandwidths[0] >= bandwidths[-1]

@@ -1,0 +1,98 @@
+"""Fig. 9: the scale-up/scale-out design space for TF0.
+
+(a) For each MAC budget, the full space of (partition grid, array
+    shape) points with stall-free runtimes normalized to the worst
+    configuration at that budget.  Expected shape: the slowest points
+    cluster at the monolithic (1 partition) row, and runtime improves
+    almost monotonically with partition count.
+
+(b, c) Aspect-ratio sweeps of the *monolithic* configurations at 2^14
+    and 2^16 MACs, with runtime and array (mapping) utilization.
+    Expected shape: orders of magnitude between best and worst aspect
+    ratio (worse for bigger arrays), runtime broadly tracking
+    utilization except at extreme rectangles where fill/drain time
+    dominates (Eq. 3).
+
+The sweeps live in :mod:`repro.experiments.fig09`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import PAPER_MAC_BUDGETS, run_once
+
+from repro.experiments.fig09 import fig09a_search_space, fig09bc_aspect_sweep
+
+
+def test_fig9a_search_space_heatmap(benchmark, reporter):
+    rows = run_once(benchmark, fig09a_search_space)
+    reporter.emit("tf0 search space", rows)
+
+    # The worst configurations are monolithic at every budget.
+    for budget in PAPER_MAC_BUDGETS:
+        budget_rows = [row for row in rows if row["macs"] == budget]
+        worst = max(budget_rows, key=lambda row: row["runtime"])
+        assert worst["num_partitions"] == 1
+
+    # Best runtime per partition count improves (weakly) with partitioning.
+    for budget in PAPER_MAC_BUDGETS:
+        best_by_count = defaultdict(lambda: float("inf"))
+        for row in rows:
+            if row["macs"] == budget:
+                count = row["num_partitions"]
+                best_by_count[count] = min(best_by_count[count], row["runtime"])
+        counts = sorted(best_by_count)
+        series = [best_by_count[count] for count in counts]
+        assert all(later <= earlier for earlier, later in zip(series, series[1:]))
+
+
+def test_fig9b_aspect_ratios_2e14(benchmark, reporter):
+    rows = run_once(benchmark, lambda: fig09bc_aspect_sweep(2**14))
+    reporter.emit("monolithic aspect sweep 2^14", rows)
+    runtimes = [row["runtime"] for row in rows]
+    assert max(runtimes) / min(runtimes) > 10  # orders-of-magnitude spread
+
+
+def test_fig9c_aspect_ratios_2e16(benchmark, reporter):
+    rows14 = fig09bc_aspect_sweep(2**14)
+    rows = run_once(benchmark, lambda: fig09bc_aspect_sweep(2**16))
+    reporter.emit("monolithic aspect sweep 2^16", rows)
+    spread16 = max(row["runtime"] for row in rows) / min(row["runtime"] for row in rows)
+    spread14 = max(row["runtime"] for row in rows14) / min(row["runtime"] for row in rows14)
+    # Larger arrays exacerbate the best-vs-worst gap (Sec. IV).
+    assert spread16 > spread14
+
+
+def test_fig9_utilization_vs_runtime_relationship(benchmark, reporter):
+    """Low utilization comes with high runtime; but among the highest-
+    utilization configs, runtime still varies because fill/drain time
+    (2R + C - 2) depends on the aspect ratio."""
+
+    def analyse():
+        rows = fig09bc_aspect_sweep(2**16)
+        best = min(rows, key=lambda row: row["runtime"])
+        full_util = [row for row in rows if row["utilization"] > 0.95]
+        return {
+            "rows": rows,
+            "best": best,
+            "full_util_spread": (
+                max(row["runtime"] for row in full_util) / min(row["runtime"] for row in full_util)
+                if len(full_util) > 1
+                else 1.0
+            ),
+        }
+
+    result = run_once(benchmark, analyse)
+    reporter.emit(
+        "utilization vs runtime 2^16",
+        [
+            {
+                "array": row["array"],
+                "utilization": row["utilization"],
+                "runtime": row["runtime"],
+            }
+            for row in result["rows"]
+        ],
+    )
+    assert result["best"]["utilization"] > 0.5

@@ -1,0 +1,65 @@
+"""Fig. 10: best scale-up runtime / best scale-out runtime.
+
+The paper plots, per layer and MAC budget, the stall-free runtime of
+the fastest monolithic configuration normalized to the fastest
+partitioned configuration (equal MAC budgets, arrays at least 8x8 when
+partitioned).  The sweep lives in :mod:`repro.experiments.fig10`.
+
+Expected shape (Sec. IV):
+* the ratio is (essentially) never below 1 — monolithic never wins;
+* for a given layer the ratio tends to grow with the MAC budget
+  (slowdown "amplifies when the hardware is scaled");
+* some layers are dramatic (the paper reports ~25x for an early ResNet
+  conv block and up to ~50x for language layers at 65536 MACs).
+
+Known deviation (documented in EXPERIMENTS.md): for degenerate
+matrix-vector layers (S_R = 1, e.g. FC1000/NCF0) at small budgets, the
+8x8 array floor forces partitioned configs to waste rows, so the
+monolithic 1xC array can win outright; small (<3%) dips also occur
+when ceil-tiling leaves remainder tiles.  We therefore assert
+ratio >= 0.95 for non-degenerate layers everywhere and strictly >= 1
+once the budget reaches 2^16.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig10 import fig10a_resnet, fig10b_language
+
+
+def _check_ratios(rows):
+    for row in rows:
+        if row["degenerate"]:
+            continue  # matrix-vector layers: see module docstring
+        assert row["ratio"] >= 0.95, row
+        if row["macs"] >= 2**16:
+            assert row["ratio"] >= 1.0, row
+
+
+def test_fig10a_resnet_layers(benchmark, reporter):
+    rows = run_once(benchmark, fig10a_resnet)
+    reporter.emit("resnet50 first-last-5", rows)
+
+    _check_ratios(rows)
+    # Scaling amplifies the gap for at least one early conv layer.
+    conv1 = [row for row in rows if row["layer"] == "Conv1"]
+    assert conv1[-1]["ratio"] >= conv1[0]["ratio"]
+    assert max(row["ratio"] for row in rows) > 2
+
+
+def test_fig10b_language_layers(benchmark, reporter):
+    rows = run_once(benchmark, fig10b_language)
+    reporter.emit("language models", rows)
+
+    _check_ratios(rows)
+    at_64k = [row for row in rows if row["macs"] == 2**16]
+    # The paper's headline: an order of magnitude or more for the most
+    # partition-friendly layers at 64K MACs.
+    assert max(row["ratio"] for row in at_64k) > 10
+
+    # Per-layer ratios are (weakly) non-decreasing in the budget for
+    # most layers; assert it for the extreme ones the paper highlights.
+    for name in ("TF0", "NCF0", "GNMT3"):
+        series = [row["ratio"] for row in rows if row["layer"] == name]
+        assert series[-1] >= series[0]

@@ -1,0 +1,84 @@
+"""Fig. 11: runtime and DRAM bandwidth vs partition count (cycle-accurate).
+
+The paper sweeps the number of partitions for the CBa_3 layer of
+ResNet-50 (a-c) and the TF0 layer of the Transformer (d-f) at 2^18,
+2^16 and 2^14 total MAC units, with 512 KB IFMAP + 512 KB filter +
+256 KB OFMAP SRAM divided evenly among the partitions, running the
+output-stationary dataflow on the cycle-accurate simulator.  The sweep
+lives in :mod:`repro.experiments.fig11`.
+
+Expected shape:
+* runtime falls monotonically as partitions increase;
+* stall-free DRAM bandwidth demand rises monotonically (loss of array-
+  internal reuse plus data replication across partitions);
+* the "sweet spot" is where the curves cross; at 2^18 MACs the demand
+  near the sweet spot is of order 10 KB/cycle — far beyond commodity
+  DRAM (the paper's headline observation).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig11 import (
+    DEFAULT_BUDGETS,
+    fig11_resnet_cba3,
+    fig11_transformer_tf0,
+    partition_sweep,
+)
+from repro.workloads.language import language_layer
+
+
+def _check_shape(rows):
+    cycles = [row["cycles"] for row in rows]
+    bandwidth = [row["avg_bw_B_per_cyc"] for row in rows]
+    assert cycles == sorted(cycles, reverse=True), "runtime must fall with partitions"
+    assert bandwidth == sorted(bandwidth), "BW demand must rise with partitions"
+
+
+def test_fig11abc_resnet_cba3(benchmark, reporter):
+    rows = run_once(benchmark, fig11_resnet_cba3)
+    reporter.emit("cba3 partition sweep", rows)
+    for macs in DEFAULT_BUDGETS:
+        _check_shape([row for row in rows if row["macs"] == macs])
+
+
+def test_fig11def_transformer_tf0(benchmark, reporter):
+    rows = run_once(benchmark, fig11_transformer_tf0)
+    reporter.emit("tf0 partition sweep", rows)
+    for macs in DEFAULT_BUDGETS:
+        _check_shape([row for row in rows if row["macs"] == macs])
+
+    # Paper: at 2^18 MACs, ~10 KB/cycle is demanded near the sweet spot.
+    heavy = [row for row in rows if row["macs"] == 2**18 and row["partitions"] >= 256]
+    assert max(row["avg_bw_B_per_cyc"] for row in heavy) > 8 * 1024
+
+
+def test_fig11_sweet_spot_moves_right_with_macs(benchmark, reporter):
+    """The runtime/BW crossing shifts toward more partitions as the MAC
+    budget grows: bigger systems want more partitions before bandwidth
+    becomes the binding constraint relative to their runtime gains."""
+    tf0 = language_layer("TF0")
+
+    def analyse():
+        rows = []
+        for macs in DEFAULT_BUDGETS:
+            sweep = partition_sweep(tf0, macs)
+            base = sweep[0]
+            for row in sweep:
+                speedup = base["cycles"] / row["cycles"]
+                bw_cost = row["avg_bw_B_per_cyc"] / max(base["avg_bw_B_per_cyc"], 1e-9)
+                rows.append(
+                    {
+                        "macs": macs,
+                        "partitions": row["partitions"],
+                        "speedup": round(speedup, 3),
+                        "bw_cost": round(bw_cost, 3),
+                        "speedup_per_bw": round(speedup / bw_cost, 4),
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, analyse)
+    reporter.emit("tf0 speedup vs bw cost", rows)
+    assert all(row["speedup"] >= 1.0 for row in rows)

@@ -1,0 +1,66 @@
+"""Fig. 12: energy vs partition count.
+
+Same sweep as Fig. 11 (paper SRAM budget, OS dataflow, cycle-accurate
+engine) with the event-count energy model applied on top; the sweep
+lives in :mod:`repro.experiments.fig12`.
+
+Expected shape (Sec. IV-A): for small MAC budgets (256, 1024, 4096) the
+minimum-energy configuration is the monolithic one; as the budget grows
+the minimum moves right, toward more partitions — the idle energy saved
+by finishing the big array's job sooner outweighs the DRAM energy lost
+to reduced reuse.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig12 import (
+    energy_optimal_partitions,
+    energy_sweep,
+    fig12_energy,
+)
+from repro.workloads.resnet50 import PAPER_CBA3_LAYER, resnet50
+
+SMALL_BUDGETS = [256, 1024, 4096]
+ALL_BUDGETS = [256, 1024, 4096, 2**14, 2**16, 2**18]
+CBA3 = resnet50()[PAPER_CBA3_LAYER]
+
+
+def test_fig12_small_budgets_prefer_monolithic(benchmark, reporter):
+    def sweep():
+        return [row for macs in SMALL_BUDGETS for row in energy_sweep(CBA3, macs)]
+
+    rows = run_once(benchmark, sweep)
+    reporter.emit("cba3 energy small budgets", rows)
+    optima = energy_optimal_partitions(rows)
+    for macs in SMALL_BUDGETS:
+        assert optima[macs] == 1
+
+
+def test_fig12_minimum_moves_right_with_macs(benchmark, reporter):
+    rows = run_once(benchmark, lambda: fig12_energy(ALL_BUDGETS))
+    reporter.emit("cba3 energy all budgets", rows)
+    optima = energy_optimal_partitions(rows)
+    # Weakly monotone shift of the energy-optimal partition count.
+    series = [optima[macs] for macs in ALL_BUDGETS]
+    assert all(later >= earlier for earlier, later in zip(series, series[1:])), optima
+    # And the largest budget genuinely prefers partitioning.
+    assert optima[2**18] > 1
+
+
+def test_fig12_energy_components_behave(benchmark, reporter):
+    """MAC energy is invariant; DRAM energy rises and idle energy falls
+    with the partition count — the two opposing forces of Fig. 12."""
+
+    def sweep():
+        return energy_sweep(CBA3, 2**16)
+
+    rows = run_once(benchmark, sweep)
+    reporter.emit("cba3 energy components 2^16", rows)
+    macs_terms = {row["e_mac"] for row in rows}
+    assert len(macs_terms) == 1
+    dram_series = [row["e_dram"] for row in rows]
+    idle_series = [row["e_idle"] for row in rows]
+    assert dram_series == sorted(dram_series)
+    assert idle_series == sorted(idle_series, reverse=True)

@@ -1,0 +1,63 @@
+"""Fig. 14: multi-workload performance loss, scale-out candidates.
+
+The scale-out twin of Fig. 13: candidates are each layer's locally
+optimal *partitioned* configuration (arrays at least 8x8), evaluated on
+the whole workload set and normalized to the pareto-optimal candidate.
+The rankings live in :mod:`repro.experiments.fig13`.
+
+Expected shape: same qualitative picture as Fig. 13 but with a tighter
+spread — partitioned configurations are less aspect-ratio-sensitive —
+while the worst candidates still pay real penalties at large budgets.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analytical.multiworkload import pareto_search
+from repro.experiments.fig13 import (
+    SCALEOUT_BUDGETS,
+    fig14_language,
+    fig14_resnet,
+    language_workloads,
+)
+
+
+def test_fig14_resnet50(benchmark, reporter):
+    rows = run_once(benchmark, fig14_resnet)
+    reporter.emit("resnet50 scaleout losses", rows)
+    assert all(row["perf_loss"] >= 1.0 for row in rows)
+    for budget in SCALEOUT_BUDGETS:
+        assert min(row["perf_loss"] for row in rows if row["macs"] == budget) == 1.0
+
+
+def test_fig14_language_models(benchmark, reporter):
+    rows = run_once(benchmark, fig14_language)
+    reporter.emit("language scaleout losses", rows)
+    assert all(row["perf_loss"] >= 1.0 for row in rows)
+
+
+def test_fig13_vs_fig14_scaleout_spread_is_tighter(benchmark, reporter):
+    """The paper's comparison across the two figures: for the same
+    workloads and budget, scale-out candidates spread less than
+    scale-up candidates."""
+    workloads = language_workloads()
+
+    def analyse():
+        rows = []
+        for budget in SCALEOUT_BUDGETS:
+            _, up_ranking = pareto_search(workloads, budget, scaleout=False)
+            _, out_ranking = pareto_search(workloads, budget, scaleout=True)
+            rows.append(
+                {
+                    "macs": budget,
+                    "scaleup_worst_loss": round(up_ranking[-1][1], 4),
+                    "scaleout_worst_loss": round(out_ranking[-1][1], 4),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, analyse)
+    reporter.emit("spread comparison", rows)
+    for row in rows:
+        assert row["scaleout_worst_loss"] <= row["scaleup_worst_loss"] * 1.05

@@ -1,0 +1,54 @@
+"""Tables I-IV: the tool's interfaces and workload definitions.
+
+* Table I  — the hardware configuration schema (keys + example values).
+* Table II — the topology CSV schema.
+* Table III— the spatio-temporal dimension allocation per dataflow.
+* Table IV — the language-model GEMM dimensions.
+
+The data comes from :mod:`repro.experiments.tables`; the assertions here
+pin it to the paper's literal content.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.tables import (
+    table1_config_schema,
+    table2_topology_schema,
+    table3_mapping,
+    table4_language_dims,
+)
+from repro.workloads.language import TABLE_IV_DIMS
+from repro.workloads.resnet50 import resnet50
+
+
+def test_table1_config_schema(benchmark, reporter):
+    rows = run_once(benchmark, table1_config_schema)
+    reporter.emit("table1 config schema", rows)
+    assert {row["parameter"] for row in rows} >= {"ArrayHeight", "Dataflow"}
+
+
+def test_table2_topology_schema(benchmark, reporter):
+    rows = run_once(benchmark, table2_topology_schema)
+    reporter.emit("table2 topology schema", rows)
+    assert len(rows) == 8
+
+
+def test_table3_spatio_temporal_allocation(benchmark, reporter):
+    rows = run_once(benchmark, table3_mapping)
+    reporter.emit("table3 mapping", rows)
+    layer = resnet50()["CB2a_2"]
+    by_df = {row["dataflow"]: row for row in rows}
+    n_ofmap, w_conv, n_filter = layer.gemm_m, layer.gemm_k, layer.gemm_n
+    assert (by_df["os"]["S_R"], by_df["os"]["S_C"], by_df["os"]["T"]) == (n_ofmap, n_filter, w_conv)
+    assert (by_df["ws"]["S_R"], by_df["ws"]["S_C"], by_df["ws"]["T"]) == (w_conv, n_filter, n_ofmap)
+    assert (by_df["is"]["S_R"], by_df["is"]["S_C"], by_df["is"]["T"]) == (w_conv, n_ofmap, n_filter)
+
+
+def test_table4_language_model_dims(benchmark, reporter):
+    rows = run_once(benchmark, table4_language_dims)
+    reporter.emit("table4 workloads", rows)
+    assert {row["name"] for row in rows} == set(TABLE_IV_DIMS)
+    tf0 = next(row for row in rows if row["name"] == "TF0")
+    assert (tf0["S_R"], tf0["T"], tf0["S_C"]) == (31999, 84, 1024)

@@ -1,0 +1,68 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it
+computes the series with the library, prints it in a readable form
+(run pytest with ``-s`` to see it), and writes a CSV artifact under
+``benchmarks/results/`` so the data survives the run.
+
+``benchmark.pedantic(..., rounds=1)`` is used throughout: these are
+experiment harnesses, not microbenchmarks, so one timed round each.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: MAC budgets the paper sweeps (Figs. 9-12 use subsets of these).
+PAPER_MAC_BUDGETS = [2**10, 2**12, 2**14, 2**16, 2**18]
+
+
+class SeriesReporter:
+    """Print a labelled table and persist it as CSV."""
+
+    def __init__(self, name: str):
+        self.name = name
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def emit(self, title: str, rows: Sequence[Dict[str, object]]) -> Path:
+        if not rows:
+            raise ValueError(f"{self.name}: empty series {title!r}")
+        header = list(rows[0].keys())
+        widths = {
+            key: max(len(key), max(len(_fmt(row[key])) for row in rows)) for key in header
+        }
+        print(f"\n== {self.name}: {title} ==")
+        print("  ".join(key.ljust(widths[key]) for key in header))
+        for row in rows:
+            print("  ".join(_fmt(row[key]).ljust(widths[key]) for key in header))
+        safe = title.lower().replace(" ", "_").replace("/", "-")
+        path = RESULTS_DIR / f"{self.name}_{safe}.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=header)
+            writer.writeheader()
+            writer.writerows(rows)
+        return path
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@pytest.fixture
+def reporter(request) -> SeriesReporter:
+    """A SeriesReporter named after the benchmark module."""
+    module = request.module.__name__.replace("bench_", "").replace("benchmarks.", "")
+    return SeriesReporter(module)
+
+
+def run_once(benchmark, fn):
+    """Register ``fn`` with pytest-benchmark, executing exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

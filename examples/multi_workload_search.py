@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Pick one accelerator for many workloads (paper Sec. IV-B).
+
+A deployed accelerator must run every layer well, not just one.  This
+example runs the paper's method over the Table IV language models plus
+a few ResNet-50 layers:
+
+1. per layer, find the locally runtime-optimal configuration;
+2. evaluate each candidate on the *whole* workload set (runtime adds);
+3. pick the argmin — and show what each layer pays for the compromise.
+
+Run:  python examples/multi_workload_search.py [total_macs] [--scaleout]
+"""
+
+import sys
+
+from repro import WorkloadSet, language_layer, pareto_search, resnet50
+from repro.analytical.multiworkload import per_workload_losses
+
+TOTAL_MACS = int(sys.argv[1]) if len(sys.argv) > 1 and sys.argv[1].isdigit() else 2**14
+SCALEOUT = "--scaleout" in sys.argv
+
+net = resnet50()
+layers = tuple(
+    [language_layer(name) for name in ("GNMT0", "GNMT3", "DB1", "TF0", "TF1", "NCF1")]
+    + [net["CB2a_3"], net["IB4b_2"]]
+)
+workloads = WorkloadSet(name="deployment-mix", layers=layers)
+
+kind = "scale-out" if SCALEOUT else "scale-up"
+print(f"{len(layers)} workloads, {TOTAL_MACS} MACs, {kind} candidates\n")
+
+best, ranking = pareto_search(workloads, TOTAL_MACS, scaleout=SCALEOUT)
+
+print("candidate ranking (total runtime, normalized to best):")
+for rank, (cand, loss) in enumerate(ranking, start=1):
+    marker = "  <== chosen" if cand == best else ""
+    print(f"  {rank}. {cand.label():42s} {loss:6.2f}x{marker}")
+
+print(f"\nper-workload price of the shared choice ({best.label()}):")
+for name, loss in sorted(per_workload_losses(workloads, best).items(), key=lambda kv: -kv[1]):
+    bar = "#" * min(60, int((loss - 1) * 20) + 1)
+    print(f"  {name:10s} {loss:6.2f}x {bar}")
+
+print("\n1.00x means the layer runs as fast as on its own ideal machine;")
+print("higher means it pays for sharing the accelerator with the others.")

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Layer pipelining vs data parallelism on the same partition grid.
+
+Given a 4x4 grid of 16x16 arrays, run AlexNet two ways:
+* data parallel — every partition helps with the current layer
+  (the paper's scale-out);
+* pipelined — partitions are divided among layer groups and samples
+  stream through.
+
+Prints per-stage assignments, the throughput/latency trade, and when
+each mode wins.
+
+Run:  python examples/pipeline_throughput.py [num_stages]
+"""
+
+import sys
+
+from repro import paper_scaling_config
+from repro.engine.pipeline import run_pipelined
+from repro.viz import bar_chart
+from repro.workloads import alexnet
+
+NUM_STAGES = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+
+net = alexnet()
+config = paper_scaling_config(16, 16, 4, 4)
+result = run_pipelined(net, config, num_stages=NUM_STAGES)
+
+print(f"network: {net.name} ({len(net)} layers) on {config.describe()}\n")
+print(f"{'stage':>5s} {'partitions':>10s}  layers")
+for stage in result.stages:
+    print(f"{stage.index:5d} {stage.num_partitions:10d}  {', '.join(stage.layer_names)}")
+
+print("\nstage latencies (pipeline interval = the tallest bar):")
+print(bar_chart(
+    [f"stage{stage.index}" for stage in result.stages],
+    [stage.latency for stage in result.stages],
+    width=40,
+))
+
+print(f"\ndata parallel, per sample:  {result.serial_cycles} cycles")
+print(f"pipelined latency/sample:   {result.latency} cycles "
+      f"({result.latency / result.serial_cycles:.2f}x the data-parallel time)")
+print(f"pipelined steady interval:  {result.interval} cycles "
+      f"-> throughput speedup {result.throughput_speedup:.2f}x")
+print(f"stage imbalance:            {result.imbalance:.2f}x "
+      "(1.0 = perfectly balanced)")
+
+if result.throughput_speedup > 1:
+    print("\npipelining wins on throughput here: the smaller per-stage "
+          "grids fold these layers more efficiently.")
+else:
+    print("\ndata parallelism wins here: the full grid digests each layer "
+          "fast enough that pipeline imbalance isn't worth paying.")

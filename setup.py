@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e . --no-use-pep517`` works in offline
+environments that lack the ``wheel`` package (PEP 660 editable installs
+need it; the legacy develop path does not).  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

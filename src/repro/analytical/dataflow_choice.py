@@ -1,0 +1,139 @@
+"""Per-layer dataflow selection — which stationarity suits which layer.
+
+The paper fixes the output-stationary dataflow for its scaling study,
+but SCALE-Sim supports all three, and Table III makes the trade
+explicit: the dataflow decides which tensor dimension pays the temporal
+cost and which operand sits still.  This module picks, per layer, the
+dataflow that minimizes a chosen objective — using only closed forms,
+so whole networks are planned instantly.
+
+Objectives:
+
+* ``runtime`` — Eq. 4 stall-free cycles;
+* ``dram``    — total DRAM bytes from the exact traffic model;
+* ``sram``    — total SRAM accesses (a proxy for on-chip energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analytical.objectives import estimate_sram_counts
+from repro.analytical.runtime import scaleup_runtime
+from repro.analytical.traffic import estimate_traffic
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.mapping.dims import map_layer
+from repro.memory.buffers import BufferSet
+from repro.topology.layer import Layer
+from repro.topology.network import Network
+from repro.utils.validation import check_choice
+
+OBJECTIVES = ("runtime", "dram", "sram")
+
+
+@dataclass(frozen=True)
+class DataflowScore:
+    """One (layer, dataflow) evaluation."""
+
+    dataflow: Dataflow
+    runtime: int
+    dram_bytes: int
+    sram_accesses: int
+
+    def value(self, objective: str) -> float:
+        return {
+            "runtime": float(self.runtime),
+            "dram": float(self.dram_bytes),
+            "sram": float(self.sram_accesses),
+        }[objective]
+
+
+@dataclass(frozen=True)
+class DataflowChoice:
+    """The selected dataflow for one layer, with the full comparison."""
+
+    layer_name: str
+    objective: str
+    best: DataflowScore
+    scores: Tuple[DataflowScore, ...]
+
+    @property
+    def dataflow(self) -> Dataflow:
+        return self.best.dataflow
+
+    def advantage(self) -> float:
+        """Best objective value / worst: how much the choice matters."""
+        values = [score.value(self.objective) for score in self.scores]
+        return max(values) / max(min(values), 1e-12)
+
+
+def score_dataflows(layer: Layer, config: HardwareConfig) -> List[DataflowScore]:
+    """Evaluate all three dataflows for one layer on one array."""
+    buffers = BufferSet.from_config(config)
+    scores: List[DataflowScore] = []
+    for dataflow in Dataflow:
+        mapping = map_layer(layer, dataflow)
+        runtime = scaleup_runtime(mapping, config.array_rows, config.array_cols)
+        traffic = estimate_traffic(
+            mapping, config.array_rows, config.array_cols, buffers, config.word_bytes
+        )
+        sram = estimate_sram_counts(mapping, config.array_rows, config.array_cols)
+        scores.append(
+            DataflowScore(
+                dataflow=dataflow,
+                runtime=runtime,
+                dram_bytes=traffic.total_bytes,
+                sram_accesses=sram.total,
+            )
+        )
+    return scores
+
+
+def best_dataflow(
+    layer: Layer,
+    config: HardwareConfig,
+    objective: str = "runtime",
+) -> DataflowChoice:
+    """Pick the objective-minimizing dataflow for one layer."""
+    check_choice(objective, "objective", OBJECTIVES)
+    scores = score_dataflows(layer, config)
+    best = min(scores, key=lambda score: score.value(objective))
+    return DataflowChoice(
+        layer_name=layer.name,
+        objective=objective,
+        best=best,
+        scores=tuple(scores),
+    )
+
+
+def plan_network_dataflows(
+    network: Network,
+    config: HardwareConfig,
+    objective: str = "runtime",
+) -> Dict[str, DataflowChoice]:
+    """Per-layer dataflow plan for a whole network."""
+    return {
+        layer.name: best_dataflow(layer, config, objective) for layer in network
+    }
+
+
+def plan_savings(
+    network: Network,
+    config: HardwareConfig,
+    objective: str = "runtime",
+) -> Tuple[float, float]:
+    """(fixed-dataflow total, per-layer-best total) for the objective.
+
+    The fixed dataflow is the one in ``config``; the ratio of the two
+    totals is the value of making the dataflow schedulable per layer.
+    """
+    check_choice(objective, "objective", OBJECTIVES)
+    fixed_total = 0.0
+    best_total = 0.0
+    for layer in network:
+        scores = score_dataflows(layer, config)
+        by_df = {score.dataflow: score for score in scores}
+        fixed_total += by_df[config.dataflow].value(objective)
+        best_total += min(score.value(objective) for score in scores)
+    return fixed_total, best_total

@@ -1,0 +1,181 @@
+"""Multi-objective scoring of design points — extension of Sec. IV.
+
+The paper studies runtime, DRAM bandwidth and energy in separate
+figures and eyeballs the sweet spots.  This module scores whole
+candidate sets on all three objectives at once using only closed forms
+(Eq. 5/6 runtime, the exact traffic model, and the event-count energy
+model), then extracts the pareto-non-dominated front — the machine-
+checkable version of "identify the sweet spots" from the abstract.
+
+Everything here is exact with respect to the library's own models:
+closed-form SRAM counts equal the engine's (tested), traffic equals the
+engine's (tested), so the scores match what the simulators would
+report for monolithic configurations, at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.analytical.runtime import scaleout_runtime
+from repro.analytical.search import CandidateConfig
+from repro.analytical.traffic import estimate_traffic
+from repro.config.hardware import Dataflow
+from repro.dataflow.base import SramCounts
+from repro.energy.params import DEFAULT_ENERGY, EnergyParams
+from repro.errors import MappingError, SearchError
+from repro.mapping.dims import OperandMapping, map_layer
+from repro.memory.buffers import BufferSet, DoubleBuffer
+from repro.topology.layer import Layer
+from repro.utils.mathutils import ceil_div, split_evenly
+
+
+def estimate_sram_counts(mapping: OperandMapping, array_rows: int, array_cols: int) -> SramCounts:
+    """Closed-form SRAM traffic (elements) of one layer on one array.
+
+    Matches :meth:`DataflowEngine.layer_counts` exactly (tested):
+
+    * OS: IFMAP ``S_R*T`` per column fold, filter ``S_C*T`` per row
+      fold, one write per output;
+    * WS: IFMAP as OS, filter read once (prefill covers the matrix),
+      ``S_C*T`` partial writes per row fold;
+    * IS mirrors WS with the operands swapped.
+    """
+    sr, sc, t = mapping.sr, mapping.sc, mapping.t
+    row_folds = ceil_div(sr, array_rows)
+    col_folds = ceil_div(sc, array_cols)
+    if mapping.dataflow is Dataflow.OUTPUT_STATIONARY:
+        return SramCounts(
+            ifmap_reads=sr * t * col_folds,
+            filter_reads=sc * t * row_folds,
+            ofmap_writes=sr * sc,
+        )
+    if mapping.dataflow is Dataflow.WEIGHT_STATIONARY:
+        return SramCounts(
+            ifmap_reads=sr * t * col_folds,
+            filter_reads=sr * sc,
+            ofmap_writes=sc * t * row_folds,
+        )
+    if mapping.dataflow is Dataflow.INPUT_STATIONARY:
+        return SramCounts(
+            ifmap_reads=sr * sc,
+            filter_reads=sr * t * col_folds,
+            ofmap_writes=sc * t * row_folds,
+        )
+    raise MappingError(f"unsupported dataflow {mapping.dataflow!r}")
+
+
+@dataclass(frozen=True)
+class ConfigScore:
+    """One candidate's value on the three objectives."""
+
+    candidate: CandidateConfig
+    runtime: int
+    dram_bytes: int
+    energy: float
+
+    @property
+    def avg_bandwidth(self) -> float:
+        """DRAM bytes over the candidate's runtime."""
+        return self.dram_bytes / self.runtime
+
+    def objectives(self) -> Tuple[float, float, float]:
+        return (float(self.runtime), float(self.dram_bytes), self.energy)
+
+    def dominates(self, other: "ConfigScore") -> bool:
+        """Weak pareto dominance: no worse everywhere, better somewhere."""
+        mine, theirs = self.objectives(), other.objectives()
+        return all(a <= b for a, b in zip(mine, theirs)) and mine != theirs
+
+
+def score_candidate(
+    layer: Layer,
+    candidate: CandidateConfig,
+    total_sram_kb: Tuple[int, int, int] = (512, 512, 256),
+    word_bytes: int = 1,
+    params: EnergyParams = DEFAULT_ENERGY,
+) -> ConfigScore:
+    """Score one design point on runtime, DRAM traffic and energy.
+
+    SRAM is divided evenly among partitions (paper Sec. IV-A); every
+    quantity is computed per distinct partition tile and aggregated
+    (runtime = slowest tile, traffic/energy events summed).
+    """
+    mapping = map_layer(layer, candidate.dataflow)
+    parts = candidate.num_partitions
+    buffers = BufferSet(
+        ifmap=DoubleBuffer("ifmap", max(1, total_sram_kb[0] // parts) * 1024),
+        filter=DoubleBuffer("filter", max(1, total_sram_kb[1] // parts) * 1024),
+        ofmap=DoubleBuffer("ofmap", max(1, total_sram_kb[2] // parts) * 1024),
+    )
+
+    runtime = scaleout_runtime(
+        mapping,
+        candidate.partition_rows,
+        candidate.partition_cols,
+        candidate.array_rows,
+        candidate.array_cols,
+    )
+
+    row_shares = split_evenly(mapping.sr, candidate.partition_rows)
+    col_shares = split_evenly(mapping.sc, candidate.partition_cols)
+    dram_bytes = 0
+    sram = SramCounts()
+    macs = 0
+    for tile_sr in row_shares:
+        for tile_sc in col_shares:
+            if tile_sr == 0 or tile_sc == 0:
+                continue
+            tile = OperandMapping(
+                sr=tile_sr, sc=tile_sc, t=mapping.t, dataflow=mapping.dataflow
+            )
+            traffic = estimate_traffic(
+                tile, candidate.array_rows, candidate.array_cols, buffers, word_bytes
+            )
+            dram_bytes += traffic.total_bytes
+            sram = sram + estimate_sram_counts(
+                tile, candidate.array_rows, candidate.array_cols
+            )
+            macs += tile.macs
+    if macs == 0:
+        raise SearchError(f"candidate {candidate.label()} maps no work for {layer.name!r}")
+
+    pe_cycles = candidate.total_macs * runtime
+    energy = (
+        params.mac * macs
+        + params.sram_access * sram.total
+        + params.dram_access * (dram_bytes / word_bytes)
+        + params.pe_idle * max(0, pe_cycles - macs)
+    )
+    return ConfigScore(
+        candidate=candidate, runtime=runtime, dram_bytes=dram_bytes, energy=energy
+    )
+
+
+def score_candidates(
+    layer: Layer,
+    candidates: Iterable[CandidateConfig],
+    total_sram_kb: Tuple[int, int, int] = (512, 512, 256),
+    word_bytes: int = 1,
+    params: EnergyParams = DEFAULT_ENERGY,
+) -> List[ConfigScore]:
+    """Score every candidate; order preserved."""
+    return [
+        score_candidate(layer, candidate, total_sram_kb, word_bytes, params)
+        for candidate in candidates
+    ]
+
+
+def pareto_front(scores: Sequence[ConfigScore]) -> List[ConfigScore]:
+    """Non-dominated subset, sorted by runtime ascending.
+
+    A score survives unless some other score is at least as good on
+    every objective and strictly better on one.
+    """
+    front = [
+        score
+        for score in scores
+        if not any(other.dominates(score) for other in scores)
+    ]
+    return sorted(front, key=lambda score: score.runtime)

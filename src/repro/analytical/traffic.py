@@ -1,0 +1,202 @@
+"""Closed-form DRAM traffic estimates (extension of the paper's model).
+
+The paper's analytical model (Sec. III) covers runtime only and defers
+all memory behaviour to the simulator.  This module closes that gap: it
+evaluates the engine's fold-order reuse model *in closed form*, so a
+design-space search can price DRAM traffic without instantiating a
+simulator.  The estimates are exact — tests assert equality with
+:func:`repro.memory.bandwidth.compute_dram_traffic` — because both
+implementations realize the same double-buffer policy:
+
+* an operand that fits the working half of its buffer moves once;
+* otherwise, a slice is re-fetched whenever the resident slice changes
+  between consecutive folds (row-major fold order), and on *every* fold
+  if a single slice overflows the working half.
+
+Per dataflow (Table III roles, row-major fold order):
+
+=============== ======================= =======================
+Dataflow        IFMAP slice             filter slice
+=============== ======================= =======================
+OS              row-block (per F_R)     col-block (per F_C)
+WS              row-block (per F_R)     fold tile (unique)
+IS              fold tile (unique)      row-block (per F_R)
+=============== ======================= =======================
+
+Row-blocks keyed by the row fold are fetched once per row fold (their
+id is constant across the inner column loop); col-blocks change every
+inner iteration and are therefore re-fetched once per fold unless the
+whole operand fits; fold tiles are unique and always move exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytical.runtime import fold_runtime
+from repro.config.hardware import Dataflow
+from repro.errors import MappingError
+from repro.mapping.dims import OperandMapping
+from repro.memory.buffers import BufferSet
+from repro.utils.mathutils import ceil_div
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class TrafficEstimate:
+    """Closed-form DRAM traffic of one layer on one array, in bytes."""
+
+    ifmap_bytes: int
+    filter_bytes: int
+    ofmap_bytes: int
+    total_cycles: int
+
+    @property
+    def read_bytes(self) -> int:
+        return self.ifmap_bytes + self.filter_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.ofmap_bytes
+
+    @property
+    def avg_read_bw(self) -> float:
+        """Average stall-free read bandwidth, bytes per cycle."""
+        return self.read_bytes / self.total_cycles
+
+    @property
+    def avg_write_bw(self) -> float:
+        return self.ofmap_bytes / self.total_cycles
+
+    @property
+    def avg_total_bw(self) -> float:
+        return self.avg_read_bw + self.avg_write_bw
+
+
+def _row_block_traffic(
+    sr: int,
+    t: int,
+    array_rows: int,
+    col_folds: int,
+    working_bytes: int,
+    word_bytes: int,
+) -> int:
+    """Traffic of an operand whose slice is keyed by the row fold.
+
+    The operand holds ``sr * t`` elements, sliced into row blocks of
+    ``array_rows * t`` (plus a smaller edge block).  A block that fits
+    the working half is fetched once per row fold (it stays resident
+    across the inner column loop); a block that overflows streams in
+    again for every column fold; when the whole operand fits, each
+    block still moves exactly once.  Full and edge blocks are judged
+    separately, exactly as the per-slice engine logic does.
+    """
+    unique_bytes = sr * t * word_bytes
+    if unique_bytes <= working_bytes:
+        return unique_bytes
+    full_blocks, edge_rows = divmod(sr, array_rows)
+    total = 0
+    full_block_bytes = array_rows * t * word_bytes
+    if full_blocks:
+        repeat = col_folds if full_block_bytes > working_bytes else 1
+        total += full_blocks * full_block_bytes * repeat
+    if edge_rows:
+        edge_block_bytes = edge_rows * t * word_bytes
+        repeat = col_folds if edge_block_bytes > working_bytes else 1
+        total += edge_block_bytes * repeat
+    return total
+
+
+def _col_block_traffic(
+    row_folds: int,
+    unique_elements: int,
+    working_bytes: int,
+    word_bytes: int,
+) -> int:
+    """Traffic of an operand whose slice changes every fold (col-keyed).
+
+    Under row-major order the resident column block changes on every
+    inner iteration, so each row fold re-streams the whole operand —
+    unless all of it fits on chip.
+    """
+    unique_bytes = unique_elements * word_bytes
+    if unique_bytes <= working_bytes:
+        return unique_bytes
+    return unique_bytes * row_folds
+
+
+def estimate_traffic(
+    mapping: OperandMapping,
+    array_rows: int,
+    array_cols: int,
+    buffers: BufferSet,
+    word_bytes: int = 1,
+) -> TrafficEstimate:
+    """Closed-form DRAM traffic for one mapped layer on one array.
+
+    Exactly matches the cycle-accurate engine's
+    :func:`~repro.memory.bandwidth.compute_dram_traffic` totals for the
+    same configuration (asserted by tests), at O(1) cost.
+    """
+    check_positive_int(array_rows, "array_rows")
+    check_positive_int(array_cols, "array_cols")
+    check_positive_int(word_bytes, "word_bytes")
+
+    sr, sc, t = mapping.sr, mapping.sc, mapping.t
+    row_folds = ceil_div(sr, array_rows)
+    col_folds = ceil_div(sc, array_cols)
+    dataflow = mapping.dataflow
+
+    if dataflow is Dataflow.OUTPUT_STATIONARY:
+        ifmap_unique, filter_unique = sr * t, sc * t
+        ifmap = _row_block_traffic(
+            sr, t, array_rows, col_folds, buffers.ifmap.working_bytes, word_bytes
+        )
+        filt = _col_block_traffic(
+            row_folds, filter_unique, buffers.filter.working_bytes, word_bytes
+        )
+        # Each output accumulates in place and drains once.
+        ofmap = sr * sc * word_bytes
+    elif dataflow is Dataflow.WEIGHT_STATIONARY:
+        ifmap_unique, filter_unique = sr * t, sr * sc
+        ifmap = _row_block_traffic(
+            sr, t, array_rows, col_folds, buffers.ifmap.working_bytes, word_bytes
+        )
+        # Stationary tiles are unique per fold: always exactly once.
+        filt = filter_unique * word_bytes
+        # Each column emits T partial outputs per row fold.
+        ofmap = sc * t * row_folds * word_bytes
+    elif dataflow is Dataflow.INPUT_STATIONARY:
+        ifmap_unique, filter_unique = sr * sc, sr * t
+        ifmap = ifmap_unique * word_bytes
+        filt = _row_block_traffic(
+            sr, t, array_rows, col_folds, buffers.filter.working_bytes, word_bytes
+        )
+        ofmap = sc * t * row_folds * word_bytes
+    else:  # pragma: no cover - enum is exhaustive
+        raise MappingError(f"unsupported dataflow {dataflow!r}")
+
+    # Total cycles: full folds plus edge folds, in closed form.
+    full_rows, edge_rows = divmod(sr, array_rows)
+    full_cols, edge_cols = divmod(sc, array_cols)
+
+    def row_cycles(rows: int) -> int:
+        total = 0
+        if full_cols:
+            total += full_cols * fold_runtime(rows, array_cols, t)
+        if edge_cols:
+            total += fold_runtime(rows, edge_cols, t)
+        return total
+
+    cycles = 0
+    if full_rows:
+        cycles += full_rows * row_cycles(array_rows)
+    if edge_rows:
+        cycles += row_cycles(edge_rows)
+
+    return TrafficEstimate(
+        ifmap_bytes=ifmap,
+        filter_bytes=filt,
+        ofmap_bytes=ofmap,
+        total_cycles=cycles,
+    )

@@ -1,0 +1,380 @@
+"""Command-line front end, in the spirit of the original SCALE-Sim runner.
+
+Subcommands::
+
+    scalesim-repro run      -c config.cfg -t topology.csv [-o outdir]
+    scalesim-repro run      --workload resnet50 --array 32x32 ...
+    scalesim-repro analyze  --workload resnet50 --array 32x32
+    scalesim-repro search   --workload resnet50 --macs 16384 [--scaleout]
+    scalesim-repro sweep    --layer TF0 --macs 16384 [--partitions 1,4,16,...]
+    scalesim-repro dram     --workload TF1 --array 16x16 [--channels 4]
+    scalesim-repro workloads
+
+``run`` simulates a topology cycle-accurately and writes the report
+CSV; ``analyze`` prints the instant closed-form estimates (Eq. 4 plus
+the traffic model); ``search`` runs the Sec. IV-B multi-workload
+optimization; ``sweep`` regenerates a Fig. 11-style runtime/bandwidth-
+vs-partitions series for one layer; ``dram`` replays a layer's prefetch
+schedule through the cycle-level DRAM back-end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analytical.multiworkload import WorkloadSet, pareto_search
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.config.parser import load_config
+from repro.config.presets import paper_scaling_config
+from repro.engine.reports import render_report, write_report_csv
+from repro.engine.scaleout import ScaleOutSimulator
+from repro.engine.simulator import Simulator
+from repro.errors import ReproError
+from repro.topology.network import Network
+from repro.topology.parser import load_topology
+from repro.utils.mathutils import is_power_of_two
+from repro.workloads.language import language_layer, TABLE_IV_DIMS
+from repro.workloads.registry import available_workloads, get_workload
+
+
+def _parse_shape(text: str, what: str) -> Tuple[int, int]:
+    try:
+        rows_text, cols_text = text.lower().split("x")
+        return int(rows_text), int(cols_text)
+    except ValueError:
+        raise SystemExit(f"invalid {what} {text!r}; expected e.g. 32x32") from None
+
+
+def _load_network(args: argparse.Namespace) -> Network:
+    if args.topology:
+        return load_topology(args.topology)
+    if args.workload:
+        if args.workload in TABLE_IV_DIMS:
+            return Network(args.workload, [language_layer(args.workload)])
+        return get_workload(args.workload)
+    raise SystemExit("provide --topology FILE or --workload NAME")
+
+
+def _build_config(args: argparse.Namespace) -> HardwareConfig:
+    if args.config:
+        config = load_config(args.config)
+    else:
+        config = paper_scaling_config(32, 32)
+    if args.array:
+        rows, cols = _parse_shape(args.array, "--array")
+        config = config.with_array(rows, cols)
+    if getattr(args, "partitions", None):
+        rows, cols = _parse_shape(args.partitions, "--partitions")
+        config = config.with_partitions(rows, cols)
+    if args.dataflow:
+        config = config.with_dataflow(Dataflow.from_string(args.dataflow))
+    return config
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    network = _load_network(args)
+    if args.batch and args.batch > 1:
+        network = network.with_batch(args.batch)
+    config = _build_config(args)
+    if config.is_monolithic:
+        result = Simulator(config, loop_order=args.loop_order).run_network(network)
+    else:
+        result = ScaleOutSimulator(config).run_network(network)
+    print(f"# {config.describe()}")
+    print(render_report(result))
+    if args.outdir:
+        outdir = Path(args.outdir)
+        outdir.mkdir(parents=True, exist_ok=True)
+        path = write_report_csv(result, outdir / f"{network.name}_report.csv")
+        print(f"\nreport written to {path}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Closed-form estimates: Eq. 4 runtime + the traffic model."""
+    from repro.analytical.runtime import scaleup_runtime
+    from repro.analytical.traffic import estimate_traffic
+    from repro.mapping.dims import map_layer
+    from repro.memory.buffers import BufferSet
+
+    network = _load_network(args)
+    config = _build_config(args)
+    if not config.is_monolithic:
+        raise SystemExit("analyze estimates single arrays; drop --partitions")
+    buffers = BufferSet.from_config(config)
+    print(f"# analytical estimates, {config.describe()}")
+    print(f"{'layer':16s} {'eq4_cycles':>12s} {'dram_rd_B':>12s} {'dram_wr_B':>12s} {'avg_bw':>8s}")
+    total_cycles = 0
+    for layer in network:
+        mapping = map_layer(layer, config.dataflow)
+        runtime = scaleup_runtime(mapping, config.array_rows, config.array_cols)
+        estimate = estimate_traffic(
+            mapping, config.array_rows, config.array_cols, buffers, config.word_bytes
+        )
+        total_cycles += runtime
+        print(
+            f"{layer.name:16s} {runtime:12d} {estimate.read_bytes:12d} "
+            f"{estimate.ofmap_bytes:12d} {estimate.avg_total_bw:8.2f}"
+        )
+    print(f"\ntotal Eq.4 cycles: {total_cycles}")
+    return 0
+
+
+def _cmd_dram(args: argparse.Namespace) -> int:
+    """Replay one layer's DRAM schedule through the device back-end."""
+    from repro.dram.simulator import DramSimulator
+    from repro.dram.timing import DramTiming
+    from repro.engine.tracefiles import dram_request_stream
+    from repro.memory.bandwidth import compute_dram_traffic
+    from repro.memory.buffers import BufferSet
+
+    network = _load_network(args)
+    config = _build_config(args)
+    if not config.is_monolithic:
+        raise SystemExit("dram replays single-array traces; drop --partitions")
+    simulator = Simulator(config)
+    timing = DramTiming(num_channels=args.channels)
+    device = DramSimulator(timing)
+    print(f"# DRAM replay, {config.describe()}, {args.channels} channel(s)")
+    print(f"{'layer':16s} {'demand_bw':>10s} {'achieved':>10s} {'hit_rate':>9s} {'verdict':>12s}")
+    for layer in network:
+        engine = simulator.engine(layer)
+        traffic = compute_dram_traffic(
+            engine, BufferSet.from_config(config), config.word_bytes
+        )
+        requests = list(
+            dram_request_stream(traffic, simulator.address_layout(layer))
+        )
+        stats = device.run(requests)
+        demand = traffic.bandwidth.avg_total_bw
+        verdict = "keeps up" if stats.achieved_bandwidth >= 0.95 * demand else "falls behind"
+        print(
+            f"{layer.name:16s} {demand:10.2f} {stats.achieved_bandwidth:10.2f} "
+            f"{stats.row_hit_rate:9.2f} {verdict:>12s}"
+        )
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    network = _load_network(args)
+    workloads = WorkloadSet(
+        name=network.name,
+        layers=tuple(network),
+        dataflow=Dataflow.from_string(args.dataflow or "os"),
+    )
+    best, ranking = pareto_search(workloads, args.macs, scaleout=args.scaleout)
+    kind = "scale-out" if args.scaleout else "scale-up"
+    print(f"# optimal {kind} configuration for {network.name} at {args.macs} MACs")
+    print(f"best: {best.label()}  (total runtime {ranking[0][1]:.2f}x)")
+    for rank, (cand, loss) in enumerate(ranking, start=1):
+        print(f"  {rank:2d}. {cand.label():40s} perf loss {loss:6.2f}x")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if not is_power_of_two(args.macs):
+        raise SystemExit("--macs must be a power of two for the sweep")
+    layer = language_layer(args.layer) if args.layer in TABLE_IV_DIMS else None
+    if layer is None:
+        network = get_workload(args.workload or "resnet50")
+        if args.layer not in network:
+            raise SystemExit(f"unknown layer {args.layer!r}")
+        layer = network[args.layer]
+    partitions: List[int] = (
+        [int(p) for p in args.partitions.split(",")]
+        if args.partitions
+        else [4**i for i in range(8) if 4**i * 64 <= args.macs]
+    )
+    print(f"# layer {layer.name}, {args.macs} MACs, OS dataflow")
+    print("partitions  array       cycles      avg_bw(B/cyc)  peak_bw(B/cyc)")
+    for count in partitions:
+        if args.macs % count or not is_power_of_two(args.macs // count):
+            continue
+        grid = _square_grid(count)
+        shape = _square_grid(args.macs // count)
+        config = paper_scaling_config(shape[0], shape[1], grid[0], grid[1])
+        result = ScaleOutSimulator(config).run_layer(layer)
+        print(
+            f"{count:10d}  {shape[0]}x{shape[1]:<8d} {result.total_cycles:10d}  "
+            f"{result.avg_total_bw:13.3f}  {result.peak_total_bw:14.3f}"
+        )
+    return 0
+
+
+def _square_grid(count: int) -> Tuple[int, int]:
+    """Most-square power-of-two factorization of ``count``."""
+    rows = 1
+    while rows * rows < count:
+        rows <<= 1
+    return (count // rows, rows) if count % rows == 0 else (1, count)
+
+
+def _cmd_workloads(_: argparse.Namespace) -> int:
+    print("built-in networks: " + ", ".join(available_workloads()))
+    print("Table IV layers:   " + ", ".join(sorted(TABLE_IV_DIMS)))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Cross-model validation sweep (the Fig. 4 methodology, randomized)."""
+    from repro.golden.validate import validation_sweep
+
+    reports = validation_sweep(seed=args.seed, trials=args.trials)
+    failures = [report for report in reports if not report.passed]
+    for report in reports if args.verbose else failures:
+        print(report.describe())
+    print(
+        f"\n{len(reports) - len(failures)}/{len(reports)} configurations agree "
+        "across engine, golden array and Eq. 4"
+    )
+    return 1 if failures else 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    """Run the scaling-recommendation heuristic on a workload set."""
+    from repro.analytical.recommend import recommend_configuration
+
+    network = _load_network(args)
+    workloads = WorkloadSet(
+        name=network.name,
+        layers=tuple(network),
+        dataflow=Dataflow.from_string(args.dataflow or "os"),
+    )
+    rec = recommend_configuration(
+        workloads,
+        args.macs,
+        objective=args.objective,
+        bandwidth_budget=args.bandwidth,
+    )
+    print(f"# recommendation for {network.name} at {args.macs} MACs "
+          f"(objective: {args.objective})")
+    print(f"chosen: {rec.summary()}\n")
+    print(f"{'rank':>4s}  {'config':42s} {'cycles':>12s} {'avg_bw':>9s} {'energy':>12s}")
+    for rank, score in enumerate(rec.ranking, start=1):
+        marker = "  <==" if score.candidate == rec.candidate else ""
+        print(
+            f"{rank:4d}  {score.candidate.label():42s} {score.runtime:12d} "
+            f"{score.avg_bandwidth:9.2f} {score.energy:12.4g}{marker}"
+        )
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    """Regenerate one of the paper's tables/figures and print its rows."""
+    from repro.experiments import available_experiments, run_experiment
+
+    if args.list or not args.experiment:
+        print("experiments: " + ", ".join(available_experiments()))
+        return 0
+    try:
+        rows = run_experiment(args.experiment)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+    header = list(rows[0].keys())
+    widths = {
+        key: max(len(key), max(len(str(row[key])) for row in rows)) for key in header
+    }
+    print(f"# {args.experiment}")
+    print("  ".join(key.ljust(widths[key]) for key in header))
+    for row in rows:
+        print("  ".join(str(row[key]).ljust(widths[key]) for key in header))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scalesim-repro",
+        description="SCALE-Sim reproduction: systolic DNN accelerator simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="cycle-accurate simulation of a topology")
+    run.add_argument("-c", "--config", help="SCALE-Sim INI config file")
+    run.add_argument("-t", "--topology", help="Table II topology CSV")
+    run.add_argument("--workload", help="built-in workload or Table IV layer name")
+    run.add_argument("--array", help="array shape, e.g. 32x32")
+    run.add_argument("--partitions", help="partition grid, e.g. 4x4")
+    run.add_argument("--dataflow", choices=["os", "ws", "is"])
+    run.add_argument("--batch", type=int, default=1, help="batch size (default 1)")
+    run.add_argument(
+        "--loop-order", choices=["row", "col"], default="row",
+        help="fold iteration order (affects DRAM traffic only)",
+    )
+    run.add_argument("-o", "--outdir", help="directory for report CSVs")
+    run.set_defaults(func=_cmd_run)
+
+    analyze = sub.add_parser("analyze", help="closed-form runtime/traffic estimates")
+    analyze.add_argument("-c", "--config", help="SCALE-Sim INI config file")
+    analyze.add_argument("-t", "--topology", help="Table II topology CSV")
+    analyze.add_argument("--workload", help="built-in workload or Table IV layer name")
+    analyze.add_argument("--array", help="array shape, e.g. 32x32")
+    analyze.add_argument("--dataflow", choices=["os", "ws", "is"])
+    analyze.set_defaults(func=_cmd_analyze, partitions=None)
+
+    dram = sub.add_parser("dram", help="replay DRAM schedule through the device model")
+    dram.add_argument("-c", "--config", help="SCALE-Sim INI config file")
+    dram.add_argument("-t", "--topology", help="Table II topology CSV")
+    dram.add_argument("--workload", help="built-in workload or Table IV layer name")
+    dram.add_argument("--array", help="array shape, e.g. 16x16")
+    dram.add_argument("--dataflow", choices=["os", "ws", "is"])
+    dram.add_argument("--channels", type=int, default=1, help="DRAM channels")
+    dram.set_defaults(func=_cmd_dram, partitions=None)
+
+    search = sub.add_parser("search", help="Sec. IV-B multi-workload optimization")
+    search.add_argument("--topology", help="Table II topology CSV")
+    search.add_argument("--workload", help="built-in workload name")
+    search.add_argument("--macs", type=int, required=True, help="total MAC budget")
+    search.add_argument("--scaleout", action="store_true", help="search partitioned configs")
+    search.add_argument("--dataflow", choices=["os", "ws", "is"])
+    search.set_defaults(func=_cmd_search)
+
+    sweep = sub.add_parser("sweep", help="Fig. 11-style partition sweep for one layer")
+    sweep.add_argument("--layer", required=True, help="layer name (e.g. TF0, CB2a_3)")
+    sweep.add_argument("--workload", help="network containing --layer (default resnet50)")
+    sweep.add_argument("--macs", type=int, required=True)
+    sweep.add_argument("--partitions", help="comma-separated partition counts")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    listing = sub.add_parser("workloads", help="list built-in workloads")
+    listing.set_defaults(func=_cmd_workloads)
+
+    validate = sub.add_parser("validate", help="cross-model cycle validation sweep")
+    validate.add_argument("--trials", type=int, default=10, help="trials per dataflow")
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("-v", "--verbose", action="store_true",
+                          help="print every comparison, not just failures")
+    validate.set_defaults(func=_cmd_validate)
+
+    recommend = sub.add_parser("recommend", help="heuristic scaling recommendation")
+    recommend.add_argument("--topology", help="Table II topology CSV")
+    recommend.add_argument("--workload", help="built-in workload name")
+    recommend.add_argument("--macs", type=int, required=True, help="total MAC budget")
+    recommend.add_argument("--objective", choices=["runtime", "energy", "edp"],
+                           default="runtime")
+    recommend.add_argument("--bandwidth", type=float,
+                           help="DRAM bandwidth budget in bytes/cycle")
+    recommend.add_argument("--dataflow", choices=["os", "ws", "is"])
+    recommend.set_defaults(func=_cmd_recommend)
+
+    reproduce = sub.add_parser("reproduce", help="regenerate a paper table/figure")
+    reproduce.add_argument("experiment", nargs="?", help="experiment id, e.g. fig11def")
+    reproduce.add_argument("--list", action="store_true", help="list experiment ids")
+    reproduce.set_defaults(func=_cmd_reproduce)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,181 @@
+"""Hardware configuration for a systolic-array accelerator.
+
+This mirrors SCALE-Sim's configuration file (paper Table I): the array
+dimensions, the three double-buffered SRAM sizes (IFMAP, filter, OFMAP),
+the address offsets used when emitting traces, and the dataflow.
+
+The configuration also carries the parameters the scaling study adds on
+top of plain SCALE-Sim: the partition grid for scale-out runs and the
+operand word size used to convert element counts into bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+from repro.utils.validation import check_positive_int, check_non_negative_int
+
+
+class Dataflow(enum.Enum):
+    """The three true systolic dataflows modelled by the paper (Fig. 3)."""
+
+    OUTPUT_STATIONARY = "os"
+    WEIGHT_STATIONARY = "ws"
+    INPUT_STATIONARY = "is"
+
+    @classmethod
+    def from_string(cls, text: str) -> "Dataflow":
+        """Parse ``'os' | 'ws' | 'is'`` (case-insensitive) into a Dataflow."""
+        normalized = str(text).strip().lower()
+        for member in cls:
+            if member.value == normalized:
+                return member
+        legal = [member.value for member in cls]
+        raise ConfigError(f"unknown dataflow {text!r}; legal values are {legal}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Complete description of one accelerator configuration.
+
+    Attributes mirror Table I of the paper; ``partition_rows`` /
+    ``partition_cols`` extend it with the scale-out grid (1x1 means a
+    monolithic, scale-up configuration), and ``word_bytes`` sets the
+    operand width for bandwidth accounting.
+    """
+
+    array_rows: int = 32
+    array_cols: int = 32
+    ifmap_sram_kb: int = 512
+    filter_sram_kb: int = 512
+    ofmap_sram_kb: int = 256
+    ifmap_offset: int = 0
+    filter_offset: int = 10_000_000
+    ofmap_offset: int = 20_000_000
+    dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY
+    partition_rows: int = 1
+    partition_cols: int = 1
+    word_bytes: int = 1
+    run_name: str = "scale-sim-repro"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.array_rows, "array_rows")
+        check_positive_int(self.array_cols, "array_cols")
+        check_positive_int(self.ifmap_sram_kb, "ifmap_sram_kb")
+        check_positive_int(self.filter_sram_kb, "filter_sram_kb")
+        check_positive_int(self.ofmap_sram_kb, "ofmap_sram_kb")
+        check_non_negative_int(self.ifmap_offset, "ifmap_offset")
+        check_non_negative_int(self.filter_offset, "filter_offset")
+        check_non_negative_int(self.ofmap_offset, "ofmap_offset")
+        check_positive_int(self.partition_rows, "partition_rows")
+        check_positive_int(self.partition_cols, "partition_cols")
+        check_positive_int(self.word_bytes, "word_bytes")
+        if not isinstance(self.dataflow, Dataflow):
+            raise ConfigError(f"dataflow must be a Dataflow, got {self.dataflow!r}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_macs(self) -> int:
+        """MAC units in one array (the paper's per-partition PE count)."""
+        return self.array_rows * self.array_cols
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of arrays in the scale-out grid (1 for scale-up)."""
+        return self.partition_rows * self.partition_cols
+
+    @property
+    def total_macs(self) -> int:
+        """MAC units across all partitions; the paper's fixed MAC budget."""
+        return self.num_macs * self.num_partitions
+
+    @property
+    def is_monolithic(self) -> bool:
+        """True when this is a scale-up (single array) configuration."""
+        return self.num_partitions == 1
+
+    @property
+    def ifmap_sram_bytes(self) -> int:
+        return self.ifmap_sram_kb * 1024
+
+    @property
+    def filter_sram_bytes(self) -> int:
+        return self.filter_sram_kb * 1024
+
+    @property
+    def ofmap_sram_bytes(self) -> int:
+        return self.ofmap_sram_kb * 1024
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    def with_array(self, rows: int, cols: int) -> "HardwareConfig":
+        """Return a copy with a different array shape."""
+        return replace(self, array_rows=rows, array_cols=cols)
+
+    def with_partitions(self, rows: int, cols: int) -> "HardwareConfig":
+        """Return a copy with a different partition grid."""
+        return replace(self, partition_rows=rows, partition_cols=cols)
+
+    def with_dataflow(self, dataflow: Dataflow) -> "HardwareConfig":
+        """Return a copy using a different dataflow."""
+        return replace(self, dataflow=dataflow)
+
+    def partition_config(self) -> "HardwareConfig":
+        """Return the per-partition configuration for a scale-out run.
+
+        Scale-out divides the three SRAM buffers evenly among the
+        partitions (Sec. IV-A of the paper) and each partition is a
+        standalone array, so the returned config is monolithic.  SRAM
+        sizes are floored at 1 KB to stay physically meaningful.
+        """
+        parts = self.num_partitions
+        if parts == 1:
+            return self
+        return replace(
+            self,
+            partition_rows=1,
+            partition_cols=1,
+            ifmap_sram_kb=max(1, self.ifmap_sram_kb // parts),
+            filter_sram_kb=max(1, self.filter_sram_kb // parts),
+            ofmap_sram_kb=max(1, self.ofmap_sram_kb // parts),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serialize to the flat key/value mapping used by the INI format."""
+        return {
+            "ArrayHeight": self.array_rows,
+            "ArrayWidth": self.array_cols,
+            "IfmapSramSz": self.ifmap_sram_kb,
+            "FilterSramSz": self.filter_sram_kb,
+            "OfmapSramSz": self.ofmap_sram_kb,
+            "IfmapOffset": self.ifmap_offset,
+            "FilterOffset": self.filter_offset,
+            "OfmapOffset": self.ofmap_offset,
+            "Dataflow": self.dataflow.value,
+            "PartitionRows": self.partition_rows,
+            "PartitionCols": self.partition_cols,
+            "WordBytes": self.word_bytes,
+            "RunName": self.run_name,
+        }
+
+    def shape(self) -> Tuple[int, int]:
+        """Return ``(array_rows, array_cols)``."""
+        return (self.array_rows, self.array_cols)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by reports and the CLI."""
+        grid = f"{self.partition_rows}x{self.partition_cols}"
+        return (
+            f"{self.array_rows}x{self.array_cols} array, {grid} partitions, "
+            f"{self.dataflow.value} dataflow, SRAM(i/f/o)="
+            f"{self.ifmap_sram_kb}/{self.filter_sram_kb}/{self.ofmap_sram_kb} KB"
+        )

@@ -1,0 +1,89 @@
+"""Read and write SCALE-Sim style configuration files.
+
+The on-disk format follows the original tool: an INI file with
+``[general]``, ``[architecture_presets]`` and ``[run_presets]`` sections
+holding the Table I keys.  Unknown keys raise :class:`ConfigError` so a
+typo never silently falls back to a default.
+"""
+
+from __future__ import annotations
+
+import configparser
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.errors import ConfigError
+
+_INT_KEYS = {
+    "arrayheight": "array_rows",
+    "arraywidth": "array_cols",
+    "ifmapsramsz": "ifmap_sram_kb",
+    "filtersramsz": "filter_sram_kb",
+    "ofmapsramsz": "ofmap_sram_kb",
+    "ifmapoffset": "ifmap_offset",
+    "filteroffset": "filter_offset",
+    "ofmapoffset": "ofmap_offset",
+    "partitionrows": "partition_rows",
+    "partitioncols": "partition_cols",
+    "wordbytes": "word_bytes",
+}
+_STR_KEYS = {
+    "dataflow": "dataflow",
+    "runname": "run_name",
+    "run_name": "run_name",
+    "topology": None,  # accepted for compatibility; handled by the CLI
+}
+
+
+def parse_config_text(text: str) -> HardwareConfig:
+    """Parse configuration file contents into a :class:`HardwareConfig`."""
+    parser = configparser.ConfigParser()
+    try:
+        parser.read_string(text)
+    except configparser.Error as exc:
+        raise ConfigError(f"malformed config file: {exc}") from exc
+
+    values: Dict[str, object] = {}
+    for section in parser.sections():
+        for raw_key, raw_value in parser.items(section):
+            key = raw_key.strip().lower()
+            if key in _INT_KEYS:
+                try:
+                    values[_INT_KEYS[key]] = int(raw_value)
+                except ValueError as exc:
+                    raise ConfigError(
+                        f"config key {raw_key!r} must be an integer, got {raw_value!r}"
+                    ) from exc
+            elif key in _STR_KEYS:
+                field = _STR_KEYS[key]
+                if field == "dataflow":
+                    values[field] = Dataflow.from_string(raw_value)
+                elif field is not None:
+                    values[field] = raw_value.strip()
+            else:
+                raise ConfigError(f"unknown config key {raw_key!r} in section [{section}]")
+    try:
+        return HardwareConfig(**values)
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
+
+
+def load_config(path: Union[str, Path]) -> HardwareConfig:
+    """Load a :class:`HardwareConfig` from an INI file on disk."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"config file not found: {path}")
+    return parse_config_text(path.read_text())
+
+
+def dump_config(config: HardwareConfig, path: Union[str, Path]) -> Path:
+    """Write ``config`` to ``path`` in the INI format and return the path."""
+    path = Path(path)
+    lines = ["[general]", f"run_name = {config.run_name}", "", "[architecture_presets]"]
+    for key, value in config.as_dict().items():
+        if key == "RunName":
+            continue
+        lines.append(f"{key} = {value}")
+    path.write_text("\n".join(lines) + "\n")
+    return path

@@ -1,0 +1,93 @@
+"""Ready-made hardware configurations.
+
+``PAPER_SCALING_SRAM_KB`` records the SRAM allocation the paper uses for
+the whole scaling study (Sec. IV-A): 512 KB IFMAP + 512 KB filter +
+256 KB OFMAP, divided evenly among partitions when scaling out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config.hardware import Dataflow, HardwareConfig
+
+#: SRAM budget (KB) used for all Fig. 11 / Fig. 12 sweeps in the paper.
+PAPER_SCALING_SRAM_KB = {"ifmap": 512, "filter": 512, "ofmap": 256}
+
+#: A TPU-v1-flavoured monolithic configuration (256x256 WS array).
+GOOGLE_TPU_LIKE = HardwareConfig(
+    array_rows=256,
+    array_cols=256,
+    ifmap_sram_kb=1024,
+    filter_sram_kb=1024,
+    ofmap_sram_kb=512,
+    dataflow=Dataflow.WEIGHT_STATIONARY,
+    run_name="tpu-like",
+)
+
+#: An Eyeriss-flavoured small array.
+EYERISS_LIKE = HardwareConfig(
+    array_rows=12,
+    array_cols=14,
+    ifmap_sram_kb=108,
+    filter_sram_kb=108,
+    ofmap_sram_kb=54,
+    dataflow=Dataflow.OUTPUT_STATIONARY,
+    run_name="eyeriss-like",
+)
+
+#: A tiny configuration for unit tests and quick demos.
+SMALL_TEST = HardwareConfig(
+    array_rows=8,
+    array_cols=8,
+    ifmap_sram_kb=64,
+    filter_sram_kb=64,
+    ofmap_sram_kb=32,
+    dataflow=Dataflow.OUTPUT_STATIONARY,
+    run_name="small-test",
+)
+
+_PRESETS: Dict[str, HardwareConfig] = {
+    "tpu": GOOGLE_TPU_LIKE,
+    "eyeriss": EYERISS_LIKE,
+    "small": SMALL_TEST,
+}
+
+
+def preset(name: str) -> HardwareConfig:
+    """Return a named preset configuration ('tpu', 'eyeriss', 'small')."""
+    try:
+        return _PRESETS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown preset {name!r}; choose from {sorted(_PRESETS)}") from None
+
+
+def preset_names() -> List[str]:
+    """Return the available preset names, sorted."""
+    return sorted(_PRESETS)
+
+
+def paper_scaling_config(
+    array_rows: int,
+    array_cols: int,
+    partition_rows: int = 1,
+    partition_cols: int = 1,
+    dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
+) -> HardwareConfig:
+    """Build a config with the paper's Sec. IV-A SRAM budget.
+
+    The 512/512/256 KB budget is the *total* across partitions; the
+    scale-out engine divides it via
+    :meth:`HardwareConfig.partition_config`.
+    """
+    return HardwareConfig(
+        array_rows=array_rows,
+        array_cols=array_cols,
+        partition_rows=partition_rows,
+        partition_cols=partition_cols,
+        ifmap_sram_kb=PAPER_SCALING_SRAM_KB["ifmap"],
+        filter_sram_kb=PAPER_SCALING_SRAM_KB["filter"],
+        ofmap_sram_kb=PAPER_SCALING_SRAM_KB["ofmap"],
+        dataflow=dataflow,
+        run_name="paper-scaling",
+    )

@@ -1,0 +1,65 @@
+"""Construct the right engine for a dataflow."""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.config.hardware import Dataflow
+from repro.dataflow.base import DataflowEngine
+from repro.dataflow.input_stationary import InputStationaryEngine
+from repro.dataflow.output_stationary import OutputStationaryEngine
+from repro.dataflow.output_stationary_dataplane import OutputStationaryDataPlaneEngine
+from repro.dataflow.weight_stationary import WeightStationaryEngine
+from repro.errors import MappingError
+from repro.topology.layer import Layer
+
+_ENGINES: Dict[Dataflow, Type[DataflowEngine]] = {
+    Dataflow.OUTPUT_STATIONARY: OutputStationaryEngine,
+    Dataflow.WEIGHT_STATIONARY: WeightStationaryEngine,
+    Dataflow.INPUT_STATIONARY: InputStationaryEngine,
+}
+
+
+def _engine_class(dataflow: Dataflow, output_dataplane: bool) -> Type[DataflowEngine]:
+    if output_dataplane:
+        if dataflow is not Dataflow.OUTPUT_STATIONARY:
+            raise MappingError(
+                "the dedicated output data plane is an OS variant "
+                f"(got {dataflow!r})"
+            )
+        return OutputStationaryDataPlaneEngine
+    try:
+        return _ENGINES[dataflow]
+    except KeyError:
+        raise MappingError(f"no engine registered for dataflow {dataflow!r}") from None
+
+
+def engine_for(
+    layer: Layer,
+    dataflow: Dataflow,
+    array_rows: int,
+    array_cols: int,
+    output_dataplane: bool = False,
+) -> DataflowEngine:
+    """Build the cycle-accurate engine for ``layer`` under ``dataflow``.
+
+    ``output_dataplane=True`` selects the Sec. II-A OS variant whose
+    results leave over a dedicated plane instead of draining through
+    the PE mesh.
+    """
+    engine_cls = _engine_class(dataflow, output_dataplane)
+    return engine_cls(layer.gemm_m, layer.gemm_k, layer.gemm_n, array_rows, array_cols)
+
+
+def engine_for_gemm(
+    m: int,
+    k: int,
+    n: int,
+    dataflow: Dataflow,
+    array_rows: int,
+    array_cols: int,
+    output_dataplane: bool = False,
+) -> DataflowEngine:
+    """Build the cycle-accurate engine for a bare GEMM under ``dataflow``."""
+    engine_cls = _engine_class(dataflow, output_dataplane)
+    return engine_cls(m, k, n, array_rows, array_cols)

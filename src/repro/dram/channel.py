@@ -1,0 +1,127 @@
+"""Per-channel command scheduling with open-page policy.
+
+Each channel owns a set of banks and one shared data bus.  Requests are
+serviced in arrival order with a bounded first-ready (FR-FCFS-style)
+reorder window: among the oldest ``window`` pending requests, a row hit
+is preferred over the queue head, which keeps streams from thrashing
+open rows without starving anyone for long.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.request import DramAccess, decode
+from repro.dram.timing import DramTiming
+
+
+@dataclass
+class _BankState:
+    open_row: Optional[int] = None
+    ready_cycle: int = 0  # bank may accept a new column command
+    activated_cycle: int = 0  # when the open row was activated (for tRAS)
+
+
+@dataclass
+class ServicedRequest:
+    """One completed transaction with its measured timing."""
+
+    request: DramAccess
+    start_cycle: int
+    finish_cycle: int
+    row_hit: bool
+
+    @property
+    def latency(self) -> int:
+        return self.finish_cycle - self.request.cycle
+
+
+class Channel:
+    """Scheduler and timing model for one DRAM channel."""
+
+    def __init__(self, timing: DramTiming, window: int = 8):
+        self.timing = timing
+        self.window = max(1, window)
+        self._banks: Dict[int, _BankState] = {}
+        self._bus_free = 0
+        self._last_was_write = False
+
+    def _skip_refresh(self, cycle: int) -> int:
+        """Push ``cycle`` past any refresh blackout it falls into.
+
+        A refresh command issues every ``t_refi`` cycles and blocks all
+        banks for ``t_rfc``: the window ``[k*t_refi, k*t_refi + t_rfc)``
+        is unusable for every ``k >= 1``.
+        """
+        t_refi = self.timing.t_refi
+        if not t_refi:
+            return cycle
+        k = cycle // t_refi
+        if k >= 1 and cycle < k * t_refi + self.timing.t_rfc:
+            return k * t_refi + self.timing.t_rfc
+        return cycle
+
+    def _bank(self, index: int) -> _BankState:
+        if index not in self._banks:
+            self._banks[index] = _BankState()
+        return self._banks[index]
+
+    def service(self, requests: List[DramAccess]) -> List[ServicedRequest]:
+        """Service all requests (already filtered to this channel)."""
+        # Stable sort by arrival cycle only: requests issued in the same
+        # cycle keep their submission order (FCFS baseline).
+        pending = sorted(requests, key=lambda req: req.cycle)
+        done: List[ServicedRequest] = []
+        while pending:
+            index = self._pick(pending)
+            request = pending.pop(index)
+            done.append(self._execute(request))
+        return done
+
+    # ------------------------------------------------------------------
+    def _pick(self, pending: List[DramAccess]) -> int:
+        """Index of the next request: first row-hit in the reorder window,
+        but never past a request that arrived before the bus went idle."""
+        head = pending[0]
+        horizon = max(self._bus_free, head.cycle)
+        for index in range(min(self.window, len(pending))):
+            candidate = pending[index]
+            if candidate.cycle > horizon:
+                break
+            bank = self._bank(decode(candidate.address, self.timing).bank)
+            row = decode(candidate.address, self.timing).row
+            if bank.open_row == row:
+                return index
+        return 0
+
+    def _execute(self, request: DramAccess) -> ServicedRequest:
+        timing = self.timing
+        coords = decode(request.address, timing)
+        bank = self._bank(coords.bank)
+        start = self._skip_refresh(max(request.cycle, bank.ready_cycle))
+
+        row_hit = bank.open_row == coords.row
+        if not row_hit:
+            if bank.open_row is not None:
+                # Respect tRAS before precharging the currently open row.
+                start = max(start, bank.activated_cycle + timing.t_ras)
+                start += timing.t_rp
+            start += timing.t_rcd
+            start = self._skip_refresh(start)
+            bank.open_row = coords.row
+            bank.activated_cycle = start
+
+        # Column access, then the burst on the shared data bus; switching
+        # the bus from writes back to reads pays the turnaround penalty.
+        bus_ready = self._bus_free
+        if self._last_was_write and not request.is_write:
+            bus_ready += timing.t_wtr
+        data_start = self._skip_refresh(max(start + timing.t_cl, bus_ready))
+        finish = data_start + timing.t_burst
+        self._bus_free = finish
+        self._last_was_write = request.is_write
+        bank.ready_cycle = data_start
+        return ServicedRequest(
+            request=request, start_cycle=start, finish_cycle=finish, row_hit=row_hit
+        )

@@ -1,0 +1,83 @@
+"""Top-level DRAM simulator: route requests to channels, gather stats."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.dram.channel import Channel, ServicedRequest
+from repro.dram.request import DramAccess, decode
+from repro.dram.timing import DDR4_2400_LIKE, DramTiming
+from repro.errors import DramError
+
+
+@dataclass(frozen=True)
+class DramStats:
+    """Aggregate outcome of replaying one trace."""
+
+    num_requests: int
+    num_reads: int
+    num_writes: int
+    first_cycle: int
+    last_finish_cycle: int
+    total_latency: int
+    row_hits: int
+    bytes_moved: int
+
+    @property
+    def span_cycles(self) -> int:
+        """Cycles from first arrival to last completion."""
+        return max(1, self.last_finish_cycle - self.first_cycle)
+
+    @property
+    def achieved_bandwidth(self) -> float:
+        """Bytes per cycle actually sustained over the trace span."""
+        return self.bytes_moved / self.span_cycles
+
+    @property
+    def avg_latency(self) -> float:
+        return self.total_latency / max(1, self.num_requests)
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / max(1, self.num_requests)
+
+
+class DramSimulator:
+    """Replay a (cycle, address, is_write) trace through the device model."""
+
+    def __init__(self, timing: DramTiming = DDR4_2400_LIKE, reorder_window: int = 8):
+        self.timing = timing
+        self.reorder_window = reorder_window
+
+    def run(self, requests: Iterable[DramAccess]) -> DramStats:
+        """Service the whole trace and return aggregate statistics."""
+        all_requests = list(requests)
+        if not all_requests:
+            raise DramError("empty DRAM trace")
+
+        per_channel: List[List[DramAccess]] = [[] for _ in range(self.timing.num_channels)]
+        for request in all_requests:
+            per_channel[decode(request.address, self.timing).channel].append(request)
+
+        serviced: List[ServicedRequest] = []
+        for channel_requests in per_channel:
+            if not channel_requests:
+                continue
+            channel = Channel(self.timing, window=self.reorder_window)
+            serviced.extend(channel.service(channel_requests))
+
+        return DramStats(
+            num_requests=len(serviced),
+            num_reads=sum(1 for item in serviced if not item.request.is_write),
+            num_writes=sum(1 for item in serviced if item.request.is_write),
+            first_cycle=min(item.request.cycle for item in serviced),
+            last_finish_cycle=max(item.finish_cycle for item in serviced),
+            total_latency=sum(item.latency for item in serviced),
+            row_hits=sum(1 for item in serviced if item.row_hit),
+            bytes_moved=len(serviced) * self.timing.line_bytes,
+        )
+
+    def sustainable(self, demanded_bandwidth: float) -> bool:
+        """Quick feasibility check against the device's peak bandwidth."""
+        return demanded_bandwidth <= self.timing.peak_bandwidth

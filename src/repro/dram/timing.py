@@ -1,0 +1,64 @@
+"""DRAM device timing and geometry parameters.
+
+All latencies are in accelerator clock cycles for direct comparison
+with the engine's cycle counts (the paper reports bandwidth in bytes
+per accelerator cycle).  Defaults approximate a DDR4-2400 x64 channel
+viewed from a 1 GHz accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DramError
+from repro.utils.mathutils import is_power_of_two
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Geometry and timing of one DRAM configuration."""
+
+    num_channels: int = 1
+    banks_per_channel: int = 16
+    row_bytes: int = 8192
+    line_bytes: int = 64
+    t_cl: int = 14  # column (CAS) latency
+    t_rcd: int = 14  # row activate to column command
+    t_rp: int = 14  # precharge
+    t_ras: int = 32  # minimum row-open time
+    t_burst: int = 4  # data-bus cycles one line transfer occupies
+    t_refi: int = 7800  # refresh command interval (0 disables refresh)
+    t_rfc: int = 350  # refresh cycle: all banks blocked this long
+    t_wtr: int = 8  # write-to-read turnaround on the shared bus
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_channels, "num_channels")
+        check_positive_int(self.banks_per_channel, "banks_per_channel")
+        check_positive_int(self.row_bytes, "row_bytes")
+        check_positive_int(self.line_bytes, "line_bytes")
+        for name in ("t_cl", "t_rcd", "t_rp", "t_ras", "t_burst"):
+            check_positive_int(getattr(self, name), name)
+        for name in ("t_refi", "t_rfc", "t_wtr"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise DramError(f"{name} must be a non-negative integer, got {value!r}")
+        if self.t_refi and self.t_rfc >= self.t_refi:
+            raise DramError("t_rfc must be smaller than t_refi")
+        if not is_power_of_two(self.line_bytes):
+            raise DramError(f"line_bytes must be a power of two, got {self.line_bytes}")
+        if self.row_bytes % self.line_bytes:
+            raise DramError("row_bytes must be a multiple of line_bytes")
+
+    @property
+    def lines_per_row(self) -> int:
+        return self.row_bytes // self.line_bytes
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Upper bound in bytes/cycle: every channel bursting back to back."""
+        return self.num_channels * self.line_bytes / self.t_burst
+
+
+#: Default device: one DDR4-2400-like channel (~19 GB/s at 1 GHz core).
+DDR4_2400_LIKE = DramTiming()

@@ -1,0 +1,86 @@
+"""Turn simulator results into energy estimates.
+
+The model is a pure function of event counts the cycle-accurate engine
+already produces:
+
+``E = mac * MACs
+    + sram_access * (SRAM reads + writes)
+    + dram_access * (DRAM words moved)
+    + pe_idle * (total PEs x runtime - MACs)``
+
+The idle term charges every provisioned-but-not-computing PE-cycle;
+useful MAC cycles are excluded so the mac and idle terms never double
+count.  Runtime here is the *system* runtime (max over partitions for
+scale-out), so idle energy covers partitions waiting for the slowest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.params import DEFAULT_ENERGY, EnergyParams
+from repro.engine.results import LayerResult, RunResult
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy by component, in the arbitrary units of the parameters.
+
+    ``noc`` is the on-chip transport term for scale-out grids; it stays
+    zero unless added via :meth:`with_noc` (see :mod:`repro.noc`).
+    """
+
+    mac: float
+    sram: float
+    dram: float
+    idle: float
+    noc: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.mac + self.sram + self.dram + self.idle + self.noc
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            mac=self.mac + other.mac,
+            sram=self.sram + other.sram,
+            dram=self.dram + other.dram,
+            idle=self.idle + other.idle,
+            noc=self.noc + other.noc,
+        )
+
+    def with_noc(self, noc_energy: float) -> "EnergyBreakdown":
+        """Return a copy with the NoC transport term set."""
+        if noc_energy < 0:
+            raise ValueError(f"noc_energy must be non-negative, got {noc_energy}")
+        return EnergyBreakdown(
+            mac=self.mac, sram=self.sram, dram=self.dram, idle=self.idle,
+            noc=noc_energy,
+        )
+
+
+def energy_of_result(
+    result: LayerResult,
+    params: EnergyParams = DEFAULT_ENERGY,
+) -> EnergyBreakdown:
+    """Energy of one layer result (scale-up or scale-out)."""
+    pe_cycles = result.total_pes * result.total_cycles
+    idle_cycles = max(0, pe_cycles - result.macs)
+    dram_words = (result.dram_read_bytes + result.dram_write_bytes) / result.word_bytes
+    return EnergyBreakdown(
+        mac=params.mac * result.macs,
+        sram=params.sram_access * result.sram.total,
+        dram=params.dram_access * dram_words,
+        idle=params.pe_idle * idle_cycles,
+    )
+
+
+def energy_of_run(
+    run: RunResult,
+    params: EnergyParams = DEFAULT_ENERGY,
+) -> EnergyBreakdown:
+    """Energy of a whole network run: layers execute serially, so sums add."""
+    total = EnergyBreakdown(mac=0.0, sram=0.0, dram=0.0, idle=0.0)
+    for layer in run:
+        total = total + energy_of_result(layer, params)
+    return total

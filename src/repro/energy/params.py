@@ -1,0 +1,42 @@
+"""Energy cost parameters.
+
+Per the paper, "the energy consumption directly depends on the cycles
+MAC units have been active and the number of accesses to SRAM and
+DRAM."  We model four event classes with relative costs (units are
+arbitrary; only ratios matter for the trends):
+
+* ``mac``        — one useful multiply-accumulate.
+* ``sram_access``— one SRAM word read or written.
+* ``dram_access``— one DRAM word moved across the interface.
+* ``pe_idle``    — one PE powered for one cycle (clock/leakage): this
+  is the "powering the massive compute array" term whose savings make
+  scale-out energy-competitive at large MAC budgets.
+
+The default 1 : 6 : 200 MAC/SRAM/DRAM ratio follows the widely used
+45nm numbers popularized by the Eyeriss line of work; the idle cost is
+a tenth of a MAC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Relative per-event energies; all must be non-negative."""
+
+    mac: float = 1.0
+    sram_access: float = 6.0
+    dram_access: float = 200.0
+    pe_idle: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in ("mac", "sram_access", "dram_access", "pe_idle"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"{name} must be a non-negative number, got {value!r}")
+
+
+#: Default parameter set used across the benchmarks.
+DEFAULT_ENERGY = EnergyParams()

@@ -1,0 +1,124 @@
+"""Inter-layer on-chip reuse — a future-work extension of the paper.
+
+SCALE-Sim (and our faithful engine) charges every layer a cold IFMAP
+fetch from DRAM, even though one layer's OFMAP usually *is* the next
+layer's IFMAP.  Follow-on accelerator work (Tangram's inter-layer
+dataflow, Simba's on-package forwarding) exploits exactly that link;
+this module models the first-order version of the idea on top of the
+existing simulator:
+
+* Two consecutive layers *chain* when the producer's output element
+  count equals the consumer's raw input tensor (lowered GEMMs compare
+  against their operand matrix, convolutions against the un-lowered
+  H x W x C tensor, since im2col re-reads from the resident tensor).
+* If the whole produced OFMAP fits in the OFMAP SRAM's working half, it
+  simply stays on chip: the consumer's IFMAP DRAM reads are served from
+  it, and the producer's DRAM writeback is skipped too.
+
+The result is a :class:`RunResult` whose layers carry reduced DRAM
+traffic; cycle counts are untouched (forwarding happens during the
+already-counted transfer windows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.engine.results import LayerResult, RunResult
+from repro.engine.simulator import Simulator
+from repro.topology.layer import ConvLayer, Layer
+from repro.topology.network import Network
+
+
+def chainable(producer: Layer, consumer: Layer) -> bool:
+    """True when the producer's OFMAP is exactly the consumer's input.
+
+    Spatially this requires matching element counts; convolutions
+    consume their raw (pre-im2col) tensor, GEMMs their operand matrix.
+    """
+    if isinstance(consumer, ConvLayer):
+        needed = consumer.raw_ifmap_elements
+    else:
+        needed = consumer.ifmap_elements
+    return producer.ofmap_elements == needed
+
+
+def run_network_with_interlayer_reuse(
+    simulator: Simulator,
+    network: Network,
+) -> RunResult:
+    """Simulate ``network`` forwarding chained OFMAPs on chip.
+
+    Falls back to the plain per-layer behaviour wherever layers do not
+    chain or the produced OFMAP overflows the working half of the OFMAP
+    SRAM.
+    """
+    ofmap_working = simulator.buffers.ofmap.working_bytes
+    word = simulator.config.word_bytes
+
+    results: List[LayerResult] = []
+    previous: Optional[Layer] = None
+    forwarded = False  # previous layer's output stayed on chip
+    for layer in network:
+        result = simulator.run_layer(layer)
+        if forwarded and previous is not None:
+            # Consumer side: IFMAP comes from the resident OFMAP.
+            saved_reads = result.dram_read_bytes
+            ifmap_engine_bytes = _ifmap_read_bytes(simulator, layer)
+            saved_reads = min(ifmap_engine_bytes, result.dram_read_bytes)
+            result = replace(
+                result,
+                dram_read_bytes=result.dram_read_bytes - saved_reads,
+                avg_read_bw=(result.dram_read_bytes - saved_reads) / result.total_cycles,
+                cold_start_bytes=0,
+            )
+        fits = layer.ofmap_elements * word <= ofmap_working
+        next_layer = _next_layer(network, layer)
+        forward_next = (
+            fits and next_layer is not None and chainable(layer, next_layer)
+        )
+        if forward_next:
+            # Producer side: the output never leaves the chip.
+            result = replace(
+                result,
+                dram_write_bytes=0,
+                avg_write_bw=0.0,
+            )
+        results.append(result)
+        previous = layer
+        forwarded = forward_next
+    return RunResult(
+        network_name=f"{network.name}+interlayer",
+        config_description=simulator.config.describe() + ", inter-layer reuse",
+        layers=results,
+    )
+
+
+def _next_layer(network: Network, layer: Layer) -> Optional[Layer]:
+    names = network.layer_names()
+    index = names.index(layer.name)
+    if index + 1 < len(names):
+        return network[index + 1]
+    return None
+
+
+def _ifmap_read_bytes(simulator: Simulator, layer: Layer) -> int:
+    """The layer's IFMAP-side DRAM read bytes under the plain model."""
+    from repro.memory.bandwidth import compute_dram_traffic
+
+    engine = simulator.engine(layer)
+    traffic = compute_dram_traffic(
+        engine, simulator.buffers, simulator.config.word_bytes,
+        loop_order=simulator.loop_order,
+    )
+    return traffic.ifmap.total_bytes
+
+
+def interlayer_savings(simulator: Simulator, network: Network) -> float:
+    """Fraction of total DRAM traffic removed by inter-layer forwarding."""
+    plain = simulator.run_network(network)
+    fused = run_network_with_interlayer_reuse(simulator, network)
+    plain_bytes = plain.total_dram_read_bytes + plain.total_dram_write_bytes
+    fused_bytes = fused.total_dram_read_bytes + fused.total_dram_write_bytes
+    return 1.0 - fused_bytes / plain_bytes

@@ -1,0 +1,128 @@
+"""Persist simulation results as JSON.
+
+Sweeps over big design spaces are expensive enough to be worth saving;
+these helpers serialize :class:`LayerResult` / :class:`RunResult` to a
+stable, versioned JSON schema and load them back bit-identically
+(tested).  The schema is flat and explicit so non-Python tooling can
+consume it too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.config.hardware import Dataflow
+from repro.dataflow.base import SramCounts
+from repro.engine.results import LayerResult, RunResult
+from repro.errors import ReproError
+
+SCHEMA_VERSION = 1
+
+
+def layer_result_to_dict(result: LayerResult) -> Dict:
+    """Serialize one layer result to plain JSON-safe types."""
+    return {
+        "layer_name": result.layer_name,
+        "dataflow": result.dataflow.value,
+        "array_rows": result.array_rows,
+        "array_cols": result.array_cols,
+        "partition_rows": result.partition_rows,
+        "partition_cols": result.partition_cols,
+        "total_cycles": result.total_cycles,
+        "macs": result.macs,
+        "mapping_utilization": result.mapping_utilization,
+        "compute_utilization": result.compute_utilization,
+        "sram_ifmap_reads": result.sram.ifmap_reads,
+        "sram_filter_reads": result.sram.filter_reads,
+        "sram_ofmap_writes": result.sram.ofmap_writes,
+        "dram_read_bytes": result.dram_read_bytes,
+        "dram_write_bytes": result.dram_write_bytes,
+        "cold_start_bytes": result.cold_start_bytes,
+        "avg_read_bw": result.avg_read_bw,
+        "avg_write_bw": result.avg_write_bw,
+        "peak_read_bw": result.peak_read_bw,
+        "peak_write_bw": result.peak_write_bw,
+        "word_bytes": result.word_bytes,
+        "row_folds": result.row_folds,
+        "col_folds": result.col_folds,
+    }
+
+
+def layer_result_from_dict(data: Dict) -> LayerResult:
+    """Rebuild a layer result from its serialized form."""
+    try:
+        return LayerResult(
+            layer_name=data["layer_name"],
+            dataflow=Dataflow.from_string(data["dataflow"]),
+            array_rows=data["array_rows"],
+            array_cols=data["array_cols"],
+            partition_rows=data["partition_rows"],
+            partition_cols=data["partition_cols"],
+            total_cycles=data["total_cycles"],
+            macs=data["macs"],
+            mapping_utilization=data["mapping_utilization"],
+            compute_utilization=data["compute_utilization"],
+            sram=SramCounts(
+                ifmap_reads=data["sram_ifmap_reads"],
+                filter_reads=data["sram_filter_reads"],
+                ofmap_writes=data["sram_ofmap_writes"],
+            ),
+            dram_read_bytes=data["dram_read_bytes"],
+            dram_write_bytes=data["dram_write_bytes"],
+            cold_start_bytes=data["cold_start_bytes"],
+            avg_read_bw=data["avg_read_bw"],
+            avg_write_bw=data["avg_write_bw"],
+            peak_read_bw=data["peak_read_bw"],
+            peak_write_bw=data["peak_write_bw"],
+            word_bytes=data["word_bytes"],
+            row_folds=data["row_folds"],
+            col_folds=data["col_folds"],
+        )
+    except KeyError as exc:
+        raise ReproError(f"layer-result record missing field {exc}") from exc
+
+
+def run_result_to_dict(run: RunResult) -> Dict:
+    """Serialize a whole run."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "network_name": run.network_name,
+        "config_description": run.config_description,
+        "layers": [layer_result_to_dict(layer) for layer in run],
+    }
+
+
+def run_result_from_dict(data: Dict) -> RunResult:
+    """Rebuild a run from its serialized form (schema-checked)."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ReproError(
+            f"unsupported result schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return RunResult(
+        network_name=data["network_name"],
+        config_description=data["config_description"],
+        layers=[layer_result_from_dict(item) for item in data["layers"]],
+    )
+
+
+def save_run_result(run: RunResult, path: Union[str, Path]) -> Path:
+    """Write a run to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(run_result_to_dict(run), indent=2) + "\n")
+    return path
+
+
+def load_run_result(path: Union[str, Path]) -> RunResult:
+    """Load a run previously written by :func:`save_run_result`."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"result file not found: {path}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed result file {path}: {exc}") from exc
+    return run_result_from_dict(data)

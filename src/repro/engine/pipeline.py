@@ -1,0 +1,201 @@
+"""Layer-pipelined scale-out — the other way to use a partition grid.
+
+The paper's scale-out keeps every partition on the *same* layer (data
+parallelism).  Related systems (Tangram's inter-layer pipelining,
+Simba) instead assign groups of consecutive layers to partition groups
+and stream samples through the pipeline.  This module models that mode
+on top of the existing simulators:
+
+* the network is cut into ``num_stages`` contiguous stages; boundaries
+  are chosen by a classic linear-partition DP that minimizes the
+  heaviest stage's MAC count;
+* the grid's partitions are divided evenly among stages; each stage
+  runs its layers data-parallel on its sub-grid (the normal
+  :class:`ScaleOutSimulator` model with proportionally divided SRAM);
+* per-sample *latency* is the sum of stage latencies, steady-state
+  *throughput* is one sample per bottleneck-stage interval;
+* tensors crossing a stage boundary are counted as forwarded traffic.
+
+Comparing against pure data parallelism on the same grid quantifies
+when pipelining pays: stages use smaller grids, so per-layer fold
+overheads shrink, at the cost of pipeline imbalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.config.hardware import HardwareConfig
+from repro.engine.results import RunResult
+from repro.engine.scaleout import ScaleOutSimulator
+from repro.engine.simulator import Simulator
+from repro.errors import SimulationError
+from repro.topology.network import Network
+from repro.utils.validation import check_positive_int
+
+
+def balance_stages(costs: Sequence[int], num_stages: int) -> List[Tuple[int, int]]:
+    """Cut ``costs`` into ``num_stages`` contiguous ranges minimizing the
+    maximum range sum (linear-partition DP).
+
+    Returns half-open index ranges ``[(start, end), ...]`` covering the
+    sequence.  Classic O(n^2 * k) dynamic program — networks have tens
+    of layers, so this is instant.
+    """
+    n = len(costs)
+    check_positive_int(num_stages, "num_stages")
+    if num_stages > n:
+        raise SimulationError(
+            f"cannot cut {n} layers into {num_stages} non-empty stages"
+        )
+    prefix = [0] * (n + 1)
+    for i, cost in enumerate(costs):
+        prefix[i + 1] = prefix[i] + cost
+
+    def range_sum(a: int, b: int) -> int:
+        return prefix[b] - prefix[a]
+
+    INF = float("inf")
+    # best[k][i] = minimal bottleneck cutting the first i items into k stages
+    best = [[INF] * (n + 1) for _ in range(num_stages + 1)]
+    cut = [[0] * (n + 1) for _ in range(num_stages + 1)]
+    best[0][0] = 0.0
+    for k in range(1, num_stages + 1):
+        for i in range(k, n + 1):
+            for j in range(k - 1, i):
+                candidate = max(best[k - 1][j], range_sum(j, i))
+                if candidate < best[k][i]:
+                    best[k][i] = candidate
+                    cut[k][i] = j
+    # Recover boundaries.
+    bounds: List[Tuple[int, int]] = []
+    i = n
+    for k in range(num_stages, 0, -1):
+        j = cut[k][i]
+        bounds.append((j, i))
+        i = j
+    bounds.reverse()
+    return bounds
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """One pipeline stage's assignment and measured cost."""
+
+    index: int
+    layer_names: Tuple[str, ...]
+    partition_rows: int
+    partition_cols: int
+    latency: int
+    macs: int
+    dram_bytes: int
+    run: RunResult
+
+    @property
+    def num_partitions(self) -> int:
+        return self.partition_rows * self.partition_cols
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """A pipelined execution of one network on one grid."""
+
+    stages: Tuple[StageResult, ...]
+    serial_cycles: int  # the same network data-parallel on the full grid
+
+    @property
+    def latency(self) -> int:
+        """Cycles for one sample to traverse all stages."""
+        return sum(stage.latency for stage in self.stages)
+
+    @property
+    def interval(self) -> int:
+        """Steady-state cycles between finished samples (bottleneck)."""
+        return max(stage.latency for stage in self.stages)
+
+    @property
+    def bottleneck(self) -> StageResult:
+        return max(self.stages, key=lambda stage: stage.latency)
+
+    @property
+    def throughput_speedup(self) -> float:
+        """Steady-state speedup over data-parallel on the same grid."""
+        return self.serial_cycles / self.interval
+
+    @property
+    def imbalance(self) -> float:
+        """Bottleneck latency / mean stage latency (1.0 = perfect)."""
+        mean = self.latency / len(self.stages)
+        return self.interval / mean
+
+
+def _square_grid(count: int) -> Tuple[int, int]:
+    rows = 1
+    while rows * rows < count:
+        rows <<= 1
+    return (count // rows, rows)
+
+
+def run_pipelined(
+    network: Network,
+    config: HardwareConfig,
+    num_stages: int,
+) -> PipelineResult:
+    """Execute ``network`` as a ``num_stages`` pipeline on ``config``'s grid.
+
+    The grid's partitions are split evenly across stages (remainders go
+    to the earliest stages); each stage's share of the total SRAM is
+    proportional to its partitions.
+    """
+    total_partitions = config.num_partitions
+    if num_stages > total_partitions:
+        raise SimulationError(
+            f"{num_stages} stages need at least that many partitions "
+            f"(grid has {total_partitions})"
+        )
+    costs = [layer.macs for layer in network]
+    bounds = balance_stages(costs, num_stages)
+
+    base, extra = divmod(total_partitions, num_stages)
+    layer_list = list(network)
+    stages: List[StageResult] = []
+    for index, (start, end) in enumerate(bounds):
+        stage_partitions = base + (1 if index < extra else 0)
+        grid = _square_grid(stage_partitions)
+        share = stage_partitions / total_partitions
+        stage_config = HardwareConfig(
+            array_rows=config.array_rows,
+            array_cols=config.array_cols,
+            partition_rows=grid[0],
+            partition_cols=grid[1],
+            ifmap_sram_kb=max(1, int(config.ifmap_sram_kb * share)),
+            filter_sram_kb=max(1, int(config.filter_sram_kb * share)),
+            ofmap_sram_kb=max(1, int(config.ofmap_sram_kb * share)),
+            dataflow=config.dataflow,
+            word_bytes=config.word_bytes,
+        )
+        stage_layers = layer_list[start:end]
+        stage_net = Network(f"{network.name}-stage{index}", stage_layers)
+        if stage_config.is_monolithic:
+            run = Simulator(stage_config).run_network(stage_net)
+        else:
+            run = ScaleOutSimulator(stage_config).run_network(stage_net)
+        stages.append(
+            StageResult(
+                index=index,
+                layer_names=tuple(layer.name for layer in stage_layers),
+                partition_rows=grid[0],
+                partition_cols=grid[1],
+                latency=run.total_cycles,
+                macs=run.total_macs,
+                dram_bytes=run.total_dram_read_bytes + run.total_dram_write_bytes,
+                run=run,
+            )
+        )
+
+    if config.is_monolithic:
+        serial = Simulator(config).run_network(network).total_cycles
+    else:
+        serial = ScaleOutSimulator(config).run_network(network).total_cycles
+    return PipelineResult(stages=tuple(stages), serial_cycles=serial)

@@ -1,0 +1,83 @@
+"""Report generation: aggregate metrics in CSV and human-readable form.
+
+SCALE-Sim's second output class (Sec. II-E) is a set of report files
+with cycle counts, utilizations, bandwidths and transfer totals parsed
+out of the traces; these helpers produce the equivalent artifacts from
+:class:`LayerResult` records.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.engine.results import LayerResult, RunResult
+
+
+def layer_report_rows(results: Union[RunResult, Iterable[LayerResult]]) -> List[Dict[str, object]]:
+    """Flatten results into report rows (one dict per layer)."""
+    layers = results.layers if isinstance(results, RunResult) else list(results)
+    return [layer.as_row() for layer in layers]
+
+
+def write_report_csv(
+    results: Union[RunResult, Iterable[LayerResult]],
+    path: Union[str, Path],
+) -> Path:
+    """Write the aggregate report as a CSV file and return its path."""
+    rows = layer_report_rows(results)
+    if not rows:
+        raise ValueError("no results to report")
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def render_report(results: Union[RunResult, Iterable[LayerResult]], columns: Sequence[str] = ()) -> str:
+    """Render results as an aligned text table.
+
+    ``columns`` restricts and orders the columns; by default a compact
+    set covering runtime, utilization and bandwidth is shown.
+    """
+    rows = layer_report_rows(results)
+    if not rows:
+        raise ValueError("no results to report")
+    if not columns:
+        columns = [
+            "layer",
+            "array",
+            "partitions",
+            "cycles",
+            "mapping_util",
+            "compute_util",
+            "dram_read_bytes",
+            "dram_write_bytes",
+            "avg_read_bw",
+            "peak_read_bw",
+        ]
+    missing = [col for col in columns if col not in rows[0]]
+    if missing:
+        raise KeyError(f"unknown report columns: {missing}")
+    header = list(columns)
+    str_rows = [[str(row[col]) for col in header] for row in rows]
+    widths = [
+        max(len(header[i]), max(len(r[i]) for r in str_rows)) for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    lines.extend(
+        "  ".join(r[i].ljust(widths[i]) for i in range(len(header))) for r in str_rows
+    )
+    if isinstance(results, RunResult):
+        lines.append("")
+        lines.append(
+            f"total cycles: {results.total_cycles}   total MACs: {results.total_macs}   "
+            f"DRAM rd/wr bytes: {results.total_dram_read_bytes}/{results.total_dram_write_bytes}"
+        )
+    return "\n".join(lines)

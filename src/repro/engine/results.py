@@ -1,0 +1,145 @@
+"""Result records produced by the simulators.
+
+:class:`LayerResult` is the common currency of the whole library: the
+single-array simulator, the scale-out simulator, the energy model and
+the report writers all speak it.  Scale-out runs produce a LayerResult
+describing the aggregate system (runtime = slowest partition, traffic =
+summed over partitions) plus per-partition detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config.hardware import Dataflow
+from repro.dataflow.base import SramCounts
+
+
+@dataclass(frozen=True)
+class LayerResult:
+    """Everything the simulator measured for one layer on one system."""
+
+    layer_name: str
+    dataflow: Dataflow
+    array_rows: int
+    array_cols: int
+    partition_rows: int
+    partition_cols: int
+    total_cycles: int
+    macs: int
+    mapping_utilization: float
+    compute_utilization: float
+    sram: SramCounts
+    dram_read_bytes: int
+    dram_write_bytes: int
+    cold_start_bytes: int
+    avg_read_bw: float
+    avg_write_bw: float
+    peak_read_bw: float
+    peak_write_bw: float
+    word_bytes: int
+    row_folds: int
+    col_folds: int
+
+    @property
+    def num_partitions(self) -> int:
+        return self.partition_rows * self.partition_cols
+
+    @property
+    def total_pes(self) -> int:
+        """MAC units across the whole system (all partitions)."""
+        return self.array_rows * self.array_cols * self.num_partitions
+
+    @property
+    def dram_total_bytes(self) -> int:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def avg_total_bw(self) -> float:
+        return self.avg_read_bw + self.avg_write_bw
+
+    @property
+    def peak_total_bw(self) -> float:
+        return self.peak_read_bw + self.peak_write_bw
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten to the report-CSV row schema."""
+        return {
+            "layer": self.layer_name,
+            "dataflow": self.dataflow.value,
+            "array": f"{self.array_rows}x{self.array_cols}",
+            "partitions": f"{self.partition_rows}x{self.partition_cols}",
+            "cycles": self.total_cycles,
+            "macs": self.macs,
+            "mapping_util": round(self.mapping_utilization, 4),
+            "compute_util": round(self.compute_utilization, 4),
+            "sram_ifmap_reads": self.sram.ifmap_reads,
+            "sram_filter_reads": self.sram.filter_reads,
+            "sram_ofmap_writes": self.sram.ofmap_writes,
+            "dram_read_bytes": self.dram_read_bytes,
+            "dram_write_bytes": self.dram_write_bytes,
+            "avg_read_bw": round(self.avg_read_bw, 4),
+            "avg_write_bw": round(self.avg_write_bw, 4),
+            "peak_read_bw": round(self.peak_read_bw, 4),
+            "peak_write_bw": round(self.peak_write_bw, 4),
+            "folds": self.row_folds * self.col_folds,
+        }
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Results for a whole network on one configuration."""
+
+    network_name: str
+    config_description: str
+    layers: Sequence[LayerResult] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "layers", tuple(self.layers))
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __getitem__(self, key):
+        if isinstance(key, str):
+            for layer in self.layers:
+                if layer.layer_name == key:
+                    return layer
+            raise KeyError(f"no result for layer {key!r}")
+        return self.layers[key]
+
+    @property
+    def total_cycles(self) -> int:
+        """Network latency: layers run serially (Sec. II-E)."""
+        return sum(layer.total_cycles for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_dram_read_bytes(self) -> int:
+        return sum(layer.dram_read_bytes for layer in self.layers)
+
+    @property
+    def total_dram_write_bytes(self) -> int:
+        return sum(layer.dram_write_bytes for layer in self.layers)
+
+    @property
+    def total_sram(self) -> SramCounts:
+        total = SramCounts()
+        for layer in self.layers:
+            total = total + layer.sram
+        return total
+
+    @property
+    def overall_compute_utilization(self) -> float:
+        """MAC ops / (PEs x total cycles) across the run."""
+        if not self.layers:
+            return 0.0
+        pes = self.layers[0].total_pes
+        return self.total_macs / (pes * self.total_cycles)

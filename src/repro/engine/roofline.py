@@ -1,0 +1,70 @@
+"""Roofline analysis of simulator results.
+
+Caffeine (related work, Sec. V) sizes FPGA accelerators with roofline
+modelling; the same lens summarizes our results: a layer's operational
+intensity (MACs per DRAM byte) and the achieved compute rate, against
+the machine's compute roof (its PE count) and the bandwidth roof
+(intensity x DRAM bytes/cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.results import LayerResult
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer's position in the roofline plane."""
+
+    layer_name: str
+    operational_intensity: float  # MACs per DRAM byte
+    achieved_macs_per_cycle: float
+    compute_roof: float  # PEs: MACs/cycle at full utilization
+    bandwidth: float  # DRAM bytes/cycle provisioned
+
+    @property
+    def bandwidth_roof(self) -> float:
+        """MACs/cycle the memory system alone would allow."""
+        return self.operational_intensity * self.bandwidth
+
+    @property
+    def attainable(self) -> float:
+        """The roofline: min(compute roof, bandwidth roof)."""
+        return min(self.compute_roof, self.bandwidth_roof)
+
+    @property
+    def compute_bound(self) -> bool:
+        """True when the compute roof is the binding constraint."""
+        return self.compute_roof <= self.bandwidth_roof
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved rate as a fraction of the attainable roof."""
+        return self.achieved_macs_per_cycle / self.attainable
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Operational intensity where the two roofs meet."""
+        return self.compute_roof / self.bandwidth
+
+
+def roofline_point(result: LayerResult, bandwidth: float) -> RooflinePoint:
+    """Place one simulated layer in the roofline plane.
+
+    ``bandwidth`` is the provisioned DRAM bandwidth in bytes per cycle
+    (the stall-free simulation assumed it was sufficient; the roofline
+    shows how much headroom or optimism that assumption carries).
+    """
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    if result.dram_total_bytes == 0:
+        raise ValueError("layer moved no DRAM bytes; intensity undefined")
+    return RooflinePoint(
+        layer_name=result.layer_name,
+        operational_intensity=result.macs / result.dram_total_bytes,
+        achieved_macs_per_cycle=result.macs / result.total_cycles,
+        compute_roof=float(result.total_pes),
+        bandwidth=bandwidth,
+    )

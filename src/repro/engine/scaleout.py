@@ -1,0 +1,161 @@
+"""Partitioned (scale-out) cycle-accurate simulator.
+
+Scale-out groups the MAC budget into a ``P_R x P_C`` grid of
+independent ``R x C`` systolic arrays (paper Fig. 8).  The mapped
+workload is tiled across the grid in mapped space (Eq. 5): partition
+``(p, q)`` receives rows ``S_R/P_R`` and columns ``S_C/P_C`` (with
+remainders spread over the leading partitions), and all partitions run
+in parallel, so the layer latency is the slowest partition's latency
+(Eq. 6).
+
+The costs of partitioning emerge naturally from summing per-partition
+traffic: each partition fetches its own operand slices, so data shared
+across a grid row/column is fetched multiple times (the loss-of-reuse
+cost of Sec. IV-A), and each partition owns only ``1/P`` of the SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.config.hardware import HardwareConfig
+from repro.dataflow.base import SramCounts
+from repro.engine.results import LayerResult, RunResult
+from repro.engine.simulator import Simulator
+from repro.errors import SimulationError
+from repro.mapping.dims import gemm_from_mapping, map_layer
+from repro.topology.layer import Layer
+from repro.topology.network import Network
+from repro.utils.mathutils import split_evenly
+
+
+@dataclass(frozen=True)
+class PartitionShare:
+    """One equivalence class of partitions: same tile shape, same result."""
+
+    count: int
+    sr: int
+    sc: int
+    result: LayerResult
+
+
+class ScaleOutSimulator:
+    """Cycle-accurate simulator for a grid of systolic arrays."""
+
+    def __init__(self, config: HardwareConfig):
+        self.config = config
+        # Each partition is a standalone array with 1/P of the SRAM.
+        self._partition_sim = Simulator(config.partition_config())
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run_layer(self, layer: Layer) -> LayerResult:
+        """Simulate one layer across the partition grid."""
+        result, _ = self.run_layer_detailed(layer)
+        return result
+
+    def run_layer_detailed(self, layer: Layer) -> Tuple[LayerResult, List[PartitionShare]]:
+        """Simulate one layer; also return the per-partition breakdown."""
+        mapping = map_layer(layer, self.config.dataflow)
+        row_shares = [s for s in split_evenly(mapping.sr, self.config.partition_rows)]
+        col_shares = [s for s in split_evenly(mapping.sc, self.config.partition_cols)]
+
+        # Partitions beyond the workload extent sit idle.
+        idle = sum(1 for r in row_shares for c in col_shares if r == 0 or c == 0)
+
+        # Group identical tile shapes: split_evenly yields at most two
+        # distinct sizes per axis, so at most four simulations run.
+        shape_counts: Dict[Tuple[int, int], int] = {}
+        for r in row_shares:
+            for c in col_shares:
+                if r == 0 or c == 0:
+                    continue
+                shape_counts[(r, c)] = shape_counts.get((r, c), 0) + 1
+        if not shape_counts:
+            raise SimulationError(
+                f"layer {layer.name!r}: no partition received work on a "
+                f"{self.config.partition_rows}x{self.config.partition_cols} grid"
+            )
+
+        shares: List[PartitionShare] = []
+        for (sr, sc), count in sorted(shape_counts.items(), reverse=True):
+            m, k, n = gemm_from_mapping(sr, sc, mapping.t, self.config.dataflow)
+            part_result = self._partition_sim.run_gemm(m, k, n, name=f"{layer.name}[{sr}x{sc}]")
+            shares.append(PartitionShare(count=count, sr=sr, sc=sc, result=part_result))
+
+        return self._aggregate(layer, shares, idle), shares
+
+    def run_network(self, network: Network) -> RunResult:
+        """Simulate every layer of ``network`` serially on the grid."""
+        results = [self.run_layer(layer) for layer in network]
+        return RunResult(
+            network_name=network.name,
+            config_description=self.config.describe(),
+            layers=results,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _aggregate(
+        self, layer: Layer, shares: List[PartitionShare], idle_partitions: int
+    ) -> LayerResult:
+        config = self.config
+        num_partitions = config.num_partitions
+        runtime = max(share.result.total_cycles for share in shares)
+
+        sram = SramCounts()
+        dram_read = dram_write = cold_start = 0
+        peak_read = peak_write = 0.0
+        mapping_util_sum = 0.0
+        macs = 0
+        max_row_folds = max_col_folds = 0
+        for share in shares:
+            res = share.result
+            for _ in range(share.count):
+                sram = sram + res.sram
+            dram_read += res.dram_read_bytes * share.count
+            dram_write += res.dram_write_bytes * share.count
+            cold_start += res.cold_start_bytes * share.count
+            macs += res.macs * share.count
+            # Worst case every partition prefetches at its peak at once:
+            # the grid's interface must provision the sum.
+            peak_read += res.peak_read_bw * share.count
+            peak_write += res.peak_write_bw * share.count
+            mapping_util_sum += res.mapping_utilization * share.count
+            max_row_folds = max(max_row_folds, res.row_folds)
+            max_col_folds = max(max_col_folds, res.col_folds)
+
+        total_pes = config.total_macs
+        return LayerResult(
+            layer_name=layer.name,
+            dataflow=config.dataflow,
+            array_rows=config.array_rows,
+            array_cols=config.array_cols,
+            partition_rows=config.partition_rows,
+            partition_cols=config.partition_cols,
+            total_cycles=runtime,
+            macs=macs,
+            mapping_utilization=mapping_util_sum / num_partitions,
+            compute_utilization=macs / (total_pes * runtime),
+            sram=sram,
+            dram_read_bytes=dram_read,
+            dram_write_bytes=dram_write,
+            cold_start_bytes=cold_start,
+            avg_read_bw=dram_read / runtime,
+            avg_write_bw=dram_write / runtime,
+            peak_read_bw=peak_read,
+            peak_write_bw=peak_write,
+            word_bytes=config.word_bytes,
+            row_folds=max_row_folds,
+            col_folds=max_col_folds,
+        )
+
+
+def simulate(config: HardwareConfig, layer: Layer) -> LayerResult:
+    """Convenience front door: route to the right simulator for ``config``."""
+    if config.is_monolithic:
+        return Simulator(config).run_layer(layer)
+    return ScaleOutSimulator(config).run_layer(layer)

@@ -1,0 +1,95 @@
+"""SRAM-side bandwidth reports (SCALE-Sim's avg/max bandwidth outputs).
+
+The original tool parses its SRAM traces into two report files: the
+average and the maximum per-cycle bandwidth of each operand SRAM over
+each layer.  This module computes the same numbers directly from the
+engines' exact per-cycle demand curves — cheaper than materializing the
+trace, bit-identical to counting its rows (the consistency tests
+guarantee demand == trace).
+
+Units are elements/cycle; multiply by the word size for bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataflow.base import DataflowEngine
+
+
+@dataclass(frozen=True)
+class SramBandwidthReport:
+    """Per-layer SRAM bandwidth summary, in elements per cycle."""
+
+    avg_ifmap_read: float
+    max_ifmap_read: int
+    avg_filter_read: float
+    max_filter_read: int
+    avg_ofmap_write: float
+    max_ofmap_write: int
+    total_cycles: int
+
+    @property
+    def avg_total_read(self) -> float:
+        return self.avg_ifmap_read + self.avg_filter_read
+
+    @property
+    def max_total_read(self) -> int:
+        """Upper bound: the per-stream maxima need not coincide."""
+        return self.max_ifmap_read + self.max_filter_read
+
+
+def sram_bandwidth_report(engine: DataflowEngine) -> SramBandwidthReport:
+    """Compute the SRAM bandwidth report for one layer on one array."""
+    total_cycles = 0
+    ifmap_sum = filter_sum = ofmap_sum = 0
+    ifmap_max = filter_max = ofmap_max = 0
+    for fold in engine.plan.folds():
+        demand = engine.fold_demand(fold)
+        total_cycles += demand.cycles
+        ifmap_sum += int(demand.ifmap_reads.sum())
+        filter_sum += int(demand.filter_reads.sum())
+        ofmap_sum += int(demand.ofmap_writes.sum())
+        ifmap_max = max(ifmap_max, int(demand.ifmap_reads.max()))
+        filter_max = max(filter_max, int(demand.filter_reads.max()))
+        ofmap_max = max(ofmap_max, int(demand.ofmap_writes.max()))
+    return SramBandwidthReport(
+        avg_ifmap_read=ifmap_sum / total_cycles,
+        max_ifmap_read=ifmap_max,
+        avg_filter_read=filter_sum / total_cycles,
+        max_filter_read=filter_max,
+        avg_ofmap_write=ofmap_sum / total_cycles,
+        max_ofmap_write=ofmap_max,
+        total_cycles=total_cycles,
+    )
+
+
+def demand_histogram(engine: DataflowEngine, stream: str = "ifmap") -> np.ndarray:
+    """Histogram of per-cycle demand levels for one operand stream.
+
+    Entry ``d`` counts the cycles in which exactly ``d`` elements were
+    read (written) from the stream — the distribution behind the
+    avg/max summary.  ``stream`` is one of ``"ifmap"``, ``"filter"``,
+    ``"ofmap"``.
+    """
+    if stream not in ("ifmap", "filter", "ofmap"):
+        raise ValueError(f"stream must be ifmap/filter/ofmap, got {stream!r}")
+    counts: dict = {}
+    peak = 0
+    for fold in engine.plan.folds():
+        demand = engine.fold_demand(fold)
+        series = {
+            "ifmap": demand.ifmap_reads,
+            "filter": demand.filter_reads,
+            "ofmap": demand.ofmap_writes,
+        }[stream]
+        values, freqs = np.unique(series, return_counts=True)
+        for value, freq in zip(values.tolist(), freqs.tolist()):
+            counts[value] = counts.get(value, 0) + freq
+            peak = max(peak, value)
+    histogram = np.zeros(peak + 1, dtype=np.int64)
+    for value, freq in counts.items():
+        histogram[value] = freq
+    return histogram

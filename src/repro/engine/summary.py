@@ -1,0 +1,92 @@
+"""Run-level summaries: bottlenecks, utilization spread, traffic shares.
+
+A :class:`RunResult` holds per-layer detail; these helpers answer the
+questions an architect actually asks of a whole-network run: where did
+the cycles go, which layers starve the array, and what fraction of the
+DRAM traffic each layer is responsible for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.engine.results import LayerResult, RunResult
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Aggregates of one network run."""
+
+    network_name: str
+    total_cycles: int
+    total_macs: int
+    total_dram_bytes: int
+    overall_utilization: float
+    worst_utilization_layer: str
+    worst_utilization: float
+    top_cycle_layers: Tuple[Tuple[str, int, float], ...]  # (name, cycles, share)
+    top_traffic_layers: Tuple[Tuple[str, int, float], ...]
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.network_name}: {self.total_cycles} cycles, "
+            f"{self.total_macs} MACs, {self.total_dram_bytes} DRAM bytes, "
+            f"{self.overall_utilization:.1%} overall utilization",
+            f"least utilized layer: {self.worst_utilization_layer} "
+            f"({self.worst_utilization:.1%})",
+            "cycle hot spots:",
+        ]
+        lines.extend(
+            f"  {name}: {cycles} cycles ({share:.1%})"
+            for name, cycles, share in self.top_cycle_layers
+        )
+        lines.append("traffic hot spots:")
+        lines.extend(
+            f"  {name}: {volume} bytes ({share:.1%})"
+            for name, volume, share in self.top_traffic_layers
+        )
+        return "\n".join(lines)
+
+
+def summarize_run(run: RunResult, top_k: int = 3) -> RunSummary:
+    """Build the summary of one run; ``top_k`` bounds the hot-spot lists."""
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    layers: List[LayerResult] = list(run)
+    total_cycles = run.total_cycles
+    total_traffic = sum(layer.dram_total_bytes for layer in layers)
+
+    by_cycles = sorted(layers, key=lambda layer: layer.total_cycles, reverse=True)
+    by_traffic = sorted(layers, key=lambda layer: layer.dram_total_bytes, reverse=True)
+    worst = min(layers, key=lambda layer: layer.compute_utilization)
+
+    return RunSummary(
+        network_name=run.network_name,
+        total_cycles=total_cycles,
+        total_macs=run.total_macs,
+        total_dram_bytes=total_traffic,
+        overall_utilization=run.overall_compute_utilization,
+        worst_utilization_layer=worst.layer_name,
+        worst_utilization=worst.compute_utilization,
+        top_cycle_layers=tuple(
+            (layer.layer_name, layer.total_cycles, layer.total_cycles / total_cycles)
+            for layer in by_cycles[:top_k]
+        ),
+        top_traffic_layers=tuple(
+            (
+                layer.layer_name,
+                layer.dram_total_bytes,
+                layer.dram_total_bytes / max(1, total_traffic),
+            )
+            for layer in by_traffic[:top_k]
+        ),
+    )
+
+
+def amdahl_speedup_limit(run: RunResult, layer_name: str) -> float:
+    """Best whole-network speedup achievable by accelerating one layer
+    infinitely — Amdahl's law over the run's cycle shares."""
+    target = run[layer_name]
+    share = target.total_cycles / run.total_cycles
+    return 1.0 / (1.0 - share) if share < 1.0 else float("inf")

@@ -1,0 +1,111 @@
+"""Trace-file emission: SCALE-Sim's first output class (Sec. II-E).
+
+Two artifacts are produced:
+
+* **SRAM trace CSVs** — one row per cycle listing the addresses read
+  (or written) that cycle, exactly like the original tool's
+  ``*_sram_read.csv`` / ``*_sram_write.csv`` files.
+* **DRAM request streams** — the prefetch schedule the double-buffer
+  model implies, lowered to (cycle, address, is_write) triples that a
+  DRAM back-end (:mod:`repro.dram`) can consume.  Fetches for fold
+  ``k`` are spread evenly across fold ``k-1``'s execution window;
+  writebacks for fold ``k`` across fold ``k+1``'s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Tuple, Union
+
+from repro.dataflow.base import AddressLayout, DataflowEngine
+from repro.memory.bandwidth import DramTraffic
+
+
+def write_sram_trace_csv(
+    engine: DataflowEngine,
+    layout: AddressLayout,
+    directory: Union[str, Path],
+    prefix: str = "layer",
+) -> Tuple[Path, Path]:
+    """Write read and write SRAM traces; returns (read_path, write_path).
+
+    Only use for small configurations: the files contain one row per
+    cycle with every address touched that cycle.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    read_path = directory / f"{prefix}_sram_read.csv"
+    write_path = directory / f"{prefix}_sram_write.csv"
+    with read_path.open("w") as reads, write_path.open("w") as writes:
+        for row in engine.layer_trace(layout):
+            addrs = list(row.ifmap_addrs) + list(row.filter_addrs)
+            if addrs:
+                reads.write(f"{row.cycle}," + ",".join(map(str, addrs)) + ",\n")
+            if row.ofmap_addrs:
+                writes.write(f"{row.cycle}," + ",".join(map(str, row.ofmap_addrs)) + ",\n")
+    return read_path, write_path
+
+
+@dataclass(frozen=True)
+class DramRequest:
+    """One DRAM transaction of ``line_bytes`` at ``cycle``."""
+
+    cycle: int
+    address: int
+    is_write: bool
+
+
+def dram_request_stream(
+    traffic: DramTraffic,
+    layout: AddressLayout,
+    line_bytes: int = 64,
+) -> Iterator[DramRequest]:
+    """Lower a layer's DRAM traffic into a timed request stream.
+
+    Addresses walk each operand region sequentially (prefetches are
+    bulk, linear transfers in SCALE-Sim's model); request timestamps
+    spread each fold's transfer uniformly over the fold it overlaps
+    with.  The stream is suitable for :class:`repro.dram.DramSimulator`.
+    """
+    if line_bytes <= 0:
+        raise ValueError(f"line_bytes must be positive, got {line_bytes}")
+    fold_cycles = traffic.fold_cycles
+    fold_starts: List[int] = [0]
+    for cycles in fold_cycles[:-1]:
+        fold_starts.append(fold_starts[-1] + cycles)
+    total_cycles = fold_starts[-1] + fold_cycles[-1]
+
+    read_cursor = {"ifmap": layout.ifmap_offset, "filter": layout.filter_offset}
+    write_cursor = layout.ofmap_offset
+
+    per_fold_reads = [
+        (("ifmap", i_bytes), ("filter", f_bytes))
+        for i_bytes, f_bytes in zip(traffic.ifmap.per_fold_bytes, traffic.filter.per_fold_bytes)
+    ]
+    write_bytes_per_fold = list(traffic.ofmap_per_fold_bytes)
+
+    events: List[DramRequest] = []
+    for k, reads in enumerate(per_fold_reads):
+        # Fold 0 prefetches before execution (cold start at cycle 0);
+        # fold k prefetches during fold k-1.
+        window_start = 0 if k == 0 else fold_starts[k - 1]
+        window_len = fold_cycles[0] if k == 0 else fold_cycles[k - 1]
+        for stream, nbytes in reads:
+            lines = -(-nbytes // line_bytes) if nbytes else 0
+            for j in range(lines):
+                cycle = window_start + (j * window_len) // max(lines, 1)
+                events.append(DramRequest(cycle, read_cursor[stream], False))
+                read_cursor[stream] += line_bytes
+        # Fold k's outputs drain during fold k+1 (or right after the end).
+        wb = write_bytes_per_fold[k]
+        drain_start = fold_starts[k + 1] if k + 1 < len(fold_starts) else total_cycles
+        drain_len = fold_cycles[k + 1] if k + 1 < len(fold_cycles) else fold_cycles[-1]
+        lines = -(-wb // line_bytes) if wb else 0
+        for j in range(lines):
+            cycle = drain_start + (j * drain_len) // max(lines, 1)
+            events.append(DramRequest(cycle, write_cursor, True))
+            write_cursor += line_bytes
+
+    events.sort(key=lambda req: (req.cycle, req.is_write, req.address))
+    return iter(events)

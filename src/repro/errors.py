@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """Raised when a hardware configuration is invalid or unparsable."""
+
+
+class TopologyError(ReproError):
+    """Raised when a network topology or layer specification is invalid."""
+
+
+class MappingError(ReproError):
+    """Raised when a workload cannot be mapped onto the requested array."""
+
+
+class SimulationError(ReproError):
+    """Raised when the cycle-accurate engine encounters an invalid state."""
+
+
+class SearchError(ReproError):
+    """Raised when a design-space search is given an empty or invalid space."""
+
+
+class DramError(ReproError):
+    """Raised by the DRAM back-end for invalid traces or timing configs."""

@@ -1,0 +1,13 @@
+"""Paper experiments as library functions.
+
+Each module regenerates one table or figure of the paper and returns
+its data as a list of row dicts — the benchmarks assert on these, the
+CLI ``reproduce`` subcommand prints them, and downstream users can call
+them directly (e.g. to re-plot with different budgets).
+
+``run_experiment(name)`` dispatches by the paper's figure/table id.
+"""
+
+from repro.experiments.registry import available_experiments, run_experiment
+
+__all__ = ["available_experiments", "run_experiment"]

@@ -1,0 +1,41 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.config.hardware import HardwareConfig
+from repro.config.presets import paper_scaling_config
+from repro.engine.results import LayerResult
+from repro.engine.scaleout import ScaleOutSimulator
+from repro.engine.simulator import Simulator
+from repro.topology.layer import Layer
+
+#: MAC budgets the paper sweeps across its figures.
+PAPER_MAC_BUDGETS = [2**10, 2**12, 2**14, 2**16, 2**18]
+
+#: Partition counts used by the Fig. 11/12 sweeps.
+PARTITION_SWEEP = [1, 4, 16, 64, 256, 1024]
+
+
+def square_grid(count: int) -> Tuple[int, int]:
+    """Most-square power-of-two factorization of ``count`` (rows <= cols)."""
+    rows = 1
+    while rows * rows < count:
+        rows <<= 1
+    return (count // rows, rows)
+
+
+def paper_partitioned_config(total_macs: int, partitions: int) -> HardwareConfig:
+    """The Fig. 11/12 configuration: paper SRAM budget, square-ish
+    arrays and grid for the given MAC budget and partition count."""
+    array_shape = square_grid(total_macs // partitions)
+    grid = square_grid(partitions)
+    return paper_scaling_config(array_shape[0], array_shape[1], grid[0], grid[1])
+
+
+def simulate_on(config: HardwareConfig, layer: Layer) -> LayerResult:
+    """Route to the right cycle-accurate simulator for ``config``."""
+    if config.is_monolithic:
+        return Simulator(config).run_layer(layer)
+    return ScaleOutSimulator(config).run_layer(layer)

@@ -1,0 +1,58 @@
+"""Fig. 11: cycle-accurate runtime + DRAM bandwidth vs partition count."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    PARTITION_SWEEP,
+    paper_partitioned_config,
+    simulate_on,
+    square_grid,
+)
+from repro.topology.layer import Layer
+from repro.workloads.language import language_layer
+from repro.workloads.resnet50 import PAPER_CBA3_LAYER, resnet50
+
+DEFAULT_BUDGETS = (2**14, 2**16, 2**18)
+
+
+def partition_sweep(
+    layer: Layer,
+    total_macs: int,
+    partition_counts: Sequence[int] = tuple(PARTITION_SWEEP),
+) -> List[Dict]:
+    """Runtime/bandwidth series for one layer at one MAC budget."""
+    rows: List[Dict] = []
+    for count in partition_counts:
+        if total_macs % count:
+            continue
+        config = paper_partitioned_config(total_macs, count)
+        result = simulate_on(config, layer)
+        shape = square_grid(total_macs // count)
+        rows.append(
+            {
+                "layer": layer.name,
+                "macs": total_macs,
+                "partitions": count,
+                "array": f"{shape[0]}x{shape[1]}",
+                "cycles": result.total_cycles,
+                "avg_bw_B_per_cyc": round(result.avg_total_bw, 2),
+                "peak_bw_B_per_cyc": round(result.peak_total_bw, 2),
+                "dram_rd_bytes": result.dram_read_bytes,
+                "dram_wr_bytes": result.dram_write_bytes,
+            }
+        )
+    return rows
+
+
+def fig11_resnet_cba3(budgets: Sequence[int] = DEFAULT_BUDGETS) -> List[Dict]:
+    """Fig. 11(a-c): the CBa_3 ResNet-50 layer."""
+    layer = resnet50()[PAPER_CBA3_LAYER]
+    return [row for macs in budgets for row in partition_sweep(layer, macs)]
+
+
+def fig11_transformer_tf0(budgets: Sequence[int] = DEFAULT_BUDGETS) -> List[Dict]:
+    """Fig. 11(d-f): the TF0 Transformer layer."""
+    layer = language_layer("TF0")
+    return [row for macs in budgets for row in partition_sweep(layer, macs)]

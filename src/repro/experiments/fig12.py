@@ -1,0 +1,65 @@
+"""Fig. 12: energy vs partition count."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.energy.model import energy_of_result
+from repro.energy.params import DEFAULT_ENERGY, EnergyParams
+from repro.experiments.common import paper_partitioned_config, simulate_on
+from repro.topology.layer import Layer
+from repro.workloads.resnet50 import PAPER_CBA3_LAYER, resnet50
+
+DEFAULT_BUDGETS = (256, 1024, 4096, 2**14, 2**16, 2**18)
+DEFAULT_PARTITIONS = (1, 4, 16, 64)
+
+
+def energy_sweep(
+    layer: Layer,
+    total_macs: int,
+    partition_counts: Sequence[int] = DEFAULT_PARTITIONS,
+    params: EnergyParams = DEFAULT_ENERGY,
+) -> List[Dict]:
+    """Energy breakdown per partition count, one MAC budget."""
+    rows: List[Dict] = []
+    for count in partition_counts:
+        if total_macs % count or total_macs // count < 64:
+            continue
+        config = paper_partitioned_config(total_macs, count)
+        result = simulate_on(config, layer)
+        breakdown = energy_of_result(result, params)
+        rows.append(
+            {
+                "macs": total_macs,
+                "partitions": count,
+                "cycles": result.total_cycles,
+                "e_mac": round(breakdown.mac, 1),
+                "e_sram": round(breakdown.sram, 1),
+                "e_dram": round(breakdown.dram, 1),
+                "e_idle": round(breakdown.idle, 1),
+                "e_total": round(breakdown.total, 1),
+            }
+        )
+    return rows
+
+
+def fig12_energy(
+    budgets: Sequence[int] = DEFAULT_BUDGETS,
+    layer: Optional[Layer] = None,
+    params: EnergyParams = DEFAULT_ENERGY,
+) -> List[Dict]:
+    """The full Fig. 12 sweep on the CBa_3 layer."""
+    layer = layer or resnet50()[PAPER_CBA3_LAYER]
+    return [row for macs in budgets for row in energy_sweep(layer, macs, params=params)]
+
+
+def energy_optimal_partitions(rows: Sequence[Dict]) -> Dict[int, int]:
+    """Map each MAC budget to its minimum-energy partition count."""
+    optima: Dict[int, int] = {}
+    best: Dict[int, float] = {}
+    for row in rows:
+        macs, energy = row["macs"], row["e_total"]
+        if macs not in best or energy < best[macs]:
+            best[macs] = energy
+            optima[macs] = row["partitions"]
+    return optima

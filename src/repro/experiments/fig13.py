@@ -1,0 +1,63 @@
+"""Figs. 13/14: multi-workload performance-loss rankings."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analytical.multiworkload import WorkloadSet, pareto_search
+from repro.workloads.language import TABLE_IV_DIMS, language_layer
+from repro.workloads.resnet50 import resnet50
+
+SCALEUP_BUDGETS = (2**8, 2**10, 2**12, 2**14, 2**16)
+SCALEOUT_BUDGETS = (2**12, 2**14, 2**16)
+
+
+def loss_rows(
+    workloads: WorkloadSet,
+    budgets: Sequence[int],
+    scaleout: bool,
+) -> List[Dict]:
+    """Candidate losses normalized to the pareto-optimal config."""
+    rows: List[Dict] = []
+    for budget in budgets:
+        _, ranking = pareto_search(workloads, budget, scaleout=scaleout)
+        for rank, (cand, loss) in enumerate(ranking, start=1):
+            rows.append(
+                {
+                    "macs": budget,
+                    "rank": rank,
+                    "config": cand.label(),
+                    "perf_loss": round(loss, 4),
+                }
+            )
+    return rows
+
+
+def resnet_workloads() -> WorkloadSet:
+    return WorkloadSet(name="resnet50", layers=tuple(resnet50()))
+
+
+def language_workloads() -> WorkloadSet:
+    return WorkloadSet(
+        name="language", layers=tuple(language_layer(name) for name in TABLE_IV_DIMS)
+    )
+
+
+def fig13_resnet(budgets: Sequence[int] = SCALEUP_BUDGETS) -> List[Dict]:
+    """Fig. 13, ResNet-50, monolithic candidates."""
+    return loss_rows(resnet_workloads(), budgets, scaleout=False)
+
+
+def fig13_language(budgets: Sequence[int] = SCALEUP_BUDGETS) -> List[Dict]:
+    """Fig. 13, language models, monolithic candidates."""
+    return loss_rows(language_workloads(), budgets, scaleout=False)
+
+
+def fig14_resnet(budgets: Sequence[int] = SCALEOUT_BUDGETS) -> List[Dict]:
+    """Fig. 14, ResNet-50, partitioned candidates."""
+    return loss_rows(resnet_workloads(), budgets, scaleout=True)
+
+
+def fig14_language(budgets: Sequence[int] = SCALEOUT_BUDGETS) -> List[Dict]:
+    """Fig. 14, language models, partitioned candidates."""
+    return loss_rows(language_workloads(), budgets, scaleout=True)

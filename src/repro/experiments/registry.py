@@ -1,0 +1,43 @@
+"""Name-based dispatch over the paper's experiments."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments import fig04, fig09, fig10, fig11, fig12, fig13, tables
+
+_EXPERIMENTS: Dict[str, Callable[[], List[Dict]]] = {
+    "table1": tables.table1_config_schema,
+    "table2": tables.table2_topology_schema,
+    "table3": tables.table3_mapping,
+    "table4": tables.table4_language_dims,
+    "fig4": fig04.fig04_validation,
+    "fig9a": fig09.fig09a_search_space,
+    "fig9b": lambda: fig09.fig09bc_aspect_sweep(2**14),
+    "fig9c": lambda: fig09.fig09bc_aspect_sweep(2**16),
+    "fig10a": fig10.fig10a_resnet,
+    "fig10b": fig10.fig10b_language,
+    "fig11abc": fig11.fig11_resnet_cba3,
+    "fig11def": fig11.fig11_transformer_tf0,
+    "fig12": fig12.fig12_energy,
+    "fig13-resnet": fig13.fig13_resnet,
+    "fig13-language": fig13.fig13_language,
+    "fig14-resnet": fig13.fig14_resnet,
+    "fig14-language": fig13.fig14_language,
+}
+
+
+def available_experiments() -> List[str]:
+    """Experiment ids accepted by :func:`run_experiment`, sorted."""
+    return sorted(_EXPERIMENTS)
+
+
+def run_experiment(name: str) -> List[Dict]:
+    """Regenerate one paper table/figure; returns its data rows."""
+    try:
+        builder = _EXPERIMENTS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {available_experiments()}"
+        ) from None
+    return builder()

@@ -1,0 +1,76 @@
+"""Tables I-IV as data."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.mapping.dims import map_layer
+from repro.topology.parser import TOPOLOGY_HEADER
+from repro.workloads.language import TABLE_IV_DIMS, language_layer
+from repro.workloads.resnet50 import resnet50
+
+CONFIG_KEY_DESCRIPTIONS = {
+    "ArrayHeight": "Number of rows of the MAC systolic array",
+    "ArrayWidth": "Number of columns of the MAC systolic array",
+    "IfmapSramSz": "Size of the working set SRAM for IFMAP in KB",
+    "FilterSramSz": "Size of the working set SRAM for filters in KB",
+    "OfmapSramSz": "Size of the working set SRAM for OFMAP in KB",
+    "IfmapOffset": "Offset to the generated addresses for IFMAP px",
+    "FilterOffset": "Offset to the generated addresses for filter px",
+    "OfmapOffset": "Offset to the generated addresses for OFMAP px",
+    "Dataflow": "Dataflow for this run: 'os', 'ws' or 'is'",
+    "PartitionRows": "Rows of the scale-out partition grid",
+    "PartitionCols": "Columns of the scale-out partition grid",
+    "WordBytes": "Bytes per operand element",
+    "RunName": "User defined tag",
+}
+
+
+def table1_config_schema() -> List[Dict]:
+    """Table I: the hardware configuration keys with example values."""
+    config = HardwareConfig()
+    return [
+        {
+            "parameter": key,
+            "example": value,
+            "description": CONFIG_KEY_DESCRIPTIONS[key],
+        }
+        for key, value in config.as_dict().items()
+    ]
+
+
+def table2_topology_schema() -> List[Dict]:
+    """Table II: the topology CSV columns, instantiated on Conv1."""
+    example = resnet50()["Conv1"].as_row()
+    return [{"column": key, "example": example[key]} for key in TOPOLOGY_HEADER]
+
+
+def table3_mapping(layer_name: str = "CB2a_2") -> List[Dict]:
+    """Table III: S_R/S_C/T per dataflow, on a concrete conv layer."""
+    layer = resnet50()[layer_name]
+    rows = []
+    for dataflow in Dataflow:
+        mapping = map_layer(layer, dataflow)
+        rows.append(
+            {
+                "dataflow": dataflow.value,
+                "S_R": mapping.sr,
+                "S_C": mapping.sc,
+                "T": mapping.t,
+            }
+        )
+    return rows
+
+
+def table4_language_dims() -> List[Dict]:
+    """Table IV: the language-model GEMM dimensions."""
+    return [
+        {
+            "name": name,
+            "S_R": language_layer(name).gemm_m,
+            "T": language_layer(name).gemm_k,
+            "S_C": language_layer(name).gemm_n,
+        }
+        for name in TABLE_IV_DIMS
+    ]

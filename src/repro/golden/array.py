@@ -1,0 +1,201 @@
+"""Cycle-by-cycle register-level simulation of one systolic fold.
+
+Two microarchitectures cover the three dataflows:
+
+* :func:`run_output_stationary_fold` — operands flow right (IFMAP) and
+  down (filters); each PE accumulates in place; results shift down and
+  exit the bottom edge after compute finishes.
+* :func:`run_weight_stationary_fold` — one operand is pre-filled and
+  held; the other streams right along rows while partial sums cascade
+  down columns (input-stationary is this machine with swapped roles —
+  see :mod:`repro.golden.gemm`).
+
+The simulators advance explicit register arrays one cycle at a time and
+never consult the closed-form latency; the cycle counts they report are
+an independent check of Eq. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class GoldenFoldResult:
+    """Outcome of one fold on the register-level array."""
+
+    cycles: int
+    output: np.ndarray
+    macs: int
+
+
+def _as_2d(matrix: np.ndarray, name: str) -> np.ndarray:
+    array = np.asarray(matrix, dtype=np.int64)
+    if array.ndim != 2 or array.size == 0:
+        raise SimulationError(f"{name} must be a non-empty 2D matrix, got shape {array.shape}")
+    return array
+
+
+def run_output_stationary_fold(
+    a_tile: np.ndarray,
+    b_tile: np.ndarray,
+    dedicated_output_plane: bool = False,
+) -> GoldenFoldResult:
+    """Simulate one OS fold: ``a_tile`` is r x T, ``b_tile`` is T x c.
+
+    Returns the r x c products and the exact cycle count.  By default
+    results drain through the PE mesh (r extra cycles); with
+    ``dedicated_output_plane=True`` each accumulator is captured the
+    cycle its T-th MAC completes (the paper's Sec. II-A alternative),
+    so the fold ends with the last MAC.
+    """
+    a_tile = _as_2d(a_tile, "a_tile")
+    b_tile = _as_2d(b_tile, "b_tile")
+    r, t = a_tile.shape
+    t2, c = b_tile.shape
+    if t != t2:
+        raise SimulationError(f"inner dimensions disagree: {t} vs {t2}")
+
+    h_val = np.zeros((r, c), dtype=np.int64)  # operand moving right
+    h_ok = np.zeros((r, c), dtype=bool)
+    v_val = np.zeros((r, c), dtype=np.int64)  # operand moving down
+    v_ok = np.zeros((r, c), dtype=bool)
+    acc = np.zeros((r, c), dtype=np.int64)
+    mac_count = np.zeros((r, c), dtype=np.int64)
+
+    cycle = 0
+    macs = 0
+    # Compute phase: run until every PE has performed its T MACs.
+    while not np.all(mac_count >= t):
+        # Shift the store-and-forward registers by one hop.
+        new_h = np.empty_like(h_val)
+        new_h_ok = np.empty_like(h_ok)
+        new_h[:, 1:] = h_val[:, :-1]
+        new_h_ok[:, 1:] = h_ok[:, :-1]
+        new_v = np.empty_like(v_val)
+        new_v_ok = np.empty_like(v_ok)
+        new_v[1:, :] = v_val[:-1, :]
+        new_v_ok[1:, :] = v_ok[:-1, :]
+        # Edge injection with the skew of Fig. 6a: row i's k-th IFMAP
+        # element enters at cycle i + k, column j's k-th filter at j + k.
+        for i in range(r):
+            k = cycle - i
+            if 0 <= k < t:
+                new_h[i, 0] = a_tile[i, k]
+                new_h_ok[i, 0] = True
+            else:
+                new_h[i, 0] = 0
+                new_h_ok[i, 0] = False
+        for j in range(c):
+            k = cycle - j
+            if 0 <= k < t:
+                new_v[0, j] = b_tile[k, j]
+                new_v_ok[0, j] = True
+            else:
+                new_v[0, j] = 0
+                new_v_ok[0, j] = False
+        h_val, h_ok, v_val, v_ok = new_h, new_h_ok, new_v, new_v_ok
+        both = h_ok & v_ok
+        acc[both] += h_val[both] * v_val[both]
+        fired = int(both.sum())
+        mac_count[both] += 1
+        macs += fired
+        cycle += 1
+        if cycle > 4 * (r + c + t):
+            raise SimulationError("OS golden simulation failed to converge")
+
+    if dedicated_output_plane:
+        # The plane captured every accumulator as it completed; the fold
+        # is over when the last MAC fires.
+        return GoldenFoldResult(cycles=cycle, output=acc.copy(), macs=macs)
+
+    # Drain phase: accumulators shift down; the bottom row exits each
+    # cycle, so r cycles empty the array.
+    output = np.zeros((r, c), dtype=np.int64)
+    for step in range(r):
+        output[r - 1 - step, :] = acc[r - 1, :]
+        acc[1:, :] = acc[:-1, :]
+        cycle += 1
+
+    return GoldenFoldResult(cycles=cycle, output=output, macs=macs)
+
+
+def run_weight_stationary_fold(stream: np.ndarray, stationary: np.ndarray) -> GoldenFoldResult:
+    """Simulate one WS fold.
+
+    ``stationary`` is the r x c tile held in the PEs (weights under WS);
+    ``stream`` is T x r: ``stream[w, i]`` is the value row ``i`` receives
+    for wavefront ``w``.  Column ``j`` emits
+    ``sum_i stream[w, i] * stationary[i, j]`` for each wavefront; the
+    result is returned as a T x c matrix.
+    """
+    stream = _as_2d(stream, "stream")
+    stationary = _as_2d(stationary, "stationary")
+    t, r = stream.shape
+    r2, c = stationary.shape
+    if r != r2:
+        raise SimulationError(f"row dimensions disagree: {r} vs {r2}")
+
+    # Prefill: weights shift down from the top edge, one row per cycle;
+    # after r cycles row i holds stationary[i, :].  Simulated literally.
+    weights = np.zeros((r, c), dtype=np.int64)
+    cycle = 0
+    for _ in range(r):
+        weights[1:, :] = weights[:-1, :]
+        weights[0, :] = stationary[r - 1 - cycle, :]
+        cycle += 1
+    if not np.array_equal(weights, stationary):
+        raise SimulationError("prefill failed to place weights")
+
+    x_val = np.zeros((r, c), dtype=np.int64)  # activations moving right
+    x_ok = np.zeros((r, c), dtype=bool)
+    psum = np.zeros((r, c), dtype=np.int64)  # partial sums moving down
+    psum_ok = np.zeros((r, c), dtype=bool)
+
+    output = np.zeros((t, c), dtype=np.int64)
+    collected = np.zeros((t, c), dtype=bool)
+    macs = 0
+    stream_cycle = 0
+    while not collected.all():
+        new_x = np.empty_like(x_val)
+        new_x_ok = np.empty_like(x_ok)
+        new_x[:, 1:] = x_val[:, :-1]
+        new_x_ok[:, 1:] = x_ok[:, :-1]
+        for i in range(r):
+            w = stream_cycle - i
+            if 0 <= w < t:
+                new_x[i, 0] = stream[w, i]
+                new_x_ok[i, 0] = True
+            else:
+                new_x[i, 0] = 0
+                new_x_ok[i, 0] = False
+        # Partial sums cascade down one row per cycle; row 0 starts fresh.
+        new_psum = np.zeros((r, c), dtype=np.int64)
+        new_psum_ok = np.zeros((r, c), dtype=bool)
+        new_psum[1:, :] = psum[:-1, :]
+        new_psum_ok[1:, :] = psum_ok[:-1, :]
+
+        x_val, x_ok = new_x, new_x_ok
+        contribution = np.where(x_ok, x_val * weights, 0)
+        macs += int(x_ok.sum())
+        result = new_psum + contribution
+        result_ok = x_ok | new_psum_ok
+
+        # The bottom row's finished sums exit this cycle.  The wavefront
+        # exiting column j at stream cycle s carries window w = s - (r-1) - j.
+        for j in range(c):
+            w = stream_cycle - (r - 1) - j
+            if 0 <= w < t and result_ok[r - 1, j]:
+                output[w, j] = result[r - 1, j]
+                collected[w, j] = True
+        psum, psum_ok = result, result_ok
+        stream_cycle += 1
+        cycle += 1
+        if stream_cycle > 4 * (r + c + t):
+            raise SimulationError("WS golden simulation failed to converge")
+
+    return GoldenFoldResult(cycles=cycle, output=output, macs=macs)

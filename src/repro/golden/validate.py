@@ -1,0 +1,125 @@
+"""Cross-model validation harness (Fig. 4 as a reusable API).
+
+Three independent models of the same machine live in this library: the
+trace-based engine, the closed-form analytical model, and the
+PE-register-level golden array.  This module runs all three on one
+problem and reports whether they agree, under the documented rules:
+
+* engine cycles == golden cycles, always (both are exact);
+* engine cycles <= analytical Eq. 4, with equality iff the mapped
+  dimensions divide the array;
+* the golden array's numeric output equals ``a @ b`` (checked inside
+  :func:`golden_gemm` itself — a mismatch raises).
+
+Used by the test-suite, the Fig. 4 benchmark and the CLI ``validate``
+verb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analytical.runtime import scaleup_runtime
+from repro.config.hardware import Dataflow
+from repro.dataflow.factory import engine_for_gemm
+from repro.golden.gemm import golden_gemm
+from repro.mapping.dims import map_gemm
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of one cross-model comparison."""
+
+    m: int
+    k: int
+    n: int
+    dataflow: Dataflow
+    array_rows: int
+    array_cols: int
+    engine_cycles: int
+    golden_cycles: int
+    analytical_cycles: int
+    dims_divide: bool
+
+    @property
+    def engine_matches_golden(self) -> bool:
+        return self.engine_cycles == self.golden_cycles
+
+    @property
+    def engine_within_analytical(self) -> bool:
+        return self.engine_cycles <= self.analytical_cycles
+
+    @property
+    def exact_when_divisible(self) -> bool:
+        if not self.dims_divide:
+            return True
+        return self.engine_cycles == self.analytical_cycles
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.engine_matches_golden
+            and self.engine_within_analytical
+            and self.exact_when_divisible
+        )
+
+    def describe(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{status}] {self.m}x{self.k}x{self.n} {self.dataflow.value} on "
+            f"{self.array_rows}x{self.array_cols}: engine {self.engine_cycles}, "
+            f"golden {self.golden_cycles}, Eq.4 {self.analytical_cycles}"
+        )
+
+
+def validate_configuration(
+    m: int,
+    k: int,
+    n: int,
+    dataflow: Dataflow,
+    array_rows: int,
+    array_cols: int,
+    seed: int = 0,
+) -> ValidationReport:
+    """Run all three models on one GEMM/array pair and compare."""
+    engine = engine_for_gemm(m, k, n, dataflow, array_rows, array_cols)
+    mapping = map_gemm(m, k, n, dataflow)
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-8, 8, (m, k))
+    b = rng.integers(-8, 8, (k, n))
+    golden = golden_gemm(a, b, dataflow, array_rows, array_cols)
+    return ValidationReport(
+        m=m,
+        k=k,
+        n=n,
+        dataflow=dataflow,
+        array_rows=array_rows,
+        array_cols=array_cols,
+        engine_cycles=engine.total_cycles(),
+        golden_cycles=golden.cycles,
+        analytical_cycles=scaleup_runtime(mapping, array_rows, array_cols),
+        dims_divide=(mapping.sr % array_rows == 0 and mapping.sc % array_cols == 0),
+    )
+
+
+def validation_sweep(
+    seed: int = 0,
+    trials: int = 20,
+    max_dim: int = 24,
+    max_array: int = 8,
+    dataflows: Optional[Sequence[Dataflow]] = None,
+) -> List[ValidationReport]:
+    """Randomized cross-model sweep: ``trials`` reports per dataflow."""
+    rng = np.random.default_rng(seed)
+    reports: List[ValidationReport] = []
+    for dataflow in dataflows or list(Dataflow):
+        for trial in range(trials):
+            m, k, n = (int(rng.integers(1, max_dim + 1)) for _ in range(3))
+            rows, cols = (int(rng.integers(1, max_array + 1)) for _ in range(2))
+            reports.append(
+                validate_configuration(m, k, n, dataflow, rows, cols, seed=seed + trial)
+            )
+    return reports

@@ -1,0 +1,106 @@
+"""Table III: spatio-temporal allocation of DNN dimensions per dataflow.
+
+A layer lowers to a GEMM with dimensions
+
+* ``N_ofmap`` — OFMAP pixels generated per filter (``gemm_m``),
+* ``W_conv`` — partial sums per output pixel, i.e. window size (``gemm_k``),
+* ``N_filter`` — number of filters (``gemm_n``).
+
+Each dataflow assigns these to spatial rows ``S_R``, spatial columns
+``S_C`` and the temporal dimension ``T`` (Table III):
+
+================== ========= ========= =========
+Dataflow            S_R       S_C       T
+================== ========= ========= =========
+Output stationary   N_ofmap   N_filter  W_conv
+Weight stationary   W_conv    N_filter  N_ofmap
+Input stationary    W_conv    N_ofmap   N_filter
+================== ========= ========= =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.hardware import Dataflow
+from repro.errors import MappingError
+from repro.topology.layer import Layer
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class OperandMapping:
+    """The ``(S_R, S_C, T)`` triple a dataflow induces for one layer.
+
+    ``sr`` counts rows of the spatial mapping, ``sc`` columns, and ``t``
+    the temporal depth: the number of operands streamed through (or
+    accumulated into) each mapped PE.
+    """
+
+    sr: int
+    sc: int
+    t: int
+    dataflow: Dataflow
+
+    def __post_init__(self) -> None:
+        for field_name in ("sr", "sc", "t"):
+            try:
+                check_positive_int(getattr(self, field_name), field_name)
+            except ValueError as exc:
+                raise MappingError(str(exc)) from exc
+
+    @property
+    def macs(self) -> int:
+        """Total MAC operations: S_R * S_C * T for every dataflow."""
+        return self.sr * self.sc * self.t
+
+    @property
+    def max_parallelism(self) -> int:
+        """PEs usable simultaneously: the full spatial extent S_R * S_C."""
+        return self.sr * self.sc
+
+    def transpose(self) -> "OperandMapping":
+        """Swap rows and columns (used when mirroring aspect ratios)."""
+        return OperandMapping(sr=self.sc, sc=self.sr, t=self.t, dataflow=self.dataflow)
+
+
+def map_gemm(m: int, k: int, n: int, dataflow: Dataflow) -> OperandMapping:
+    """Map a bare (M x K) @ (K x N) GEMM under ``dataflow`` per Table III.
+
+    ``M`` = N_ofmap, ``K`` = W_conv, ``N`` = N_filter.
+    """
+    check_positive_int(m, "m")
+    check_positive_int(k, "k")
+    check_positive_int(n, "n")
+    if dataflow is Dataflow.OUTPUT_STATIONARY:
+        return OperandMapping(sr=m, sc=n, t=k, dataflow=dataflow)
+    if dataflow is Dataflow.WEIGHT_STATIONARY:
+        return OperandMapping(sr=k, sc=n, t=m, dataflow=dataflow)
+    if dataflow is Dataflow.INPUT_STATIONARY:
+        return OperandMapping(sr=k, sc=m, t=n, dataflow=dataflow)
+    raise MappingError(f"unsupported dataflow: {dataflow!r}")
+
+
+def map_layer(layer: Layer, dataflow: Dataflow) -> OperandMapping:
+    """Map ``layer`` onto a systolic array under ``dataflow`` per Table III."""
+    return map_gemm(layer.gemm_m, layer.gemm_k, layer.gemm_n, dataflow)
+
+
+def gemm_from_mapping(sr: int, sc: int, t: int, dataflow: Dataflow) -> tuple:
+    """Invert Table III: recover ``(M, K, N)`` from a mapped ``(S_R, S_C, T)``.
+
+    Used by the scale-out engine, which partitions workloads in mapped
+    space (Eq. 5) and then needs a GEMM to hand each partition's
+    single-array engine.  ``map_gemm(*gemm_from_mapping(...))`` is the
+    identity on ``(sr, sc, t)``.
+    """
+    check_positive_int(sr, "sr")
+    check_positive_int(sc, "sc")
+    check_positive_int(t, "t")
+    if dataflow is Dataflow.OUTPUT_STATIONARY:
+        return (sr, t, sc)
+    if dataflow is Dataflow.WEIGHT_STATIONARY:
+        return (t, sr, sc)
+    if dataflow is Dataflow.INPUT_STATIONARY:
+        return (sc, sr, t)
+    raise MappingError(f"unsupported dataflow: {dataflow!r}")

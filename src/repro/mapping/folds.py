@@ -1,0 +1,136 @@
+"""Fold (tiling) arithmetic — Sec. III-B2 of the paper.
+
+When ``S_R x S_C`` exceeds the physical ``R x C`` array, the workload is
+sliced into *folds*: ``F_R = ceil(S_R / R)`` row folds by
+``F_C = ceil(S_C / C)`` column folds (Eq. 2).  SCALE-Sim v1 executes
+folds back to back; each fold maps ``r <= R`` rows and ``c <= C``
+columns, with edge folds mapping the remainders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import MappingError
+from repro.mapping.dims import OperandMapping
+from repro.utils.mathutils import ceil_div
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class Fold:
+    """One tile of the spatial mapping.
+
+    ``row_index`` / ``col_index`` locate the fold in the F_R x F_C fold
+    grid; ``rows`` / ``cols`` give how many array rows/columns carry
+    valid mappings in this fold; ``row_offset`` / ``col_offset`` give
+    the starting coordinates of the tile inside the S_R x S_C space.
+    """
+
+    row_index: int
+    col_index: int
+    rows: int
+    cols: int
+    row_offset: int
+    col_offset: int
+
+    @property
+    def mapped_pes(self) -> int:
+        """PEs with valid work in this fold."""
+        return self.rows * self.cols
+
+
+@dataclass(frozen=True)
+class FoldPlan:
+    """The complete tiling of one mapped layer onto one array."""
+
+    mapping: OperandMapping
+    array_rows: int
+    array_cols: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.array_rows, "array_rows")
+        check_positive_int(self.array_cols, "array_cols")
+
+    @property
+    def row_folds(self) -> int:
+        """F_R = ceil(S_R / R)  (Eq. 2)."""
+        return ceil_div(self.mapping.sr, self.array_rows)
+
+    @property
+    def col_folds(self) -> int:
+        """F_C = ceil(S_C / C)  (Eq. 2)."""
+        return ceil_div(self.mapping.sc, self.array_cols)
+
+    @property
+    def num_folds(self) -> int:
+        return self.row_folds * self.col_folds
+
+    def fold_rows(self, row_index: int) -> int:
+        """Array rows mapped in row-fold ``row_index`` (remainder on the edge)."""
+        if not 0 <= row_index < self.row_folds:
+            raise MappingError(f"row_index {row_index} out of range [0, {self.row_folds})")
+        if row_index < self.row_folds - 1:
+            return self.array_rows
+        return self.mapping.sr - self.array_rows * (self.row_folds - 1)
+
+    def fold_cols(self, col_index: int) -> int:
+        """Array columns mapped in col-fold ``col_index``."""
+        if not 0 <= col_index < self.col_folds:
+            raise MappingError(f"col_index {col_index} out of range [0, {self.col_folds})")
+        if col_index < self.col_folds - 1:
+            return self.array_cols
+        return self.mapping.sc - self.array_cols * (self.col_folds - 1)
+
+    def folds(self, order: str = "row") -> Iterator[Fold]:
+        """Yield folds in execution order over the fold grid.
+
+        ``order="row"`` is SCALE-Sim's default: for each row fold, all
+        column folds are visited before moving on.  ``order="col"``
+        transposes the loop nest.  The order does not change runtime
+        (the same folds execute back to back) but decides which operand
+        slice stays resident between consecutive folds, and therefore
+        the DRAM traffic of the reuse model.
+        """
+        if order not in ("row", "col"):
+            raise MappingError(f"order must be 'row' or 'col', got {order!r}")
+        if order == "row":
+            index_pairs = (
+                (fr, fc)
+                for fr in range(self.row_folds)
+                for fc in range(self.col_folds)
+            )
+        else:
+            index_pairs = (
+                (fr, fc)
+                for fc in range(self.col_folds)
+                for fr in range(self.row_folds)
+            )
+        for fr, fc in index_pairs:
+            yield Fold(
+                row_index=fr,
+                col_index=fc,
+                rows=self.fold_rows(fr),
+                cols=self.fold_cols(fc),
+                row_offset=fr * self.array_rows,
+                col_offset=fc * self.array_cols,
+            )
+
+    def fold_shapes(self) -> List[Tuple[int, int]]:
+        """Return the (rows, cols) of every fold, in execution order."""
+        return [(fold.rows, fold.cols) for fold in self.folds()]
+
+    @property
+    def total_mapped_pe_cycles(self) -> int:
+        """Sum over folds of mapped PEs x T: the MAC-active cycle count.
+
+        Every mapped PE performs exactly T useful MACs per fold in each
+        of the three dataflows, so this equals the layer's MAC count.
+        """
+        return self.mapping.t * sum(fold.mapped_pes for fold in self.folds())
+
+
+def plan_folds(mapping: OperandMapping, array_rows: int, array_cols: int) -> FoldPlan:
+    """Build the fold plan for ``mapping`` on an ``array_rows x array_cols`` array."""
+    return FoldPlan(mapping=mapping, array_rows=array_rows, array_cols=array_cols)

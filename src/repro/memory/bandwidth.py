@@ -1,0 +1,145 @@
+"""Stall-free DRAM bandwidth accounting (Fig. 11 of the paper).
+
+Double buffering turns prefetching into a pipelining constraint: the
+bytes fold ``k`` will consume must arrive while fold ``k-1`` executes,
+and the outputs fold ``k`` produced drain while fold ``k+1`` executes.
+The *stall-free bandwidth requirement* is therefore the largest
+per-fold transfer rate this schedule ever demands; the *average
+bandwidth* is total bytes over total cycles.  Fold 0's operands have no
+predecessor to hide behind — they are reported separately as the
+cold-start bytes (SCALE-Sim's initial prefetch delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.dataflow.base import DataflowEngine
+from repro.memory.buffers import BufferSet
+from repro.memory.reuse import OperandTraffic, operand_dram_traffic
+
+
+@dataclass(frozen=True)
+class BandwidthProfile:
+    """Bandwidth requirements of one layer, in bytes per cycle."""
+
+    avg_read_bw: float
+    avg_write_bw: float
+    peak_read_bw: float
+    peak_write_bw: float
+
+    @property
+    def avg_total_bw(self) -> float:
+        return self.avg_read_bw + self.avg_write_bw
+
+    @property
+    def peak_total_bw(self) -> float:
+        return self.peak_read_bw + self.peak_write_bw
+
+
+@dataclass(frozen=True)
+class DramTraffic:
+    """Complete DRAM-side picture of one layer on one array."""
+
+    ifmap: OperandTraffic
+    filter: OperandTraffic
+    ofmap_per_fold_bytes: List[int]
+    cold_start_bytes: int
+    fold_cycles: List[int]
+    bandwidth: BandwidthProfile
+
+    @property
+    def ofmap_write_bytes(self) -> int:
+        return sum(self.ofmap_per_fold_bytes)
+
+    @property
+    def read_bytes(self) -> int:
+        return self.ifmap.total_bytes + self.filter.total_bytes
+
+    @property
+    def write_bytes(self) -> int:
+        return self.ofmap_write_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.fold_cycles)
+
+
+def _stall_free_bandwidths(
+    read_per_fold: Sequence[int],
+    write_per_fold: Sequence[int],
+    fold_cycles: Sequence[int],
+) -> BandwidthProfile:
+    """Max/avg transfer rates implied by the double-buffer schedule."""
+    total_cycles = sum(fold_cycles)
+    total_reads = sum(read_per_fold)
+    total_writes = sum(write_per_fold)
+    peak_read = 0.0
+    peak_write = 0.0
+    for k in range(1, len(fold_cycles)):
+        # Fold k's operands prefetch during fold k-1.
+        peak_read = max(peak_read, read_per_fold[k] / fold_cycles[k - 1])
+        # Fold k-1's outputs drain during fold k.
+        peak_write = max(peak_write, write_per_fold[k - 1] / fold_cycles[k])
+    if len(fold_cycles) == 1:
+        # Single fold: everything must move within the fold itself.
+        peak_read = read_per_fold[0] / fold_cycles[0]
+        peak_write = write_per_fold[0] / fold_cycles[0]
+    else:
+        # The final fold's outputs also need one fold-time to drain.
+        peak_write = max(peak_write, write_per_fold[-1] / fold_cycles[-1])
+    return BandwidthProfile(
+        avg_read_bw=total_reads / total_cycles,
+        avg_write_bw=total_writes / total_cycles,
+        peak_read_bw=peak_read,
+        peak_write_bw=peak_write,
+    )
+
+
+def compute_dram_traffic(
+    engine: DataflowEngine,
+    buffers: BufferSet,
+    word_bytes: int,
+    loop_order: str = "row",
+) -> DramTraffic:
+    """Derive the full DRAM traffic picture for one layer on one array.
+
+    Walks the engine's fold plan once, collecting operand slices, output
+    volumes and fold latencies, then applies the reuse model per operand
+    and the double-buffer pipelining rule for bandwidth.
+
+    ``loop_order`` selects the fold iteration order ("row" is
+    SCALE-Sim's default; "col" transposes the loop nest).  Runtime is
+    order-independent, but which operand enjoys consecutive-fold reuse
+    is not — see the fold-order ablation benchmark.
+    """
+    folds = list(engine.plan.folds(order=loop_order))
+    ifmap_slices = [engine.ifmap_slice(fold) for fold in folds]
+    filter_slices = [engine.filter_slice(fold) for fold in folds]
+    write_per_fold = [engine.fold_ofmap_elements(fold) * word_bytes for fold in folds]
+    fold_cycles = [engine.fold_cycles(fold) for fold in folds]
+
+    ifmap_traffic = operand_dram_traffic(
+        ifmap_slices, engine.m * engine.k, buffers.ifmap, word_bytes
+    )
+    filter_traffic = operand_dram_traffic(
+        filter_slices, engine.k * engine.n, buffers.filter, word_bytes
+    )
+    read_per_fold = [
+        i_bytes + f_bytes
+        for i_bytes, f_bytes in zip(ifmap_traffic.per_fold_bytes, filter_traffic.per_fold_bytes)
+    ]
+    bandwidth = _stall_free_bandwidths(read_per_fold, write_per_fold, fold_cycles)
+    return DramTraffic(
+        ifmap=ifmap_traffic,
+        filter=filter_traffic,
+        ofmap_per_fold_bytes=write_per_fold,
+        cold_start_bytes=read_per_fold[0],
+        fold_cycles=fold_cycles,
+        bandwidth=bandwidth,
+    )

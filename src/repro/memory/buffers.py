@@ -1,0 +1,56 @@
+"""Double-buffered SRAM model (Sec. II of the paper, Fig. 2).
+
+Each of the three operand SRAMs is double buffered: while the array
+consumes from one half, the other half prefetches the next working set
+from DRAM.  The *effective* capacity available to the resident working
+set is therefore half the physical SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.hardware import HardwareConfig
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class DoubleBuffer:
+    """One double-buffered SRAM of ``capacity_bytes`` physical bytes."""
+
+    name: str
+    capacity_bytes: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.capacity_bytes, "capacity_bytes")
+
+    @property
+    def working_bytes(self) -> int:
+        """Bytes available to the resident working set (half the SRAM)."""
+        return self.capacity_bytes // 2
+
+    def holds(self, bytes_needed: int) -> bool:
+        """True when a working set of ``bytes_needed`` fits in one half."""
+        return bytes_needed <= self.working_bytes
+
+
+@dataclass(frozen=True)
+class BufferSet:
+    """The three operand buffers of one accelerator (IFMAP, filter, OFMAP)."""
+
+    ifmap: DoubleBuffer
+    filter: DoubleBuffer
+    ofmap: DoubleBuffer
+
+    @classmethod
+    def from_config(cls, config: HardwareConfig) -> "BufferSet":
+        """Build the buffer set described by a hardware configuration."""
+        return cls(
+            ifmap=DoubleBuffer("ifmap", config.ifmap_sram_bytes),
+            filter=DoubleBuffer("filter", config.filter_sram_bytes),
+            ofmap=DoubleBuffer("ofmap", config.ofmap_sram_bytes),
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.ifmap.capacity_bytes + self.filter.capacity_bytes + self.ofmap.capacity_bytes

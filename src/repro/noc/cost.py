@@ -1,0 +1,126 @@
+"""Distribution/collection cost of one layer on a partition mesh.
+
+Per-partition DRAM traffic comes from the closed-form model
+(:func:`repro.analytical.traffic.estimate_traffic`) applied to each
+partition's tile — the same quantities the scale-out simulator measures,
+at O(grid) cost.  Delivery uses the cheapest pattern the partitioning
+allows under the layer's dataflow:
+
+* the operand sliced along grid *rows* (identical for every partition
+  in a grid row) is row-multicast;
+* the operand sliced along grid *columns* is column-multicast;
+* an operand tiled along both axes, and all outputs, are unicast.
+
+For OS/WS the IFMAP-side operand is row-sliced and the filter-side
+operand column-sliced (WS filter tiles are per-partition and unicast);
+IS mirrors WS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytical.traffic import estimate_traffic
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.errors import SimulationError
+from repro.mapping.dims import OperandMapping, map_layer
+from repro.memory.buffers import BufferSet
+from repro.noc.mesh import MeshNoc, NocConfig
+from repro.topology.layer import Layer
+from repro.utils.mathutils import split_evenly
+
+
+@dataclass(frozen=True)
+class NocCost:
+    """Byte-hops and derived metrics for one layer on one grid."""
+
+    ifmap_byte_hops: int
+    filter_byte_hops: int
+    ofmap_byte_hops: int
+    port_bytes: int
+    runtime_cycles: int
+
+    @property
+    def total_byte_hops(self) -> int:
+        return self.ifmap_byte_hops + self.filter_byte_hops + self.ofmap_byte_hops
+
+    @property
+    def port_bandwidth(self) -> float:
+        """Bytes/cycle the shared memory port must sustain."""
+        return self.port_bytes / self.runtime_cycles
+
+    def energy(self, config: NocConfig) -> float:
+        """Transport energy, in EnergyParams units."""
+        return self.total_byte_hops * config.energy_per_byte_hop
+
+    def port_feasible(self, config: NocConfig) -> bool:
+        """Whether one port link can feed the grid stall-free."""
+        return self.port_bandwidth <= config.link_bytes_per_cycle
+
+
+def layer_noc_cost(layer: Layer, config: HardwareConfig) -> NocCost:
+    """Estimate NoC traffic for ``layer`` on ``config``'s partition grid.
+
+    Monolithic configurations cost one hop per byte (the port link).
+    """
+    mapping = map_layer(layer, config.dataflow)
+    grid_rows, grid_cols = config.partition_rows, config.partition_cols
+    mesh = MeshNoc(grid_rows, grid_cols)
+    per_config = config.partition_config()
+    buffers = BufferSet.from_config(per_config)
+    word = config.word_bytes
+
+    row_shares = split_evenly(mapping.sr, grid_rows)
+    col_shares = split_evenly(mapping.sc, grid_cols)
+
+    ifmap_hops = filter_hops = ofmap_hops = 0
+    port_bytes = 0
+    runtime = 0
+    dataflow = config.dataflow
+    any_work = False
+
+    for p, tile_sr in enumerate(row_shares):
+        for q, tile_sc in enumerate(col_shares):
+            if tile_sr == 0 or tile_sc == 0:
+                continue
+            any_work = True
+            tile = OperandMapping(
+                sr=tile_sr, sc=tile_sc, t=mapping.t, dataflow=dataflow
+            )
+            est = estimate_traffic(
+                tile, config.array_rows, config.array_cols, buffers, word
+            )
+            runtime = max(runtime, est.total_cycles)
+            port_bytes += est.total_bytes
+
+            if dataflow is Dataflow.INPUT_STATIONARY:
+                # IS: ifmap tiled both ways (unicast); filters row-sliced.
+                ifmap_hops += est.ifmap_bytes * mesh.unicast_hops(p, q)
+                if q == 0:
+                    filter_hops += est.filter_bytes * mesh.row_multicast_hops(p)
+            elif dataflow is Dataflow.WEIGHT_STATIONARY:
+                # WS: ifmap row-sliced; filter tiles are per-partition.
+                if q == 0:
+                    ifmap_hops += est.ifmap_bytes * mesh.row_multicast_hops(p)
+                filter_hops += est.filter_bytes * mesh.unicast_hops(p, q)
+            else:
+                # OS: ifmap row-sliced, filter column-sliced.
+                if q == 0:
+                    ifmap_hops += est.ifmap_bytes * mesh.row_multicast_hops(p)
+                if p == 0:
+                    filter_hops += est.filter_bytes * mesh.col_multicast_hops(q)
+            ofmap_hops += est.ofmap_bytes * mesh.unicast_hops(p, q)
+
+    if not any_work:
+        raise SimulationError(
+            f"layer {layer.name!r}: no partition received work on a "
+            f"{grid_rows}x{grid_cols} grid"
+        )
+
+    return NocCost(
+        ifmap_byte_hops=ifmap_hops,
+        filter_byte_hops=filter_hops,
+        ofmap_byte_hops=ofmap_hops,
+        port_bytes=port_bytes,
+        runtime_cycles=runtime,
+    )

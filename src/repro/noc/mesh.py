@@ -1,0 +1,82 @@
+"""2D mesh geometry: hop counts for unicast and multicast delivery.
+
+The partition grid is a ``grid_rows x grid_cols`` mesh with the memory
+port attached at the top-left corner, XY (row-first) routing, and one
+extra hop for the port link itself.  Multicast along a grid row/column
+is modelled as a path tree: the payload travels to the first partition
+and is forwarded neighbour to neighbour, so each byte crosses each tree
+link exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """Mesh parameters.
+
+    ``link_bytes_per_cycle`` is the capacity of one mesh link (and of
+    the memory port); ``energy_per_byte_hop`` is the transport energy
+    for moving one byte across one link, in the same arbitrary units as
+    :class:`repro.energy.EnergyParams` (default: 1/20 of a MAC, a
+    common first-order figure for short on-chip hops).
+    """
+
+    link_bytes_per_cycle: float = 32.0
+    energy_per_byte_hop: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.link_bytes_per_cycle <= 0:
+            raise ReproError("link_bytes_per_cycle must be positive")
+        if self.energy_per_byte_hop < 0:
+            raise ReproError("energy_per_byte_hop must be non-negative")
+
+
+class MeshNoc:
+    """Hop arithmetic for one partition mesh."""
+
+    def __init__(self, grid_rows: int, grid_cols: int):
+        self.grid_rows = check_positive_int(grid_rows, "grid_rows")
+        self.grid_cols = check_positive_int(grid_cols, "grid_cols")
+
+    def _check(self, row: int, col: int) -> None:
+        if not (0 <= row < self.grid_rows and 0 <= col < self.grid_cols):
+            raise ReproError(
+                f"partition ({row}, {col}) outside {self.grid_rows}x{self.grid_cols} grid"
+            )
+
+    def unicast_hops(self, row: int, col: int) -> int:
+        """Links one byte crosses from the port to partition (row, col)."""
+        self._check(row, col)
+        return 1 + row + col  # port link + XY route
+
+    def row_multicast_hops(self, row: int) -> int:
+        """Links crossed delivering one byte to *every* partition in a
+        grid row: down to the row, then across all its columns."""
+        self._check(row, 0)
+        return 1 + row + (self.grid_cols - 1)
+
+    def col_multicast_hops(self, col: int) -> int:
+        """Links crossed delivering one byte to every partition in a
+        grid column: across to the column, then down all its rows."""
+        self._check(0, col)
+        return 1 + col + (self.grid_rows - 1)
+
+    def mean_unicast_hops(self) -> float:
+        """Average port-to-partition distance over the whole grid."""
+        total = sum(
+            self.unicast_hops(row, col)
+            for row in range(self.grid_rows)
+            for col in range(self.grid_cols)
+        )
+        return total / (self.grid_rows * self.grid_cols)
+
+    @property
+    def diameter(self) -> int:
+        """Longest port-to-partition route."""
+        return 1 + (self.grid_rows - 1) + (self.grid_cols - 1)

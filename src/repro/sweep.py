@@ -1,0 +1,98 @@
+"""Parameter-sweep runner: cartesian grids in, tidy rows out.
+
+Every experiment in this repository is a sweep of some function over a
+parameter grid with the results flattened into row dicts; this module
+captures that pattern once:
+
+    rows = run_sweep(
+        lambda array, macs: {"cycles": simulate(array, macs)},
+        array=[(8, 8), (16, 16)],
+        macs=[2**10, 2**12],
+    )
+
+The callable receives one keyword per grid axis and returns a dict (or
+a list of dicts) of measurements; each result row carries the parameter
+values that produced it.  Failures can be collected instead of raised,
+so a sweep over a space with infeasible corners still completes.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Union
+
+
+def run_sweep(
+    fn: Callable[..., Union[Dict, Sequence[Dict]]],
+    skip_errors: bool = False,
+    **grid: Sequence,
+) -> List[Dict]:
+    """Evaluate ``fn`` over the cartesian product of the ``grid`` axes.
+
+    Axis order follows keyword order; parameter values are prepended to
+    every result row.  With ``skip_errors=True``, a point that raises
+    contributes one row with an ``"error"`` column instead of aborting
+    the sweep.
+    """
+    if not grid:
+        raise ValueError("sweep needs at least one parameter axis")
+    for name, values in grid.items():
+        if not values:
+            raise ValueError(f"axis {name!r} is empty")
+
+    axes = list(grid.items())
+    rows: List[Dict] = []
+    for point in itertools.product(*(values for _, values in axes)):
+        params = {name: value for (name, _), value in zip(axes, point)}
+        try:
+            outcome = fn(**params)
+        except Exception as exc:  # noqa: BLE001 - the point of skip_errors
+            if not skip_errors:
+                raise
+            rows.append({**params, "error": f"{type(exc).__name__}: {exc}"})
+            continue
+        results = outcome if isinstance(outcome, (list, tuple)) else [outcome]
+        for result in results:
+            overlap = set(params) & set(result)
+            if overlap:
+                raise ValueError(
+                    f"result keys {sorted(overlap)} collide with parameter names"
+                )
+            rows.append({**params, **result})
+    return rows
+
+
+def sweep_to_csv(rows: Sequence[Dict], path: Union[str, Path]) -> Path:
+    """Write sweep rows to a CSV; the header is the union of all keys."""
+    if not rows:
+        raise ValueError("no rows to write")
+    header: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in header:
+                header.append(key)
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=header, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def pivot(
+    rows: Sequence[Dict],
+    index: str,
+    column: str,
+    value: str,
+) -> Dict:
+    """Reshape rows into ``{index: {column: value}}`` for table rendering."""
+    table: Dict = {}
+    for row in rows:
+        if index not in row or column not in row or value not in row:
+            continue
+        table.setdefault(row[index], {})[row[column]] = row[value]
+    if not table:
+        raise ValueError(f"no rows carry all of {index!r}, {column!r}, {value!r}")
+    return table

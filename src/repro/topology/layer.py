@@ -1,0 +1,267 @@
+"""Layer descriptions.
+
+Two concrete layer types cover everything the paper simulates:
+
+* :class:`ConvLayer` — a 2D convolution given by the Table II
+  hyper-parameters (IFMAP height/width, filter height/width, channels,
+  number of filters, stride).  Fully-connected layers are expressed as
+  convolutions whose filter equals the IFMAP, exactly as the paper's
+  Sec. II-E prescribes.
+* :class:`GemmLayer` — a raw matrix multiplication given directly by the
+  pre-mapped ``(S_R, T, S_C)`` triple of Table IV.  The language-model
+  workloads (GNMT, DeepSpeech2, Transformer, NCF) use this form.
+
+Both expose the same small interface the rest of the library needs:
+the GEMM dimensions ``(gemm_m, gemm_k, gemm_n)`` = (OFMAP pixels per
+filter, window size, number of filters), operand element counts, and
+MAC counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import TopologyError
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Common base: a named unit of work that lowers to a GEMM.
+
+    Subclasses must provide ``gemm_m`` (spatial rows under OS mapping,
+    i.e. OFMAP pixels per filter), ``gemm_k`` (reduction length, i.e.
+    convolution window size) and ``gemm_n`` (number of filters).
+    """
+
+    name: str
+
+    # --- GEMM view -----------------------------------------------------
+    @property
+    def gemm_m(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def gemm_k(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def gemm_n(self) -> int:
+        raise NotImplementedError
+
+    # --- Derived counts ------------------------------------------------
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulate operations in the layer."""
+        return self.gemm_m * self.gemm_k * self.gemm_n
+
+    @property
+    def ifmap_elements(self) -> int:
+        """Distinct input operand elements (the S_R x T operand matrix)."""
+        return self.gemm_m * self.gemm_k
+
+    @property
+    def filter_elements(self) -> int:
+        """Distinct filter operand elements (the T x S_C operand matrix)."""
+        return self.gemm_k * self.gemm_n
+
+    @property
+    def ofmap_elements(self) -> int:
+        """Distinct output elements (the S_R x S_C result matrix)."""
+        return self.gemm_m * self.gemm_n
+
+    def gemm_dims(self) -> Tuple[int, int, int]:
+        """Return ``(M, K, N)`` where the layer computes (MxK) @ (KxN)."""
+        return (self.gemm_m, self.gemm_k, self.gemm_n)
+
+    def describe(self) -> str:
+        m, k, n = self.gemm_dims()
+        return f"{self.name}: GEMM {m}x{k}x{n} ({self.macs} MACs)"
+
+
+@dataclass(frozen=True)
+class ConvLayer(Layer):
+    """A convolution layer per Table II of the paper.
+
+    ``batch`` extends the Table II schema (which describes batch-1
+    inference): a batch of B inputs multiplies the OFMAP pixels per
+    filter by B while filters are shared, exactly like SCALE-Sim v2's
+    batching support.
+    """
+
+    ifmap_h: int = 1
+    ifmap_w: int = 1
+    filter_h: int = 1
+    filter_w: int = 1
+    channels: int = 1
+    num_filters: int = 1
+    stride: int = 1
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("layer name must be non-empty")
+        for field_name in (
+            "ifmap_h",
+            "ifmap_w",
+            "filter_h",
+            "filter_w",
+            "channels",
+            "num_filters",
+            "stride",
+            "batch",
+        ):
+            try:
+                check_positive_int(getattr(self, field_name), field_name)
+            except ValueError as exc:
+                raise TopologyError(f"layer {self.name!r}: {exc}") from exc
+        if self.filter_h > self.ifmap_h or self.filter_w > self.ifmap_w:
+            raise TopologyError(
+                f"layer {self.name!r}: filter ({self.filter_h}x{self.filter_w}) "
+                f"larger than IFMAP ({self.ifmap_h}x{self.ifmap_w})"
+            )
+
+    # --- Convolution geometry -------------------------------------------
+    @property
+    def ofmap_h(self) -> int:
+        """OFMAP height: number of vertical window placements."""
+        return (self.ifmap_h - self.filter_h) // self.stride + 1
+
+    @property
+    def ofmap_w(self) -> int:
+        """OFMAP width: number of horizontal window placements."""
+        return (self.ifmap_w - self.filter_w) // self.stride + 1
+
+    @property
+    def window_size(self) -> int:
+        """Elements per convolution window (the paper's W_conv)."""
+        return self.filter_h * self.filter_w * self.channels
+
+    @property
+    def ofmap_pixels_per_filter(self) -> int:
+        """OFMAP pixels one filter produces across the batch
+        (the paper's N_ofmap, times the batch size)."""
+        return self.ofmap_h * self.ofmap_w * self.batch
+
+    # --- GEMM view --------------------------------------------------------
+    @property
+    def gemm_m(self) -> int:
+        return self.ofmap_pixels_per_filter
+
+    @property
+    def gemm_k(self) -> int:
+        return self.window_size
+
+    @property
+    def gemm_n(self) -> int:
+        return self.num_filters
+
+    @property
+    def is_fully_connected(self) -> bool:
+        """True when the filter covers the whole IFMAP (matrix-vector)."""
+        return self.filter_h == self.ifmap_h and self.filter_w == self.ifmap_w
+
+    # --- Raw tensor footprints (pre-lowering) ----------------------------
+    @property
+    def raw_ifmap_elements(self) -> int:
+        """Elements in the original (un-lowered) IFMAP tensor(s)."""
+        return self.ifmap_h * self.ifmap_w * self.channels * self.batch
+
+    def with_batch(self, batch: int) -> "ConvLayer":
+        """Return a copy of this layer processing a batch of ``batch``."""
+        from dataclasses import replace
+
+        return replace(self, batch=batch)
+
+    @property
+    def raw_filter_elements(self) -> int:
+        """Elements across all filter tensors."""
+        return self.window_size * self.num_filters
+
+    def as_row(self) -> Dict[str, object]:
+        """Serialize to the Table II CSV row schema."""
+        return {
+            "Layer name": self.name,
+            "IFMAP Height": self.ifmap_h,
+            "IFMAP Width": self.ifmap_w,
+            "Filter Height": self.filter_h,
+            "Filter Width": self.filter_w,
+            "Channels": self.channels,
+            "Num Filter": self.num_filters,
+            "Strides": self.stride,
+        }
+
+    @classmethod
+    def fully_connected(cls, name: str, inputs: int, outputs: int) -> "ConvLayer":
+        """Build an FC layer as a 1x1-spatial convolution over ``inputs`` channels."""
+        return cls(
+            name=name,
+            ifmap_h=1,
+            ifmap_w=1,
+            filter_h=1,
+            filter_w=1,
+            channels=inputs,
+            num_filters=outputs,
+            stride=1,
+        )
+
+
+@dataclass(frozen=True)
+class GemmLayer(Layer):
+    """A bare matrix multiplication of shape (M x K) @ (K x N).
+
+    ``M`` plays the role of N_ofmap, ``K`` of W_conv and ``N`` of
+    N_filter, matching how Table IV lists language-model layers as
+    ``(S_R, T, S_C)`` under the output-stationary mapping.
+    """
+
+    m: int = 1
+    k: int = 1
+    n: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("layer name must be non-empty")
+        for field_name in ("m", "k", "n"):
+            try:
+                check_positive_int(getattr(self, field_name), field_name)
+            except ValueError as exc:
+                raise TopologyError(f"layer {self.name!r}: {exc}") from exc
+
+    @property
+    def gemm_m(self) -> int:
+        return self.m
+
+    @property
+    def gemm_k(self) -> int:
+        return self.k
+
+    @property
+    def gemm_n(self) -> int:
+        return self.n
+
+    def with_batch(self, batch: int) -> "GemmLayer":
+        """Return a copy computing ``batch`` stacked GEMMs (M scaled)."""
+        from dataclasses import replace
+
+        check_positive_int(batch, "batch")
+        return replace(self, m=self.m * batch)
+
+    def as_conv(self) -> ConvLayer:
+        """Lower to an equivalent ConvLayer (M 1x1 windows over K channels).
+
+        The equivalent convolution has a 1-pixel-wide IFMAP column of
+        height M with a 1x1xK filter — it produces the same GEMM
+        dimensions under every dataflow mapping.
+        """
+        return ConvLayer(
+            name=self.name,
+            ifmap_h=self.m,
+            ifmap_w=1,
+            filter_h=1,
+            filter_w=1,
+            channels=self.k,
+            num_filters=self.n,
+            stride=1,
+        )

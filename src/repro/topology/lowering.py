@@ -1,0 +1,147 @@
+"""Conv-to-GEMM lowering with raw tensor addressing (im2col).
+
+The dataflow engines address the *lowered* operand matrices (an
+``M x K`` IFMAP matrix, a ``K x N`` filter matrix).  The original
+SCALE-Sim, however, emits traces in the *raw tensor* address space:
+the same IFMAP pixel appears at the same address every time any
+convolution window touches it, which is exactly how overlapping-window
+reuse becomes visible in the trace.
+
+:class:`TensorAddressLayout` provides that view.  It implements the
+same three-method interface as
+:class:`~repro.dataflow.base.AddressLayout` — ``ifmap_addr(window,
+element)``, ``filter_addr(element, filt)``, ``ofmap_addr(window,
+filt)`` — so it can be passed to any engine's ``fold_trace`` /
+``layer_trace`` unchanged, but resolves coordinates through the
+convolution geometry:
+
+* IFMAP tensor, channel-minor: ``addr = (row * W + col) * C + ch``.
+* Filters, one after another, each channel-minor:
+  ``addr = n * (R_f * S_f * C) + (r * S_f + s) * C + ch``.
+* OFMAP, channel-minor: ``addr = (orow * W_o + ocol) * N + n``.
+
+Window ``i`` of the lowered matrix is output pixel ``(i // W_o,
+i % W_o)``; window element ``kk`` decomposes channel-minor into the
+in-window offset ``(r, s, ch)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import TopologyError
+from repro.topology.layer import ConvLayer
+
+
+@dataclass(frozen=True)
+class TensorAddressLayout:
+    """Raw-tensor addressing for one convolution layer's traces."""
+
+    layer: ConvLayer
+    ifmap_offset: int = 0
+    filter_offset: int = 10_000_000
+    ofmap_offset: int = 20_000_000
+
+    # Duck-typed counterparts of AddressLayout's m/k/n, used by callers
+    # that size regions.
+    @property
+    def m(self) -> int:
+        return self.layer.gemm_m
+
+    @property
+    def k(self) -> int:
+        return self.layer.gemm_k
+
+    @property
+    def n(self) -> int:
+        return self.layer.gemm_n
+
+    # ------------------------------------------------------------------
+    # Coordinate decompositions
+    # ------------------------------------------------------------------
+    @property
+    def _pixels_per_image(self) -> int:
+        return self.layer.ofmap_h * self.layer.ofmap_w
+
+    @property
+    def _image_bytes(self) -> int:
+        return self.layer.ifmap_h * self.layer.ifmap_w * self.layer.channels
+
+    def window_image(self, window: int) -> int:
+        """Which batch image convolution window ``window`` belongs to."""
+        if not 0 <= window < self.m:
+            raise TopologyError(f"window {window} out of range [0, {self.m})")
+        return window // self._pixels_per_image
+
+    def window_origin(self, window: int) -> Tuple[int, int]:
+        """Top-left IFMAP pixel (within its image) of window ``window``."""
+        if not 0 <= window < self.m:
+            raise TopologyError(f"window {window} out of range [0, {self.m})")
+        pixel = window % self._pixels_per_image
+        out_row, out_col = divmod(pixel, self.layer.ofmap_w)
+        return (out_row * self.layer.stride, out_col * self.layer.stride)
+
+    def element_offset(self, element: int) -> Tuple[int, int, int]:
+        """In-window ``(row, col, channel)`` of window element ``element``."""
+        if not 0 <= element < self.k:
+            raise TopologyError(f"element {element} out of range [0, {self.k})")
+        channels = self.layer.channels
+        row, rest = divmod(element, self.layer.filter_w * channels)
+        col, channel = divmod(rest, channels)
+        return (row, col, channel)
+
+    # ------------------------------------------------------------------
+    # The AddressLayout interface, tensor-space edition
+    # ------------------------------------------------------------------
+    def ifmap_addr(self, window: int, element: int) -> int:
+        """Raw address of the IFMAP pixel window ``window`` reads as its
+        ``element``-th operand.  Overlapping windows share addresses;
+        batch images occupy consecutive tensor-sized regions."""
+        base_row, base_col = self.window_origin(window)
+        row_off, col_off, channel = self.element_offset(element)
+        row = base_row + row_off
+        col = base_col + col_off
+        pixel = (row * self.layer.ifmap_w + col) * self.layer.channels + channel
+        return self.ifmap_offset + self.window_image(window) * self._image_bytes + pixel
+
+    def filter_addr(self, element: int, filt: int) -> int:
+        """Raw address of weight ``element`` of filter ``filt``."""
+        if not 0 <= filt < self.n:
+            raise TopologyError(f"filter {filt} out of range [0, {self.n})")
+        row, col, channel = self.element_offset(element)
+        within = (row * self.layer.filter_w + col) * self.layer.channels + channel
+        return self.filter_offset + filt * self.k + within
+
+    def ofmap_addr(self, window: int, filt: int) -> int:
+        """Raw address of OFMAP pixel (window, output channel)."""
+        if not 0 <= filt < self.n:
+            raise TopologyError(f"filter {filt} out of range [0, {self.n})")
+        if not 0 <= window < self.m:
+            raise TopologyError(f"window {window} out of range [0, {self.m})")
+        return self.ofmap_offset + window * self.n + filt
+
+    # ------------------------------------------------------------------
+    # Reuse analytics
+    # ------------------------------------------------------------------
+    def unique_ifmap_pixels(self) -> int:
+        """Distinct IFMAP addresses the layer touches.
+
+        Strides larger than the kernel skip pixels, so this can be less
+        than the full tensor footprint.
+        """
+        layer = self.layer
+
+        def covered(extent: int, kernel: int, steps: int) -> int:
+            if layer.stride >= kernel:
+                return steps * kernel
+            return (steps - 1) * layer.stride + kernel
+
+        rows = covered(layer.ifmap_h, layer.filter_h, layer.ofmap_h)
+        cols = covered(layer.ifmap_w, layer.filter_w, layer.ofmap_w)
+        return rows * cols * layer.channels * layer.batch
+
+    def ifmap_reuse_factor(self) -> float:
+        """Average times each touched IFMAP pixel is read by the lowered
+        GEMM: ``(M * K) / unique``.  1.0 means no window overlap."""
+        return (self.m * self.k) / self.unique_ifmap_pixels()

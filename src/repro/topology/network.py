@@ -1,0 +1,88 @@
+"""A network is an ordered collection of layers.
+
+SCALE-Sim simulates a topology file one row at a time and serializes
+parallel cells in file order (Sec. II-E); :class:`Network` therefore is
+a simple ordered sequence with name-based lookup and aggregate stats.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Union
+
+from repro.errors import TopologyError
+from repro.topology.layer import Layer
+
+
+class Network:
+    """An ordered, immutable-ish sequence of uniquely named layers."""
+
+    def __init__(self, name: str, layers: Iterable[Layer]):
+        if not name:
+            raise TopologyError("network name must be non-empty")
+        self.name = name
+        self._layers: List[Layer] = list(layers)
+        if not self._layers:
+            raise TopologyError(f"network {name!r} has no layers")
+        self._by_name: Dict[str, Layer] = {}
+        for layer in self._layers:
+            if layer.name in self._by_name:
+                raise TopologyError(
+                    f"network {name!r} has duplicate layer name {layer.name!r}"
+                )
+            self._by_name[layer.name] = layer
+
+    # --- Sequence protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self._layers)
+
+    def __getitem__(self, key: Union[int, str]) -> Layer:
+        if isinstance(key, str):
+            try:
+                return self._by_name[key]
+            except KeyError:
+                raise KeyError(
+                    f"network {self.name!r} has no layer {key!r}; "
+                    f"layers are {self.layer_names()}"
+                ) from None
+        return self._layers[key]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    # --- Queries -------------------------------------------------------------
+    def layer_names(self) -> List[str]:
+        """Layer names in execution order."""
+        return [layer.name for layer in self._layers]
+
+    def subset(self, names: Sequence[str], name: str = "") -> "Network":
+        """Return a new Network containing only ``names``, in the given order."""
+        picked = [self[name_] for name_ in names]
+        return Network(name or f"{self.name}-subset", picked)
+
+    @property
+    def total_macs(self) -> int:
+        """Total MAC operations across all layers."""
+        return sum(layer.macs for layer in self._layers)
+
+    def with_batch(self, batch: int) -> "Network":
+        """Return a copy of the network processing a batch of ``batch``.
+
+        Every layer must support ``with_batch`` (ConvLayer and GemmLayer
+        both do).
+        """
+        return Network(
+            f"{self.name}-b{batch}",
+            [layer.with_batch(batch) for layer in self._layers],
+        )
+
+    def describe(self) -> str:
+        """Multi-line summary: one row per layer plus a total."""
+        lines = [f"Network {self.name}: {len(self)} layers, {self.total_macs} MACs"]
+        lines.extend("  " + layer.describe() for layer in self._layers)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Network(name={self.name!r}, layers={len(self)})"

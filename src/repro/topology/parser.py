@@ -1,0 +1,120 @@
+"""Parse and emit SCALE-Sim topology CSV files (paper Table II).
+
+Format, one layer per row::
+
+    Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width,
+    Channels, Num Filter, Strides,
+
+A header row is optional (detected by non-numeric second column), and a
+trailing comma — present in the original tool's files — is tolerated.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import TopologyError
+from repro.topology.layer import ConvLayer
+from repro.topology.network import Network
+
+#: Canonical header row, as listed in Table II of the paper.
+TOPOLOGY_HEADER = [
+    "Layer name",
+    "IFMAP Height",
+    "IFMAP Width",
+    "Filter Height",
+    "Filter Width",
+    "Channels",
+    "Num Filter",
+    "Strides",
+]
+
+_NUM_FIELDS = 8
+
+
+def _is_header(cells: List[str]) -> bool:
+    """A row is a header when *every* dimension column is non-numeric.
+
+    Requiring all columns distinguishes a real header from a data row
+    with a single typo (which should be reported as an error instead).
+    """
+    dims = cells[1:_NUM_FIELDS]
+    return bool(dims) and all(not cell.strip().lstrip("-").isdigit() for cell in dims)
+
+
+def _parse_row(cells: List[str], line_no: int) -> ConvLayer:
+    if len(cells) < _NUM_FIELDS:
+        raise TopologyError(
+            f"topology line {line_no}: expected {_NUM_FIELDS} fields "
+            f"({', '.join(TOPOLOGY_HEADER)}), got {len(cells)}"
+        )
+    name = cells[0].strip()
+    try:
+        dims = [int(cell) for cell in cells[1:_NUM_FIELDS]]
+    except ValueError as exc:
+        raise TopologyError(f"topology line {line_no}: non-integer dimension: {exc}") from exc
+    return ConvLayer(
+        name=name,
+        ifmap_h=dims[0],
+        ifmap_w=dims[1],
+        filter_h=dims[2],
+        filter_w=dims[3],
+        channels=dims[4],
+        num_filters=dims[5],
+        stride=dims[6],
+    )
+
+
+def parse_topology_text(text: str, name: str = "topology") -> Network:
+    """Parse topology CSV contents into a :class:`Network`."""
+    layers: List[ConvLayer] = []
+    reader = csv.reader(io.StringIO(text))
+    for line_no, row in enumerate(reader, start=1):
+        cells = [cell for cell in (c.strip() for c in row)]
+        # Drop a single trailing empty cell caused by a trailing comma.
+        if cells and cells[-1] == "":
+            cells = cells[:-1]
+        if not cells or all(cell == "" for cell in cells):
+            continue
+        if line_no == 1 and _is_header(cells):
+            continue
+        layers.append(_parse_row(cells, line_no))
+    if not layers:
+        raise TopologyError(f"topology {name!r} contains no layers")
+    return Network(name, layers)
+
+
+def load_topology(path: Union[str, Path]) -> Network:
+    """Load a topology CSV file from disk; the network is named after the file."""
+    path = Path(path)
+    if not path.exists():
+        raise TopologyError(f"topology file not found: {path}")
+    return parse_topology_text(path.read_text(), name=path.stem)
+
+
+def dump_topology(network: Network, path: Union[str, Path]) -> Path:
+    """Write ``network`` to a Table II CSV file.
+
+    GEMM layers are lowered to equivalent convolutions.  Table II has no
+    batch column, so batched conv layers are also lowered to an
+    equivalent batch-1 GEMM first — the file round-trips to layers with
+    identical GEMM dimensions, which is what the simulator consumes.
+    """
+    from repro.topology.layer import GemmLayer
+
+    path = Path(path)
+    rows = [",".join(TOPOLOGY_HEADER) + ","]
+    for layer in network:
+        if isinstance(layer, ConvLayer) and layer.batch == 1:
+            conv = layer
+        else:
+            conv = GemmLayer(
+                layer.name, m=layer.gemm_m, k=layer.gemm_k, n=layer.gemm_n
+            ).as_conv()
+        row = conv.as_row()
+        rows.append(",".join(str(row[key]) for key in TOPOLOGY_HEADER) + ",")
+    path.write_text("\n".join(rows) + "\n")
+    return path

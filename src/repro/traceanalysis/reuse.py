@@ -1,0 +1,111 @@
+"""LRU reuse (stack) distances of an address stream.
+
+The reuse distance of an access is the number of *distinct* addresses
+touched since the previous access to the same address (infinite for
+cold accesses).  Its distribution is the capacity oracle: an LRU cache
+of ``C`` lines hits exactly the accesses with distance < ``C``, so one
+pass over the trace prices every possible buffer size at once.
+
+The implementation is the classic O(n log n) Fenwick-tree algorithm:
+positions of most-recent accesses are marked in a bit-indexed tree, and
+the distance is the count of marked positions after the address's
+previous access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+COLD = -1  # sentinel distance for first-touch accesses
+
+
+class _Fenwick:
+    """Prefix-sum tree over time positions (1-indexed)."""
+
+    def __init__(self, size: int):
+        self._tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        while index < len(self._tree):
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def prefix(self, index: int) -> int:
+        """Sum of entries [0, index]."""
+        index += 1
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+
+def reuse_distances(addresses: Iterable[int]) -> List[int]:
+    """Per-access LRU reuse distance; ``COLD`` (-1) for first touches."""
+    stream = list(addresses)
+    tree = _Fenwick(len(stream))
+    last_position: Dict[int, int] = {}
+    distances: List[int] = []
+    for position, address in enumerate(stream):
+        previous = last_position.get(address)
+        if previous is None:
+            distances.append(COLD)
+        else:
+            # Distinct addresses touched strictly after `previous`:
+            # marked positions in (previous, position).
+            marked = tree.prefix(position - 1) - tree.prefix(previous)
+            distances.append(marked)
+            tree.add(previous, -1)  # the address's mark moves forward
+        tree.add(position, +1)
+        last_position[address] = position
+    return distances
+
+
+@dataclass(frozen=True)
+class ReuseProfile:
+    """Summary of one stream's reuse behaviour."""
+
+    accesses: int
+    cold: int
+    distances: List[int]  # warm accesses only, unsorted
+
+    @property
+    def unique_addresses(self) -> int:
+        return self.cold
+
+    @property
+    def warm(self) -> int:
+        return self.accesses - self.cold
+
+    def hits_with_capacity(self, capacity: int) -> int:
+        """Accesses an LRU cache of ``capacity`` lines would hit."""
+        if capacity <= 0:
+            return 0
+        return sum(1 for distance in self.distances if distance < capacity)
+
+    def hit_rate(self, capacity: int) -> float:
+        return self.hits_with_capacity(capacity) / max(1, self.accesses)
+
+    def capacity_for_hit_rate(self, target: float) -> Optional[int]:
+        """Smallest LRU capacity reaching ``target`` hit rate, or None
+        if even a cache holding everything falls short (cold misses)."""
+        if not 0 < target <= 1:
+            raise ValueError(f"target must be in (0, 1], got {target}")
+        if self.warm / max(1, self.accesses) < target:
+            return None
+        ordered = sorted(self.distances)
+        needed = int(-(-target * self.accesses // 1))  # ceil
+        return ordered[needed - 1] + 1
+
+
+def reuse_profile(addresses: Iterable[int]) -> ReuseProfile:
+    """Compute the reuse profile of one address stream."""
+    distances = reuse_distances(addresses)
+    warm = [distance for distance in distances if distance != COLD]
+    return ReuseProfile(
+        accesses=len(distances),
+        cold=len(distances) - len(warm),
+        distances=warm,
+    )

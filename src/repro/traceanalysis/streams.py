@@ -1,0 +1,70 @@
+"""Per-stream statistics of engine-generated traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.dataflow.base import DataflowEngine
+from repro.utils.validation import check_choice
+
+STREAMS = ("ifmap", "filter", "ofmap")
+
+
+def stream_addresses(engine: DataflowEngine, layout, stream: str = "ifmap") -> Iterator[int]:
+    """Flatten one operand stream's addresses in access order.
+
+    Addresses within a cycle are emitted in the trace's row order (edge
+    port order); ``layout`` may be a matrix-space ``AddressLayout`` or a
+    tensor-space ``TensorAddressLayout``.
+    """
+    check_choice(stream, "stream", STREAMS)
+    for row in engine.layer_trace(layout):
+        addrs = {
+            "ifmap": row.ifmap_addrs,
+            "filter": row.filter_addrs,
+            "ofmap": row.ofmap_addrs,
+        }[stream]
+        yield from addrs
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Counting summary of one operand stream."""
+
+    stream: str
+    accesses: int
+    unique_addresses: int
+    min_address: int
+    max_address: int
+
+    @property
+    def accesses_per_address(self) -> float:
+        """Average touches per distinct address: the stream's raw reuse."""
+        return self.accesses / max(1, self.unique_addresses)
+
+    @property
+    def footprint(self) -> int:
+        """Span of the touched region (inclusive), in addresses."""
+        return self.max_address - self.min_address + 1
+
+
+def stream_stats(engine: DataflowEngine, layout, stream: str = "ifmap") -> StreamStats:
+    """Compute counting statistics for one operand stream."""
+    seen = set()
+    count = 0
+    lo, hi = None, None
+    for address in stream_addresses(engine, layout, stream):
+        count += 1
+        seen.add(address)
+        lo = address if lo is None else min(lo, address)
+        hi = address if hi is None else max(hi, address)
+    if count == 0:
+        raise ValueError(f"stream {stream!r} produced no accesses")
+    return StreamStats(
+        stream=stream,
+        accesses=count,
+        unique_addresses=len(seen),
+        min_address=lo,
+        max_address=hi,
+    )

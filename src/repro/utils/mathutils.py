@@ -1,0 +1,98 @@
+"""Small integer-math helpers used throughout the simulator.
+
+These are deliberately dependency-free so every subpackage (mapping,
+dataflow, analytical, dram) can use them without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Return ``ceil(numerator / denominator)`` using integer math.
+
+    >>> ceil_div(7, 2)
+    4
+    >>> ceil_div(8, 2)
+    4
+    """
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator}")
+    return -(-numerator // denominator)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive integer power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value: int) -> int:
+    """Return the smallest power of two greater than or equal to ``value``.
+
+    >>> next_power_of_two(5)
+    8
+    >>> next_power_of_two(8)
+    8
+    """
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    return 1 << (value - 1).bit_length()
+
+
+def pow2_range(low: int, high: int) -> List[int]:
+    """Return all powers of two ``p`` with ``low <= p <= high`` inclusive.
+
+    >>> pow2_range(8, 64)
+    [8, 16, 32, 64]
+    """
+    if low <= 0 or high <= 0:
+        raise ValueError("bounds must be positive")
+    result = []
+    p = 1
+    while p <= high:
+        if p >= low:
+            result.append(p)
+        p <<= 1
+    return result
+
+
+def factor_pairs(value: int, minimum: int = 1) -> Iterator[Tuple[int, int]]:
+    """Yield all ordered factorizations ``(a, b)`` with ``a * b == value``.
+
+    Both factors are at least ``minimum``.  Pairs are yielded with ``a``
+    ascending, so ``(1, n)`` comes first and ``(n, 1)`` last (subject to
+    the ``minimum`` filter).
+
+    >>> list(factor_pairs(12, minimum=2))
+    [(2, 6), (3, 4), (4, 3), (6, 2)]
+    """
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    for a in range(1, value + 1):
+        if value % a:
+            continue
+        b = value // a
+        if a >= minimum and b >= minimum:
+            yield (a, b)
+
+
+def split_evenly(total: int, parts: int) -> List[int]:
+    """Split ``total`` into ``parts`` near-equal integer chunks.
+
+    The first ``total % parts`` chunks get one extra element, matching
+    how a partitioned workload tiles a dimension across a grid of
+    arrays.  Every chunk size is either ``floor(total/parts)`` or one
+    more, and the sizes sum to ``total``.
+
+    >>> split_evenly(10, 3)
+    [4, 3, 3]
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    base, extra = divmod(total, parts)
+    return [base + 1 if i < extra else base for i in range(parts)]

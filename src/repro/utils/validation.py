@@ -1,0 +1,35 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return ``value`` as an int, raising ``ValueError`` unless it is >= 1.
+
+    Booleans are rejected even though they are ``int`` subclasses —
+    passing ``True`` as an array dimension is always a caller bug.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_non_negative_int(value: Any, name: str) -> int:
+    """Return ``value`` as an int, raising ``ValueError`` unless it is >= 0."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_choice(value: Any, name: str, choices: Iterable[Any]) -> Any:
+    """Return ``value`` if it is one of ``choices``, else raise ``ValueError``."""
+    options = list(choices)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options}, got {value!r}")
+    return value

@@ -1,0 +1,89 @@
+"""Terminal visualization helpers: bars and sparklines.
+
+The CLI and examples render sweep results as text; these helpers keep
+that rendering consistent and tested.  Pure functions of their inputs —
+no terminal state, no color codes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def bar(value: float, maximum: float, width: int = 40) -> str:
+    """A single horizontal bar scaled so ``maximum`` fills ``width``."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if maximum < 0 or value < 0:
+        raise ValueError("bar values must be non-negative")
+    if maximum == 0:
+        return ""
+    cells = round(width * min(value, maximum) / maximum)
+    return "#" * cells
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    show_values: bool = True,
+) -> str:
+    """An aligned horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"labels ({len(labels)}) and values ({len(values)}) disagree"
+        )
+    if not labels:
+        raise ValueError("empty chart")
+    maximum = max(values)
+    label_width = max(len(str(label)) for label in labels)
+    rows: List[str] = []
+    for label, value in zip(labels, values):
+        suffix = f"  {value:g}" if show_values else ""
+        rows.append(
+            f"{str(label).rjust(label_width)} |{bar(value, maximum, width).ljust(width)}{suffix}"
+        )
+    return "\n".join(rows)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line intensity strip of the series (min..max normalized)."""
+    if not values:
+        raise ValueError("empty sparkline")
+    lo, hi = min(values), max(values)
+    if any(v < 0 for v in values):
+        raise ValueError("sparkline values must be non-negative")
+    if hi == lo:
+        return _SPARK_LEVELS[len(_SPARK_LEVELS) // 2] * len(values)
+    span = hi - lo
+    chars = []
+    for value in values:
+        index = int((value - lo) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def trend_table(
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """A compact aligned table (no external deps, fixed-width font)."""
+    if not rows:
+        raise ValueError("empty table")
+    if any(len(row) != len(header) for row in rows):
+        raise ValueError("row width disagrees with header")
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header[i])), max(len(row[i]) for row in cells))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(str(header[i]).ljust(widths[i]) for i in range(len(header))),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    lines.extend(
+        "  ".join(row[i].ljust(widths[i]) for i in range(len(header))) for row in cells
+    )
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""AlexNet (Krizhevsky et al., 2012) — a small classic CNN workload.
+
+Not part of the paper's evaluation, but a standard SCALE-Sim example
+topology; used by the examples and as a fast integration-test network.
+IFMAP sizes include padding, as in :mod:`repro.workloads.resnet50`.
+"""
+
+from __future__ import annotations
+
+from repro.topology.layer import ConvLayer
+from repro.topology.network import Network
+
+
+def alexnet() -> Network:
+    """Build the 5-conv + 3-FC AlexNet workload."""
+    layers = [
+        ConvLayer("Conv1", ifmap_h=227, ifmap_w=227, filter_h=11, filter_w=11,
+                  channels=3, num_filters=96, stride=4),
+        ConvLayer("Conv2", ifmap_h=31, ifmap_w=31, filter_h=5, filter_w=5,
+                  channels=96, num_filters=256, stride=1),
+        ConvLayer("Conv3", ifmap_h=15, ifmap_w=15, filter_h=3, filter_w=3,
+                  channels=256, num_filters=384, stride=1),
+        ConvLayer("Conv4", ifmap_h=15, ifmap_w=15, filter_h=3, filter_w=3,
+                  channels=384, num_filters=384, stride=1),
+        ConvLayer("Conv5", ifmap_h=15, ifmap_w=15, filter_h=3, filter_w=3,
+                  channels=384, num_filters=256, stride=1),
+        ConvLayer.fully_connected("FC6", inputs=9216, outputs=4096),
+        ConvLayer.fully_connected("FC7", inputs=4096, outputs=4096),
+        ConvLayer.fully_connected("FC8", inputs=4096, outputs=1000),
+    ]
+    return Network("alexnet", layers)

@@ -1,0 +1,42 @@
+"""BERT-base encoder GEMMs — a modern language workload beyond Table IV.
+
+One encoder layer at sequence length ``seq`` and hidden size 768:
+
+* QKV projection: three (seq x 768) @ (768 x 768) GEMMs,
+* attention scores: per-head (seq x 64) @ (64 x seq),
+* attention context: per-head (seq x seq) @ (seq x 64),
+* output projection: (seq x 768) @ (768 x 768),
+* feed-forward up/down: (seq x 768) @ (768 x 3072) and back.
+
+Per-head GEMMs are expressed batched over the 12 heads (Sec. II-E's
+serialization of parallel cells).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.topology.layer import GemmLayer
+from repro.topology.network import Network
+
+HIDDEN = 768
+HEADS = 12
+HEAD_DIM = HIDDEN // HEADS
+FFN = 3072
+
+
+def bert_encoder(seq: int = 384) -> Network:
+    """Build one BERT-base encoder layer's GEMMs at sequence length ``seq``."""
+    if seq < 1:
+        raise ValueError(f"seq must be positive, got {seq}")
+    layers: List[GemmLayer] = [
+        GemmLayer("QKV_Q", m=seq, k=HIDDEN, n=HIDDEN),
+        GemmLayer("QKV_K", m=seq, k=HIDDEN, n=HIDDEN),
+        GemmLayer("QKV_V", m=seq, k=HIDDEN, n=HIDDEN),
+        GemmLayer("AttnScore", m=seq, k=HEAD_DIM, n=seq).with_batch(HEADS),
+        GemmLayer("AttnContext", m=seq, k=seq, n=HEAD_DIM).with_batch(HEADS),
+        GemmLayer("AttnOut", m=seq, k=HIDDEN, n=HIDDEN),
+        GemmLayer("FFN_Up", m=seq, k=HIDDEN, n=FFN),
+        GemmLayer("FFN_Down", m=seq, k=FFN, n=HIDDEN),
+    ]
+    return Network(f"bert-base-s{seq}", layers)

@@ -1,0 +1,66 @@
+"""Language-model GEMM workloads — paper Table IV, verbatim.
+
+Each row gives the operand matrix dimensions already mapped to
+``(S_R, T, S_C)`` under the output-stationary convention, i.e. a
+``(S_R x T) @ (T x S_C)`` matrix multiplication:
+
+========  ======  ======  ======
+Name       S_R      T      S_C
+========  ======  ======  ======
+GNMT0       128    4096    2048
+GNMT1       320    4096    3072
+GNMT2      1632    1024   36548
+GNMT3      2048      32    4096
+DB0        1024   50000      16
+DB1          35    2560    4096
+TF0       31999      84    1024
+TF1          84    4096    1024
+NCF0       2048     128       1
+NCF1        256    2048     256
+========  ======  ======  ======
+
+GNMT = Google neural machine translation, DB = DeepSpeech2,
+TF = Transformer, NCF = neural collaborative filtering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.topology.layer import GemmLayer
+from repro.topology.network import Network
+
+#: Table IV, as (S_R, T, S_C) triples keyed by layer name.
+TABLE_IV_DIMS: Dict[str, Tuple[int, int, int]] = {
+    "GNMT0": (128, 4096, 2048),
+    "GNMT1": (320, 4096, 3072),
+    "GNMT2": (1632, 1024, 36548),
+    "GNMT3": (2048, 32, 4096),
+    "DB0": (1024, 50000, 16),
+    "DB1": (35, 2560, 4096),
+    "TF0": (31999, 84, 1024),
+    "TF1": (84, 4096, 1024),
+    "NCF0": (2048, 128, 1),
+    "NCF1": (256, 2048, 256),
+}
+
+#: The layer Figs. 9 and 11 sweep ("TF0 layer of the Transformer model").
+PAPER_TF0_LAYER = "TF0"
+
+
+def language_layer(name: str) -> GemmLayer:
+    """Build one Table IV layer by name."""
+    try:
+        sr, t, sc = TABLE_IV_DIMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown language-model layer {name!r}; "
+            f"Table IV layers are {sorted(TABLE_IV_DIMS)}"
+        ) from None
+    # Under the OS convention of Table IV, S_R = M, T = K, S_C = N.
+    return GemmLayer(name=name, m=sr, k=t, n=sc)
+
+
+def language_models() -> Network:
+    """All ten Table IV layers as one workload set."""
+    return Network("language-models", [language_layer(name) for name in TABLE_IV_DIMS])

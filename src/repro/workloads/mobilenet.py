@@ -1,0 +1,81 @@
+"""MobileNetV1 (Howard et al., 2017) — depthwise-separable convolutions.
+
+Each separable block is a depthwise 3x3 (one filter per channel,
+modelled as ``channels=1`` convolutions batched over the channel count,
+which is how SCALE-Sim's Table II schema expresses them) followed by a
+pointwise 1x1.  Depthwise layers have almost no filter reuse, which
+makes this network a stress test for scale-out studies: its layers map
+poorly onto wide arrays.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.topology.layer import ConvLayer
+from repro.topology.network import Network
+
+# (stage index, ifmap side, in_channels, out_channels, stride of the dw conv)
+_BLOCKS = (
+    (2, 112, 32, 64, 1),
+    (3, 112, 64, 128, 2),
+    (4, 56, 128, 128, 1),
+    (5, 56, 128, 256, 2),
+    (6, 28, 256, 256, 1),
+    (7, 28, 256, 512, 2),
+    (8, 14, 512, 512, 1),
+    (9, 14, 512, 512, 1),
+    (10, 14, 512, 512, 1),
+    (11, 14, 512, 512, 1),
+    (12, 14, 512, 512, 1),
+    (13, 14, 512, 1024, 2),
+    (14, 7, 1024, 1024, 1),
+)
+
+
+def _depthwise(name: str, side: int, channels: int, stride: int) -> ConvLayer:
+    """A depthwise 3x3: per-channel filtering, expressed channel-batched."""
+    return ConvLayer(
+        name=name,
+        ifmap_h=side + 2,
+        ifmap_w=side + 2,
+        filter_h=3,
+        filter_w=3,
+        channels=1,
+        num_filters=1,
+        stride=stride,
+        batch=channels,
+    )
+
+
+def mobilenet_v1() -> Network:
+    """Build the MobileNetV1 workload (stem + 13 separable blocks)."""
+    layers: List[ConvLayer] = [
+        ConvLayer(
+            name="Conv1",
+            ifmap_h=226,
+            ifmap_w=226,
+            filter_h=3,
+            filter_w=3,
+            channels=3,
+            num_filters=32,
+            stride=2,
+        )
+    ]
+    for stage, side, in_ch, out_ch, stride in _BLOCKS:
+        out_side = (side - 1) // stride + 1
+        layers.append(_depthwise(f"DW{stage}", side, in_ch, stride))
+        layers.append(
+            ConvLayer(
+                name=f"PW{stage}",
+                ifmap_h=out_side,
+                ifmap_w=out_side,
+                filter_h=1,
+                filter_w=1,
+                channels=in_ch,
+                num_filters=out_ch,
+                stride=1,
+            )
+        )
+    layers.append(ConvLayer.fully_connected("FC", inputs=1024, outputs=1000))
+    return Network("mobilenet-v1", layers)

@@ -1,0 +1,38 @@
+"""Name-based lookup of the built-in workloads (used by the CLI)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.topology.network import Network
+from repro.workloads.alexnet import alexnet
+from repro.workloads.bert import bert_encoder
+from repro.workloads.language import language_models
+from repro.workloads.mobilenet import mobilenet_v1
+from repro.workloads.resnet50 import resnet50
+from repro.workloads.vgg16 import vgg16
+
+_REGISTRY: Dict[str, Callable[[], Network]] = {
+    "resnet50": resnet50,
+    "language-models": language_models,
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "mobilenet-v1": mobilenet_v1,
+    "bert-base": bert_encoder,
+}
+
+
+def available_workloads() -> List[str]:
+    """Names accepted by :func:`get_workload`, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_workload(name: str) -> Network:
+    """Build a built-in workload by name."""
+    try:
+        builder = _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {available_workloads()}"
+        ) from None
+    return builder()

@@ -1,0 +1,98 @@
+"""ResNet-50 topology (He et al., CVPR 2016) as a SCALE-Sim workload.
+
+The paper's CNN experiments use "the convolution layers in Resnet50"
+(Sec. IV).  Layer names follow the paper's convention: ``CB<stage>a_*``
+for the convolution (projection) block that opens each stage —
+including its ``_sc`` shortcut projection — and ``IB<stage><block>_*``
+for identity blocks.  ``FC1000`` is the classifier expressed as a
+matrix-vector product (filter size = IFMAP size), per Sec. II-E.
+
+IFMAP sizes include the padding of the original network so OFMAP
+dimensions match the real model (e.g. 3x3 convs see a 58x58 input and
+produce 56x56), since the Table II layer format has no padding field.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.topology.layer import ConvLayer
+from repro.topology.network import Network
+
+#: The layer Fig. 11 sweeps ("CBa_3 layer in Resnet-50").
+PAPER_CBA3_LAYER = "CB2a_3"
+
+# Per-stage geometry: (stage, ifmap, in_ch, mid_ch, out_ch, identity_blocks)
+_STAGES = (
+    (2, 56, 64, 64, 256, 2),
+    (3, 28, 256, 128, 512, 3),
+    (4, 14, 512, 256, 1024, 5),
+    (5, 7, 1024, 512, 2048, 2),
+)
+_BLOCK_LETTERS = "bcdefg"
+
+
+def _conv(name: str, ifmap: int, kernel: int, channels: int, filters: int, stride: int = 1) -> ConvLayer:
+    """A square conv with padding folded into the IFMAP size."""
+    pad = kernel - 1 if kernel > 1 else 0
+    return ConvLayer(
+        name=name,
+        ifmap_h=ifmap + pad,
+        ifmap_w=ifmap + pad,
+        filter_h=kernel,
+        filter_w=kernel,
+        channels=channels,
+        num_filters=filters,
+        stride=stride,
+    )
+
+
+def _bottleneck(
+    prefix: str, ifmap: int, in_ch: int, mid_ch: int, out_ch: int, stride: int
+) -> List[ConvLayer]:
+    """The three convs of one bottleneck block (1x1 -> 3x3 -> 1x1)."""
+    out_map = (ifmap - 1) // stride + 1
+    return [
+        _conv(f"{prefix}_1", ifmap, 1, in_ch, mid_ch, stride),
+        _conv(f"{prefix}_2", out_map, 3, mid_ch, mid_ch, 1),
+        _conv(f"{prefix}_3", out_map, 1, mid_ch, out_ch, 1),
+    ]
+
+
+def _resnet50_layers() -> List[ConvLayer]:
+    layers: List[ConvLayer] = [
+        # Stem: 7x7/2 on the padded 230x230 input -> 112x112x64.
+        ConvLayer(
+            name="Conv1",
+            ifmap_h=230,
+            ifmap_w=230,
+            filter_h=7,
+            filter_w=7,
+            channels=3,
+            num_filters=64,
+            stride=2,
+        )
+    ]
+    for stage, ifmap, in_ch, mid_ch, out_ch, identity_blocks in _STAGES:
+        stride = 1 if stage == 2 else 2
+        stage_in_map = ifmap * stride  # feature map entering the stage
+        layers.extend(_bottleneck(f"CB{stage}a", stage_in_map, in_ch, mid_ch, out_ch, stride))
+        layers.append(_conv(f"CB{stage}a_sc", stage_in_map, 1, in_ch, out_ch, stride))
+        for letter in _BLOCK_LETTERS[:identity_blocks]:
+            layers.extend(_bottleneck(f"IB{stage}{letter}", ifmap, out_ch, mid_ch, out_ch, 1))
+    layers.append(ConvLayer.fully_connected("FC1000", inputs=2048, outputs=1000))
+    return layers
+
+
+def resnet50() -> Network:
+    """Build the full ResNet-50 workload (53 conv layers + FC1000)."""
+    return Network("resnet50", _resnet50_layers())
+
+
+def fig10_resnet_layers(count: int = 5) -> Network:
+    """The layers Fig. 10(a) plots: the first and last ``count``
+    convolution/FC layers of ResNet-50."""
+    net = resnet50()
+    names = net.layer_names()
+    picked: Sequence[str] = list(names[:count]) + list(names[-count:])
+    return net.subset(picked, name="resnet50-fig10")

@@ -1,0 +1,91 @@
+"""Synthetic workload generators for sweeps and stress tests.
+
+Real networks cover only part of the (M, K, N) space; these generators
+fill the rest deterministically (everything is seeded) so experiments
+and property tests can sample shapes the built-in workloads never hit:
+
+* :func:`random_gemm_suite` — log-uniform random GEMMs;
+* :func:`aspect_family` — constant-MACs GEMMs sweeping M:N aspect ratio
+  (the axis Fig. 9(b-c) probes on hardware, applied to workloads);
+* :func:`reduction_family` — constant-MACs GEMMs sweeping the reduction
+  depth K (deep-reduction layers stress the temporal dimension).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.topology.layer import GemmLayer
+from repro.topology.network import Network
+from repro.utils.validation import check_positive_int
+
+
+def random_gemm_suite(
+    count: int = 10,
+    seed: int = 0,
+    min_dim: int = 1,
+    max_dim: int = 4096,
+) -> Network:
+    """``count`` GEMMs with log-uniform independent dimensions."""
+    check_positive_int(count, "count")
+    check_positive_int(min_dim, "min_dim")
+    if max_dim < min_dim:
+        raise ValueError(f"max_dim {max_dim} < min_dim {min_dim}")
+    rng = np.random.default_rng(seed)
+    lo, hi = math.log(min_dim), math.log(max_dim + 1)
+    layers: List[GemmLayer] = []
+    for index in range(count):
+        m, k, n = (int(math.exp(rng.uniform(lo, hi))) for _ in range(3))
+        layers.append(GemmLayer(f"rand{index}", m=max(m, 1), k=max(k, 1), n=max(n, 1)))
+    return Network(f"random-suite-{seed}", layers)
+
+
+def aspect_family(
+    total_macs: int = 2**24,
+    k: int = 64,
+    steps: int = 7,
+) -> Network:
+    """Constant-work GEMMs sweeping M:N from tall to wide.
+
+    Every layer performs the same MAC count (up to rounding): the
+    spatial extent ``M * N = total_macs / k`` is held fixed while the
+    aspect ratio M:N sweeps powers of four around square.
+    """
+    check_positive_int(total_macs, "total_macs")
+    check_positive_int(k, "k")
+    check_positive_int(steps, "steps")
+    spatial = max(1, total_macs // k)
+    side = int(math.sqrt(spatial))
+    layers: List[GemmLayer] = []
+    half = steps // 2
+    for index in range(steps):
+        shift = index - half
+        m = max(1, side << shift) if shift >= 0 else max(1, side >> -shift)
+        n = max(1, spatial // m)
+        layers.append(GemmLayer(f"aspect_{m}x{n}", m=m, k=k, n=n))
+    return Network(f"aspect-family-k{k}", layers)
+
+
+def reduction_family(
+    total_macs: int = 2**24,
+    spatial: int = 2**10,
+    steps: int = 6,
+) -> Network:
+    """Constant-work GEMMs sweeping reduction depth K by powers of four.
+
+    ``M = N = sqrt(spatial)`` stays fixed; K grows, trading temporal
+    depth against per-element reuse.
+    """
+    check_positive_int(total_macs, "total_macs")
+    check_positive_int(spatial, "spatial")
+    check_positive_int(steps, "steps")
+    side = max(1, int(math.sqrt(spatial)))
+    base_k = max(1, total_macs // (side * side))
+    layers: List[GemmLayer] = []
+    for index in range(steps):
+        k = max(1, base_k >> (2 * index))
+        layers.append(GemmLayer(f"reduce_k{k}", m=side, k=k, n=side))
+    return Network("reduction-family", layers)

@@ -1,0 +1,47 @@
+"""VGG-16 (Simonyan & Zisserman, 2015) — a conv-heavy classic workload.
+
+Thirteen 3x3 convolutions in five blocks plus three FC layers.  IFMAP
+sizes include the 1-pixel padding of the original network, matching the
+convention of :mod:`repro.workloads.resnet50`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.topology.layer import ConvLayer
+from repro.topology.network import Network
+
+# (block, convs_in_block, ifmap_side, in_channels, out_channels)
+_BLOCKS = (
+    (1, 2, 224, 3, 64),
+    (2, 2, 112, 64, 128),
+    (3, 3, 56, 128, 256),
+    (4, 3, 28, 256, 512),
+    (5, 3, 14, 512, 512),
+)
+
+
+def vgg16() -> Network:
+    """Build the 13-conv + 3-FC VGG-16 workload."""
+    layers: List[ConvLayer] = []
+    for block, convs, side, in_ch, out_ch in _BLOCKS:
+        channels = in_ch
+        for index in range(1, convs + 1):
+            layers.append(
+                ConvLayer(
+                    name=f"Conv{block}_{index}",
+                    ifmap_h=side + 2,
+                    ifmap_w=side + 2,
+                    filter_h=3,
+                    filter_w=3,
+                    channels=channels,
+                    num_filters=out_ch,
+                    stride=1,
+                )
+            )
+            channels = out_ch
+    layers.append(ConvLayer.fully_connected("FC6", inputs=7 * 7 * 512, outputs=4096))
+    layers.append(ConvLayer.fully_connected("FC7", inputs=4096, outputs=4096))
+    layers.append(ConvLayer.fully_connected("FC8", inputs=4096, outputs=1000))
+    return Network("vgg16", layers)

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.config.hardware import Dataflow, HardwareConfig
+
+# Simulation-heavy property tests legitimately take long per example;
+# judge them by correctness, not wall clock.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+from repro.topology.layer import ConvLayer, GemmLayer
+
+ALL_DATAFLOWS = [
+    Dataflow.OUTPUT_STATIONARY,
+    Dataflow.WEIGHT_STATIONARY,
+    Dataflow.INPUT_STATIONARY,
+]
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_config() -> HardwareConfig:
+    """An 8x8 array with modest SRAM: fast to simulate exactly."""
+    return HardwareConfig(
+        array_rows=8,
+        array_cols=8,
+        ifmap_sram_kb=16,
+        filter_sram_kb=16,
+        ofmap_sram_kb=8,
+    )
+
+
+@pytest.fixture
+def small_conv() -> ConvLayer:
+    """A conv small enough for full trace materialization."""
+    return ConvLayer(
+        name="conv",
+        ifmap_h=8,
+        ifmap_w=8,
+        filter_h=3,
+        filter_w=3,
+        channels=4,
+        num_filters=6,
+        stride=1,
+    )
+
+
+@pytest.fixture
+def small_gemm() -> GemmLayer:
+    return GemmLayer(name="gemm", m=20, k=12, n=10)
+
+
+@pytest.fixture(params=ALL_DATAFLOWS, ids=[df.value for df in ALL_DATAFLOWS])
+def dataflow(request) -> Dataflow:
+    """Parametrize a test over all three dataflows."""
+    return request.param

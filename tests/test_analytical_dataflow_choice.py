@@ -1,0 +1,110 @@
+"""Tests for per-layer dataflow selection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytical.dataflow_choice import (
+    best_dataflow,
+    plan_network_dataflows,
+    plan_savings,
+    score_dataflows,
+)
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.dataflow.factory import engine_for
+from repro.topology.layer import GemmLayer
+from repro.topology.network import Network
+
+CONFIG = HardwareConfig(
+    array_rows=16, array_cols=16,
+    ifmap_sram_kb=64, filter_sram_kb=64, ofmap_sram_kb=32,
+)
+
+
+class TestScores:
+    def test_all_three_scored(self):
+        scores = score_dataflows(GemmLayer("g", m=64, k=32, n=64), CONFIG)
+        assert {score.dataflow for score in scores} == set(Dataflow)
+
+    def test_scores_match_engine_runtime(self):
+        layer = GemmLayer("g", m=64, k=32, n=64)  # dims divide 16x16 under OS
+        scores = {s.dataflow: s for s in score_dataflows(layer, CONFIG)}
+        for dataflow in Dataflow:
+            engine = engine_for(layer, dataflow, 16, 16)
+            # Eq. 4 >= engine, equal when mapped dims divide the array.
+            assert scores[dataflow].runtime >= engine.total_cycles()
+
+
+class TestBestDataflow:
+    def test_picks_the_minimum(self):
+        choice = best_dataflow(GemmLayer("g", m=500, k=16, n=24), CONFIG)
+        values = [score.runtime for score in choice.scores]
+        assert choice.best.runtime == min(values)
+
+    def test_short_k_prefers_weight_stationary(self):
+        """Tiny reduction depth: under OS the huge M x N output plane
+        folds hundreds of times, each fold paying the fill/drain tax
+        for only K=4 useful cycles.  WS/IS map the short K spatially
+        (few folds) and amortize M in time instead."""
+        layer = GemmLayer("g", m=512, k=4, n=512)
+        choice = best_dataflow(layer, CONFIG, objective="runtime")
+        assert choice.dataflow is not Dataflow.OUTPUT_STATIONARY
+
+    def test_long_k_small_output_prefers_os(self):
+        """The mirror case: a deep reduction over a tiny output plane
+        fits the whole OS array in one fold with K in time, while WS/IS
+        fold the K dimension over the 16 array rows hundreds of times."""
+        layer = GemmLayer("g", m=8, k=5000, n=8)
+        choice = best_dataflow(layer, CONFIG, objective="runtime")
+        assert choice.dataflow is Dataflow.OUTPUT_STATIONARY
+
+    def test_objective_changes_choice_possible(self):
+        layer = GemmLayer("g", m=300, k=300, n=300)
+        runtime_choice = best_dataflow(layer, CONFIG, "runtime")
+        dram_choice = best_dataflow(layer, CONFIG, "dram")
+        # Either they agree or each minimizes its own metric.
+        r = {s.dataflow: s for s in runtime_choice.scores}
+        assert dram_choice.best.dram_bytes == min(s.dram_bytes for s in r.values())
+
+    def test_advantage_at_least_one(self):
+        choice = best_dataflow(GemmLayer("g", m=64, k=32, n=64), CONFIG)
+        assert choice.advantage() >= 1.0
+
+    def test_bad_objective_rejected(self):
+        with pytest.raises(ValueError):
+            best_dataflow(GemmLayer("g", m=4, k=4, n=4), CONFIG, "vibes")
+
+
+class TestNetworkPlanning:
+    def net(self):
+        return Network("mix", [
+            GemmLayer("short_k", m=512, k=4, n=128),
+            GemmLayer("long_k", m=32, k=4096, n=32),
+            GemmLayer("square", m=256, k=256, n=256),
+        ])
+
+    def test_plan_covers_all_layers(self):
+        plan = plan_network_dataflows(self.net(), CONFIG)
+        assert set(plan) == {"short_k", "long_k", "square"}
+
+    def test_savings_never_negative(self):
+        for objective in ("runtime", "dram", "sram"):
+            fixed, best = plan_savings(self.net(), CONFIG, objective)
+            assert best <= fixed
+
+    def test_fixed_equals_best_when_one_dataflow_dominates(self):
+        """If the config's dataflow is per-layer optimal everywhere,
+        fixed == best."""
+        plan = plan_network_dataflows(self.net(), CONFIG, "runtime")
+        if all(choice.dataflow is CONFIG.dataflow for choice in plan.values()):
+            fixed, best = plan_savings(self.net(), CONFIG, "runtime")
+            assert fixed == best
+
+    @settings(max_examples=20)
+    @given(st.integers(1, 400), st.integers(1, 400), st.integers(1, 400))
+    def test_best_total_is_sum_of_minima(self, m, k, n):
+        layer = GemmLayer("g", m=m, k=k, n=n)
+        net = Network("one", [layer])
+        fixed, best = plan_savings(net, CONFIG, "runtime")
+        scores = score_dataflows(layer, CONFIG)
+        assert best == min(score.runtime for score in scores)

@@ -1,0 +1,111 @@
+"""Unit tests for the Sec. IV-B multi-workload optimization."""
+
+import pytest
+
+from repro.analytical.multiworkload import (
+    WorkloadSet,
+    candidate_costs,
+    pareto_search,
+    per_workload_losses,
+)
+from repro.analytical.runtime import scaleout_runtime
+from repro.config.hardware import Dataflow
+from repro.errors import SearchError
+from repro.mapping.dims import map_layer
+from repro.topology.layer import GemmLayer
+from repro.workloads.language import language_layer
+
+
+@pytest.fixture
+def workloads():
+    return WorkloadSet(
+        name="mixed",
+        layers=(
+            GemmLayer("wide", m=16, k=64, n=2000),
+            GemmLayer("tall", m=2000, k=64, n=16),
+            GemmLayer("square", m=300, k=64, n=300),
+        ),
+    )
+
+
+class TestWorkloadSet:
+    def test_rejects_empty(self):
+        with pytest.raises(SearchError):
+            WorkloadSet(name="x", layers=())
+
+    def test_mappings_follow_dataflow(self, workloads):
+        mappings = workloads.mappings()
+        assert mappings[0].sr == 16  # OS: rows = M
+
+    def test_len(self, workloads):
+        assert len(workloads) == 3
+
+
+class TestCandidateCosts:
+    def test_sorted_fastest_first(self, workloads):
+        costed = candidate_costs(workloads, 1024)
+        costs = [cost for _, cost in costed]
+        assert costs == sorted(costs)
+
+    def test_costs_are_additive_runtimes(self, workloads):
+        costed = candidate_costs(workloads, 1024)
+        cand, cost = costed[0]
+        expected = sum(
+            scaleout_runtime(
+                map_layer(layer, Dataflow.OUTPUT_STATIONARY),
+                cand.partition_rows,
+                cand.partition_cols,
+                cand.array_rows,
+                cand.array_cols,
+            )
+            for layer in workloads.layers
+        )
+        assert cost == expected
+
+    def test_candidates_deduplicated(self, workloads):
+        costed = candidate_costs(workloads, 1024)
+        keys = [
+            (c.partition_rows, c.partition_cols, c.array_rows, c.array_cols)
+            for c, _ in costed
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_scaleout_candidates_partitioned(self, workloads):
+        costed = candidate_costs(workloads, 4096, scaleout=True)
+        assert all(not cand.is_monolithic for cand, _ in costed)
+
+
+class TestParetoSearch:
+    def test_best_has_loss_one(self, workloads):
+        best, ranking = pareto_search(workloads, 1024)
+        assert ranking[0][0] == best
+        assert ranking[0][1] == 1.0
+
+    def test_losses_monotone(self, workloads):
+        _, ranking = pareto_search(workloads, 1024)
+        losses = [loss for _, loss in ranking]
+        assert losses == sorted(losses)
+        assert all(loss >= 1.0 for loss in losses)
+
+    def test_opposing_workloads_create_real_losses(self, workloads):
+        """Tall and wide layers prefer opposite aspect ratios, so the
+        slowest candidate must pay a real penalty (Fig. 13's spread)."""
+        _, ranking = pareto_search(workloads, 2**14)
+        assert ranking[-1][1] > 1.2
+
+    def test_scaleout_spread_tighter_than_scaleup(self):
+        """Fig. 13 vs Fig. 14: partitioned candidates track each other
+        more closely than monolithic aspect ratios do."""
+        layers = tuple(language_layer(name) for name in ("GNMT0", "TF0", "TF1", "DB1"))
+        workloads = WorkloadSet(name="lm", layers=layers)
+        _, up_ranking = pareto_search(workloads, 2**14, scaleout=False)
+        _, out_ranking = pareto_search(workloads, 2**14, scaleout=True)
+        assert out_ranking[-1][1] <= up_ranking[-1][1]
+
+
+class TestPerWorkloadLosses:
+    def test_losses_at_least_one(self, workloads):
+        best, _ = pareto_search(workloads, 1024)
+        losses = per_workload_losses(workloads, best)
+        assert set(losses) == {"wide", "tall", "square"}
+        assert all(loss >= 1.0 - 1e-9 for loss in losses.values())

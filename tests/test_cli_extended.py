@@ -1,0 +1,69 @@
+"""Tests for the extended CLI subcommands (analyze, dram, new run flags)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyzeCommand:
+    def test_analyze_builtin(self, capsys):
+        assert main(["analyze", "--workload", "alexnet", "--array", "32x32"]) == 0
+        out = capsys.readouterr().out
+        assert "eq4_cycles" in out
+        assert "total Eq.4 cycles" in out
+
+    def test_analyze_table_iv_layer(self, capsys):
+        assert main(["analyze", "--workload", "TF1", "--array", "16x16"]) == 0
+        assert "TF1" in capsys.readouterr().out
+
+    def test_analyze_dataflow_flag(self, capsys):
+        assert main(["analyze", "--workload", "TF1", "--array", "16x16", "--dataflow", "ws"]) == 0
+        assert "ws" in capsys.readouterr().out
+
+    def test_analyze_matches_run_on_divisible_layer(self, capsys):
+        """Eq. 4 equals the simulator when mapped dims divide the array."""
+        main(["analyze", "--workload", "NCF1", "--array", "16x16"])
+        analyze_out = capsys.readouterr().out
+        main(["run", "--workload", "NCF1", "--array", "16x16"])
+        run_out = capsys.readouterr().out
+        analyze_cycles = int(analyze_out.splitlines()[2].split()[1])
+        run_cycles = int(
+            [line for line in run_out.splitlines() if line.startswith("NCF1")][0].split()[3]
+        )
+        assert analyze_cycles == run_cycles
+
+
+class TestDramCommand:
+    def test_dram_replay(self, capsys):
+        assert main(["dram", "--workload", "TF1", "--array", "16x16", "--channels", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "achieved" in out
+        assert "keeps up" in out or "falls behind" in out
+
+    def test_single_channel_often_falls_behind(self, capsys):
+        assert main(["dram", "--workload", "GNMT0", "--array", "64x64", "--channels", "1"]) == 0
+        assert "falls behind" in capsys.readouterr().out
+
+
+class TestRunFlags:
+    def test_batch_flag_scales_macs(self, capsys):
+        main(["run", "--workload", "NCF1", "--array", "16x16"])
+        single = capsys.readouterr().out
+        main(["run", "--workload", "NCF1", "--array", "16x16", "--batch", "4"])
+        batched = capsys.readouterr().out
+
+        def macs(text):
+            return int(text.split("total MACs: ")[1].split()[0])
+
+        assert macs(batched) == 4 * macs(single)
+
+    def test_loop_order_flag(self, capsys):
+        assert main(["run", "--workload", "DB1", "--array", "32x32", "--loop-order", "col"]) == 0
+        col = capsys.readouterr().out
+        assert main(["run", "--workload", "DB1", "--array", "32x32"]) == 0
+        row = capsys.readouterr().out
+
+        def read_bytes(text):
+            return text.split("DRAM rd/wr bytes: ")[1].split("/")[0]
+
+        assert read_bytes(col) != read_bytes(row)

@@ -1,0 +1,70 @@
+"""CLI tests for the recommend, validate and reproduce subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRecommendCommand:
+    def test_runtime_objective(self, capsys):
+        code = main(["recommend", "--workload", "language-models", "--macs", "4096"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chosen:" in out and "<==" in out
+
+    def test_objective_flag(self, capsys):
+        code = main([
+            "recommend", "--workload", "language-models", "--macs", "4096",
+            "--objective", "energy",
+        ])
+        assert code == 0
+        assert "best energy" in capsys.readouterr().out
+
+    def test_bandwidth_budget_reported(self, capsys):
+        code = main([
+            "recommend", "--workload", "language-models", "--macs", "4096",
+            "--bandwidth", "1000000",
+        ])
+        assert code == 0
+        assert "within" in capsys.readouterr().out
+
+    def test_requires_macs(self):
+        with pytest.raises(SystemExit):
+            main(["recommend", "--workload", "alexnet"])
+
+
+class TestValidateCommand:
+    def test_sweep_passes(self, capsys):
+        assert main(["validate", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "9/9 configurations agree" in out
+
+    def test_verbose_prints_reports(self, capsys):
+        assert main(["validate", "--trials", "2", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[PASS]") == 6
+
+    def test_seed_flag(self, capsys):
+        main(["validate", "--trials", "2", "--seed", "9", "-v"])
+        first = capsys.readouterr().out
+        main(["validate", "--trials", "2", "--seed", "9", "-v"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestReproduceCommand:
+    def test_list(self, capsys):
+        assert main(["reproduce", "--list"]) == 0
+        assert "fig4" in capsys.readouterr().out
+
+    def test_no_argument_lists(self, capsys):
+        assert main(["reproduce"]) == 0
+        assert "experiments:" in capsys.readouterr().out
+
+    def test_runs_table(self, capsys):
+        assert main(["reproduce", "table4"]) == 0
+        assert "TF0" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["reproduce", "fig99"])

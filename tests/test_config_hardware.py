@@ -1,0 +1,105 @@
+"""Unit tests for HardwareConfig and Dataflow."""
+
+import pytest
+
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.errors import ConfigError
+
+
+class TestDataflow:
+    @pytest.mark.parametrize("text,expected", [
+        ("os", Dataflow.OUTPUT_STATIONARY),
+        ("WS", Dataflow.WEIGHT_STATIONARY),
+        (" is ", Dataflow.INPUT_STATIONARY),
+    ])
+    def test_from_string(self, text, expected):
+        assert Dataflow.from_string(text) is expected
+
+    def test_from_string_rejects_unknown(self):
+        with pytest.raises(ConfigError, match="legal values"):
+            Dataflow.from_string("nvdla")
+
+    def test_value_roundtrip(self):
+        for member in Dataflow:
+            assert Dataflow.from_string(member.value) is member
+
+
+class TestHardwareConfig:
+    def test_defaults_are_valid(self):
+        config = HardwareConfig()
+        assert config.num_macs == 32 * 32
+        assert config.is_monolithic
+
+    def test_num_macs(self):
+        assert HardwareConfig(array_rows=16, array_cols=8).num_macs == 128
+
+    def test_total_macs_includes_partitions(self):
+        config = HardwareConfig(array_rows=8, array_cols=8, partition_rows=2, partition_cols=4)
+        assert config.num_partitions == 8
+        assert config.total_macs == 512
+        assert not config.is_monolithic
+
+    def test_sram_byte_conversion(self):
+        config = HardwareConfig(ifmap_sram_kb=3)
+        assert config.ifmap_sram_bytes == 3 * 1024
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(array_rows=0)
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(ifmap_offset=-1)
+
+    def test_rejects_non_dataflow(self):
+        with pytest.raises(ConfigError):
+            HardwareConfig(dataflow="os")  # must be the enum
+
+    def test_with_array_returns_copy(self):
+        base = HardwareConfig()
+        changed = base.with_array(4, 4)
+        assert changed.array_rows == 4
+        assert base.array_rows == 32  # original untouched
+
+    def test_with_partitions(self):
+        changed = HardwareConfig().with_partitions(2, 2)
+        assert changed.num_partitions == 4
+
+    def test_with_dataflow(self):
+        changed = HardwareConfig().with_dataflow(Dataflow.WEIGHT_STATIONARY)
+        assert changed.dataflow is Dataflow.WEIGHT_STATIONARY
+
+    def test_partition_config_divides_sram(self):
+        config = HardwareConfig(
+            partition_rows=2, partition_cols=2,
+            ifmap_sram_kb=512, filter_sram_kb=512, ofmap_sram_kb=256,
+        )
+        per = config.partition_config()
+        assert per.is_monolithic
+        assert per.ifmap_sram_kb == 128
+        assert per.filter_sram_kb == 128
+        assert per.ofmap_sram_kb == 64
+
+    def test_partition_config_monolithic_is_identity(self):
+        config = HardwareConfig()
+        assert config.partition_config() is config
+
+    def test_partition_config_floors_sram_at_1kb(self):
+        config = HardwareConfig(partition_rows=64, partition_cols=64, ifmap_sram_kb=16)
+        assert config.partition_config().ifmap_sram_kb == 1
+
+    def test_as_dict_contains_table1_keys(self):
+        as_dict = HardwareConfig().as_dict()
+        for key in ("ArrayHeight", "ArrayWidth", "IfmapSramSz", "Dataflow"):
+            assert key in as_dict
+
+    def test_shape(self):
+        assert HardwareConfig(array_rows=4, array_cols=6).shape() == (4, 6)
+
+    def test_describe_mentions_geometry(self):
+        text = HardwareConfig(array_rows=4, array_cols=6).describe()
+        assert "4x6" in text and "os" in text
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            HardwareConfig().array_rows = 5

@@ -1,0 +1,83 @@
+"""Unit tests for the INI config parser."""
+
+import pytest
+
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.config.parser import dump_config, load_config, parse_config_text
+from repro.errors import ConfigError
+
+VALID = """
+[general]
+run_name = test-run
+
+[architecture_presets]
+ArrayHeight = 16
+ArrayWidth = 8
+IfmapSramSz = 64
+FilterSramSz = 64
+OfmapSramSz = 32
+IfmapOffset = 0
+FilterOffset = 1000000
+OfmapOffset = 2000000
+Dataflow = ws
+"""
+
+
+class TestParseConfigText:
+    def test_parses_all_fields(self):
+        config = parse_config_text(VALID)
+        assert config.array_rows == 16
+        assert config.array_cols == 8
+        assert config.ifmap_sram_kb == 64
+        assert config.dataflow is Dataflow.WEIGHT_STATIONARY
+        assert config.run_name == "test-run"
+
+    def test_keys_are_case_insensitive(self):
+        config = parse_config_text("[a]\narrayheight = 4\narraywidth = 4\n")
+        assert config.array_rows == 4
+
+    def test_defaults_fill_missing_keys(self):
+        config = parse_config_text("[a]\nArrayHeight = 4\n")
+        assert config.array_cols == HardwareConfig().array_cols
+
+    def test_partition_keys(self):
+        config = parse_config_text("[a]\nPartitionRows = 2\nPartitionCols = 8\n")
+        assert config.num_partitions == 16
+
+    def test_rejects_unknown_key(self):
+        with pytest.raises(ConfigError, match="unknown config key"):
+            parse_config_text("[a]\nFrobnicate = 3\n")
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ConfigError, match="must be an integer"):
+            parse_config_text("[a]\nArrayHeight = tall\n")
+
+    def test_rejects_bad_dataflow(self):
+        with pytest.raises(ConfigError):
+            parse_config_text("[a]\nDataflow = systolic\n")
+
+    def test_rejects_malformed_ini(self):
+        with pytest.raises(ConfigError, match="malformed"):
+            parse_config_text("ArrayHeight = 4\n")  # key outside any section
+
+    def test_rejects_invalid_value_range(self):
+        with pytest.raises(ConfigError):
+            parse_config_text("[a]\nArrayHeight = 0\n")
+
+    def test_topology_key_tolerated(self):
+        config = parse_config_text("[a]\nTopology = ./net.csv\nArrayHeight = 4\n")
+        assert config.array_rows == 4
+
+
+class TestFileRoundtrip:
+    def test_dump_then_load(self, tmp_path):
+        original = HardwareConfig(
+            array_rows=12, array_cols=14, dataflow=Dataflow.INPUT_STATIONARY,
+            partition_rows=2, partition_cols=2, run_name="roundtrip",
+        )
+        path = dump_config(original, tmp_path / "config.cfg")
+        assert load_config(path) == original
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            load_config(tmp_path / "nope.cfg")

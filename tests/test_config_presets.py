@@ -1,0 +1,49 @@
+"""Unit tests for configuration presets."""
+
+import pytest
+
+from repro.config.presets import (
+    EYERISS_LIKE,
+    GOOGLE_TPU_LIKE,
+    PAPER_SCALING_SRAM_KB,
+    SMALL_TEST,
+    paper_scaling_config,
+    preset,
+    preset_names,
+)
+
+
+class TestPresets:
+    def test_names_listed(self):
+        assert preset_names() == ["eyeriss", "small", "tpu"]
+
+    def test_lookup_by_name(self):
+        assert preset("tpu") is GOOGLE_TPU_LIKE
+        assert preset("EYERISS") is EYERISS_LIKE
+        assert preset("small") is SMALL_TEST
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown preset"):
+            preset("cerebras")
+
+    def test_tpu_is_weight_stationary_256(self):
+        assert GOOGLE_TPU_LIKE.array_rows == 256
+        assert GOOGLE_TPU_LIKE.dataflow.value == "ws"
+
+
+class TestPaperScalingConfig:
+    def test_uses_paper_sram_budget(self):
+        config = paper_scaling_config(32, 32)
+        assert config.ifmap_sram_kb == PAPER_SCALING_SRAM_KB["ifmap"] == 512
+        assert config.filter_sram_kb == 512
+        assert config.ofmap_sram_kb == 256
+
+    def test_partition_grid_passthrough(self):
+        config = paper_scaling_config(16, 16, 4, 4)
+        assert config.num_partitions == 16
+        assert config.total_macs == 16 * 16 * 16
+
+    def test_partitioned_sram_is_divided(self):
+        config = paper_scaling_config(16, 16, 2, 2)
+        per = config.partition_config()
+        assert per.ifmap_sram_kb == 128

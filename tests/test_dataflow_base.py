@@ -1,0 +1,112 @@
+"""Unit tests for the shared dataflow machinery."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.base import (
+    AddressLayout,
+    SramCounts,
+    _stream_window_counts,
+    fold_cycles,
+)
+from repro.dataflow.factory import engine_for_gemm
+from repro.config.hardware import Dataflow
+
+
+class TestFoldCycles:
+    def test_eq3(self):
+        assert fold_cycles(4, 5, 9) == 2 * 4 + 5 + 9 - 2
+
+    def test_minimal_fold(self):
+        assert fold_cycles(1, 1, 1) == 2
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            fold_cycles(0, 1, 1)
+
+
+class TestSramCounts:
+    def test_addition(self):
+        total = SramCounts(1, 2, 3) + SramCounts(10, 20, 30)
+        assert total == SramCounts(11, 22, 33)
+
+    def test_totals(self):
+        counts = SramCounts(ifmap_reads=5, filter_reads=7, ofmap_writes=2)
+        assert counts.total_reads == 12
+        assert counts.total == 14
+
+    def test_default_is_zero(self):
+        assert SramCounts().total == 0
+
+
+class TestStreamWindowCounts:
+    def test_single_stream(self):
+        counts = _stream_window_counts(length=6, active_rows=1, depth=3, start=1)
+        assert counts.tolist() == [0, 1, 1, 1, 0, 0]
+
+    def test_overlapping_streams(self):
+        # rows 0,1 each active 3 cycles, row i starting at cycle i
+        counts = _stream_window_counts(length=6, active_rows=2, depth=3, start=0)
+        assert counts.tolist() == [1, 2, 2, 1, 0, 0]
+
+    def test_total_equals_rows_times_depth(self):
+        counts = _stream_window_counts(length=30, active_rows=4, depth=7, start=5)
+        assert int(counts.sum()) == 4 * 7
+
+    def test_peak_bounded_by_rows(self):
+        counts = _stream_window_counts(length=50, active_rows=6, depth=20, start=0)
+        assert int(counts.max()) == 6
+
+
+class TestAddressLayout:
+    def test_row_major_ifmap(self):
+        layout = AddressLayout(m=4, k=3, n=2, ifmap_offset=100)
+        assert layout.ifmap_addr(0, 0) == 100
+        assert layout.ifmap_addr(1, 0) == 103
+        assert layout.ifmap_addr(1, 2) == 105
+
+    def test_row_major_filter(self):
+        layout = AddressLayout(m=4, k=3, n=2, filter_offset=1000)
+        assert layout.filter_addr(0, 1) == 1001
+        assert layout.filter_addr(2, 0) == 1004
+
+    def test_row_major_ofmap(self):
+        layout = AddressLayout(m=4, k=3, n=2, ofmap_offset=5000)
+        assert layout.ofmap_addr(3, 1) == 5007
+
+    def test_regions_disjoint_for_default_offsets(self):
+        layout = AddressLayout(m=100, k=100, n=100)
+        ifmap_max = layout.ifmap_addr(99, 99)
+        filter_min = layout.filter_addr(0, 0)
+        filter_max = layout.filter_addr(99, 99)
+        ofmap_min = layout.ofmap_addr(0, 0)
+        assert ifmap_max < filter_min
+        assert filter_max < ofmap_min
+
+
+class TestEngineShared:
+    def test_total_cycles_sums_folds(self, dataflow):
+        engine = engine_for_gemm(10, 4, 9, dataflow, 4, 4)
+        expected = sum(engine.fold_cycles(fold) for fold in engine.plan.folds())
+        assert engine.total_cycles() == expected
+
+    def test_layer_macs(self, dataflow):
+        engine = engine_for_gemm(10, 4, 9, dataflow, 4, 4)
+        assert engine.layer_macs == 360
+
+    def test_utilizations_bounded(self, dataflow):
+        engine = engine_for_gemm(10, 4, 9, dataflow, 4, 4)
+        assert 0 < engine.mapping_utilization() <= 1
+        assert 0 < engine.compute_utilization() <= 1
+
+    def test_full_mapping_utilization_when_exact(self, dataflow):
+        # choose a GEMM whose mapped dims divide the array exactly
+        engine = engine_for_gemm(8, 8, 8, dataflow, 4, 4)
+        assert engine.mapping_utilization() == 1.0
+
+    def test_layer_trace_cycles_monotonic(self, dataflow):
+        engine = engine_for_gemm(6, 3, 5, dataflow, 4, 4)
+        layout = AddressLayout(m=6, k=3, n=5)
+        cycles = [row.cycle for row in engine.layer_trace(layout)]
+        assert cycles == sorted(cycles)
+        assert cycles[-1] == engine.total_cycles() - 1

@@ -1,0 +1,102 @@
+"""Cross-view consistency properties for all dataflow engines.
+
+The three views of one fold — totals, per-cycle demand, per-cycle
+addresses — must agree exactly, for every dataflow and any geometry.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hardware import Dataflow
+from repro.dataflow.base import AddressLayout
+from repro.dataflow.factory import engine_for_gemm
+
+DIM = st.integers(1, 24)
+ARR = st.integers(1, 9)
+DATAFLOWS = st.sampled_from(list(Dataflow))
+
+
+@settings(max_examples=60, deadline=None)
+@given(DIM, DIM, DIM, ARR, ARR, DATAFLOWS)
+def test_demand_sums_to_counts(m, k, n, rows, cols, dataflow):
+    engine = engine_for_gemm(m, k, n, dataflow, rows, cols)
+    for fold in engine.plan.folds():
+        assert engine.fold_demand(fold).totals() == engine.fold_counts(fold)
+
+
+@settings(max_examples=40, deadline=None)
+@given(DIM, DIM, DIM, ARR, ARR, DATAFLOWS)
+def test_trace_matches_demand_cycle_by_cycle(m, k, n, rows, cols, dataflow):
+    engine = engine_for_gemm(m, k, n, dataflow, rows, cols)
+    layout = AddressLayout(m=m, k=k, n=n)
+    for fold in engine.plan.folds():
+        demand = engine.fold_demand(fold)
+        trace = list(engine.fold_trace(fold, layout))
+        assert len(trace) == demand.cycles
+        for row in trace:
+            assert len(row.ifmap_addrs) == demand.ifmap_reads[row.cycle]
+            assert len(row.filter_addrs) == demand.filter_reads[row.cycle]
+            assert len(row.ofmap_addrs) == demand.ofmap_writes[row.cycle]
+
+
+@settings(max_examples=40, deadline=None)
+@given(DIM, DIM, DIM, ARR, ARR, DATAFLOWS)
+def test_trace_addresses_stay_in_their_regions(m, k, n, rows, cols, dataflow):
+    engine = engine_for_gemm(m, k, n, dataflow, rows, cols)
+    layout = AddressLayout(m=m, k=k, n=n)
+    ifmap_region = range(layout.ifmap_offset, layout.ifmap_offset + m * k)
+    filter_region = range(layout.filter_offset, layout.filter_offset + k * n)
+    ofmap_region = range(layout.ofmap_offset, layout.ofmap_offset + m * n)
+    for row in engine.layer_trace(layout):
+        assert all(addr in ifmap_region for addr in row.ifmap_addrs)
+        assert all(addr in filter_region for addr in row.filter_addrs)
+        assert all(addr in ofmap_region for addr in row.ofmap_addrs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(DIM, DIM, DIM, ARR, ARR, DATAFLOWS)
+def test_all_operand_addresses_are_touched(m, k, n, rows, cols, dataflow):
+    """Every operand element is read at least once, outputs written."""
+    engine = engine_for_gemm(m, k, n, dataflow, rows, cols)
+    layout = AddressLayout(m=m, k=k, n=n)
+    ifmap, filt, ofmap = set(), set(), set()
+    for row in engine.layer_trace(layout):
+        ifmap.update(row.ifmap_addrs)
+        filt.update(row.filter_addrs)
+        ofmap.update(row.ofmap_addrs)
+    assert ifmap == {layout.ifmap_addr(i, e) for i in range(m) for e in range(k)}
+    assert filt == {layout.filter_addr(e, j) for e in range(k) for j in range(n)}
+    assert ofmap == {layout.ofmap_addr(i, j) for i in range(m) for j in range(n)}
+
+
+@settings(max_examples=40, deadline=None)
+@given(DIM, DIM, DIM, ARR, ARR, DATAFLOWS)
+def test_no_duplicate_addresses_within_a_cycle(m, k, n, rows, cols, dataflow):
+    engine = engine_for_gemm(m, k, n, dataflow, rows, cols)
+    layout = AddressLayout(m=m, k=k, n=n)
+    for row in engine.layer_trace(layout):
+        assert len(set(row.ifmap_addrs)) == len(row.ifmap_addrs)
+        assert len(set(row.filter_addrs)) == len(row.filter_addrs)
+        assert len(set(row.ofmap_addrs)) == len(row.ofmap_addrs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(DIM, DIM, DIM, ARR, ARR, DATAFLOWS)
+def test_edge_reads_bounded_by_array_ports(m, k, n, rows, cols, dataflow):
+    """At most one read per edge port per cycle: r row ports, c column
+    ports (prefill uses the column ports)."""
+    engine = engine_for_gemm(m, k, n, dataflow, rows, cols)
+    for fold in engine.plan.folds():
+        demand = engine.fold_demand(fold)
+        assert demand.ifmap_reads.max() <= max(fold.rows, fold.cols)
+        assert demand.filter_reads.max() <= max(fold.rows, fold.cols)
+        assert demand.ofmap_writes.max() <= fold.cols
+
+
+@settings(max_examples=60, deadline=None)
+@given(DIM, DIM, DIM, ARR, ARR, DATAFLOWS)
+def test_slice_elements_bounded_by_operand(m, k, n, rows, cols, dataflow):
+    engine = engine_for_gemm(m, k, n, dataflow, rows, cols)
+    for fold in engine.plan.folds():
+        assert engine.ifmap_slice(fold).elements <= m * k
+        assert engine.filter_slice(fold).elements <= k * n

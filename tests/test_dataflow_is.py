@@ -1,0 +1,108 @@
+"""Unit tests for the input-stationary engine."""
+
+import numpy as np
+
+from repro.config.hardware import Dataflow
+from repro.dataflow.base import AddressLayout
+from repro.dataflow.input_stationary import InputStationaryEngine
+from repro.dataflow.weight_stationary import WeightStationaryEngine
+
+
+def engine(m=10, k=5, n=8, rows=4, cols=4) -> InputStationaryEngine:
+    return InputStationaryEngine(m, k, n, rows, cols)
+
+
+def single_fold(eng):
+    return next(iter(eng.plan.folds()))
+
+
+class TestMapping:
+    def test_table3_roles(self):
+        eng = engine(m=10, k=5, n=8)
+        assert eng.mapping.sr == 5  # W_conv on rows
+        assert eng.mapping.sc == 10  # N_ofmap on cols
+        assert eng.mapping.t == 8  # N_filter in time
+
+    def test_dataflow_tag(self):
+        assert engine().dataflow is Dataflow.INPUT_STATIONARY
+
+
+class TestMirrorOfWS:
+    """IS is WS with operand roles swapped; timing must be identical for
+    the transposed problem."""
+
+    def test_cycles_match_swapped_ws(self):
+        is_engine = engine(m=10, k=5, n=8, rows=4, cols=4)
+        # WS with M and N swapped has the same (sr, sc, t) triple.
+        ws_engine = WeightStationaryEngine(8, 5, 10, 4, 4)
+        assert is_engine.total_cycles() == ws_engine.total_cycles()
+
+    def test_counts_are_ws_with_streams_swapped(self):
+        is_engine = engine(m=10, k=5, n=8, rows=4, cols=4)
+        ws_engine = WeightStationaryEngine(8, 5, 10, 4, 4)
+        for is_fold, ws_fold in zip(is_engine.plan.folds(), ws_engine.plan.folds()):
+            is_counts = is_engine.fold_counts(is_fold)
+            ws_counts = ws_engine.fold_counts(ws_fold)
+            assert is_counts.ifmap_reads == ws_counts.filter_reads
+            assert is_counts.filter_reads == ws_counts.ifmap_reads
+            assert is_counts.ofmap_writes == ws_counts.ofmap_writes
+
+
+class TestCounts:
+    def test_fold_counts(self):
+        eng = engine(m=4, k=4, n=10, rows=4, cols=4)
+        counts = eng.fold_counts(single_fold(eng))
+        assert counts.ifmap_reads == 4 * 4  # prefill r x c
+        assert counts.filter_reads == 4 * 10  # r x T
+        assert counts.ofmap_writes == 4 * 10  # c x T
+
+    def test_layer_ifmap_reads_equal_ifmap_matrix(self):
+        eng = engine(m=10, k=9, n=7, rows=4, cols=4)
+        assert eng.layer_counts().ifmap_reads == 10 * 9
+
+
+class TestDemandAndTrace:
+    def test_prefill_reads_ifmap_only(self):
+        eng = engine(m=4, k=4, n=6, rows=4, cols=4)
+        demand = eng.fold_demand(single_fold(eng))
+        assert np.all(demand.ifmap_reads[:4] == 4)
+        assert np.all(demand.filter_reads[:4] == 0)
+
+    def test_filter_addresses_cover_matrix(self):
+        eng = engine(m=6, k=9, n=7, rows=4, cols=4)
+        layout = AddressLayout(m=6, k=9, n=7)
+        seen = set()
+        for row in eng.layer_trace(layout):
+            seen.update(row.filter_addrs)
+        expected = {layout.filter_addr(e, f) for e in range(9) for f in range(7)}
+        assert seen == expected
+
+    def test_ifmap_addresses_cover_matrix(self):
+        eng = engine(m=6, k=9, n=7, rows=4, cols=4)
+        layout = AddressLayout(m=6, k=9, n=7)
+        seen = set()
+        for row in eng.layer_trace(layout):
+            seen.update(row.ifmap_addrs)
+        expected = {layout.ifmap_addr(w, e) for w in range(6) for e in range(9)}
+        assert seen == expected
+
+    def test_outputs_written_once_per_row_fold(self):
+        eng = engine(m=6, k=9, n=7, rows=4, cols=4)
+        layout = AddressLayout(m=6, k=9, n=7)
+        written = []
+        for row in eng.layer_trace(layout):
+            written.extend(row.ofmap_addrs)
+        assert len(written) == eng.plan.row_folds * 6 * 7
+
+
+class TestSlices:
+    def test_ifmap_slice_unique_per_fold(self):
+        eng = engine(m=10, k=9, n=9, rows=4, cols=4)
+        ids = [eng.ifmap_slice(f).slice_id for f in eng.plan.folds()]
+        assert len(ids) == len(set(ids))
+
+    def test_filter_slice_shared_across_column_folds(self):
+        eng = engine(m=10, k=9, n=9, rows=4, cols=4)
+        folds = [f for f in eng.plan.folds() if f.row_index == 0]
+        ids = {eng.filter_slice(f).slice_id for f in folds}
+        assert len(ids) == 1

@@ -1,0 +1,132 @@
+"""Unit tests for the output-stationary engine."""
+
+import numpy as np
+
+from repro.config.hardware import Dataflow
+from repro.dataflow.base import AddressLayout
+from repro.dataflow.output_stationary import OutputStationaryEngine
+
+
+def engine(m=10, k=5, n=8, rows=4, cols=4) -> OutputStationaryEngine:
+    return OutputStationaryEngine(m, k, n, rows, cols)
+
+
+def single_fold(eng):
+    folds = list(eng.plan.folds())
+    assert len(folds) >= 1
+    return folds[0]
+
+
+class TestMapping:
+    def test_table3_roles(self):
+        eng = engine(m=10, k=5, n=8)
+        assert eng.mapping.sr == 10  # N_ofmap on rows
+        assert eng.mapping.sc == 8  # N_filter on cols
+        assert eng.mapping.t == 5  # W_conv in time
+
+    def test_dataflow_tag(self):
+        assert engine().dataflow is Dataflow.OUTPUT_STATIONARY
+
+
+class TestCounts:
+    def test_full_fold_counts(self):
+        eng = engine(m=8, k=5, n=8, rows=4, cols=4)
+        fold = single_fold(eng)
+        counts = eng.fold_counts(fold)
+        assert counts.ifmap_reads == 4 * 5  # r x T
+        assert counts.filter_reads == 4 * 5  # c x T
+        assert counts.ofmap_writes == 4 * 4  # r x c
+
+    def test_layer_counts_totals(self):
+        eng = engine(m=10, k=5, n=8, rows=4, cols=4)
+        counts = eng.layer_counts()
+        # Each row fold streams r*T ifmap elements once per column fold.
+        assert counts.ifmap_reads == 10 * 5 * eng.plan.col_folds
+        assert counts.filter_reads == 8 * 5 * eng.plan.row_folds
+        assert counts.ofmap_writes == 10 * 8  # every output exactly once
+
+
+class TestDemand:
+    def test_demand_length_is_fold_cycles(self):
+        eng = engine()
+        fold = single_fold(eng)
+        demand = eng.fold_demand(fold)
+        assert demand.cycles == eng.fold_cycles(fold)
+        assert len(demand.ifmap_reads) == demand.cycles
+
+    def test_writes_confined_to_drain_phase(self):
+        eng = engine(m=4, k=5, n=4, rows=4, cols=4)
+        fold = single_fold(eng)
+        demand = eng.fold_demand(fold)
+        drain = fold.rows
+        assert np.all(demand.ofmap_writes[:-drain] == 0)
+        assert np.all(demand.ofmap_writes[-drain:] == fold.cols)
+
+    def test_read_peak_is_mapped_rows(self):
+        eng = engine(m=4, k=10, n=4, rows=4, cols=4)
+        demand = eng.fold_demand(single_fold(eng))
+        assert demand.ifmap_reads.max() == 4
+        assert demand.filter_reads.max() == 4
+
+    def test_first_cycle_single_read_each(self):
+        demand = engine().fold_demand(single_fold(engine()))
+        assert demand.ifmap_reads[0] == 1  # only row 0 active at cycle 0
+        assert demand.filter_reads[0] == 1
+
+
+class TestTrace:
+    def test_skew_structure(self):
+        eng = engine(m=4, k=3, n=4, rows=4, cols=4)
+        layout = AddressLayout(m=4, k=3, n=4)
+        rows = list(eng.fold_trace(single_fold(eng), layout))
+        # Cycle 0: row 0 reads ifmap(0,0); col 0 reads filter(0,0).
+        assert rows[0].ifmap_addrs == (layout.ifmap_addr(0, 0),)
+        assert rows[0].filter_addrs == (layout.filter_addr(0, 0),)
+        # Cycle 1: rows 0 (element 1) and 1 (element 0).
+        assert rows[1].ifmap_addrs == (
+            layout.ifmap_addr(0, 1),
+            layout.ifmap_addr(1, 0),
+        )
+
+    def test_drain_emits_bottom_row_first(self):
+        eng = engine(m=4, k=3, n=4, rows=4, cols=4)
+        layout = AddressLayout(m=4, k=3, n=4)
+        rows = list(eng.fold_trace(single_fold(eng), layout))
+        drain = [row for row in rows if row.ofmap_addrs]
+        assert len(drain) == 4
+        first = drain[0].ofmap_addrs
+        assert first == tuple(layout.ofmap_addr(3, j) for j in range(4))
+
+    def test_every_output_written_once(self):
+        eng = engine(m=10, k=4, n=7, rows=4, cols=4)
+        layout = AddressLayout(m=10, k=4, n=7)
+        written = []
+        for row in eng.layer_trace(layout):
+            written.extend(row.ofmap_addrs)
+        assert len(written) == len(set(written)) == 10 * 7
+
+
+class TestSlices:
+    def test_ifmap_slice_keyed_by_row_fold(self):
+        eng = engine(m=10, k=5, n=8, rows=4, cols=4)
+        folds = list(eng.plan.folds())
+        same_row = [f for f in folds if f.row_index == 0]
+        ids = {eng.ifmap_slice(f).slice_id for f in same_row}
+        assert len(ids) == 1
+
+    def test_filter_slice_keyed_by_col_fold(self):
+        eng = engine(m=10, k=5, n=8, rows=4, cols=4)
+        folds = list(eng.plan.folds())
+        sids = [eng.filter_slice(f).slice_id for f in folds if f.row_index == 0]
+        assert len(set(sids)) == eng.plan.col_folds
+
+    def test_slice_sizes(self):
+        eng = engine(m=10, k=5, n=8, rows=4, cols=4)
+        fold = single_fold(eng)
+        assert eng.ifmap_slice(fold).elements == fold.rows * 5
+        assert eng.filter_slice(fold).elements == fold.cols * 5
+
+    def test_ofmap_elements(self):
+        eng = engine(rows=4, cols=4)
+        fold = single_fold(eng)
+        assert eng.fold_ofmap_elements(fold) == fold.rows * fold.cols

@@ -1,0 +1,90 @@
+"""Tests for the OS dedicated-output-data-plane variant (Sec. II-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hardware import Dataflow
+from repro.dataflow.base import AddressLayout
+from repro.dataflow.factory import engine_for_gemm
+from repro.dataflow.output_stationary import OutputStationaryEngine
+from repro.dataflow.output_stationary_dataplane import OutputStationaryDataPlaneEngine
+from repro.errors import MappingError
+
+DIM = st.integers(1, 24)
+ARR = st.integers(1, 9)
+
+
+def engines(m=10, k=5, n=8, rows=4, cols=4):
+    baseline = OutputStationaryEngine(m, k, n, rows, cols)
+    dataplane = OutputStationaryDataPlaneEngine(m, k, n, rows, cols)
+    return baseline, dataplane
+
+
+class TestCycleModel:
+    def test_fold_saves_exactly_the_drain(self):
+        baseline, dataplane = engines()
+        for base_fold, dp_fold in zip(baseline.plan.folds(), dataplane.plan.folds()):
+            assert baseline.fold_cycles(base_fold) - dataplane.fold_cycles(dp_fold) == base_fold.rows
+
+    def test_layer_saving_is_sum_of_row_mappings(self):
+        baseline, dataplane = engines(m=21, k=5, n=8, rows=4, cols=4)
+        saved = baseline.total_cycles() - dataplane.total_cycles()
+        expected = sum(fold.rows for fold in baseline.plan.folds())
+        assert saved == expected
+
+    @given(DIM, DIM, DIM, ARR, ARR)
+    @settings(max_examples=40)
+    def test_always_faster_never_changes_work(self, m, k, n, rows, cols):
+        baseline, dataplane = engines(m, k, n, rows, cols)
+        assert dataplane.total_cycles() < baseline.total_cycles()
+        assert dataplane.layer_counts() == baseline.layer_counts()
+
+
+class TestTraceConsistency:
+    @given(DIM, DIM, DIM, ARR, ARR)
+    @settings(max_examples=30)
+    def test_three_views_agree(self, m, k, n, rows, cols):
+        engine = OutputStationaryDataPlaneEngine(m, k, n, rows, cols)
+        layout = AddressLayout(m=m, k=k, n=n)
+        for fold in engine.plan.folds():
+            demand = engine.fold_demand(fold)
+            assert demand.totals() == engine.fold_counts(fold)
+            trace = list(engine.fold_trace(fold, layout))
+            assert len(trace) == demand.cycles
+            for row in trace:
+                assert len(row.ifmap_addrs) == demand.ifmap_reads[row.cycle]
+                assert len(row.filter_addrs) == demand.filter_reads[row.cycle]
+                assert len(row.ofmap_addrs) == demand.ofmap_writes[row.cycle]
+
+    def test_outputs_leave_as_antidiagonals(self):
+        engine = OutputStationaryDataPlaneEngine(4, 3, 4, 4, 4)
+        layout = AddressLayout(m=4, k=3, n=4)
+        rows = list(engine.fold_trace(next(iter(engine.plan.folds())), layout))
+        # First write the cycle PE (0,0) finishes: T-1 = 2.
+        assert rows[2].ofmap_addrs == (layout.ofmap_addr(0, 0),)
+        # Next cycle: PEs (0,1) and (1,0).
+        assert set(rows[3].ofmap_addrs) == {layout.ofmap_addr(0, 1), layout.ofmap_addr(1, 0)}
+
+    @given(DIM, DIM, DIM, ARR, ARR)
+    @settings(max_examples=30)
+    def test_every_output_written_once(self, m, k, n, rows, cols):
+        engine = OutputStationaryDataPlaneEngine(m, k, n, rows, cols)
+        layout = AddressLayout(m=m, k=k, n=n)
+        written = []
+        for row in engine.layer_trace(layout):
+            written.extend(row.ofmap_addrs)
+        assert len(written) == len(set(written)) == m * n
+
+
+class TestFactory:
+    def test_variant_via_factory(self):
+        engine = engine_for_gemm(8, 4, 8, Dataflow.OUTPUT_STATIONARY, 4, 4,
+                                 output_dataplane=True)
+        assert isinstance(engine, OutputStationaryDataPlaneEngine)
+
+    def test_variant_rejected_for_other_dataflows(self):
+        with pytest.raises(MappingError, match="OS variant"):
+            engine_for_gemm(8, 4, 8, Dataflow.WEIGHT_STATIONARY, 4, 4,
+                            output_dataplane=True)

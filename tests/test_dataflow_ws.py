@@ -1,0 +1,119 @@
+"""Unit tests for the weight-stationary engine."""
+
+import numpy as np
+
+from repro.config.hardware import Dataflow
+from repro.dataflow.base import AddressLayout
+from repro.dataflow.weight_stationary import WeightStationaryEngine
+
+
+def engine(m=10, k=5, n=8, rows=4, cols=4) -> WeightStationaryEngine:
+    return WeightStationaryEngine(m, k, n, rows, cols)
+
+
+def single_fold(eng):
+    return next(iter(eng.plan.folds()))
+
+
+class TestMapping:
+    def test_table3_roles(self):
+        eng = engine(m=10, k=5, n=8)
+        assert eng.mapping.sr == 5  # W_conv on rows
+        assert eng.mapping.sc == 8  # N_filter on cols
+        assert eng.mapping.t == 10  # N_ofmap in time
+
+    def test_dataflow_tag(self):
+        assert engine().dataflow is Dataflow.WEIGHT_STATIONARY
+
+
+class TestCounts:
+    def test_fold_counts(self):
+        eng = engine(m=10, k=4, n=4, rows=4, cols=4)
+        fold = single_fold(eng)
+        counts = eng.fold_counts(fold)
+        assert counts.filter_reads == 4 * 4  # prefill r x c
+        assert counts.ifmap_reads == 4 * 10  # r x T
+        assert counts.ofmap_writes == 4 * 10  # c x T
+
+    def test_layer_filter_reads_equal_filter_matrix(self):
+        # WS touches each weight exactly once per fold visit; each tile
+        # belongs to exactly one fold, so totals equal the matrix size.
+        eng = engine(m=10, k=9, n=7, rows=4, cols=4)
+        assert eng.layer_counts().filter_reads == 9 * 7
+
+
+class TestDemand:
+    def test_prefill_phase_reads_weights(self):
+        eng = engine(m=6, k=4, n=4, rows=4, cols=4)
+        demand = eng.fold_demand(single_fold(eng))
+        assert np.all(demand.filter_reads[:4] == 4)
+        assert np.all(demand.filter_reads[4:] == 0)
+
+    def test_no_ifmap_reads_during_prefill(self):
+        eng = engine(m=6, k=4, n=4, rows=4, cols=4)
+        demand = eng.fold_demand(single_fold(eng))
+        assert np.all(demand.ifmap_reads[:4] == 0)
+
+    def test_write_count_totals(self):
+        eng = engine(m=6, k=4, n=4, rows=4, cols=4)
+        demand = eng.fold_demand(single_fold(eng))
+        assert int(demand.ofmap_writes.sum()) == 4 * 6  # c x T
+
+    def test_last_cycle_has_the_final_write(self):
+        eng = engine(m=6, k=4, n=4, rows=4, cols=4)
+        demand = eng.fold_demand(single_fold(eng))
+        assert demand.ofmap_writes[-1] == 1
+        assert demand.ofmap_writes[-1] == demand.ofmap_writes[demand.cycles - 1]
+
+
+class TestTrace:
+    def test_prefill_feeds_bottom_weight_row_first(self):
+        eng = engine(m=6, k=4, n=4, rows=4, cols=4)
+        layout = AddressLayout(m=6, k=4, n=4)
+        rows = list(eng.fold_trace(single_fold(eng), layout))
+        assert rows[0].filter_addrs == tuple(layout.filter_addr(3, j) for j in range(4))
+        assert rows[3].filter_addrs == tuple(layout.filter_addr(0, j) for j in range(4))
+
+    def test_stream_reads_windows_in_order(self):
+        eng = engine(m=6, k=4, n=4, rows=4, cols=4)
+        layout = AddressLayout(m=6, k=4, n=4)
+        rows = list(eng.fold_trace(single_fold(eng), layout))
+        # First stream cycle (cycle r=4): row 0 reads window 0, element 0.
+        assert rows[4].ifmap_addrs == (layout.ifmap_addr(0, 0),)
+
+    def test_outputs_cover_matrix_once(self):
+        eng = engine(m=6, k=9, n=7, rows=4, cols=4)
+        layout = AddressLayout(m=6, k=9, n=7)
+        written = []
+        for row in eng.layer_trace(layout):
+            written.extend(row.ofmap_addrs)
+        # With folded K (9 > 4 rows), each output is written once per
+        # row fold (partial sums): 3 row folds here.
+        assert len(written) == eng.plan.row_folds * 6 * 7
+
+    def test_ifmap_addresses_cover_matrix(self):
+        eng = engine(m=6, k=9, n=7, rows=4, cols=4)
+        layout = AddressLayout(m=6, k=9, n=7)
+        seen = set()
+        for row in eng.layer_trace(layout):
+            seen.update(row.ifmap_addrs)
+        expected = {layout.ifmap_addr(w, e) for w in range(6) for e in range(9)}
+        assert seen == expected
+
+
+class TestSlices:
+    def test_filter_slice_unique_per_fold(self):
+        eng = engine(m=10, k=9, n=9, rows=4, cols=4)
+        ids = [eng.filter_slice(f).slice_id for f in eng.plan.folds()]
+        assert len(ids) == len(set(ids))
+
+    def test_ifmap_slice_shared_across_column_folds(self):
+        eng = engine(m=10, k=9, n=9, rows=4, cols=4)
+        folds = [f for f in eng.plan.folds() if f.row_index == 1]
+        ids = {eng.ifmap_slice(f).slice_id for f in folds}
+        assert len(ids) == 1
+
+    def test_ofmap_elements_per_fold(self):
+        eng = engine(m=10, k=4, n=4, rows=4, cols=4)
+        fold = single_fold(eng)
+        assert eng.fold_ofmap_elements(fold) == fold.cols * 10

@@ -1,0 +1,98 @@
+"""Tests for DRAM refresh blackouts and write-to-read turnaround."""
+
+import pytest
+
+from repro.dram.channel import Channel
+from repro.dram.request import DramAccess
+from repro.dram.simulator import DramSimulator
+from repro.dram.timing import DramTiming
+from repro.errors import DramError
+
+BASE = dict(num_channels=1, banks_per_channel=2, row_bytes=256, line_bytes=64)
+
+
+def timing(**overrides):
+    params = dict(BASE)
+    params.update(overrides)
+    return DramTiming(**params)
+
+
+class TestTimingValidation:
+    def test_refresh_disabled_by_zero(self):
+        timing(t_refi=0)  # no error
+
+    def test_rfc_must_fit_interval(self):
+        with pytest.raises(DramError):
+            timing(t_refi=100, t_rfc=100)
+
+    def test_negative_wtr_rejected(self):
+        with pytest.raises(DramError):
+            timing(t_wtr=-1)
+
+
+class TestRefresh:
+    def test_request_in_blackout_is_delayed(self):
+        t = timing(t_refi=1000, t_rfc=200)
+        channel = Channel(t)
+        # Arrives right at the refresh boundary: must wait out tRFC.
+        done = channel.service([DramAccess(1000, 0)])
+        assert done[0].start_cycle >= 1200
+
+    def test_request_before_blackout_unaffected(self):
+        with_refresh = Channel(timing(t_refi=10_000, t_rfc=200))
+        without = Channel(timing(t_refi=0))
+        a = with_refresh.service([DramAccess(5, 0)])[0]
+        b = without.service([DramAccess(5, 0)])[0]
+        assert a.finish_cycle == b.finish_cycle
+
+    def test_refresh_reduces_long_stream_bandwidth(self):
+        trace = [DramAccess(i * 4, i * 64) for i in range(3000)]
+        busy = DramSimulator(timing(t_refi=500, t_rfc=200)).run(trace)
+        idle = DramSimulator(timing(t_refi=0)).run(trace)
+        assert busy.achieved_bandwidth < idle.achieved_bandwidth
+
+    def test_skip_refresh_identity_when_disabled(self):
+        channel = Channel(timing(t_refi=0))
+        assert channel._skip_refresh(123456) == 123456
+
+
+class TestWriteToReadTurnaround:
+    def test_write_then_read_pays_penalty(self):
+        base = Channel(timing(t_wtr=0, t_refi=0))
+        penalized = Channel(timing(t_wtr=50, t_refi=0))
+        trace = [DramAccess(0, 0, is_write=True), DramAccess(0, 128)]
+        fast = base.service(list(trace))
+        slow = penalized.service(list(trace))
+        # The read is delayed by up to tWTR (less when another timing
+        # constraint was already binding), never accelerated.
+        assert fast[1].finish_cycle < slow[1].finish_cycle <= fast[1].finish_cycle + 50
+
+    def test_read_then_read_pays_nothing(self):
+        trace = [DramAccess(0, 0), DramAccess(0, 128)]
+        with_wtr = Channel(timing(t_wtr=50, t_refi=0)).service(list(trace))
+        without = Channel(timing(t_wtr=0, t_refi=0)).service(list(trace))
+        assert with_wtr[1].finish_cycle == without[1].finish_cycle
+
+    def test_write_then_write_pays_nothing(self):
+        trace = [DramAccess(0, 0, is_write=True), DramAccess(0, 128, is_write=True)]
+        with_wtr = Channel(timing(t_wtr=50, t_refi=0)).service(list(trace))
+        without = Channel(timing(t_wtr=0, t_refi=0)).service(list(trace))
+        assert with_wtr[1].finish_cycle == without[1].finish_cycle
+
+    def test_interleaved_trace_slower_than_grouped(self):
+        """Alternating read/write bursts pay tWTR repeatedly; the same
+        requests grouped by type pay it once.  All accesses stay within
+        one DRAM row so row locality is identical in both orders."""
+        t = timing(t_wtr=30, t_refi=0, row_bytes=8192)
+        same_row = [i * 128 for i in range(20)]  # bank 0, row 0 lines
+        interleaved = [
+            DramAccess(0, addr, is_write=bool(i % 2))
+            for i, addr in enumerate(same_row)
+        ]
+        writes = [DramAccess(0, addr, is_write=True) for addr in same_row[1::2]]
+        reads = [DramAccess(0, addr) for addr in same_row[0::2]]
+        inter_done = Channel(t, window=1).service(interleaved)
+        group_done = Channel(t, window=1).service(writes + reads)
+        assert max(r.finish_cycle for r in inter_done) > max(
+            r.finish_cycle for r in group_done
+        )

@@ -1,0 +1,91 @@
+"""Unit tests for the top-level DRAM simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.request import DramAccess
+from repro.dram.simulator import DramSimulator, DramStats
+from repro.dram.timing import DramTiming
+from repro.errors import DramError
+
+
+def sequential_trace(count, line=64, start_cycle=0, stride=None):
+    stride = stride or line
+    return [DramAccess(start_cycle + i, i * stride) for i in range(count)]
+
+
+class TestRun:
+    def test_counts(self):
+        sim = DramSimulator()
+        stats = sim.run(sequential_trace(10))
+        assert stats.num_requests == 10
+        assert stats.num_reads == 10
+        assert stats.num_writes == 0
+
+    def test_write_accounting(self):
+        sim = DramSimulator()
+        trace = [DramAccess(0, 0, is_write=True), DramAccess(1, 64)]
+        stats = sim.run(trace)
+        assert stats.num_writes == 1
+        assert stats.num_reads == 1
+
+    def test_bytes_moved(self):
+        sim = DramSimulator()
+        assert sim.run(sequential_trace(10)).bytes_moved == 10 * 64
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(DramError):
+            DramSimulator().run([])
+
+    def test_sequential_stream_has_high_hit_rate(self):
+        timing = DramTiming(num_channels=1, banks_per_channel=1)
+        stats = DramSimulator(timing).run(sequential_trace(200))
+        assert stats.row_hit_rate > 0.9
+
+    def test_random_stream_has_lower_hit_rate(self, rng):
+        timing = DramTiming(num_channels=1, banks_per_channel=1)
+        addrs = rng.integers(0, 2**26, 200) * 64
+        trace = [DramAccess(i, int(a)) for i, a in enumerate(addrs)]
+        random_stats = DramSimulator(timing).run(trace)
+        seq_stats = DramSimulator(timing).run(sequential_trace(200))
+        assert random_stats.row_hit_rate < seq_stats.row_hit_rate
+
+    def test_bandwidth_bounded_by_peak(self):
+        timing = DramTiming()
+        stats = DramSimulator(timing).run(sequential_trace(500))
+        assert stats.achieved_bandwidth <= timing.peak_bandwidth + 1e-9
+
+    def test_more_channels_more_bandwidth(self):
+        one = DramSimulator(DramTiming(num_channels=1)).run(sequential_trace(400))
+        four = DramSimulator(DramTiming(num_channels=4)).run(sequential_trace(400))
+        assert four.achieved_bandwidth > one.achieved_bandwidth
+
+    def test_sustainable_check(self):
+        sim = DramSimulator(DramTiming())
+        assert sim.sustainable(1.0)
+        assert not sim.sustainable(10**6)
+
+
+class TestStats:
+    def test_span_never_zero(self):
+        stats = DramStats(
+            num_requests=1, num_reads=1, num_writes=0, first_cycle=5,
+            last_finish_cycle=5, total_latency=0, row_hits=0, bytes_moved=64,
+        )
+        assert stats.span_cycles == 1
+
+    def test_avg_latency(self):
+        stats = DramStats(
+            num_requests=2, num_reads=2, num_writes=0, first_cycle=0,
+            last_finish_cycle=100, total_latency=60, row_hits=1, bytes_moved=128,
+        )
+        assert stats.avg_latency == 30
+        assert stats.row_hit_rate == 0.5
+
+    @settings(max_examples=20)
+    @given(st.integers(1, 300), st.integers(0, 1000))
+    def test_latency_positive_for_any_arrival_pattern(self, count, start):
+        stats = DramSimulator().run(sequential_trace(count, start_cycle=start))
+        assert stats.avg_latency > 0
+        assert stats.last_finish_cycle > start

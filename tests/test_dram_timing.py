@@ -1,0 +1,60 @@
+"""Unit tests for DRAM timing/geometry and address decoding."""
+
+import pytest
+
+from repro.dram.request import DramAccess, decode
+from repro.dram.timing import DDR4_2400_LIKE, DramTiming
+from repro.errors import DramError
+
+
+class TestTiming:
+    def test_defaults_valid(self):
+        assert DDR4_2400_LIKE.lines_per_row == 8192 // 64
+
+    def test_peak_bandwidth(self):
+        timing = DramTiming(num_channels=2, line_bytes=64, t_burst=4)
+        assert timing.peak_bandwidth == 2 * 64 / 4
+
+    def test_rejects_non_pow2_line(self):
+        with pytest.raises(DramError):
+            DramTiming(line_bytes=48)
+
+    def test_rejects_row_not_multiple_of_line(self):
+        with pytest.raises(DramError):
+            DramTiming(row_bytes=100, line_bytes=64)
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ValueError):
+            DramTiming(num_channels=0)
+
+
+class TestRequest:
+    def test_rejects_negative_cycle(self):
+        with pytest.raises(DramError):
+            DramAccess(cycle=-1, address=0)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(DramError):
+            DramAccess(cycle=0, address=-4)
+
+
+class TestDecode:
+    def test_line_interleaves_channels(self):
+        timing = DramTiming(num_channels=4)
+        channels = [decode(i * timing.line_bytes, timing).channel for i in range(8)]
+        assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_same_line_same_coordinates(self):
+        timing = DramTiming()
+        assert decode(0, timing) == decode(63, timing)
+
+    def test_banks_cycle_after_channels(self):
+        timing = DramTiming(num_channels=2, banks_per_channel=4)
+        banks = [decode(i * timing.line_bytes, timing).bank for i in range(0, 16, 2)]
+        assert banks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_row_advances_after_all_banks(self):
+        timing = DramTiming(num_channels=1, banks_per_channel=2, row_bytes=128, line_bytes=64)
+        # 2 lines per row x 2 banks = 4 lines per row wrap
+        rows = [decode(i * 64, timing).row for i in range(8)]
+        assert rows == [0, 0, 0, 0, 1, 1, 1, 1]

@@ -1,0 +1,116 @@
+"""Edge cases across modules that mainline tests don't reach."""
+
+import pytest
+
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.dataflow.base import AddressLayout, OperandSlice
+from repro.dataflow.factory import engine_for_gemm
+from repro.engine.tracefiles import dram_request_stream
+from repro.errors import MappingError, SimulationError
+from repro.memory.bandwidth import compute_dram_traffic
+from repro.memory.buffers import BufferSet
+from repro.noc.cost import layer_noc_cost
+from repro.topology.layer import GemmLayer
+
+
+class TestSingleFoldLayers:
+    """Layers that fit the array in one fold exercise boundary branches."""
+
+    def config(self):
+        return HardwareConfig(
+            array_rows=16, array_cols=16,
+            ifmap_sram_kb=64, filter_sram_kb=64, ofmap_sram_kb=32,
+        )
+
+    def test_dram_request_stream_single_fold(self):
+        engine = engine_for_gemm(8, 8, 8, Dataflow.OUTPUT_STATIONARY, 16, 16)
+        traffic = compute_dram_traffic(engine, BufferSet.from_config(self.config()), 1)
+        assert len(traffic.fold_cycles) == 1
+        requests = list(dram_request_stream(traffic, AddressLayout(m=8, k=8, n=8)))
+        reads = [r for r in requests if not r.is_write]
+        writes = [r for r in requests if r.is_write]
+        assert reads and writes
+        # Single fold: the writeback drains after the fold's own window.
+        assert min(w.cycle for w in writes) >= traffic.fold_cycles[0]
+
+    def test_single_fold_peak_bandwidth_defined(self):
+        engine = engine_for_gemm(4, 4, 4, Dataflow.WEIGHT_STATIONARY, 16, 16)
+        traffic = compute_dram_traffic(engine, BufferSet.from_config(self.config()), 1)
+        assert traffic.bandwidth.peak_read_bw > 0
+        assert traffic.bandwidth.peak_write_bw > 0
+
+    def test_one_by_one_array(self):
+        """The degenerate 1x1 'array' is a scalar MAC; everything folds."""
+        engine = engine_for_gemm(3, 2, 3, Dataflow.OUTPUT_STATIONARY, 1, 1)
+        assert engine.plan.num_folds == 9
+        assert engine.total_cycles() == 9 * (2 * 1 + 1 + 2 - 2)
+        assert engine.mapping_utilization() == 1.0
+
+
+class TestOperandSliceValidation:
+    def test_rejects_unknown_stream(self):
+        with pytest.raises(MappingError, match="unknown operand stream"):
+            OperandSlice(stream="psum", slice_id=0, elements=1)
+
+    def test_rejects_zero_elements(self):
+        with pytest.raises(ValueError):
+            OperandSlice(stream="ifmap", slice_id=0, elements=0)
+
+
+class TestNocEdgeCases:
+    def test_rectangular_grid_costs(self):
+        layer = GemmLayer("g", m=64, k=16, n=64)
+        tall = layer_noc_cost(layer, HardwareConfig(
+            array_rows=8, array_cols=8, partition_rows=4, partition_cols=1,
+            ifmap_sram_kb=64, filter_sram_kb=64, ofmap_sram_kb=32,
+        ))
+        wide = layer_noc_cost(layer, HardwareConfig(
+            array_rows=8, array_cols=8, partition_rows=1, partition_cols=4,
+            ifmap_sram_kb=64, filter_sram_kb=64, ofmap_sram_kb=32,
+        ))
+        assert tall.total_byte_hops > 0 and wide.total_byte_hops > 0
+        # Under OS, the 4x1 grid slices S_R while 1x4 slices S_C; on this
+        # symmetric layer the grand totals mirror, but the per-stream
+        # components swap roles.
+        assert tall.ifmap_byte_hops == wide.filter_byte_hops
+        assert tall.filter_byte_hops == wide.ifmap_byte_hops
+        assert tall.ifmap_byte_hops != tall.filter_byte_hops
+
+    def test_grid_larger_than_workload(self):
+        tiny = GemmLayer("tiny", m=1, k=1, n=1)
+        cost = layer_noc_cost(tiny, HardwareConfig(
+            array_rows=8, array_cols=8, partition_rows=4, partition_cols=4,
+            ifmap_sram_kb=16, filter_sram_kb=16, ofmap_sram_kb=16,
+        ))
+        assert cost.total_byte_hops > 0  # one partition worked, rest idle
+
+
+class TestDegenerateGemms:
+    @pytest.mark.parametrize("dims", [(1, 1, 1), (1, 100, 1), (100, 1, 1), (1, 1, 100)])
+    def test_vector_like_layers_simulate(self, dims, small_config):
+        from repro.engine.simulator import Simulator
+
+        m, k, n = dims
+        result = Simulator(small_config).run_layer(GemmLayer("v", m=m, k=k, n=n))
+        assert result.macs == m * k * n
+        assert result.total_cycles >= 2
+
+    def test_vector_like_layers_validate_cross_model(self):
+        from repro.golden.validate import validate_configuration
+
+        for dims in [(1, 1, 1), (1, 17, 1), (9, 1, 9)]:
+            for dataflow in Dataflow:
+                report = validate_configuration(*dims, dataflow, 4, 4)
+                assert report.passed, report.describe()
+
+
+class TestScaleOutDegenerate:
+    def test_grid_row_exceeding_sr_leaves_idle_rows(self):
+        from repro.config.presets import paper_scaling_config
+        from repro.engine.scaleout import ScaleOutSimulator
+
+        layer = GemmLayer("short", m=3, k=16, n=64)  # S_R = 3 < P_R = 8
+        config = paper_scaling_config(8, 8, 8, 2)
+        result = ScaleOutSimulator(config).run_layer(layer)
+        assert result.macs == layer.macs
+        assert result.compute_utilization < 0.5  # most partitions idle

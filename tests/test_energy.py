@@ -1,0 +1,91 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.config.presets import paper_scaling_config
+from repro.energy.model import EnergyBreakdown, energy_of_result, energy_of_run
+from repro.energy.params import DEFAULT_ENERGY, EnergyParams
+from repro.engine.scaleout import ScaleOutSimulator
+from repro.engine.simulator import Simulator
+from repro.topology.layer import GemmLayer
+from repro.topology.network import Network
+
+
+@pytest.fixture
+def result(small_config):
+    return Simulator(small_config).run_layer(GemmLayer("g", m=64, k=20, n=48))
+
+
+class TestParams:
+    def test_defaults_follow_known_ratios(self):
+        assert DEFAULT_ENERGY.mac == 1.0
+        assert DEFAULT_ENERGY.sram_access == 6.0
+        assert DEFAULT_ENERGY.dram_access == 200.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyParams(mac=-1)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ValueError):
+            EnergyParams(sram_access="big")
+
+
+class TestBreakdown:
+    def test_total_sums_components(self):
+        breakdown = EnergyBreakdown(mac=1, sram=2, dram=3, idle=4)
+        assert breakdown.total == 10
+
+    def test_addition(self):
+        total = EnergyBreakdown(1, 2, 3, 4) + EnergyBreakdown(10, 20, 30, 40)
+        assert total == EnergyBreakdown(11, 22, 33, 44)
+
+
+class TestEnergyOfResult:
+    def test_mac_term(self, result):
+        breakdown = energy_of_result(result)
+        assert breakdown.mac == result.macs * DEFAULT_ENERGY.mac
+
+    def test_sram_term(self, result):
+        breakdown = energy_of_result(result)
+        assert breakdown.sram == result.sram.total * DEFAULT_ENERGY.sram_access
+
+    def test_dram_term_scaled_by_word(self, result):
+        breakdown = energy_of_result(result)
+        words = result.dram_total_bytes / result.word_bytes
+        assert breakdown.dram == words * DEFAULT_ENERGY.dram_access
+
+    def test_idle_term_excludes_active_macs(self, result):
+        breakdown = energy_of_result(result)
+        pe_cycles = result.total_pes * result.total_cycles
+        assert breakdown.idle == pytest.approx(
+            DEFAULT_ENERGY.pe_idle * (pe_cycles - result.macs)
+        )
+
+    def test_energy_monotone_in_params(self, result):
+        cheap = energy_of_result(result, EnergyParams(dram_access=1.0))
+        expensive = energy_of_result(result, EnergyParams(dram_access=400.0))
+        assert expensive.total > cheap.total
+
+    def test_zero_params_give_zero(self, result):
+        zero = EnergyParams(mac=0, sram_access=0, dram_access=0, pe_idle=0)
+        assert energy_of_result(result, zero).total == 0
+
+
+class TestScalingTrend:
+    def test_small_budget_prefers_monolithic(self):
+        """Fig. 12: at modest MAC counts, the monolithic config wins on
+        energy because partitioning pays DRAM without a big idle saving."""
+        layer = GemmLayer("g", m=512, k=128, n=512)
+        mono = Simulator(paper_scaling_config(32, 32)).run_layer(layer)
+        parts = ScaleOutSimulator(paper_scaling_config(8, 8, 4, 4)).run_layer(layer)
+        assert energy_of_result(mono).total < energy_of_result(parts).total
+
+
+class TestEnergyOfRun:
+    def test_sums_layers(self, small_config):
+        net = Network("two", [GemmLayer("a", m=20, k=8, n=20), GemmLayer("b", m=10, k=4, n=10)])
+        run = Simulator(small_config).run_network(net)
+        total = energy_of_run(run)
+        by_hand = energy_of_result(run["a"]) + energy_of_result(run["b"])
+        assert total == by_hand

@@ -1,0 +1,131 @@
+"""Tests for inter-layer on-chip reuse."""
+
+import pytest
+
+from repro.config.hardware import HardwareConfig
+from repro.engine.interlayer import (
+    chainable,
+    interlayer_savings,
+    run_network_with_interlayer_reuse,
+)
+from repro.engine.simulator import Simulator
+from repro.topology.layer import ConvLayer, GemmLayer
+from repro.topology.network import Network
+
+
+def chained_net() -> Network:
+    """Two convs whose tensors chain exactly: 8x8x4 -> 6x6x8 -> 4x4x8."""
+    first = ConvLayer(
+        name="a", ifmap_h=8, ifmap_w=8, filter_h=3, filter_w=3,
+        channels=4, num_filters=8, stride=1,
+    )
+    second = ConvLayer(
+        name="b", ifmap_h=6, ifmap_w=6, filter_h=3, filter_w=3,
+        channels=8, num_filters=8, stride=1,
+    )
+    assert first.ofmap_elements == second.raw_ifmap_elements
+    return Network("chained", [first, second])
+
+
+def big_config(ofmap_kb=64) -> HardwareConfig:
+    return HardwareConfig(
+        array_rows=8, array_cols=8,
+        ifmap_sram_kb=64, filter_sram_kb=64, ofmap_sram_kb=ofmap_kb,
+    )
+
+
+class TestChainable:
+    def test_matching_convs_chain(self):
+        net = chained_net()
+        assert chainable(net["a"], net["b"])
+
+    def test_mismatched_convs_do_not_chain(self):
+        first = chained_net()["a"]
+        other = ConvLayer(
+            name="c", ifmap_h=10, ifmap_w=10, filter_h=3, filter_w=3,
+            channels=4, num_filters=8, stride=1,
+        )
+        assert not chainable(first, other)
+
+    def test_gemm_chain(self):
+        a = GemmLayer("a", m=8, k=16, n=32)
+        b = GemmLayer("b", m=8, k=32, n=4)  # ifmap 8*32 == a's output 8*32
+        assert chainable(a, b)
+
+    def test_gemm_mismatch(self):
+        a = GemmLayer("a", m=8, k=16, n=32)
+        b = GemmLayer("b", m=16, k=32, n=4)
+        assert not chainable(a, b)
+
+
+class TestInterlayerRun:
+    def test_consumer_reads_drop(self):
+        simulator = Simulator(big_config())
+        net = chained_net()
+        plain = simulator.run_network(net)
+        fused = run_network_with_interlayer_reuse(simulator, net)
+        assert fused["b"].dram_read_bytes < plain["b"].dram_read_bytes
+
+    def test_producer_writes_drop(self):
+        simulator = Simulator(big_config())
+        net = chained_net()
+        fused = run_network_with_interlayer_reuse(simulator, net)
+        assert fused["a"].dram_write_bytes == 0
+
+    def test_last_layer_still_writes_out(self):
+        simulator = Simulator(big_config())
+        fused = run_network_with_interlayer_reuse(simulator, chained_net())
+        assert fused["b"].dram_write_bytes > 0
+
+    def test_cycles_untouched(self):
+        simulator = Simulator(big_config())
+        net = chained_net()
+        plain = simulator.run_network(net)
+        fused = run_network_with_interlayer_reuse(simulator, net)
+        assert fused.total_cycles == plain.total_cycles
+
+    def test_overflowing_ofmap_disables_forwarding(self):
+        simulator = Simulator(big_config(ofmap_kb=1))  # working half = 512 B
+        net = chained_net()  # OFMAP of layer a = 288 elements... still fits
+        # Shrink further: use a layer with a big OFMAP.
+        big = ConvLayer(
+            name="a", ifmap_h=34, ifmap_w=34, filter_h=3, filter_w=3,
+            channels=1, num_filters=8, stride=1,
+        )
+        consumer = ConvLayer(
+            name="b", ifmap_h=32, ifmap_w=32, filter_h=3, filter_w=3,
+            channels=8, num_filters=2, stride=1,
+        )
+        net = Network("big", [big, consumer])
+        assert chainable(big, consumer)
+        plain = simulator.run_network(net)
+        fused = run_network_with_interlayer_reuse(simulator, net)
+        assert fused["a"].dram_write_bytes == plain["a"].dram_write_bytes
+        assert fused["b"].dram_read_bytes == plain["b"].dram_read_bytes
+
+    def test_unchained_network_is_unchanged(self):
+        simulator = Simulator(big_config())
+        net = Network("loose", [
+            GemmLayer("a", m=8, k=16, n=32),
+            GemmLayer("b", m=50, k=20, n=10),
+        ])
+        plain = simulator.run_network(net)
+        fused = run_network_with_interlayer_reuse(simulator, net)
+        for name in ("a", "b"):
+            assert fused[name].dram_read_bytes == plain[name].dram_read_bytes
+            assert fused[name].dram_write_bytes == plain[name].dram_write_bytes
+
+
+class TestSavings:
+    def test_savings_fraction_in_unit_interval(self):
+        simulator = Simulator(big_config())
+        saving = interlayer_savings(simulator, chained_net())
+        assert 0 < saving < 1
+
+    def test_no_savings_without_chains(self):
+        simulator = Simulator(big_config())
+        net = Network("loose", [
+            GemmLayer("a", m=8, k=16, n=32),
+            GemmLayer("b", m=50, k=20, n=10),
+        ])
+        assert interlayer_savings(simulator, net) == pytest.approx(0.0)

@@ -1,0 +1,81 @@
+"""Tests for result JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.engine.persistence import (
+    SCHEMA_VERSION,
+    layer_result_from_dict,
+    layer_result_to_dict,
+    load_run_result,
+    run_result_from_dict,
+    run_result_to_dict,
+    save_run_result,
+)
+from repro.engine.simulator import Simulator
+from repro.errors import ReproError
+from repro.topology.layer import GemmLayer
+from repro.topology.network import Network
+
+
+@pytest.fixture
+def run(small_config):
+    net = Network("two", [GemmLayer("a", m=20, k=8, n=20), GemmLayer("b", m=10, k=4, n=10)])
+    return Simulator(small_config).run_network(net)
+
+
+class TestLayerRoundtrip:
+    def test_bit_identical(self, run):
+        original = run["a"]
+        restored = layer_result_from_dict(layer_result_to_dict(original))
+        assert restored == original
+
+    def test_json_safe(self, run):
+        json.dumps(layer_result_to_dict(run["a"]))  # must not raise
+
+    def test_missing_field_reported(self, run):
+        data = layer_result_to_dict(run["a"])
+        del data["macs"]
+        with pytest.raises(ReproError, match="missing field"):
+            layer_result_from_dict(data)
+
+
+class TestRunRoundtrip:
+    def test_dict_roundtrip(self, run):
+        restored = run_result_from_dict(run_result_to_dict(run))
+        assert restored.network_name == run.network_name
+        assert list(restored) == list(run)
+
+    def test_file_roundtrip(self, run, tmp_path):
+        path = save_run_result(run, tmp_path / "run.json")
+        restored = load_run_result(path)
+        assert list(restored) == list(run)
+        assert restored.total_cycles == run.total_cycles
+
+    def test_schema_version_stamped(self, run):
+        assert run_result_to_dict(run)["schema_version"] == SCHEMA_VERSION
+
+    def test_wrong_schema_rejected(self, run):
+        data = run_result_to_dict(run)
+        data["schema_version"] = 999
+        with pytest.raises(ReproError, match="schema version"):
+            run_result_from_dict(data)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            load_run_result(tmp_path / "nope.json")
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError, match="malformed"):
+            load_run_result(path)
+
+    def test_derived_metrics_survive(self, run, tmp_path):
+        path = save_run_result(run, tmp_path / "run.json")
+        restored = load_run_result(path)
+        assert restored.overall_compute_utilization == pytest.approx(
+            run.overall_compute_utilization
+        )
+        assert restored["a"].avg_total_bw == pytest.approx(run["a"].avg_total_bw)

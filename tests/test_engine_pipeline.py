@@ -1,0 +1,109 @@
+"""Tests for layer-pipelined scale-out execution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.presets import paper_scaling_config
+from repro.engine.pipeline import balance_stages, run_pipelined
+from repro.errors import SimulationError
+from repro.topology.layer import GemmLayer
+from repro.topology.network import Network
+from repro.workloads.alexnet import alexnet
+
+
+class TestBalanceStages:
+    def test_single_stage_takes_everything(self):
+        assert balance_stages([1, 2, 3], 1) == [(0, 3)]
+
+    def test_even_split(self):
+        assert balance_stages([1, 1, 1, 1], 2) == [(0, 2), (2, 4)]
+
+    def test_heavy_head_isolated(self):
+        bounds = balance_stages([100, 1, 1, 1], 2)
+        assert bounds == [(0, 1), (1, 4)]
+
+    def test_ranges_cover_exactly(self):
+        bounds = balance_stages([3, 1, 4, 1, 5, 9, 2, 6], 3)
+        flat = []
+        for start, end in bounds:
+            flat.extend(range(start, end))
+        assert flat == list(range(8))
+
+    def test_rejects_more_stages_than_items(self):
+        with pytest.raises(SimulationError):
+            balance_stages([1, 2], 3)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.integers(1, 100), min_size=1, max_size=20),
+        st.integers(1, 6),
+    )
+    def test_dp_is_optimal_bottleneck(self, costs, num_stages):
+        """The DP's bottleneck is never worse than any greedy split."""
+        if num_stages > len(costs):
+            num_stages = len(costs)
+        bounds = balance_stages(costs, num_stages)
+        assert len(bounds) == num_stages
+        bottleneck = max(sum(costs[a:b]) for a, b in bounds)
+        # Lower bounds every partition must respect:
+        assert bottleneck >= max(costs)
+        assert bottleneck >= sum(costs) / num_stages - 1e-9
+        # And all stages non-empty:
+        assert all(b > a for a, b in bounds)
+
+
+class TestRunPipelined:
+    def grid_config(self):
+        return paper_scaling_config(16, 16, 2, 2)  # 4 partitions
+
+    def test_latency_is_sum_interval_is_max(self):
+        result = run_pipelined(alexnet(), self.grid_config(), num_stages=2)
+        assert result.latency == sum(stage.latency for stage in result.stages)
+        assert result.interval == max(stage.latency for stage in result.stages)
+        assert result.bottleneck.latency == result.interval
+
+    def test_stage_layers_cover_network(self):
+        net = alexnet()
+        result = run_pipelined(net, self.grid_config(), num_stages=2)
+        covered = [name for stage in result.stages for name in stage.layer_names]
+        assert covered == net.layer_names()
+
+    def test_macs_conserved(self):
+        net = alexnet()
+        result = run_pipelined(net, self.grid_config(), num_stages=2)
+        assert sum(stage.macs for stage in result.stages) == net.total_macs
+
+    def test_partitions_divided_among_stages(self):
+        result = run_pipelined(alexnet(), self.grid_config(), num_stages=2)
+        assert sum(stage.num_partitions for stage in result.stages) == 4
+
+    def test_single_stage_equals_data_parallel(self):
+        config = self.grid_config()
+        result = run_pipelined(alexnet(), config, num_stages=1)
+        assert result.interval == result.serial_cycles
+        assert result.throughput_speedup == pytest.approx(1.0)
+
+    def test_latency_at_least_serial_interval(self):
+        """Per-sample latency through smaller stage grids can't beat the
+        full grid working on every layer."""
+        result = run_pipelined(alexnet(), self.grid_config(), num_stages=2)
+        assert result.latency >= result.serial_cycles * 0.5  # sanity floor
+        assert result.interval <= result.latency
+
+    def test_imbalance_at_least_one(self):
+        result = run_pipelined(alexnet(), self.grid_config(), num_stages=4)
+        assert result.imbalance >= 1.0
+
+    def test_too_many_stages_rejected(self):
+        with pytest.raises(SimulationError):
+            run_pipelined(alexnet(), self.grid_config(), num_stages=5)
+
+    def test_pipelining_can_beat_data_parallel_throughput(self):
+        """The payoff case: layers that fold awkwardly on the full grid
+        pipeline well on smaller per-stage grids."""
+        layers = [GemmLayer(f"g{i}", m=68, k=64, n=68) for i in range(4)]
+        net = Network("awkward", layers)
+        config = paper_scaling_config(16, 16, 4, 4)  # 16 partitions
+        result = run_pipelined(net, config, num_stages=4)
+        assert result.throughput_speedup > 1.0

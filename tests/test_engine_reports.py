@@ -1,0 +1,64 @@
+"""Unit tests for report rendering and CSV output."""
+
+import csv
+
+import pytest
+
+from repro.engine.reports import layer_report_rows, render_report, write_report_csv
+from repro.engine.simulator import Simulator
+from repro.topology.layer import GemmLayer
+from repro.topology.network import Network
+
+
+@pytest.fixture
+def run(small_config):
+    net = Network("two", [GemmLayer("a", m=20, k=8, n=20), GemmLayer("b", m=10, k=4, n=10)])
+    return Simulator(small_config).run_network(net)
+
+
+class TestRows:
+    def test_one_row_per_layer(self, run):
+        rows = layer_report_rows(run)
+        assert [row["layer"] for row in rows] == ["a", "b"]
+
+    def test_accepts_bare_iterable(self, run):
+        rows = layer_report_rows(list(run))
+        assert len(rows) == 2
+
+    def test_row_fields(self, run):
+        row = layer_report_rows(run)[0]
+        for field in ("cycles", "macs", "dram_read_bytes", "avg_read_bw", "partitions"):
+            assert field in row
+
+
+class TestRender:
+    def test_contains_layers_and_totals(self, run):
+        text = render_report(run)
+        assert "a" in text and "b" in text
+        assert "total cycles" in text
+
+    def test_custom_columns(self, run):
+        text = render_report(run, columns=["layer", "cycles"])
+        assert "dram_read_bytes" not in text
+
+    def test_unknown_column_raises(self, run):
+        with pytest.raises(KeyError, match="unknown report columns"):
+            render_report(run, columns=["layer", "nonsense"])
+
+    def test_empty_results_raise(self):
+        with pytest.raises(ValueError):
+            render_report([])
+
+
+class TestCsv:
+    def test_roundtrip(self, run, tmp_path):
+        path = write_report_csv(run, tmp_path / "report.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["layer"] == "a"
+        assert int(rows[0]["cycles"]) == run["a"].total_cycles
+
+    def test_empty_results_raise(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_report_csv([], tmp_path / "empty.csv")

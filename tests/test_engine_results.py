@@ -1,0 +1,99 @@
+"""Direct unit tests for LayerResult / RunResult records."""
+
+import pytest
+
+from repro.config.hardware import Dataflow
+from repro.dataflow.base import SramCounts
+from repro.engine.results import LayerResult, RunResult
+
+
+def make_layer(name="l", cycles=100, macs=5000, parts=(1, 1)) -> LayerResult:
+    return LayerResult(
+        layer_name=name,
+        dataflow=Dataflow.OUTPUT_STATIONARY,
+        array_rows=8,
+        array_cols=8,
+        partition_rows=parts[0],
+        partition_cols=parts[1],
+        total_cycles=cycles,
+        macs=macs,
+        mapping_utilization=0.9,
+        compute_utilization=0.8,
+        sram=SramCounts(ifmap_reads=10, filter_reads=20, ofmap_writes=5),
+        dram_read_bytes=1000,
+        dram_write_bytes=200,
+        cold_start_bytes=50,
+        avg_read_bw=10.0,
+        avg_write_bw=2.0,
+        peak_read_bw=20.0,
+        peak_write_bw=4.0,
+        word_bytes=1,
+        row_folds=2,
+        col_folds=3,
+    )
+
+
+class TestLayerResult:
+    def test_total_pes_includes_partitions(self):
+        assert make_layer(parts=(2, 4)).total_pes == 8 * 8 * 8
+
+    def test_dram_total(self):
+        assert make_layer().dram_total_bytes == 1200
+
+    def test_bw_aggregates(self):
+        result = make_layer()
+        assert result.avg_total_bw == 12.0
+        assert result.peak_total_bw == 24.0
+
+    def test_as_row_fields(self):
+        row = make_layer(parts=(2, 2)).as_row()
+        assert row["layer"] == "l"
+        assert row["partitions"] == "2x2"
+        assert row["folds"] == 6
+        assert row["dataflow"] == "os"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            make_layer().total_cycles = 0
+
+
+class TestRunResult:
+    def run(self):
+        return RunResult(
+            network_name="net",
+            config_description="cfg",
+            layers=[make_layer("a", cycles=100, macs=5000),
+                    make_layer("b", cycles=50, macs=2500)],
+        )
+
+    def test_len_iter_index(self):
+        run = self.run()
+        assert len(run) == 2
+        assert [layer.layer_name for layer in run] == ["a", "b"]
+        assert run[1].layer_name == "b"
+        assert run["a"].total_cycles == 100
+
+    def test_unknown_layer(self):
+        with pytest.raises(KeyError, match="no result"):
+            self.run()["zzz"]
+
+    def test_totals(self):
+        run = self.run()
+        assert run.total_cycles == 150
+        assert run.total_macs == 7500
+        assert run.total_dram_read_bytes == 2000
+        assert run.total_dram_write_bytes == 400
+
+    def test_total_sram(self):
+        assert self.run().total_sram == SramCounts(20, 40, 10)
+
+    def test_overall_utilization(self):
+        run = self.run()
+        assert run.overall_compute_utilization == pytest.approx(7500 / (64 * 150))
+
+    def test_empty_run_utilization(self):
+        empty = RunResult(network_name="n", config_description="c", layers=[])
+        assert empty.overall_compute_utilization == 0.0
+
+    def test_layers_stored_as_tuple(self):
+        assert isinstance(self.run().layers, tuple)

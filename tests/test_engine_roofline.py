@@ -1,0 +1,62 @@
+"""Tests for roofline analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hardware import HardwareConfig
+from repro.engine.roofline import roofline_point
+from repro.engine.simulator import Simulator
+from repro.topology.layer import GemmLayer
+
+
+@pytest.fixture
+def result(small_config):
+    return Simulator(small_config).run_layer(GemmLayer("g", m=64, k=32, n=64))
+
+
+class TestRooflinePoint:
+    def test_intensity_definition(self, result):
+        point = roofline_point(result, bandwidth=8.0)
+        assert point.operational_intensity == pytest.approx(
+            result.macs / result.dram_total_bytes
+        )
+
+    def test_achieved_definition(self, result):
+        point = roofline_point(result, bandwidth=8.0)
+        assert point.achieved_macs_per_cycle == pytest.approx(
+            result.macs / result.total_cycles
+        )
+
+    def test_attainable_is_min_of_roofs(self, result):
+        point = roofline_point(result, bandwidth=8.0)
+        assert point.attainable == min(point.compute_roof, point.bandwidth_roof)
+
+    def test_compute_roof_is_pe_count(self, result):
+        point = roofline_point(result, bandwidth=8.0)
+        assert point.compute_roof == result.total_pes
+
+    def test_bound_classification_flips_with_bandwidth(self, result):
+        starved = roofline_point(result, bandwidth=1e-3)
+        fed = roofline_point(result, bandwidth=1e6)
+        assert not starved.compute_bound
+        assert fed.compute_bound
+
+    def test_ridge_point(self, result):
+        point = roofline_point(result, bandwidth=8.0)
+        assert point.ridge_intensity == pytest.approx(point.compute_roof / 8.0)
+
+    def test_rejects_bad_bandwidth(self, result):
+        with pytest.raises(ValueError):
+            roofline_point(result, bandwidth=0)
+
+    @settings(max_examples=20)
+    @given(st.floats(0.01, 10**6))
+    def test_achieved_below_compute_roof_always(self, bandwidth):
+        config = HardwareConfig(array_rows=8, array_cols=8,
+                                ifmap_sram_kb=16, filter_sram_kb=16, ofmap_sram_kb=8)
+        result = Simulator(config).run_layer(GemmLayer("g", m=40, k=16, n=24))
+        point = roofline_point(result, bandwidth)
+        # The stall-free simulator can exceed the *bandwidth* roof (it
+        # assumed enough bandwidth) but never the compute roof.
+        assert point.achieved_macs_per_cycle <= point.compute_roof + 1e-9

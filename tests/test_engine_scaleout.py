@@ -1,0 +1,120 @@
+"""Unit tests for the scale-out (partitioned) simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.config.presets import paper_scaling_config
+from repro.engine.scaleout import ScaleOutSimulator, simulate
+from repro.engine.simulator import Simulator
+from repro.topology.layer import GemmLayer
+
+
+def grid_config(rows=8, cols=8, p_rows=2, p_cols=2, dataflow=Dataflow.OUTPUT_STATIONARY):
+    return HardwareConfig(
+        array_rows=rows,
+        array_cols=cols,
+        partition_rows=p_rows,
+        partition_cols=p_cols,
+        ifmap_sram_kb=64,
+        filter_sram_kb=64,
+        ofmap_sram_kb=32,
+        dataflow=dataflow,
+    )
+
+
+LAYER = GemmLayer("g", m=64, k=20, n=48)
+
+
+class TestAggregation:
+    def test_macs_conserved(self, dataflow):
+        result = ScaleOutSimulator(grid_config(dataflow=dataflow)).run_layer(LAYER)
+        assert result.macs == LAYER.macs
+
+    def test_runtime_is_slowest_partition(self):
+        sim = ScaleOutSimulator(grid_config())
+        result, shares = sim.run_layer_detailed(LAYER)
+        assert result.total_cycles == max(s.result.total_cycles for s in shares)
+
+    def test_partition_counts_sum_to_grid(self):
+        sim = ScaleOutSimulator(grid_config(p_rows=2, p_cols=4))
+        _, shares = sim.run_layer_detailed(LAYER)
+        assert sum(s.count for s in shares) == 8
+
+    def test_traffic_sums_over_partitions(self):
+        sim = ScaleOutSimulator(grid_config())
+        result, shares = sim.run_layer_detailed(LAYER)
+        assert result.dram_read_bytes == sum(
+            s.result.dram_read_bytes * s.count for s in shares
+        )
+        assert result.sram.total == sum(s.result.sram.total * s.count for s in shares)
+
+    def test_result_records_grid(self):
+        result = ScaleOutSimulator(grid_config(p_rows=2, p_cols=4)).run_layer(LAYER)
+        assert result.partition_rows == 2
+        assert result.partition_cols == 4
+        assert result.total_pes == 8 * 8 * 8
+
+
+class TestScalingBehaviour:
+    def test_never_slower_than_monolithic_equal_macs(self, dataflow):
+        """The paper's headline: partitioning never loses on runtime."""
+        layer = GemmLayer("g", m=256, k=30, n=256)
+        mono = Simulator(
+            paper_scaling_config(32, 32, dataflow=dataflow)
+        ).run_layer(layer)
+        parts = ScaleOutSimulator(
+            paper_scaling_config(16, 16, 2, 2, dataflow=dataflow)
+        ).run_layer(layer)
+        assert parts.total_cycles <= mono.total_cycles
+
+    def test_partitioning_raises_dram_traffic(self):
+        """Loss of spatial reuse: aggregate DRAM reads grow with the grid."""
+        layer = GemmLayer("g", m=256, k=64, n=256)
+        mono = Simulator(paper_scaling_config(32, 32)).run_layer(layer)
+        parts = ScaleOutSimulator(paper_scaling_config(8, 8, 4, 4)).run_layer(layer)
+        assert parts.dram_read_bytes > mono.dram_read_bytes
+
+    def test_idle_partitions_tolerated(self):
+        """Grid larger than the workload leaves partitions idle but works."""
+        tiny = GemmLayer("tiny", m=2, k=3, n=2)
+        result = ScaleOutSimulator(grid_config(p_rows=4, p_cols=4)).run_layer(tiny)
+        assert result.macs == tiny.macs
+
+    def test_1x1_grid_matches_monolithic(self, dataflow):
+        config = grid_config(p_rows=1, p_cols=1, dataflow=dataflow)
+        so_result = ScaleOutSimulator(config).run_layer(LAYER)
+        mono = Simulator(config).run_layer(LAYER)
+        assert so_result.total_cycles == mono.total_cycles
+        assert so_result.dram_read_bytes == mono.dram_read_bytes
+
+    @settings(max_examples=25)
+    @given(
+        st.integers(1, 100), st.integers(1, 30), st.integers(1, 100),
+        st.sampled_from([(1, 2), (2, 1), (2, 2), (1, 4), (4, 4)]),
+    )
+    def test_compute_utilization_bounded(self, m, k, n, grid):
+        layer = GemmLayer("g", m=m, k=k, n=n)
+        config = grid_config(p_rows=grid[0], p_cols=grid[1])
+        result = ScaleOutSimulator(config).run_layer(layer)
+        assert 0 < result.compute_utilization <= 1
+        assert 0 <= result.mapping_utilization <= 1
+
+
+class TestConvenienceFrontDoor:
+    def test_simulate_routes_monolithic(self):
+        config = grid_config(p_rows=1, p_cols=1)
+        assert simulate(config, LAYER) == Simulator(config).run_layer(LAYER)
+
+    def test_simulate_routes_partitioned(self):
+        config = grid_config(p_rows=2, p_cols=2)
+        assert simulate(config, LAYER) == ScaleOutSimulator(config).run_layer(LAYER)
+
+    def test_run_network(self):
+        from repro.topology.network import Network
+
+        net = Network("two", [GemmLayer("a", m=20, k=8, n=20), GemmLayer("b", m=10, k=4, n=10)])
+        run = ScaleOutSimulator(grid_config()).run_network(net)
+        assert len(run) == 2
+        assert run.total_cycles == run["a"].total_cycles + run["b"].total_cycles

@@ -1,0 +1,115 @@
+"""Unit tests for the single-array simulator."""
+
+import pytest
+
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.engine.simulator import Simulator
+from repro.errors import SimulationError
+from repro.topology.layer import ConvLayer, GemmLayer
+from repro.topology.network import Network
+from repro.workloads.alexnet import alexnet
+
+
+class TestConstruction:
+    def test_rejects_partitioned_config(self):
+        config = HardwareConfig(partition_rows=2)
+        with pytest.raises(SimulationError, match="ScaleOutSimulator"):
+            Simulator(config)
+
+
+class TestRunLayer:
+    def test_result_identity_fields(self, small_config, small_conv):
+        result = Simulator(small_config).run_layer(small_conv)
+        assert result.layer_name == "conv"
+        assert result.array_rows == 8
+        assert result.num_partitions == 1
+        assert result.dataflow is Dataflow.OUTPUT_STATIONARY
+
+    def test_macs_match_layer(self, small_config, small_conv):
+        result = Simulator(small_config).run_layer(small_conv)
+        assert result.macs == small_conv.macs
+
+    def test_cycles_positive_and_bounded(self, small_config, small_conv):
+        result = Simulator(small_config).run_layer(small_conv)
+        # Can't beat perfect parallelism; can't be slower than serial.
+        assert result.total_cycles >= small_conv.macs / small_config.num_macs
+        assert result.total_cycles <= small_conv.macs + 10**6
+
+    def test_utilizations_in_range(self, small_config, small_conv):
+        result = Simulator(small_config).run_layer(small_conv)
+        assert 0 < result.mapping_utilization <= 1
+        assert 0 < result.compute_utilization <= 1
+        assert result.compute_utilization <= result.mapping_utilization
+
+    def test_run_gemm_equivalent_to_gemm_layer(self, small_config):
+        sim = Simulator(small_config)
+        by_layer = sim.run_layer(GemmLayer("g", m=30, k=12, n=20))
+        by_dims = sim.run_gemm(30, 12, 20, name="g")
+        assert by_layer == by_dims
+
+    def test_dataflow_changes_cycles(self, small_config):
+        layer = GemmLayer("g", m=100, k=5, n=30)
+        os_cycles = Simulator(small_config).run_layer(layer).total_cycles
+        ws_cycles = Simulator(
+            small_config.with_dataflow(Dataflow.WEIGHT_STATIONARY)
+        ).run_layer(layer).total_cycles
+        assert os_cycles != ws_cycles
+
+    def test_fc_layer_runs(self, small_config):
+        layer = ConvLayer.fully_connected("fc", inputs=64, outputs=32)
+        result = Simulator(small_config).run_layer(layer)
+        assert result.macs == 64 * 32
+
+    def test_degenerate_1x1_layer(self, small_config):
+        layer = GemmLayer("tiny", m=1, k=1, n=1)
+        result = Simulator(small_config).run_layer(layer)
+        assert result.total_cycles == 2  # Eq. 3 with r=c=T=1
+        assert result.macs == 1
+
+
+class TestSramAccounting:
+    def test_os_sram_totals(self, small_config):
+        layer = GemmLayer("g", m=16, k=10, n=16)  # divides 8x8 exactly
+        result = Simulator(small_config).run_layer(layer)
+        plan_cols = 2  # 16/8
+        plan_rows = 2
+        assert result.sram.ifmap_reads == 16 * 10 * plan_cols
+        assert result.sram.filter_reads == 16 * 10 * plan_rows
+        assert result.sram.ofmap_writes == 16 * 16
+
+    def test_dram_reads_at_least_unique(self, small_config, small_conv):
+        result = Simulator(small_config).run_layer(small_conv)
+        assert result.dram_read_bytes >= (
+            small_conv.ifmap_elements + small_conv.filter_elements
+        )
+
+    def test_bandwidths_consistent(self, small_config, small_conv):
+        result = Simulator(small_config).run_layer(small_conv)
+        assert result.avg_read_bw == pytest.approx(
+            result.dram_read_bytes / result.total_cycles
+        )
+        assert result.avg_total_bw == pytest.approx(result.avg_read_bw + result.avg_write_bw)
+
+
+class TestRunNetwork:
+    def test_network_runs_all_layers(self, small_config):
+        net = alexnet()
+        run = Simulator(small_config).run_network(net)
+        assert len(run) == len(net)
+        assert run.network_name == "alexnet"
+
+    def test_network_cycles_add(self, small_config):
+        net = alexnet()
+        run = Simulator(small_config).run_network(net)
+        assert run.total_cycles == sum(layer.total_cycles for layer in run)
+
+    def test_lookup_by_name(self, small_config):
+        run = Simulator(small_config).run_network(alexnet())
+        assert run["FC8"].layer_name == "FC8"
+        with pytest.raises(KeyError):
+            run["nope"]
+
+    def test_total_macs_match_network(self, small_config):
+        net = alexnet()
+        run = Simulator(small_config).run_network(net)
+        assert run.total_macs == net.total_macs

@@ -1,0 +1,71 @@
+"""Unit + property tests for the SRAM bandwidth report."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hardware import Dataflow
+from repro.dataflow.factory import engine_for_gemm
+from repro.engine.sram_bandwidth import demand_histogram, sram_bandwidth_report
+
+DIM = st.integers(1, 40)
+ARR = st.integers(1, 10)
+
+
+class TestReport:
+    def engine(self, dataflow=Dataflow.OUTPUT_STATIONARY):
+        return engine_for_gemm(20, 12, 16, dataflow, 8, 8)
+
+    def test_averages_match_totals(self, dataflow):
+        engine = self.engine(dataflow)
+        report = sram_bandwidth_report(engine)
+        counts = engine.layer_counts()
+        cycles = engine.total_cycles()
+        assert report.total_cycles == cycles
+        assert report.avg_ifmap_read == pytest.approx(counts.ifmap_reads / cycles)
+        assert report.avg_filter_read == pytest.approx(counts.filter_reads / cycles)
+        assert report.avg_ofmap_write == pytest.approx(counts.ofmap_writes / cycles)
+
+    def test_max_bounded_by_array_edge(self, dataflow):
+        engine = self.engine(dataflow)
+        report = sram_bandwidth_report(engine)
+        bound = max(engine.array_rows, engine.array_cols)
+        assert report.max_ifmap_read <= bound
+        assert report.max_filter_read <= bound
+        assert report.max_ofmap_write <= engine.array_cols
+
+    def test_os_peaks_hit_the_mapped_edges(self):
+        # A workload that fills the array reaches one read per row/col.
+        engine = engine_for_gemm(8, 20, 8, Dataflow.OUTPUT_STATIONARY, 8, 8)
+        report = sram_bandwidth_report(engine)
+        assert report.max_ifmap_read == 8
+        assert report.max_filter_read == 8
+        assert report.max_ofmap_write == 8
+
+    @given(DIM, DIM, DIM, ARR, ARR, st.sampled_from(list(Dataflow)))
+    @settings(max_examples=40)
+    def test_avg_never_exceeds_max(self, m, k, n, rows, cols, dataflow):
+        engine = engine_for_gemm(m, k, n, dataflow, rows, cols)
+        report = sram_bandwidth_report(engine)
+        assert report.avg_ifmap_read <= report.max_ifmap_read
+        assert report.avg_filter_read <= report.max_filter_read
+        assert report.avg_ofmap_write <= report.max_ofmap_write
+
+
+class TestHistogram:
+    def test_histogram_sums_to_cycles(self, dataflow):
+        engine = engine_for_gemm(20, 12, 16, dataflow, 8, 8)
+        for stream in ("ifmap", "filter", "ofmap"):
+            histogram = demand_histogram(engine, stream)
+            assert histogram.sum() == engine.total_cycles()
+
+    def test_histogram_weighted_sum_is_total_traffic(self):
+        engine = engine_for_gemm(20, 12, 16, Dataflow.OUTPUT_STATIONARY, 8, 8)
+        histogram = demand_histogram(engine, "ifmap")
+        weighted = sum(d * count for d, count in enumerate(histogram))
+        assert weighted == engine.layer_counts().ifmap_reads
+
+    def test_unknown_stream_rejected(self):
+        engine = engine_for_gemm(4, 4, 4, Dataflow.OUTPUT_STATIONARY, 4, 4)
+        with pytest.raises(ValueError):
+            demand_histogram(engine, "psum")

@@ -1,0 +1,98 @@
+"""Unit + property tests for the bandwidth-limited runtime model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.dataflow.factory import engine_for_gemm
+from repro.engine.stalls import bandwidth_limited_runtime, sweet_spot_bandwidth
+from repro.memory.bandwidth import compute_dram_traffic
+from repro.memory.buffers import BufferSet
+
+
+def traffic_for(m=64, k=32, n=64, rows=8, cols=8, kb=2, dataflow=Dataflow.OUTPUT_STATIONARY):
+    config = HardwareConfig(
+        array_rows=rows, array_cols=cols,
+        ifmap_sram_kb=kb, filter_sram_kb=kb, ofmap_sram_kb=kb,
+        dataflow=dataflow,
+    )
+    engine = engine_for_gemm(m, k, n, dataflow, rows, cols)
+    return compute_dram_traffic(engine, BufferSet.from_config(config), 1)
+
+
+class TestBandwidthLimitedRuntime:
+    def test_infinite_bandwidth_approaches_stall_free(self):
+        traffic = traffic_for()
+        stalled = bandwidth_limited_runtime(traffic, 1e12)
+        assert stalled.total_cycles == pytest.approx(traffic.total_cycles, rel=1e-6)
+        assert stalled.slowdown == pytest.approx(1.0, rel=1e-6)
+
+    def test_tiny_bandwidth_is_transfer_bound(self):
+        traffic = traffic_for()
+        bandwidth = 1e-3
+        stalled = bandwidth_limited_runtime(traffic, bandwidth)
+        # All bytes must cross the interface at that rate, minimum.
+        assert stalled.total_cycles >= traffic.total_bytes / bandwidth * 0.99
+
+    def test_never_faster_than_stall_free(self):
+        traffic = traffic_for()
+        for bandwidth in (0.1, 1.0, 10.0, 100.0):
+            stalled = bandwidth_limited_runtime(traffic, bandwidth)
+            assert stalled.total_cycles >= traffic.total_cycles
+
+    def test_monotone_in_bandwidth(self):
+        traffic = traffic_for()
+        runtimes = [
+            bandwidth_limited_runtime(traffic, bandwidth).total_cycles
+            for bandwidth in (0.1, 0.5, 1, 2, 8, 32, 128)
+        ]
+        assert runtimes == sorted(runtimes, reverse=True)
+
+    def test_stall_cycles_accounting(self):
+        traffic = traffic_for()
+        stalled = bandwidth_limited_runtime(traffic, 1.0)
+        assert stalled.stall_cycles == pytest.approx(
+            stalled.total_cycles - stalled.compute_cycles
+        )
+
+    def test_rejects_non_positive_bandwidth(self):
+        with pytest.raises(ValueError):
+            bandwidth_limited_runtime(traffic_for(), 0)
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(1, 60), st.integers(1, 40), st.integers(1, 60),
+        st.sampled_from(list(Dataflow)),
+        st.floats(0.01, 1000.0),
+    )
+    def test_bounds_hold_for_any_layer(self, m, k, n, dataflow, bandwidth):
+        traffic = traffic_for(m=m, k=k, n=n, dataflow=dataflow)
+        stalled = bandwidth_limited_runtime(traffic, bandwidth)
+        assert stalled.total_cycles >= traffic.total_cycles
+        assert stalled.total_cycles >= traffic.total_bytes / bandwidth * 0.5
+
+
+class TestSweetSpotBandwidth:
+    def test_found_bandwidth_meets_tolerance(self):
+        traffic = traffic_for()
+        bandwidth = sweet_spot_bandwidth(traffic, tolerance=0.05)
+        stalled = bandwidth_limited_runtime(traffic, bandwidth)
+        assert stalled.slowdown <= 1.05 + 1e-6
+
+    def test_found_bandwidth_is_tight(self):
+        traffic = traffic_for()
+        bandwidth = sweet_spot_bandwidth(traffic, tolerance=0.05)
+        # Halving it must violate the tolerance: the answer is not slack.
+        worse = bandwidth_limited_runtime(traffic, bandwidth / 2)
+        assert worse.slowdown > 1.05
+
+    def test_tighter_tolerance_needs_more_bandwidth(self):
+        traffic = traffic_for()
+        loose = sweet_spot_bandwidth(traffic, tolerance=0.2)
+        tight = sweet_spot_bandwidth(traffic, tolerance=0.01)
+        assert tight >= loose
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            sweet_spot_bandwidth(traffic_for(), tolerance=0)

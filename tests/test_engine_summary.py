@@ -1,0 +1,68 @@
+"""Tests for run-level summaries."""
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.engine.summary import amdahl_speedup_limit, summarize_run
+from repro.topology.layer import GemmLayer
+from repro.topology.network import Network
+
+
+@pytest.fixture
+def run(small_config):
+    net = Network("three", [
+        GemmLayer("tiny", m=4, k=4, n=4),
+        GemmLayer("medium", m=40, k=16, n=24),
+        GemmLayer("huge", m=200, k=64, n=200),
+    ])
+    return Simulator(small_config).run_network(net)
+
+
+class TestSummarizeRun:
+    def test_totals_match_run(self, run):
+        summary = summarize_run(run)
+        assert summary.total_cycles == run.total_cycles
+        assert summary.total_macs == run.total_macs
+
+    def test_hot_spots_sorted(self, run):
+        summary = summarize_run(run)
+        cycles = [entry[1] for entry in summary.top_cycle_layers]
+        assert cycles == sorted(cycles, reverse=True)
+        assert summary.top_cycle_layers[0][0] == "huge"
+
+    def test_shares_sum_below_one(self, run):
+        summary = summarize_run(run, top_k=2)
+        assert sum(entry[2] for entry in summary.top_cycle_layers) <= 1.0 + 1e-9
+
+    def test_top_k_bounds_lists(self, run):
+        summary = summarize_run(run, top_k=1)
+        assert len(summary.top_cycle_layers) == 1
+        assert len(summary.top_traffic_layers) == 1
+
+    def test_worst_utilization_layer(self, run):
+        summary = summarize_run(run)
+        worst = min(run, key=lambda layer: layer.compute_utilization)
+        assert summary.worst_utilization_layer == worst.layer_name
+
+    def test_rejects_bad_top_k(self, run):
+        with pytest.raises(ValueError):
+            summarize_run(run, top_k=0)
+
+    def test_describe_is_readable(self, run):
+        text = summarize_run(run).describe()
+        assert "cycle hot spots" in text
+        assert "huge" in text
+
+
+class TestAmdahl:
+    def test_dominant_layer_bounds_speedup(self, run):
+        limit = amdahl_speedup_limit(run, "huge")
+        share = run["huge"].total_cycles / run.total_cycles
+        assert limit == pytest.approx(1 / (1 - share))
+
+    def test_tiny_layer_gives_tiny_speedup(self, run):
+        assert amdahl_speedup_limit(run, "tiny") < 1.05
+
+    def test_unknown_layer_raises(self, run):
+        with pytest.raises(KeyError):
+            amdahl_speedup_limit(run, "nope")

@@ -1,0 +1,83 @@
+"""Unit tests for SRAM trace files and DRAM request streams."""
+
+import pytest
+
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.dataflow.base import AddressLayout
+from repro.dataflow.factory import engine_for_gemm
+from repro.engine.tracefiles import dram_request_stream, write_sram_trace_csv
+from repro.memory.bandwidth import compute_dram_traffic
+from repro.memory.buffers import BufferSet
+
+
+def small_engine(dataflow=Dataflow.OUTPUT_STATIONARY):
+    return engine_for_gemm(12, 6, 10, dataflow, 4, 4)
+
+
+LAYOUT = AddressLayout(m=12, k=6, n=10)
+
+
+class TestSramTraceCsv:
+    def test_files_created(self, tmp_path, dataflow):
+        engine = small_engine(dataflow)
+        read_path, write_path = write_sram_trace_csv(engine, LAYOUT, tmp_path, prefix="t")
+        assert read_path.name == "t_sram_read.csv"
+        assert read_path.exists() and write_path.exists()
+
+    def test_read_rows_match_counts(self, tmp_path):
+        engine = small_engine()
+        read_path, _ = write_sram_trace_csv(engine, LAYOUT, tmp_path)
+        total_addresses = 0
+        for line in read_path.read_text().splitlines():
+            cells = [cell for cell in line.split(",") if cell]
+            int(cells[0])  # cycle parses
+            total_addresses += len(cells) - 1
+        assert total_addresses == engine.layer_counts().total_reads
+
+    def test_write_rows_match_counts(self, tmp_path):
+        engine = small_engine()
+        _, write_path = write_sram_trace_csv(engine, LAYOUT, tmp_path)
+        total = sum(
+            len([cell for cell in line.split(",") if cell]) - 1
+            for line in write_path.read_text().splitlines()
+        )
+        assert total == engine.layer_counts().ofmap_writes
+
+
+class TestDramRequestStream:
+    def traffic(self):
+        engine = engine_for_gemm(64, 32, 48, Dataflow.OUTPUT_STATIONARY, 8, 8)
+        config = HardwareConfig(ifmap_sram_kb=4, filter_sram_kb=4, ofmap_sram_kb=4)
+        return engine, compute_dram_traffic(engine, BufferSet.from_config(config), 1)
+
+    def test_byte_volume_preserved(self):
+        engine, traffic = self.traffic()
+        requests = list(dram_request_stream(traffic, AddressLayout(m=64, k=32, n=48), line_bytes=64))
+        reads = sum(1 for req in requests if not req.is_write)
+        writes = sum(1 for req in requests if req.is_write)
+        assert reads * 64 >= traffic.read_bytes
+        assert reads * 64 < traffic.read_bytes + 64 * len(traffic.fold_cycles) * 2
+        assert writes * 64 >= traffic.write_bytes
+
+    def test_requests_sorted_by_cycle(self):
+        engine, traffic = self.traffic()
+        requests = list(dram_request_stream(traffic, AddressLayout(m=64, k=32, n=48)))
+        cycles = [req.cycle for req in requests]
+        assert cycles == sorted(cycles)
+
+    def test_cycles_within_schedule_span(self):
+        engine, traffic = self.traffic()
+        requests = list(dram_request_stream(traffic, AddressLayout(m=64, k=32, n=48)))
+        assert min(req.cycle for req in requests) >= 0
+        assert max(req.cycle for req in requests) <= 2 * traffic.total_cycles
+
+    def test_rejects_bad_line_bytes(self):
+        _, traffic = self.traffic()
+        with pytest.raises(ValueError):
+            list(dram_request_stream(traffic, LAYOUT, line_bytes=0))
+
+    def test_addresses_advance_monotonically_per_stream(self):
+        engine, traffic = self.traffic()
+        requests = list(dram_request_stream(traffic, AddressLayout(m=64, k=32, n=48)))
+        write_addrs = [req.address for req in requests if req.is_write]
+        assert write_addrs == sorted(write_addrs)

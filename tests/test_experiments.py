@@ -1,0 +1,112 @@
+"""Tests for the repro.experiments package (figure regeneration API)."""
+
+import pytest
+
+from repro.experiments.common import paper_partitioned_config, square_grid
+from repro.experiments.fig04 import fig04_validation
+from repro.experiments.fig09 import fig09a_search_space, fig09bc_aspect_sweep
+from repro.experiments.fig10 import ratio_rows
+from repro.experiments.fig11 import partition_sweep
+from repro.experiments.fig12 import energy_optimal_partitions, energy_sweep
+from repro.experiments.fig13 import loss_rows, language_workloads
+from repro.experiments.registry import available_experiments, run_experiment
+from repro.experiments.tables import (
+    table1_config_schema,
+    table2_topology_schema,
+    table3_mapping,
+    table4_language_dims,
+)
+from repro.workloads.language import language_layer
+
+
+class TestCommon:
+    def test_square_grid_perfect_square(self):
+        assert square_grid(16) == (4, 4)
+
+    def test_square_grid_non_square(self):
+        assert square_grid(8) == (2, 4)
+
+    def test_square_grid_one(self):
+        assert square_grid(1) == (1, 1)
+
+    def test_paper_partitioned_config(self):
+        config = paper_partitioned_config(2**14, 16)
+        assert config.total_macs == 2**14
+        assert config.num_partitions == 16
+        assert config.ifmap_sram_kb == 512  # total budget, divided later
+
+
+class TestTables:
+    def test_table1_rows(self):
+        assert len(table1_config_schema()) == 13
+
+    def test_table2_rows(self):
+        assert len(table2_topology_schema()) == 8
+
+    def test_table3_rows(self):
+        assert {row["dataflow"] for row in table3_mapping()} == {"os", "ws", "is"}
+
+    def test_table4_rows(self):
+        assert len(table4_language_dims()) == 10
+
+
+class TestFigureFunctions:
+    def test_fig04_small(self):
+        rows = fig04_validation(sizes=(4, 8))
+        assert [row["array"] for row in rows] == ["4x4", "8x8"]
+        assert all(row["sim_cycles"] == row["rtl_cycles"] for row in rows)
+
+    def test_fig09a_small_budget(self):
+        rows = fig09a_search_space(budgets=(2**10,))
+        assert all(row["macs"] == 2**10 for row in rows)
+        assert all(0 < row["normalized"] <= 1 for row in rows)
+
+    def test_fig09bc_sorted_by_aspect(self):
+        rows = fig09bc_aspect_sweep(2**10)
+        aspects = [row["aspect_R:C"] for row in rows]
+        assert aspects == sorted(aspects)
+
+    def test_fig10_rows(self):
+        rows = ratio_rows([language_layer("TF1")], budgets=(2**10,))
+        assert len(rows) == 1
+        assert rows[0]["ratio"] > 0
+
+    def test_fig11_partition_sweep(self):
+        rows = partition_sweep(language_layer("TF1"), 2**10, partition_counts=(1, 4))
+        assert [row["partitions"] for row in rows] == [1, 4]
+        assert rows[1]["cycles"] <= rows[0]["cycles"]
+
+    def test_fig12_energy_sweep(self):
+        rows = energy_sweep(language_layer("TF1"), 2**10, partition_counts=(1, 4))
+        assert all(row["e_total"] > 0 for row in rows)
+
+    def test_fig12_optima_extraction(self):
+        rows = [
+            {"macs": 1, "partitions": 1, "e_total": 5.0},
+            {"macs": 1, "partitions": 4, "e_total": 3.0},
+            {"macs": 2, "partitions": 1, "e_total": 1.0},
+        ]
+        assert energy_optimal_partitions(rows) == {1: 4, 2: 1}
+
+    def test_fig13_losses(self):
+        rows = loss_rows(language_workloads(), budgets=(2**10,), scaleout=False)
+        assert min(row["perf_loss"] for row in rows) == 1.0
+
+
+class TestRegistry:
+    def test_all_listed_experiments_have_builders(self):
+        names = available_experiments()
+        assert "fig4" in names and "table4" in names
+
+    def test_run_experiment_dispatch(self):
+        rows = run_experiment("table4")
+        assert len(rows) == 10
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="available"):
+            run_experiment("fig99")
+
+    @pytest.mark.parametrize("name", ["table1", "table2", "table3", "table4", "fig4"])
+    def test_cheap_experiments_run(self, name):
+        rows = run_experiment(name)
+        assert rows and isinstance(rows[0], dict)

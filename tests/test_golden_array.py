@@ -1,0 +1,72 @@
+"""Unit tests for the register-level fold simulators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.golden.array import (
+    run_output_stationary_fold,
+    run_weight_stationary_fold,
+)
+
+
+class TestOutputStationaryFold:
+    def test_computes_the_product(self, rng):
+        a = rng.integers(-9, 9, (5, 7))
+        b = rng.integers(-9, 9, (7, 4))
+        result = run_output_stationary_fold(a, b)
+        assert np.array_equal(result.output, a @ b)
+
+    def test_cycle_count_matches_eq3(self, rng):
+        for r, c, t in [(1, 1, 1), (4, 4, 4), (3, 7, 5), (8, 2, 11)]:
+            a = rng.integers(-3, 3, (r, t))
+            b = rng.integers(-3, 3, (t, c))
+            result = run_output_stationary_fold(a, b)
+            assert result.cycles == 2 * r + c + t - 2
+
+    def test_mac_count_exact(self, rng):
+        a = rng.integers(-3, 3, (5, 6))
+        b = rng.integers(-3, 3, (6, 4))
+        assert run_output_stationary_fold(a, b).macs == 5 * 6 * 4
+
+    def test_rejects_mismatched_inner(self):
+        with pytest.raises(SimulationError, match="inner dimensions"):
+            run_output_stationary_fold(np.ones((2, 3)), np.ones((4, 2)))
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(SimulationError):
+            run_output_stationary_fold(np.ones(3), np.ones((3, 2)))
+
+    def test_identity_matrix(self):
+        eye = np.eye(4, dtype=np.int64)
+        result = run_output_stationary_fold(eye, eye)
+        assert np.array_equal(result.output, eye)
+
+
+class TestWeightStationaryFold:
+    def test_computes_stream_times_stationary(self, rng):
+        stream = rng.integers(-9, 9, (6, 5))  # T x r
+        stationary = rng.integers(-9, 9, (5, 3))  # r x c
+        result = run_weight_stationary_fold(stream, stationary)
+        assert np.array_equal(result.output, stream @ stationary)
+
+    def test_cycle_count_matches_eq3(self, rng):
+        for r, c, t in [(1, 1, 1), (4, 4, 4), (3, 7, 5), (8, 2, 11)]:
+            stream = rng.integers(-3, 3, (t, r))
+            stationary = rng.integers(-3, 3, (r, c))
+            result = run_weight_stationary_fold(stream, stationary)
+            assert result.cycles == 2 * r + c + t - 2
+
+    def test_mac_count_counts_pass_through(self, rng):
+        stream = rng.integers(-3, 3, (6, 5))
+        stationary = rng.integers(-3, 3, (5, 3))
+        assert run_weight_stationary_fold(stream, stationary).macs == 6 * 5 * 3
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(SimulationError, match="row dimensions"):
+            run_weight_stationary_fold(np.ones((6, 5)), np.ones((4, 3)))
+
+    def test_single_pe(self):
+        result = run_weight_stationary_fold(np.array([[3]]), np.array([[4]]))
+        assert result.output[0, 0] == 12
+        assert result.cycles == 2  # 2*1 + 1 + 1 - 2

@@ -1,0 +1,48 @@
+"""Unit + property tests for the folded register-level GEMM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hardware import Dataflow
+from repro.errors import SimulationError
+from repro.golden.gemm import golden_gemm
+
+DIM = st.integers(1, 14)
+ARR = st.integers(1, 6)
+
+
+class TestGoldenGemm:
+    def test_single_fold_result(self, rng, dataflow):
+        a = rng.integers(-9, 9, (4, 5))
+        b = rng.integers(-9, 9, (5, 3))
+        result = golden_gemm(a, b, dataflow, 16, 16)
+        assert np.array_equal(result.output, a @ b)
+        assert result.num_folds == 1
+
+    def test_folded_result(self, rng, dataflow):
+        a = rng.integers(-9, 9, (10, 7))
+        b = rng.integers(-9, 9, (7, 9))
+        result = golden_gemm(a, b, dataflow, 4, 4)
+        assert np.array_equal(result.output, a @ b)
+        assert result.num_folds > 1
+
+    def test_total_macs(self, rng, dataflow):
+        a = rng.integers(-3, 3, (6, 5))
+        b = rng.integers(-3, 3, (5, 7))
+        result = golden_gemm(a, b, dataflow, 4, 4)
+        assert result.macs == 6 * 5 * 7
+
+    def test_rejects_shape_mismatch(self, dataflow):
+        with pytest.raises(SimulationError):
+            golden_gemm(np.ones((2, 3)), np.ones((4, 5)), dataflow, 4, 4)
+
+    @settings(max_examples=25)
+    @given(DIM, DIM, DIM, ARR, ARR, st.sampled_from(list(Dataflow)))
+    def test_always_equals_numpy_matmul(self, m, k, n, rows, cols, dataflow):
+        rng = np.random.default_rng(m * 10007 + k * 101 + n)
+        a = rng.integers(-9, 9, (m, k))
+        b = rng.integers(-9, 9, (k, n))
+        result = golden_gemm(a, b, dataflow, rows, cols)
+        assert np.array_equal(result.output, a @ b)

@@ -1,0 +1,50 @@
+"""Tests for the cross-model validation harness."""
+
+import pytest
+
+from repro.config.hardware import Dataflow
+from repro.golden.validate import validate_configuration, validation_sweep
+
+
+class TestValidateConfiguration:
+    def test_divisible_case_exact(self):
+        report = validate_configuration(16, 8, 16, Dataflow.OUTPUT_STATIONARY, 8, 8)
+        assert report.dims_divide
+        assert report.passed
+        assert report.engine_cycles == report.analytical_cycles
+
+    def test_non_divisible_case_bounded(self):
+        report = validate_configuration(17, 8, 13, Dataflow.OUTPUT_STATIONARY, 8, 8)
+        assert not report.dims_divide
+        assert report.passed
+        assert report.engine_cycles < report.analytical_cycles
+
+    def test_all_dataflows_pass(self):
+        for dataflow in Dataflow:
+            assert validate_configuration(11, 7, 9, dataflow, 4, 6).passed
+
+    def test_describe_mentions_status(self):
+        report = validate_configuration(8, 4, 8, Dataflow.WEIGHT_STATIONARY, 4, 4)
+        assert report.describe().startswith("[PASS]")
+
+    def test_seed_changes_data_not_cycles(self):
+        a = validate_configuration(9, 5, 7, Dataflow.OUTPUT_STATIONARY, 4, 4, seed=1)
+        b = validate_configuration(9, 5, 7, Dataflow.OUTPUT_STATIONARY, 4, 4, seed=2)
+        assert a.engine_cycles == b.engine_cycles
+        assert a.golden_cycles == b.golden_cycles
+
+
+class TestValidationSweep:
+    def test_sweep_covers_all_dataflows(self):
+        reports = validation_sweep(trials=3)
+        dataflows = {report.dataflow for report in reports}
+        assert dataflows == set(Dataflow)
+
+    def test_sweep_all_pass(self):
+        reports = validation_sweep(trials=5, max_dim=16, max_array=6)
+        assert all(report.passed for report in reports)
+
+    def test_sweep_is_deterministic(self):
+        a = validation_sweep(seed=3, trials=2)
+        b = validation_sweep(seed=3, trials=2)
+        assert a == b

@@ -1,0 +1,84 @@
+"""Cross-model integration: trace engine vs analytical model vs golden array.
+
+These are the paper's Fig. 4 validation story, generalized: three
+independently implemented models of the same machine must agree on
+cycle counts wherever their assumptions coincide.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytical.runtime import scaleup_runtime
+from repro.config.hardware import Dataflow
+from repro.dataflow.factory import engine_for_gemm
+from repro.golden.gemm import golden_gemm
+from repro.mapping.dims import map_gemm
+
+DIM = st.integers(1, 16)
+ARR = st.integers(1, 6)
+DATAFLOWS = st.sampled_from(list(Dataflow))
+
+
+@settings(max_examples=30)
+@given(DIM, DIM, DIM, ARR, ARR, DATAFLOWS)
+def test_engine_matches_golden_exactly(m, k, n, rows, cols, dataflow):
+    """The trace-based engine and the register-level array agree on the
+    total cycle count for every geometry and dataflow."""
+    engine = engine_for_gemm(m, k, n, dataflow, rows, cols)
+    rng = np.random.default_rng(42)
+    a = rng.integers(-5, 5, (m, k))
+    b = rng.integers(-5, 5, (k, n))
+    golden = golden_gemm(a, b, dataflow, rows, cols)
+    assert engine.total_cycles() == golden.cycles
+
+
+@settings(max_examples=50)
+@given(DIM, DIM, DIM, ARR, ARR, DATAFLOWS)
+def test_engine_bounded_by_analytical(m, k, n, rows, cols, dataflow):
+    """Eq. 4 charges full-array latency to edge folds, so the exact
+    engine is never slower and matches when dims divide."""
+    engine = engine_for_gemm(m, k, n, dataflow, rows, cols)
+    mapping = map_gemm(m, k, n, dataflow)
+    analytical = scaleup_runtime(mapping, rows, cols)
+    assert engine.total_cycles() <= analytical
+
+
+@settings(max_examples=50)
+@given(st.integers(1, 8), st.integers(1, 8), st.integers(1, 8), ARR, ARR, DATAFLOWS)
+def test_engine_equals_analytical_when_dims_divide(sr_f, sc_f, t, rows, cols, dataflow):
+    """Exact equality on workloads whose mapped dims divide the array."""
+    from repro.mapping.dims import gemm_from_mapping
+
+    sr, sc = sr_f * rows, sc_f * cols
+    m, k, n = gemm_from_mapping(sr, sc, t, dataflow)
+    engine = engine_for_gemm(m, k, n, dataflow, rows, cols)
+    mapping = map_gemm(m, k, n, dataflow)
+    assert engine.total_cycles() == scaleup_runtime(mapping, rows, cols)
+
+
+@settings(max_examples=30)
+@given(DIM, DIM, DIM, DATAFLOWS)
+def test_fig4_full_utilization_square_arrays(m, k, n, dataflow):
+    """Fig. 4's setting: matmuls that exactly fill square arrays produce
+    identical cycles from simulator and 'RTL' (golden) model."""
+    mapping = map_gemm(m, k, n, dataflow)
+    rows, cols = mapping.sr, mapping.sc
+    engine = engine_for_gemm(m, k, n, dataflow, rows, cols)
+    rng = np.random.default_rng(7)
+    a = rng.integers(-4, 4, (m, k))
+    b = rng.integers(-4, 4, (k, n))
+    golden = golden_gemm(a, b, dataflow, rows, cols)
+    assert engine.total_cycles() == golden.cycles == 2 * rows + cols + mapping.t - 2
+
+
+@pytest.mark.parametrize("size", [4, 8, 16, 32])
+def test_fig4_series_square_os(size):
+    """The literal Fig. 4 sweep: square matmul on a square array, OS."""
+    engine = engine_for_gemm(size, size, size, Dataflow.OUTPUT_STATIONARY, size, size)
+    rng = np.random.default_rng(size)
+    a = rng.integers(-4, 4, (size, size))
+    b = rng.integers(-4, 4, (size, size))
+    golden = golden_gemm(a, b, Dataflow.OUTPUT_STATIONARY, size, size)
+    assert engine.total_cycles() == golden.cycles == 4 * size - 2

@@ -1,0 +1,117 @@
+"""End-to-end integration: the full user journeys, files to reports."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.config.parser import dump_config, load_config
+from repro.config.presets import paper_scaling_config
+from repro.engine.persistence import load_run_result, save_run_result
+from repro.engine.scaleout import ScaleOutSimulator
+from repro.engine.simulator import Simulator
+from repro.topology.parser import dump_topology, load_topology
+from repro.workloads.alexnet import alexnet
+from repro.workloads.language import language_layer
+
+
+class TestFileJourney:
+    """config INI + topology CSV -> CLI -> report CSV, all on disk."""
+
+    def test_full_file_pipeline(self, tmp_path):
+        config = HardwareConfig(
+            array_rows=16, array_cols=16,
+            ifmap_sram_kb=128, filter_sram_kb=128, ofmap_sram_kb=64,
+            run_name="journey",
+        )
+        config_path = dump_config(config, tmp_path / "hw.cfg")
+        topo_path = dump_topology(alexnet(), tmp_path / "net.csv")
+
+        code = main([
+            "run", "-c", str(config_path), "-t", str(topo_path),
+            "-o", str(tmp_path / "out"),
+        ])
+        assert code == 0
+
+        report_path = tmp_path / "out" / "net_report.csv"
+        with report_path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert [row["layer"] for row in rows] == alexnet().layer_names()
+
+        # The CSV numbers equal a direct library run on the same inputs.
+        direct = Simulator(load_config(config_path)).run_network(load_topology(topo_path))
+        for row, result in zip(rows, direct):
+            assert int(row["cycles"]) == result.total_cycles
+            assert int(row["dram_read_bytes"]) == result.dram_read_bytes
+
+
+class TestPersistenceJourney:
+    def test_simulate_save_reload_summarize(self, tmp_path, small_config):
+        from repro.engine.summary import summarize_run
+
+        run = Simulator(small_config).run_network(alexnet())
+        path = save_run_result(run, tmp_path / "alexnet.json")
+        restored = load_run_result(path)
+        original = summarize_run(run)
+        again = summarize_run(restored)
+        assert original == again
+
+    def test_saved_file_is_plain_json(self, tmp_path, small_config):
+        run = Simulator(small_config).run_network(alexnet())
+        path = save_run_result(run, tmp_path / "alexnet.json")
+        data = json.loads(path.read_text())
+        assert data["network_name"] == "alexnet"
+        assert len(data["layers"]) == len(alexnet())
+
+
+class TestScaleConsistency:
+    """Cross-checks the paper's figures rely on, at integration level."""
+
+    def test_scaleout_macs_equal_monolithic(self):
+        layer = language_layer("TF1")
+        mono = Simulator(paper_scaling_config(32, 32)).run_layer(layer)
+        grid = ScaleOutSimulator(paper_scaling_config(16, 16, 2, 2)).run_layer(layer)
+        assert mono.macs == grid.macs == layer.macs
+
+    def test_equal_budget_partitioning_never_slower_by_much(self):
+        """The Fig. 10 property on the cycle-accurate engine, across
+        several budgets."""
+        layer = language_layer("GNMT1")
+        for shape, grid in [((32, 32), (16, 16, 2, 2)), ((64, 64), (16, 16, 4, 4))]:
+            mono = Simulator(paper_scaling_config(*shape)).run_layer(layer)
+            parts = ScaleOutSimulator(paper_scaling_config(*grid)).run_layer(layer)
+            assert parts.total_cycles <= mono.total_cycles * 1.05
+
+    def test_every_dataflow_runs_the_same_network(self, small_config):
+        """All three dataflows agree on MAC counts for a whole network."""
+        totals = {}
+        for dataflow in Dataflow:
+            run = Simulator(small_config.with_dataflow(dataflow)).run_network(alexnet())
+            totals[dataflow] = run.total_macs
+        assert len(set(totals.values())) == 1
+
+
+class TestExperimentsRegression:
+    """Pin a few cheap, fully deterministic experiment outputs."""
+
+    def test_fig4_values(self):
+        from repro.experiments.fig04 import fig04_validation
+
+        rows = fig04_validation(sizes=(4, 8, 16))
+        assert [row["sim_cycles"] for row in rows] == [14, 30, 62]
+
+    def test_table4_tf0(self):
+        from repro.experiments.tables import table4_language_dims
+
+        tf0 = next(row for row in table4_language_dims() if row["name"] == "TF0")
+        assert (tf0["S_R"], tf0["T"], tf0["S_C"]) == (31999, 84, 1024)
+
+    def test_fig11_small_budget_is_deterministic(self):
+        from repro.experiments.fig11 import partition_sweep
+
+        layer = language_layer("TF1")
+        first = partition_sweep(layer, 2**12, partition_counts=(1, 4))
+        second = partition_sweep(layer, 2**12, partition_counts=(1, 4))
+        assert first == second

@@ -1,0 +1,73 @@
+"""Unit tests for Table III mapping (repro.mapping.dims)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config.hardware import Dataflow
+from repro.errors import MappingError
+from repro.mapping.dims import OperandMapping, gemm_from_mapping, map_gemm, map_layer
+from repro.topology.layer import ConvLayer
+
+DIMS = st.integers(1, 10**4)
+
+
+class TestTable3:
+    """The exact Table III assignments."""
+
+    def test_output_stationary(self):
+        mapping = map_gemm(10, 20, 30, Dataflow.OUTPUT_STATIONARY)
+        assert (mapping.sr, mapping.sc, mapping.t) == (10, 30, 20)
+
+    def test_weight_stationary(self):
+        mapping = map_gemm(10, 20, 30, Dataflow.WEIGHT_STATIONARY)
+        assert (mapping.sr, mapping.sc, mapping.t) == (20, 30, 10)
+
+    def test_input_stationary(self):
+        mapping = map_gemm(10, 20, 30, Dataflow.INPUT_STATIONARY)
+        assert (mapping.sr, mapping.sc, mapping.t) == (20, 10, 30)
+
+    def test_conv_layer_dimensions(self):
+        layer = ConvLayer(
+            name="c", ifmap_h=8, ifmap_w=8, filter_h=3, filter_w=3,
+            channels=2, num_filters=5, stride=1,
+        )
+        mapping = map_layer(layer, Dataflow.OUTPUT_STATIONARY)
+        assert mapping.sr == 36  # N_ofmap
+        assert mapping.sc == 5  # N_filter
+        assert mapping.t == 18  # W_conv
+
+    @given(DIMS, DIMS, DIMS)
+    def test_macs_invariant_across_dataflows(self, m, k, n):
+        macs = {map_gemm(m, k, n, df).macs for df in Dataflow}
+        assert macs == {m * k * n}
+
+
+class TestOperandMapping:
+    def test_rejects_zero_dims(self):
+        with pytest.raises(MappingError):
+            OperandMapping(sr=0, sc=1, t=1, dataflow=Dataflow.OUTPUT_STATIONARY)
+
+    def test_max_parallelism(self):
+        mapping = OperandMapping(sr=4, sc=5, t=9, dataflow=Dataflow.OUTPUT_STATIONARY)
+        assert mapping.max_parallelism == 20
+
+    def test_transpose_swaps_spatial(self):
+        mapping = OperandMapping(sr=4, sc=5, t=9, dataflow=Dataflow.OUTPUT_STATIONARY)
+        flipped = mapping.transpose()
+        assert (flipped.sr, flipped.sc, flipped.t) == (5, 4, 9)
+
+
+class TestInverse:
+    @given(DIMS, DIMS, DIMS)
+    def test_gemm_from_mapping_inverts_map_gemm(self, m, k, n):
+        for dataflow in Dataflow:
+            mapping = map_gemm(m, k, n, dataflow)
+            assert gemm_from_mapping(mapping.sr, mapping.sc, mapping.t, dataflow) == (m, k, n)
+
+    @given(DIMS, DIMS, DIMS)
+    def test_map_gemm_inverts_gemm_from_mapping(self, sr, sc, t):
+        for dataflow in Dataflow:
+            m, k, n = gemm_from_mapping(sr, sc, t, dataflow)
+            mapping = map_gemm(m, k, n, dataflow)
+            assert (mapping.sr, mapping.sc, mapping.t) == (sr, sc, t)

@@ -1,0 +1,89 @@
+"""Unit tests for fold (tiling) arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config.hardware import Dataflow
+from repro.errors import MappingError
+from repro.mapping.dims import OperandMapping
+from repro.mapping.folds import plan_folds
+
+
+def mapping(sr=20, sc=12, t=5) -> OperandMapping:
+    return OperandMapping(sr=sr, sc=sc, t=t, dataflow=Dataflow.OUTPUT_STATIONARY)
+
+
+class TestFoldCounts:
+    def test_exact_division(self):
+        plan = plan_folds(mapping(sr=20, sc=12), 5, 4)
+        assert plan.row_folds == 4
+        assert plan.col_folds == 3
+        assert plan.num_folds == 12
+
+    def test_ceiling_division(self):
+        plan = plan_folds(mapping(sr=21, sc=13), 5, 4)
+        assert plan.row_folds == 5
+        assert plan.col_folds == 4
+
+    def test_single_fold_when_array_fits_workload(self):
+        plan = plan_folds(mapping(sr=3, sc=2), 8, 8)
+        assert plan.num_folds == 1
+
+    def test_fold_rows_full_and_edge(self):
+        plan = plan_folds(mapping(sr=21), 5, 4)
+        assert plan.fold_rows(0) == 5
+        assert plan.fold_rows(4) == 1  # 21 = 4*5 + 1
+
+    def test_fold_cols_edge(self):
+        plan = plan_folds(mapping(sc=13), 5, 4)
+        assert plan.fold_cols(3) == 1
+
+    def test_fold_rows_out_of_range(self):
+        plan = plan_folds(mapping(), 5, 4)
+        with pytest.raises(MappingError):
+            plan.fold_rows(99)
+
+    def test_fold_cols_out_of_range(self):
+        plan = plan_folds(mapping(), 5, 4)
+        with pytest.raises(MappingError):
+            plan.fold_cols(-1)
+
+
+class TestFoldIteration:
+    def test_row_major_order(self):
+        plan = plan_folds(mapping(sr=10, sc=8), 5, 4)
+        order = [(fold.row_index, fold.col_index) for fold in plan.folds()]
+        assert order == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_offsets(self):
+        plan = plan_folds(mapping(sr=10, sc=8), 5, 4)
+        last = list(plan.folds())[-1]
+        assert last.row_offset == 5
+        assert last.col_offset == 4
+
+    def test_mapped_pes(self):
+        plan = plan_folds(mapping(sr=6, sc=5), 5, 4)
+        shapes = plan.fold_shapes()
+        assert shapes == [(5, 4), (5, 1), (1, 4), (1, 1)]
+
+    @given(
+        st.integers(1, 200), st.integers(1, 200), st.integers(1, 50),
+        st.integers(2, 64), st.integers(2, 64),
+    )
+    def test_folds_tile_exactly(self, sr, sc, t, rows, cols):
+        """Union of fold tiles covers S_R x S_C exactly once."""
+        plan = plan_folds(mapping(sr=sr, sc=sc, t=t), rows, cols)
+        covered = sum(fold.mapped_pes for fold in plan.folds())
+        assert covered == sr * sc
+        assert plan.total_mapped_pe_cycles == sr * sc * t
+
+    @given(
+        st.integers(1, 400), st.integers(1, 400),
+        st.integers(1, 64), st.integers(1, 64),
+    )
+    def test_fold_dims_bounded_by_array(self, sr, sc, rows, cols):
+        plan = plan_folds(mapping(sr=sr, sc=sc), rows, cols)
+        for fold in plan.folds():
+            assert 1 <= fold.rows <= rows
+            assert 1 <= fold.cols <= cols

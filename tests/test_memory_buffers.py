@@ -1,0 +1,43 @@
+"""Unit tests for the double-buffered SRAM model."""
+
+import pytest
+
+from repro.config.hardware import HardwareConfig
+from repro.memory.buffers import BufferSet, DoubleBuffer
+
+
+class TestDoubleBuffer:
+    def test_working_half(self):
+        buffer = DoubleBuffer("ifmap", capacity_bytes=1024)
+        assert buffer.working_bytes == 512
+
+    def test_holds_boundary(self):
+        buffer = DoubleBuffer("ifmap", capacity_bytes=1024)
+        assert buffer.holds(512)
+        assert not buffer.holds(513)
+
+    def test_odd_capacity_floors(self):
+        assert DoubleBuffer("x", capacity_bytes=3).working_bytes == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            DoubleBuffer("x", capacity_bytes=0)
+
+
+class TestBufferSet:
+    def test_from_config(self):
+        config = HardwareConfig(ifmap_sram_kb=4, filter_sram_kb=2, ofmap_sram_kb=1)
+        buffers = BufferSet.from_config(config)
+        assert buffers.ifmap.capacity_bytes == 4096
+        assert buffers.filter.capacity_bytes == 2048
+        assert buffers.ofmap.capacity_bytes == 1024
+
+    def test_names(self):
+        buffers = BufferSet.from_config(HardwareConfig())
+        assert buffers.ifmap.name == "ifmap"
+        assert buffers.filter.name == "filter"
+        assert buffers.ofmap.name == "ofmap"
+
+    def test_total_bytes(self):
+        config = HardwareConfig(ifmap_sram_kb=4, filter_sram_kb=2, ofmap_sram_kb=1)
+        assert BufferSet.from_config(config).total_bytes == 7 * 1024

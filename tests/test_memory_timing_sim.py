@@ -1,0 +1,116 @@
+"""Tests for the event-driven double-buffer timing simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.dataflow.factory import engine_for_gemm
+from repro.engine.stalls import bandwidth_limited_runtime
+from repro.memory.bandwidth import compute_dram_traffic
+from repro.memory.buffers import BufferSet
+from repro.memory.timing_sim import simulate_execution
+
+
+def traffic_for(m=64, k=32, n=64, kb=2, dataflow=Dataflow.OUTPUT_STATIONARY):
+    config = HardwareConfig(
+        array_rows=8, array_cols=8,
+        ifmap_sram_kb=kb, filter_sram_kb=kb, ofmap_sram_kb=kb,
+        dataflow=dataflow,
+    )
+    engine = engine_for_gemm(m, k, n, dataflow, 8, 8)
+    return compute_dram_traffic(engine, BufferSet.from_config(config), 1)
+
+
+class TestTimelineStructure:
+    def test_folds_execute_in_order(self):
+        timeline = simulate_execution(traffic_for(), bandwidth=8.0)
+        ends = [fold.compute_end for fold in timeline.folds]
+        assert ends == sorted(ends)
+
+    def test_compute_never_starts_before_data(self):
+        timeline = simulate_execution(traffic_for(), bandwidth=2.0)
+        for fold in timeline.folds:
+            assert fold.compute_start >= fold.data_ready - 1e-9
+
+    def test_writeback_after_compute(self):
+        timeline = simulate_execution(traffic_for(), bandwidth=2.0)
+        for fold in timeline.folds:
+            assert fold.writeback_end >= fold.compute_end
+
+    def test_total_covers_last_event(self):
+        timeline = simulate_execution(traffic_for(), bandwidth=2.0)
+        last = timeline.folds[-1]
+        assert timeline.total_cycles >= last.writeback_end - 1e-9
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            simulate_execution(traffic_for(), bandwidth=0)
+
+
+class TestLimits:
+    def test_converges_to_stall_free(self):
+        traffic = traffic_for()
+        timeline = simulate_execution(traffic, bandwidth=1e9)
+        assert timeline.total_cycles == pytest.approx(traffic.total_cycles, rel=1e-6)
+        assert timeline.num_stalled_folds <= 1  # only the cold start
+
+    def test_transfer_bound_at_tiny_bandwidth(self):
+        traffic = traffic_for()
+        bandwidth = 0.01
+        timeline = simulate_execution(traffic, bandwidth)
+        assert timeline.total_cycles >= traffic.total_bytes / bandwidth * 0.99
+
+    def test_sandwich_bounds(self):
+        """Total time sits between the two obvious extremes."""
+        traffic = traffic_for()
+        for bandwidth in (0.5, 2.0, 8.0, 64.0):
+            timeline = simulate_execution(traffic, bandwidth)
+            lower = max(traffic.total_cycles, traffic.total_bytes / bandwidth)
+            upper = traffic.total_cycles + traffic.total_bytes / bandwidth
+            assert lower - 1e-6 <= timeline.total_cycles <= upper + 1e-6
+
+    @settings(max_examples=25)
+    @given(
+        st.integers(1, 60), st.integers(1, 40), st.integers(1, 60),
+        st.sampled_from(list(Dataflow)),
+        st.floats(0.05, 500.0),
+    )
+    def test_monotone_and_bounded_for_any_layer(self, m, k, n, dataflow, bandwidth):
+        traffic = traffic_for(m=m, k=k, n=n, dataflow=dataflow)
+        slower = simulate_execution(traffic, bandwidth)
+        faster = simulate_execution(traffic, bandwidth * 2)
+        assert faster.total_cycles <= slower.total_cycles + 1e-6
+        assert slower.total_cycles >= traffic.total_cycles - 1e-6
+
+
+class TestAgainstClosedForm:
+    """Two independent stall models must agree on the regime boundaries."""
+
+    @settings(max_examples=25)
+    @given(
+        st.integers(1, 60), st.integers(1, 40), st.integers(1, 60),
+        st.floats(0.1, 200.0),
+    )
+    def test_same_order_of_magnitude(self, m, k, n, bandwidth):
+        traffic = traffic_for(m=m, k=k, n=n)
+        event = simulate_execution(traffic, bandwidth)
+        closed = bandwidth_limited_runtime(traffic, bandwidth)
+        # Both sit in the same sandwich; they can differ by scheduling
+        # detail but never by more than the serialization gap.
+        upper = traffic.total_cycles + traffic.total_bytes / bandwidth
+        lower = max(traffic.total_cycles, traffic.total_bytes / bandwidth)
+        assert lower - 1e-6 <= event.total_cycles <= upper + 1e-6
+        assert lower * 0.49 <= closed.total_cycles <= upper + 1e-6
+
+    def test_agree_when_compute_bound(self):
+        traffic = traffic_for()
+        event = simulate_execution(traffic, bandwidth=1e6)
+        closed = bandwidth_limited_runtime(traffic, bandwidth=1e6)
+        assert event.total_cycles == pytest.approx(closed.total_cycles, rel=1e-3)
+
+    def test_agree_when_transfer_bound(self):
+        traffic = traffic_for()
+        event = simulate_execution(traffic, bandwidth=0.01)
+        closed = bandwidth_limited_runtime(traffic, bandwidth=0.01)
+        assert event.total_cycles == pytest.approx(closed.total_cycles, rel=0.1)

@@ -1,0 +1,137 @@
+"""Metamorphic invariants: transformations with predictable effects.
+
+Each test applies a transformation to a workload or configuration whose
+effect on the simulator's outputs is known exactly, and checks the
+relation holds — a class of bugs unit tests on single inputs miss.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.dataflow.factory import engine_for_gemm
+from repro.energy.model import energy_of_result
+from repro.energy.params import EnergyParams
+from repro.engine.simulator import Simulator
+from repro.topology.layer import ConvLayer, GemmLayer
+
+DIM = st.integers(1, 30)
+ARR = st.integers(1, 8)
+DATAFLOWS = st.sampled_from(list(Dataflow))
+
+
+class TestTransposition:
+    @settings(max_examples=40)
+    @given(DIM, DIM, DIM, ARR, ARR)
+    def test_os_transpose_symmetry(self, m, k, n, rows, cols):
+        """Under OS, computing A@B on RxC behaves like computing
+        (A@B)^T = B^T @ A^T on CxR: the mapped (S_R, S_C) swap with the
+        array dims, and fold latency 2r+c+T-2 is *not* symmetric — but
+        SRAM totals and output counts are."""
+        forward = engine_for_gemm(m, k, n, Dataflow.OUTPUT_STATIONARY, rows, cols)
+        transposed = engine_for_gemm(n, k, m, Dataflow.OUTPUT_STATIONARY, cols, rows)
+        fwd = forward.layer_counts()
+        t = transposed.layer_counts()
+        assert fwd.ifmap_reads == t.filter_reads
+        assert fwd.filter_reads == t.ifmap_reads
+        assert fwd.ofmap_writes == t.ofmap_writes
+
+    @settings(max_examples=40)
+    @given(DIM, DIM, DIM, ARR, ARR)
+    def test_ws_is_duality(self, m, k, n, rows, cols):
+        """IS is WS on the transposed problem: identical cycle counts."""
+        ws = engine_for_gemm(m, k, n, Dataflow.WEIGHT_STATIONARY, rows, cols)
+        is_ = engine_for_gemm(n, k, m, Dataflow.INPUT_STATIONARY, rows, cols)
+        assert ws.total_cycles() == is_.total_cycles()
+
+
+class TestTemporalScaling:
+    @settings(max_examples=40)
+    @given(DIM, st.integers(1, 20), DIM, ARR, ARR, st.integers(1, 10))
+    def test_os_cycles_linear_in_k(self, m, k, n, rows, cols, delta):
+        """OS maps K to time: adding dK adds exactly folds x dK cycles."""
+        base = engine_for_gemm(m, k, n, Dataflow.OUTPUT_STATIONARY, rows, cols)
+        longer = engine_for_gemm(m, k + delta, n, Dataflow.OUTPUT_STATIONARY, rows, cols)
+        folds = base.plan.num_folds
+        assert longer.total_cycles() - base.total_cycles() == folds * delta
+
+    @settings(max_examples=40)
+    @given(st.integers(1, 20), DIM, DIM, ARR, ARR, st.integers(1, 10))
+    def test_ws_cycles_linear_in_m(self, m, k, n, rows, cols, delta):
+        """WS maps M (N_ofmap) to time."""
+        base = engine_for_gemm(m, k, n, Dataflow.WEIGHT_STATIONARY, rows, cols)
+        longer = engine_for_gemm(m + delta, k, n, Dataflow.WEIGHT_STATIONARY, rows, cols)
+        folds = base.plan.num_folds
+        assert longer.total_cycles() - base.total_cycles() == folds * delta
+
+
+class TestBatchEquivalence:
+    @settings(max_examples=30)
+    @given(DIM, DIM, DIM, st.integers(1, 6))
+    def test_batched_gemm_is_stacked_gemm(self, m, k, n, batch):
+        """GemmLayer.with_batch(b) is exactly the (b*m, k, n) GEMM."""
+        config = HardwareConfig(array_rows=8, array_cols=8,
+                                ifmap_sram_kb=16, filter_sram_kb=16, ofmap_sram_kb=8)
+        simulator = Simulator(config)
+        batched = simulator.run_layer(GemmLayer("g", m=m, k=k, n=n).with_batch(batch))
+        stacked = simulator.run_layer(GemmLayer("g", m=m * batch, k=k, n=n))
+        assert batched.total_cycles == stacked.total_cycles
+        assert batched.dram_read_bytes == stacked.dram_read_bytes
+        assert batched.sram == stacked.sram
+
+
+class TestWordSizeScaling:
+    @settings(max_examples=20)
+    @given(DIM, DIM, DIM, st.sampled_from([2, 4]))
+    def test_traffic_scales_with_word_when_buffers_scale_too(self, m, k, n, factor):
+        """Doubling the word size AND the SRAM leaves the fold-level
+        reuse decisions unchanged, so byte traffic scales exactly."""
+        one = HardwareConfig(array_rows=8, array_cols=8, word_bytes=1,
+                             ifmap_sram_kb=4, filter_sram_kb=4, ofmap_sram_kb=4)
+        wide = HardwareConfig(array_rows=8, array_cols=8, word_bytes=factor,
+                              ifmap_sram_kb=4 * factor, filter_sram_kb=4 * factor,
+                              ofmap_sram_kb=4 * factor)
+        layer = GemmLayer("g", m=m, k=k, n=n)
+        base = Simulator(one).run_layer(layer)
+        scaled = Simulator(wide).run_layer(layer)
+        assert scaled.dram_read_bytes == factor * base.dram_read_bytes
+        assert scaled.dram_write_bytes == factor * base.dram_write_bytes
+        assert scaled.total_cycles == base.total_cycles
+
+
+class TestEnergyLinearity:
+    def test_energy_linear_in_each_parameter(self, small_config):
+        result = Simulator(small_config).run_layer(GemmLayer("g", m=40, k=16, n=24))
+        base = energy_of_result(result, EnergyParams(mac=0, sram_access=0,
+                                                     dram_access=0, pe_idle=0))
+        assert base.total == 0
+        for field, attr in [("mac", "mac"), ("sram_access", "sram"),
+                            ("dram_access", "dram"), ("pe_idle", "idle")]:
+            single = energy_of_result(
+                result,
+                EnergyParams(**{**dict(mac=0, sram_access=0, dram_access=0, pe_idle=0),
+                                field: 1.0}),
+            )
+            double = energy_of_result(
+                result,
+                EnergyParams(**{**dict(mac=0, sram_access=0, dram_access=0, pe_idle=0),
+                                field: 2.0}),
+            )
+            assert getattr(double, attr) == pytest.approx(2 * getattr(single, attr))
+
+
+class TestStrideEquivalence:
+    @settings(max_examples=20)
+    @given(st.integers(2, 5))
+    def test_stride_equal_kernel_is_tiling(self, kernel):
+        """stride == kernel partitions the IFMAP: the lowered GEMM is
+        identical to a 1x1 conv over rearranged channels."""
+        size = kernel * 4
+        conv = ConvLayer(
+            name="c", ifmap_h=size, ifmap_w=size, filter_h=kernel, filter_w=kernel,
+            channels=3, num_filters=5, stride=kernel,
+        )
+        pixels = (size // kernel) ** 2
+        assert conv.gemm_m == pixels
+        assert conv.gemm_k == kernel * kernel * 3

@@ -1,0 +1,119 @@
+"""Unit + property tests for the mesh NoC cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hardware import Dataflow
+from repro.config.presets import paper_scaling_config
+from repro.energy.model import EnergyBreakdown
+from repro.errors import ReproError
+from repro.noc.cost import layer_noc_cost
+from repro.noc.mesh import MeshNoc, NocConfig
+from repro.topology.layer import GemmLayer
+
+LAYER = GemmLayer("g", m=256, k=64, n=256)
+
+
+class TestMeshGeometry:
+    def test_unicast_hops(self):
+        mesh = MeshNoc(4, 4)
+        assert mesh.unicast_hops(0, 0) == 1  # just the port link
+        assert mesh.unicast_hops(2, 3) == 6
+
+    def test_row_multicast_covers_row(self):
+        mesh = MeshNoc(4, 4)
+        assert mesh.row_multicast_hops(0) == 1 + 0 + 3
+        assert mesh.row_multicast_hops(3) == 1 + 3 + 3
+
+    def test_col_multicast_covers_column(self):
+        mesh = MeshNoc(4, 4)
+        assert mesh.col_multicast_hops(2) == 1 + 2 + 3
+
+    def test_diameter(self):
+        assert MeshNoc(4, 8).diameter == 1 + 3 + 7
+
+    def test_mean_unicast_between_min_and_diameter(self):
+        mesh = MeshNoc(3, 5)
+        assert 1 <= mesh.mean_unicast_hops() <= mesh.diameter
+
+    def test_out_of_grid_rejected(self):
+        with pytest.raises(ReproError):
+            MeshNoc(2, 2).unicast_hops(2, 0)
+
+    @given(st.integers(1, 8), st.integers(1, 8))
+    def test_multicast_cheaper_than_all_unicasts(self, rows, cols):
+        """One multicast traversal never exceeds the sum of unicasts."""
+        mesh = MeshNoc(rows, cols)
+        for row in range(rows):
+            unicast_sum = sum(mesh.unicast_hops(row, col) for col in range(cols))
+            assert mesh.row_multicast_hops(row) <= unicast_sum
+
+
+class TestNocConfig:
+    def test_defaults_valid(self):
+        NocConfig()
+
+    def test_rejects_zero_link(self):
+        with pytest.raises(ReproError):
+            NocConfig(link_bytes_per_cycle=0)
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ReproError):
+            NocConfig(energy_per_byte_hop=-1)
+
+
+class TestLayerNocCost:
+    def test_monolithic_costs_one_hop_per_byte(self):
+        config = paper_scaling_config(32, 32)
+        cost = layer_noc_cost(LAYER, config)
+        assert cost.total_byte_hops == cost.port_bytes  # every hop count is 1
+
+    def test_bigger_grids_cost_more_hops_per_byte(self):
+        small = layer_noc_cost(LAYER, paper_scaling_config(16, 16, 2, 2))
+        large = layer_noc_cost(LAYER, paper_scaling_config(8, 8, 4, 4))
+        small_rate = small.total_byte_hops / small.port_bytes
+        large_rate = large.total_byte_hops / large.port_bytes
+        assert large_rate > small_rate
+
+    def test_energy_scales_with_parameter(self):
+        config = paper_scaling_config(16, 16, 2, 2)
+        cost = layer_noc_cost(LAYER, config)
+        cheap = cost.energy(NocConfig(energy_per_byte_hop=0.01))
+        pricey = cost.energy(NocConfig(energy_per_byte_hop=0.10))
+        assert pricey == pytest.approx(10 * cheap)
+
+    def test_port_bandwidth_feasibility(self):
+        config = paper_scaling_config(8, 8, 8, 8)
+        cost = layer_noc_cost(LAYER, config)
+        assert cost.port_feasible(NocConfig(link_bytes_per_cycle=1e9))
+        assert not cost.port_feasible(NocConfig(link_bytes_per_cycle=1e-9))
+
+    @settings(max_examples=25)
+    @given(
+        st.sampled_from([(1, 1), (1, 4), (2, 2), (4, 1), (4, 4)]),
+        st.sampled_from(list(Dataflow)),
+    )
+    def test_cost_defined_for_all_dataflows(self, grid, dataflow):
+        config = paper_scaling_config(8, 8, grid[0], grid[1], dataflow=dataflow)
+        cost = layer_noc_cost(LAYER, config)
+        assert cost.total_byte_hops > 0
+        assert cost.runtime_cycles > 0
+        assert cost.port_bandwidth > 0
+
+
+class TestEnergyIntegration:
+    def test_with_noc_adds_component(self):
+        base = EnergyBreakdown(mac=1, sram=2, dram=3, idle=4)
+        extended = base.with_noc(5)
+        assert extended.total == base.total + 5
+        assert base.noc == 0.0
+
+    def test_with_noc_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown(1, 2, 3, 4).with_noc(-1)
+
+    def test_addition_carries_noc(self):
+        a = EnergyBreakdown(1, 1, 1, 1, noc=2)
+        b = EnergyBreakdown(1, 1, 1, 1, noc=3)
+        assert (a + b).noc == 5

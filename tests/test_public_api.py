@@ -1,0 +1,35 @@
+"""The documented public API stays importable and minimally usable."""
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestQuickstartPath:
+    """The README's five-line quickstart must keep working."""
+
+    def test_simulate_one_layer(self):
+        config = repro.HardwareConfig(array_rows=16, array_cols=16)
+        layer = repro.ConvLayer(
+            name="conv", ifmap_h=14, ifmap_w=14, filter_h=3, filter_w=3,
+            channels=16, num_filters=32, stride=1,
+        )
+        result = repro.Simulator(config).run_layer(layer)
+        assert result.total_cycles > 0
+
+    def test_analyze_scaling(self):
+        layer = repro.language_layer("TF1")
+        up = repro.best_scaleup(layer, 4096)
+        out = repro.best_scaleout(layer, 4096)
+        assert out.runtime <= up.runtime
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.ConfigError, repro.ReproError)
+        assert issubclass(repro.DramError, repro.ReproError)

@@ -1,0 +1,94 @@
+"""Tests for the parameter-sweep runner."""
+
+import csv
+
+import pytest
+
+from repro.sweep import pivot, run_sweep, sweep_to_csv
+
+
+class TestRunSweep:
+    def test_cartesian_product(self):
+        rows = run_sweep(lambda a, b: {"sum": a + b}, a=[1, 2], b=[10, 20])
+        assert len(rows) == 4
+        assert {"a": 1, "b": 10, "sum": 11} in rows
+        assert {"a": 2, "b": 20, "sum": 22} in rows
+
+    def test_axis_order_is_keyword_order(self):
+        rows = run_sweep(lambda a, b: {"x": 0}, a=[1, 2], b=[1, 2])
+        assert [(row["a"], row["b"]) for row in rows] == [(1, 1), (1, 2), (2, 1), (2, 2)]
+
+    def test_list_results_flatten(self):
+        rows = run_sweep(lambda a: [{"i": i} for i in range(a)], a=[2, 3])
+        assert len(rows) == 5
+
+    def test_key_collision_rejected(self):
+        with pytest.raises(ValueError, match="collide"):
+            run_sweep(lambda a: {"a": 1}, a=[1])
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(lambda: {})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            run_sweep(lambda a: {"x": a}, a=[])
+
+    def test_errors_propagate_by_default(self):
+        def boom(a):
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            run_sweep(boom, a=[1])
+
+    def test_skip_errors_collects(self):
+        def sometimes(a):
+            if a == 2:
+                raise RuntimeError("nope")
+            return {"ok": True}
+
+        rows = run_sweep(sometimes, skip_errors=True, a=[1, 2, 3])
+        assert len(rows) == 3
+        assert "RuntimeError" in rows[1]["error"]
+
+    def test_with_real_simulator(self, small_config):
+        from repro.engine.simulator import Simulator
+        from repro.topology.layer import GemmLayer
+
+        def measure(m):
+            result = Simulator(small_config).run_layer(GemmLayer("g", m=m, k=8, n=8))
+            return {"cycles": result.total_cycles}
+
+        rows = run_sweep(measure, m=[8, 16, 32])
+        cycles = [row["cycles"] for row in rows]
+        assert cycles == sorted(cycles)
+
+
+class TestCsvAndPivot:
+    def test_csv_roundtrip(self, tmp_path):
+        rows = run_sweep(lambda a, b: {"sum": a + b}, a=[1, 2], b=[3])
+        path = sweep_to_csv(rows, tmp_path / "sweep.csv")
+        with path.open() as handle:
+            loaded = list(csv.DictReader(handle))
+        assert len(loaded) == 2
+        assert loaded[0]["sum"] == "4"
+
+    def test_csv_union_header(self, tmp_path):
+        rows = [{"a": 1, "x": 2}, {"a": 2, "y": 3}]
+        path = sweep_to_csv(rows, tmp_path / "ragged.csv")
+        with path.open() as handle:
+            header = handle.readline().strip().split(",")
+        assert header == ["a", "x", "y"]
+
+    def test_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            sweep_to_csv([], tmp_path / "empty.csv")
+
+    def test_pivot(self):
+        rows = run_sweep(lambda a, b: {"sum": a + b}, a=[1, 2], b=[10, 20])
+        table = pivot(rows, index="a", column="b", value="sum")
+        assert table == {1: {10: 11, 20: 21}, 2: {10: 12, 20: 22}}
+
+    def test_pivot_missing_keys_rejected(self):
+        with pytest.raises(ValueError):
+            pivot([{"a": 1}], index="a", column="b", value="c")

@@ -1,0 +1,31 @@
+"""The shipped topologies/ CSV files stay loadable and faithful."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.topology.parser import load_topology
+from repro.workloads.registry import available_workloads, get_workload
+
+TOPOLOGY_DIR = Path(__file__).resolve().parent.parent / "topologies"
+
+
+class TestShippedTopologyFiles:
+    def test_one_file_per_builtin_workload(self):
+        files = {path.stem for path in TOPOLOGY_DIR.glob("*.csv")}
+        assert files == set(available_workloads())
+
+    @pytest.mark.parametrize("name", sorted(
+        path.stem for path in TOPOLOGY_DIR.glob("*.csv")
+    ))
+    def test_file_matches_builtin(self, name):
+        from_file = load_topology(TOPOLOGY_DIR / f"{name}.csv")
+        builtin = get_workload(name)
+        assert from_file.layer_names() == builtin.layer_names()
+        for layer_name in builtin.layer_names():
+            assert from_file[layer_name].gemm_dims() == builtin[layer_name].gemm_dims()
+
+    def test_files_have_table2_header(self):
+        for path in TOPOLOGY_DIR.glob("*.csv"):
+            first_line = path.read_text().splitlines()[0]
+            assert first_line.startswith("Layer name,")

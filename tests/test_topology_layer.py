@@ -1,0 +1,128 @@
+"""Unit tests for ConvLayer and GemmLayer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.layer import ConvLayer, GemmLayer
+
+
+def conv(**overrides) -> ConvLayer:
+    defaults = dict(
+        name="conv", ifmap_h=8, ifmap_w=8, filter_h=3, filter_w=3,
+        channels=4, num_filters=6, stride=1,
+    )
+    defaults.update(overrides)
+    return ConvLayer(**defaults)
+
+
+class TestConvGeometry:
+    def test_ofmap_dims_no_stride(self):
+        layer = conv()
+        assert layer.ofmap_h == 6
+        assert layer.ofmap_w == 6
+
+    def test_ofmap_dims_with_stride(self):
+        layer = conv(ifmap_h=9, ifmap_w=9, stride=2)
+        assert layer.ofmap_h == 4  # (9-3)//2 + 1
+
+    def test_window_size(self):
+        assert conv().window_size == 3 * 3 * 4
+
+    def test_ofmap_pixels_per_filter(self):
+        assert conv().ofmap_pixels_per_filter == 36
+
+    def test_gemm_view(self):
+        layer = conv()
+        assert layer.gemm_dims() == (36, 36, 6)
+
+    def test_macs(self):
+        layer = conv()
+        assert layer.macs == 36 * 36 * 6
+
+    def test_operand_element_counts(self):
+        layer = conv()
+        assert layer.ifmap_elements == 36 * 36
+        assert layer.filter_elements == 36 * 6
+        assert layer.ofmap_elements == 36 * 6
+
+    def test_raw_tensor_footprints(self):
+        layer = conv()
+        assert layer.raw_ifmap_elements == 8 * 8 * 4
+        assert layer.raw_filter_elements == 3 * 3 * 4 * 6
+
+    def test_1x1_conv(self):
+        layer = conv(filter_h=1, filter_w=1)
+        assert layer.gemm_dims() == (64, 4, 6)
+
+    def test_stride_larger_than_kernel(self):
+        layer = conv(ifmap_h=10, ifmap_w=10, filter_h=2, filter_w=2, stride=4)
+        assert layer.ofmap_h == 3  # (10-2)//4 + 1
+
+
+class TestConvValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(TopologyError):
+            conv(name="")
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(TopologyError):
+            conv(channels=0)
+
+    def test_rejects_filter_larger_than_ifmap(self):
+        with pytest.raises(TopologyError, match="larger than IFMAP"):
+            conv(filter_h=9)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(TopologyError):
+            conv(stride=1.5)
+
+    def test_error_names_the_layer(self):
+        with pytest.raises(TopologyError, match="'conv'"):
+            conv(num_filters=-1)
+
+
+class TestFullyConnected:
+    def test_fc_shape(self):
+        layer = ConvLayer.fully_connected("fc", inputs=100, outputs=10)
+        assert layer.is_fully_connected
+        assert layer.gemm_dims() == (1, 100, 10)
+
+    def test_fc_is_matrix_vector(self):
+        layer = ConvLayer.fully_connected("fc", 100, 10)
+        assert layer.macs == 1000
+
+    def test_conv_is_not_fc(self):
+        assert not conv().is_fully_connected
+
+    def test_filter_covering_ifmap_is_fc(self):
+        layer = conv(filter_h=8, filter_w=8)
+        assert layer.is_fully_connected
+        assert layer.gemm_m == 1
+
+
+class TestGemmLayer:
+    def test_dims(self):
+        layer = GemmLayer("g", m=5, k=7, n=3)
+        assert layer.gemm_dims() == (5, 7, 3)
+        assert layer.macs == 105
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(TopologyError):
+            GemmLayer("g", m=0, k=1, n=1)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(TopologyError):
+            GemmLayer("", m=1, k=1, n=1)
+
+    def test_as_conv_preserves_gemm_dims(self):
+        layer = GemmLayer("g", m=5, k=7, n=3)
+        assert layer.as_conv().gemm_dims() == layer.gemm_dims()
+
+    @given(st.integers(1, 300), st.integers(1, 300), st.integers(1, 300))
+    def test_as_conv_always_equivalent(self, m, k, n):
+        layer = GemmLayer("g", m=m, k=k, n=n)
+        lowered = layer.as_conv()
+        assert lowered.gemm_dims() == (m, k, n)
+        assert lowered.macs == layer.macs

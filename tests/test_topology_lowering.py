@@ -1,0 +1,154 @@
+"""Unit + property tests for im2col tensor addressing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hardware import Dataflow
+from repro.dataflow.factory import engine_for
+from repro.errors import TopologyError
+from repro.topology.layer import ConvLayer
+from repro.topology.lowering import TensorAddressLayout
+
+
+def conv(ifmap=6, kernel=3, channels=2, filters=4, stride=1) -> ConvLayer:
+    return ConvLayer(
+        name="c", ifmap_h=ifmap, ifmap_w=ifmap, filter_h=kernel, filter_w=kernel,
+        channels=channels, num_filters=filters, stride=stride,
+    )
+
+
+class TestCoordinates:
+    def test_window_origin_walks_row_major(self):
+        layout = TensorAddressLayout(conv())
+        assert layout.window_origin(0) == (0, 0)
+        assert layout.window_origin(1) == (0, 1)
+        assert layout.window_origin(4) == (1, 0)  # ofmap_w = 4
+
+    def test_window_origin_respects_stride(self):
+        layout = TensorAddressLayout(conv(stride=2))
+        assert layout.window_origin(1) == (0, 2)
+
+    def test_element_offset_channel_minor(self):
+        layout = TensorAddressLayout(conv(channels=2))
+        assert layout.element_offset(0) == (0, 0, 0)
+        assert layout.element_offset(1) == (0, 0, 1)
+        assert layout.element_offset(2) == (0, 1, 0)
+        assert layout.element_offset(6) == (1, 0, 0)  # filter_w * channels = 6
+
+    def test_out_of_range_rejected(self):
+        layout = TensorAddressLayout(conv())
+        with pytest.raises(TopologyError):
+            layout.window_origin(999)
+        with pytest.raises(TopologyError):
+            layout.element_offset(-1)
+        with pytest.raises(TopologyError):
+            layout.filter_addr(0, 999)
+
+
+class TestAddresses:
+    def test_overlapping_windows_share_ifmap_addresses(self):
+        layout = TensorAddressLayout(conv(stride=1))
+        # Window 0's element (0,1,ch) is window 1's element (0,0,ch).
+        assert layout.ifmap_addr(0, 2) == layout.ifmap_addr(1, 0)
+
+    def test_non_overlapping_windows_disjoint(self):
+        layer = conv(ifmap=8, kernel=2, stride=2)
+        layout = TensorAddressLayout(layer)
+        w0 = {layout.ifmap_addr(0, e) for e in range(layer.gemm_k)}
+        w1 = {layout.ifmap_addr(1, e) for e in range(layer.gemm_k)}
+        assert not w0 & w1
+
+    def test_filter_addresses_bijective(self):
+        layer = conv()
+        layout = TensorAddressLayout(layer)
+        addrs = {
+            layout.filter_addr(e, f)
+            for e in range(layer.gemm_k)
+            for f in range(layer.gemm_n)
+        }
+        assert len(addrs) == layer.gemm_k * layer.gemm_n
+
+    def test_ofmap_addresses_bijective(self):
+        layer = conv()
+        layout = TensorAddressLayout(layer)
+        addrs = {
+            layout.ofmap_addr(w, f)
+            for w in range(layer.gemm_m)
+            for f in range(layer.gemm_n)
+        }
+        assert len(addrs) == layer.gemm_m * layer.gemm_n
+
+    def test_offsets_apply(self):
+        layout = TensorAddressLayout(conv(), ifmap_offset=100, filter_offset=200, ofmap_offset=300)
+        assert layout.ifmap_addr(0, 0) == 100
+        assert layout.filter_addr(0, 0) == 200
+        assert layout.ofmap_addr(0, 0) == 300
+
+
+class TestReuseAnalytics:
+    def test_unique_pixels_dense_stride(self):
+        layer = conv(ifmap=6, kernel=3, channels=2, stride=1)
+        layout = TensorAddressLayout(layer)
+        assert layout.unique_ifmap_pixels() == 6 * 6 * 2  # every pixel touched
+
+    def test_unique_pixels_sparse_stride(self):
+        # 2x2 kernel with stride 4 on 10x10: touches 3 blocks of 2 per axis.
+        layer = conv(ifmap=10, kernel=2, channels=1, stride=4)
+        layout = TensorAddressLayout(layer)
+        assert layout.unique_ifmap_pixels() == 6 * 6
+
+    def test_reuse_factor_no_overlap(self):
+        layer = conv(ifmap=8, kernel=2, stride=2)
+        assert TensorAddressLayout(layer).ifmap_reuse_factor() == pytest.approx(1.0)
+
+    def test_reuse_factor_overlap(self):
+        layer = conv(ifmap=6, kernel=3, stride=1)
+        factor = TensorAddressLayout(layer).ifmap_reuse_factor()
+        assert factor > 2  # 3x3 windows at stride 1 reuse heavily
+
+    @settings(max_examples=40)
+    @given(
+        st.integers(3, 12), st.integers(1, 3), st.integers(1, 3),
+        st.integers(1, 3), st.integers(1, 3),
+    )
+    def test_trace_unique_addresses_match_formula(self, ifmap, kernel, channels, filters, stride):
+        if kernel > ifmap:
+            kernel = ifmap
+        layer = conv(ifmap=ifmap, kernel=kernel, channels=channels, filters=filters, stride=stride)
+        layout = TensorAddressLayout(layer)
+        seen = {
+            layout.ifmap_addr(w, e)
+            for w in range(layer.gemm_m)
+            for e in range(layer.gemm_k)
+        }
+        assert len(seen) == layout.unique_ifmap_pixels()
+
+
+class TestEngineIntegration:
+    """TensorAddressLayout drops into any engine's trace generator."""
+
+    def test_layer_trace_in_tensor_space(self, dataflow):
+        layer = conv(ifmap=5, kernel=3, channels=1, filters=3)
+        layout = TensorAddressLayout(layer)
+        engine = engine_for(layer, dataflow, 4, 4)
+        ifmap_addrs = set()
+        for row in engine.layer_trace(layout):
+            ifmap_addrs.update(row.ifmap_addrs)
+        # The trace touches exactly the raw pixels im2col predicts.
+        assert len(ifmap_addrs) == layout.unique_ifmap_pixels()
+
+    def test_tensor_trace_shows_more_reuse_than_matrix_trace(self):
+        from repro.dataflow.base import AddressLayout
+
+        layer = conv(ifmap=6, kernel=3, channels=2, filters=4)
+        engine = engine_for(layer, Dataflow.OUTPUT_STATIONARY, 4, 4)
+        matrix = AddressLayout(m=layer.gemm_m, k=layer.gemm_k, n=layer.gemm_n)
+        tensor = TensorAddressLayout(layer)
+        matrix_unique = set()
+        tensor_unique = set()
+        for row in engine.layer_trace(matrix):
+            matrix_unique.update(row.ifmap_addrs)
+        for row in engine.layer_trace(tensor):
+            tensor_unique.update(row.ifmap_addrs)
+        assert len(tensor_unique) < len(matrix_unique)

@@ -1,0 +1,67 @@
+"""Unit tests for the Network container."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.layer import GemmLayer
+from repro.topology.network import Network
+
+
+def build(names=("a", "b", "c")) -> Network:
+    return Network("net", [GemmLayer(name, m=2, k=3, n=4) for name in names])
+
+
+class TestNetwork:
+    def test_len_and_iter(self):
+        net = build()
+        assert len(net) == 3
+        assert [layer.name for layer in net] == ["a", "b", "c"]
+
+    def test_index_by_position(self):
+        assert build()[1].name == "b"
+
+    def test_index_by_name(self):
+        assert build()["c"].name == "c"
+
+    def test_negative_index(self):
+        assert build()[-1].name == "c"
+
+    def test_contains(self):
+        net = build()
+        assert "a" in net
+        assert "z" not in net
+
+    def test_unknown_name_lists_layers(self):
+        with pytest.raises(KeyError, match="'z'"):
+            build()["z"]
+
+    def test_layer_names_in_order(self):
+        assert build().layer_names() == ["a", "b", "c"]
+
+    def test_total_macs(self):
+        assert build().total_macs == 3 * 24
+
+    def test_subset_preserves_order(self):
+        subset = build().subset(["c", "a"])
+        assert subset.layer_names() == ["c", "a"]
+        assert subset.name == "net-subset"
+
+    def test_subset_custom_name(self):
+        assert build().subset(["a"], name="just-a").name == "just-a"
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(TopologyError, match="duplicate"):
+            build(names=("a", "a"))
+
+    def test_rejects_empty(self):
+        with pytest.raises(TopologyError, match="no layers"):
+            Network("net", [])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(TopologyError):
+            Network("", [GemmLayer("a", m=1, k=1, n=1)])
+
+    def test_describe_lists_layers(self):
+        text = build().describe()
+        assert "3 layers" in text
+        assert "a: GEMM 2x3x4" in text

@@ -1,0 +1,95 @@
+"""Unit tests for the Table II topology CSV parser."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.layer import GemmLayer
+from repro.topology.network import Network
+from repro.topology.parser import (
+    TOPOLOGY_HEADER,
+    dump_topology,
+    load_topology,
+    parse_topology_text,
+)
+
+SAMPLE = """Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, Channels, Num Filter, Strides,
+Conv1, 224, 224, 7, 7, 3, 64, 2,
+Conv2, 56, 56, 3, 3, 64, 64, 1,
+"""
+
+
+class TestParse:
+    def test_parses_layers(self):
+        net = parse_topology_text(SAMPLE)
+        assert len(net) == 2
+        assert net["Conv1"].stride == 2
+        assert net["Conv2"].channels == 64
+
+    def test_header_is_optional(self):
+        headerless = "Conv1, 224, 224, 7, 7, 3, 64, 2,\n"
+        net = parse_topology_text(headerless)
+        assert len(net) == 1
+
+    def test_trailing_comma_tolerated(self):
+        no_trailing = "Conv1, 224, 224, 7, 7, 3, 64, 2"
+        assert len(parse_topology_text(no_trailing)) == 1
+
+    def test_blank_lines_skipped(self):
+        net = parse_topology_text("\n\nConv1, 8, 8, 3, 3, 1, 1, 1,\n\n")
+        assert len(net) == 1
+
+    def test_network_named(self):
+        assert parse_topology_text(SAMPLE, name="resnet").name == "resnet"
+
+    def test_rejects_empty_file(self):
+        with pytest.raises(TopologyError, match="no layers"):
+            parse_topology_text("")
+
+    def test_rejects_header_only(self):
+        with pytest.raises(TopologyError, match="no layers"):
+            parse_topology_text(",".join(TOPOLOGY_HEADER) + ",\n")
+
+    def test_rejects_short_row(self):
+        with pytest.raises(TopologyError, match="expected 8 fields"):
+            parse_topology_text("Conv1, 224, 224,\n")
+
+    def test_rejects_non_numeric_dimension(self):
+        with pytest.raises(TopologyError, match="non-integer"):
+            parse_topology_text("Conv1, big, 224, 7, 7, 3, 64, 2,\n")
+
+    def test_rejects_invalid_layer(self):
+        # filter larger than ifmap
+        with pytest.raises(TopologyError):
+            parse_topology_text("Conv1, 4, 4, 7, 7, 3, 64, 1,\n")
+
+    def test_error_reports_line_number(self):
+        bad = "Conv1, 8, 8, 3, 3, 1, 1, 1,\nConv2, 8, 8,\n"
+        with pytest.raises(TopologyError, match="line 2"):
+            parse_topology_text(bad)
+
+
+class TestFileRoundtrip:
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "net.csv"
+        path.write_text(SAMPLE)
+        net = load_topology(path)
+        assert net.name == "net"
+        assert len(net) == 2
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(TopologyError, match="not found"):
+            load_topology(tmp_path / "missing.csv")
+
+    def test_dump_then_load(self, tmp_path):
+        original = parse_topology_text(SAMPLE, name="original")
+        path = dump_topology(original, tmp_path / "out.csv")
+        restored = load_topology(path)
+        assert restored.layer_names() == original.layer_names()
+        for name in original.layer_names():
+            assert restored[name] == original[name]
+
+    def test_dump_lowers_gemm_layers(self, tmp_path):
+        net = Network("g", [GemmLayer("g0", m=5, k=7, n=3)])
+        path = dump_topology(net, tmp_path / "g.csv")
+        restored = load_topology(path)
+        assert restored["g0"].gemm_dims() == (5, 7, 3)

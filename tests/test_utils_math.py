@@ -1,0 +1,140 @@
+"""Unit tests for repro.utils.mathutils."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.mathutils import (
+    ceil_div,
+    factor_pairs,
+    is_power_of_two,
+    next_power_of_two,
+    pow2_range,
+    split_evenly,
+)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(8, 2) == 4
+
+    def test_rounds_up(self):
+        assert ceil_div(7, 2) == 4
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_one_denominator(self):
+        assert ceil_div(13, 1) == 13
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_rejects_negative_numerator(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_float_ceiling(self, numerator, denominator):
+        result = ceil_div(numerator, denominator)
+        assert (result - 1) * denominator < max(numerator, 1) <= result * denominator or (
+            numerator == 0 and result == 0
+        )
+
+    @given(st.integers(0, 10**6), st.integers(1, 10**4))
+    def test_is_minimal_cover(self, numerator, denominator):
+        result = ceil_div(numerator, denominator)
+        assert result * denominator >= numerator
+        if result:
+            assert (result - 1) * denominator < numerator
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two_accepts_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_is_power_of_two_rejects_others(self):
+        for value in (0, -1, 3, 6, 12, 100):
+            assert not is_power_of_two(value)
+
+    def test_next_power_of_two_rounds_up(self):
+        assert next_power_of_two(5) == 8
+
+    def test_next_power_of_two_fixed_point(self):
+        assert next_power_of_two(16) == 16
+
+    def test_next_power_of_two_one(self):
+        assert next_power_of_two(1) == 1
+
+    def test_next_power_of_two_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    def test_pow2_range_inclusive(self):
+        assert pow2_range(8, 64) == [8, 16, 32, 64]
+
+    def test_pow2_range_non_power_bounds(self):
+        assert pow2_range(5, 33) == [8, 16, 32]
+
+    def test_pow2_range_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            pow2_range(0, 8)
+
+    @given(st.integers(1, 10**9))
+    def test_next_power_of_two_properties(self, value):
+        result = next_power_of_two(value)
+        assert is_power_of_two(result)
+        assert result >= value
+        assert result // 2 < value
+
+
+class TestFactorPairs:
+    def test_all_pairs_of_12(self):
+        assert list(factor_pairs(12)) == [(1, 12), (2, 6), (3, 4), (4, 3), (6, 2), (12, 1)]
+
+    def test_minimum_filter(self):
+        assert list(factor_pairs(12, minimum=3)) == [(3, 4), (4, 3)]
+
+    def test_prime(self):
+        assert list(factor_pairs(7)) == [(1, 7), (7, 1)]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            list(factor_pairs(0))
+
+    @given(st.integers(1, 2000))
+    def test_products_are_exact(self, value):
+        for a, b in factor_pairs(value):
+            assert a * b == value
+
+
+class TestSplitEvenly:
+    def test_even_split(self):
+        assert split_evenly(9, 3) == [3, 3, 3]
+
+    def test_remainder_goes_first(self):
+        assert split_evenly(10, 3) == [4, 3, 3]
+
+    def test_more_parts_than_total(self):
+        assert split_evenly(2, 4) == [1, 1, 0, 0]
+
+    def test_zero_total(self):
+        assert split_evenly(0, 3) == [0, 0, 0]
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            split_evenly(5, 0)
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ValueError):
+            split_evenly(-1, 2)
+
+    @given(st.integers(0, 10**6), st.integers(1, 1000))
+    def test_sum_and_balance(self, total, parts):
+        chunks = split_evenly(total, parts)
+        assert sum(chunks) == total
+        assert len(chunks) == parts
+        assert max(chunks) - min(chunks) <= 1
+        assert chunks == sorted(chunks, reverse=True)

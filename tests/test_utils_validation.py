@@ -1,0 +1,58 @@
+"""Unit tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import check_choice, check_non_negative_int, check_positive_int
+
+
+class TestCheckPositiveInt:
+    def test_accepts_one(self):
+        assert check_positive_int(1, "x") == 1
+
+    def test_accepts_large(self):
+        assert check_positive_int(2**40, "x") == 2**40
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be >= 1"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-3, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValueError, match="must be an integer"):
+            check_positive_int(1.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            check_positive_int(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(ValueError):
+            check_positive_int("4", "x")
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            check_non_negative_int(-1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(False, "x")
+
+
+class TestCheckChoice:
+    def test_accepts_member(self):
+        assert check_choice("a", "x", ["a", "b"]) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="x must be one of"):
+            check_choice("c", "x", ["a", "b"])
+
+    def test_works_with_generators(self):
+        assert check_choice(2, "x", (i for i in range(3))) == 2

@@ -1,0 +1,98 @@
+"""Tests for terminal visualization helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.viz import bar, bar_chart, sparkline, trend_table
+
+
+class TestBar:
+    def test_full_bar(self):
+        assert bar(10, 10, width=4) == "####"
+
+    def test_half_bar(self):
+        assert bar(5, 10, width=4) == "##"
+
+    def test_zero_value(self):
+        assert bar(0, 10, width=4) == ""
+
+    def test_zero_maximum(self):
+        assert bar(0, 0, width=4) == ""
+
+    def test_clamps_overflow(self):
+        assert bar(100, 10, width=4) == "####"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bar(-1, 10)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            bar(1, 1, width=0)
+
+    @given(st.floats(0, 1e6), st.floats(0.001, 1e6), st.integers(1, 100))
+    def test_length_bounded_by_width(self, value, maximum, width):
+        assert len(bar(value, maximum, width)) <= width
+
+
+class TestBarChart:
+    def test_rows_and_alignment(self):
+        chart = bar_chart(["aa", "b"], [2, 4], width=4)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("aa |")
+        assert lines[1].startswith(" b |")
+
+    def test_max_fills_width(self):
+        chart = bar_chart(["a", "b"], [1, 2], width=4, show_values=False)
+        assert "####" in chart.splitlines()[1]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_chars(self):
+        line = sparkline([0, 1, 2, 3, 4])
+        assert list(line) == sorted(line, key=" .:-=+*#%@".index)
+
+    def test_constant_series(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_length_matches(self):
+        assert len(sparkline(list(range(17)))) == 17
+
+    def test_extremes_use_extreme_chars(self):
+        line = sparkline([0, 100])
+        assert line[0] == " "
+        assert line[1] == "@"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([-1, 2])
+
+
+class TestTrendTable:
+    def test_renders_aligned(self):
+        table = trend_table(["x", "long_header"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[:2])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            trend_table(["a", "b"], [[1]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            trend_table(["a"], [])

@@ -1,0 +1,113 @@
+"""Unit tests for the built-in workloads."""
+
+import pytest
+
+from repro.topology.layer import ConvLayer, GemmLayer
+from repro.workloads.alexnet import alexnet
+from repro.workloads.language import PAPER_TF0_LAYER, TABLE_IV_DIMS, language_layer, language_models
+from repro.workloads.registry import available_workloads, get_workload
+from repro.workloads.resnet50 import PAPER_CBA3_LAYER, fig10_resnet_layers, resnet50
+
+
+class TestResnet50:
+    def test_layer_count(self):
+        net = resnet50()
+        # 1 stem + 16 bottlenecks x 3 convs + 4 shortcut projections + FC
+        assert len(net) == 1 + 16 * 3 + 4 + 1
+
+    def test_paper_layer_exists(self):
+        assert PAPER_CBA3_LAYER in resnet50()
+
+    def test_stem_shape(self):
+        conv1 = resnet50()["Conv1"]
+        assert conv1.num_filters == 64
+        assert conv1.stride == 2
+        assert conv1.ofmap_h == 112
+
+    def test_bottleneck_channel_plumbing(self):
+        net = resnet50()
+        assert net["CB2a_1"].channels == 64
+        assert net["CB2a_3"].num_filters == 256
+        assert net["IB2b_1"].channels == 256
+
+    def test_spatial_sizes_shrink_by_stage(self):
+        net = resnet50()
+        assert net["IB2b_2"].ofmap_h == 56
+        assert net["IB3b_2"].ofmap_h == 28
+        assert net["IB4b_2"].ofmap_h == 14
+        assert net["IB5b_2"].ofmap_h == 7
+
+    def test_downsampling_blocks_stride(self):
+        net = resnet50()
+        assert net["CB3a_1"].stride == 2
+        assert net["CB3a_sc"].stride == 2
+        assert net["CB2a_1"].stride == 1
+
+    def test_fc_layer(self):
+        fc = resnet50()["FC1000"]
+        assert fc.is_fully_connected
+        assert fc.gemm_dims() == (1, 2048, 1000)
+
+    def test_total_macs_in_expected_range(self):
+        # ResNet-50 is ~3.8 GMACs; padding-included IFMAPs push it a bit up.
+        macs = resnet50().total_macs
+        assert 3.0e9 < macs < 6.0e9
+
+    def test_fig10_selection(self):
+        net = fig10_resnet_layers()
+        assert len(net) == 10
+        assert net.layer_names()[0] == "Conv1"
+        assert net.layer_names()[-1] == "FC1000"
+
+
+class TestLanguageModels:
+    def test_table_iv_complete(self):
+        assert set(TABLE_IV_DIMS) == {
+            "GNMT0", "GNMT1", "GNMT2", "GNMT3", "DB0", "DB1", "TF0", "TF1", "NCF0", "NCF1",
+        }
+
+    @pytest.mark.parametrize("name,dims", sorted(TABLE_IV_DIMS.items()))
+    def test_layer_matches_table(self, name, dims):
+        sr, t, sc = dims
+        layer = language_layer(name)
+        assert isinstance(layer, GemmLayer)
+        assert layer.gemm_dims() == (sr, t, sc)
+
+    def test_tf0_is_the_fig9_layer(self):
+        layer = language_layer(PAPER_TF0_LAYER)
+        assert layer.gemm_dims() == (31999, 84, 1024)
+
+    def test_unknown_layer(self):
+        with pytest.raises(KeyError, match="Table IV"):
+            language_layer("BERT0")
+
+    def test_network_has_all_layers(self):
+        net = language_models()
+        assert len(net) == 10
+
+
+class TestAlexnet:
+    def test_layers(self):
+        net = alexnet()
+        assert len(net) == 8
+        assert isinstance(net["Conv1"], ConvLayer)
+        assert net["FC8"].is_fully_connected
+
+    def test_conv1_geometry(self):
+        conv1 = alexnet()["Conv1"]
+        assert conv1.ofmap_h == 55  # (227-11)/4 + 1
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_workloads()
+        assert names == sorted(names)
+        for required in ("alexnet", "language-models", "resnet50"):
+            assert required in names
+
+    def test_lookup(self):
+        assert get_workload("ResNet50").name == "resnet50"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="available"):
+            get_workload("inception-v9")

@@ -1,0 +1,114 @@
+"""Tests for the extended workload zoo (VGG-16, MobileNetV1, BERT)."""
+
+import pytest
+
+from repro.config.presets import SMALL_TEST
+from repro.engine.simulator import Simulator
+from repro.workloads.bert import FFN, HEADS, HIDDEN, bert_encoder
+from repro.workloads.mobilenet import mobilenet_v1
+from repro.workloads.registry import available_workloads, get_workload
+from repro.workloads.vgg16 import vgg16
+
+
+class TestVgg16:
+    def test_layer_count(self):
+        assert len(vgg16()) == 13 + 3
+
+    def test_first_conv(self):
+        conv = vgg16()["Conv1_1"]
+        assert conv.channels == 3
+        assert conv.num_filters == 64
+        assert conv.ofmap_h == 224  # padding folded into the IFMAP
+
+    def test_channel_plumbing_within_block(self):
+        net = vgg16()
+        assert net["Conv3_1"].channels == 128
+        assert net["Conv3_2"].channels == 256
+
+    def test_fc6_inputs(self):
+        assert vgg16()["FC6"].channels == 7 * 7 * 512
+
+    def test_total_macs_in_expected_range(self):
+        # VGG-16 is famously ~15.5 GMACs.
+        macs = vgg16().total_macs
+        assert 14e9 < macs < 18e9
+
+
+class TestMobilenet:
+    def test_layer_count(self):
+        # stem + 13 x (dw + pw) + fc
+        assert len(mobilenet_v1()) == 1 + 26 + 1
+
+    def test_depthwise_has_no_filter_reuse(self):
+        dw = mobilenet_v1()["DW8"]
+        assert dw.gemm_n == 1  # one filter per channel slice
+        assert dw.batch == 512
+
+    def test_pointwise_shapes(self):
+        pw = mobilenet_v1()["PW13"]
+        assert pw.filter_h == pw.filter_w == 1
+        assert pw.num_filters == 1024
+
+    def test_strided_blocks_shrink_maps(self):
+        net = mobilenet_v1()
+        assert net["PW3"].ifmap_h == 56
+        assert net["PW13"].ifmap_h == 7
+
+    def test_total_macs_in_expected_range(self):
+        # MobileNetV1 is ~0.57 GMACs.
+        macs = mobilenet_v1().total_macs
+        assert 0.4e9 < macs < 0.8e9
+
+    def test_depthwise_layers_map_poorly_onto_wide_arrays(self):
+        """The property that makes MobileNet interesting here: depthwise
+        layers can't fill array columns (one filter at a time)."""
+        result = Simulator(SMALL_TEST).run_layer(mobilenet_v1()["DW8"])
+        assert result.mapping_utilization <= 1 / SMALL_TEST.array_cols + 1e-9
+
+
+class TestBert:
+    def test_default_layers(self):
+        net = bert_encoder()
+        assert len(net) == 8
+        assert net.name == "bert-base-s384"
+
+    def test_attention_batched_over_heads(self):
+        net = bert_encoder(seq=128)
+        score = net["AttnScore"]
+        assert score.gemm_m == 128 * HEADS
+        assert score.gemm_k == HIDDEN // HEADS
+        assert score.gemm_n == 128
+
+    def test_ffn_shapes(self):
+        net = bert_encoder(seq=128)
+        assert net["FFN_Up"].gemm_n == FFN
+        assert net["FFN_Down"].gemm_k == FFN
+
+    def test_macs_scale_with_sequence(self):
+        short = bert_encoder(seq=128).total_macs
+        long = bert_encoder(seq=256).total_macs
+        assert long > 2 * short  # attention grows quadratically
+
+    def test_rejects_bad_seq(self):
+        with pytest.raises(ValueError):
+            bert_encoder(seq=0)
+
+
+class TestRegistry:
+    def test_new_workloads_registered(self):
+        names = available_workloads()
+        for name in ("vgg16", "mobilenet-v1", "bert-base"):
+            assert name in names
+
+    def test_lookup(self):
+        assert get_workload("vgg16").name == "vgg16"
+        assert get_workload("bert-base").name.startswith("bert-base")
+
+    def test_all_registered_workloads_simulate(self):
+        """Every registry entry runs end to end on a small array."""
+        simulator = Simulator(SMALL_TEST)
+        for name in available_workloads():
+            net = get_workload(name)
+            first = net[0]
+            result = simulator.run_layer(first)
+            assert result.total_cycles > 0

@@ -1,0 +1,66 @@
+"""Tests for synthetic workload generators."""
+
+import pytest
+
+from repro.workloads.synthetic import aspect_family, random_gemm_suite, reduction_family
+
+
+class TestRandomSuite:
+    def test_count_and_names(self):
+        net = random_gemm_suite(count=5, seed=1)
+        assert len(net) == 5
+        assert net.layer_names() == [f"rand{i}" for i in range(5)]
+
+    def test_deterministic(self):
+        a = random_gemm_suite(count=4, seed=7)
+        b = random_gemm_suite(count=4, seed=7)
+        for name in a.layer_names():
+            assert a[name].gemm_dims() == b[name].gemm_dims()
+
+    def test_seeds_differ(self):
+        a = random_gemm_suite(count=4, seed=1)
+        b = random_gemm_suite(count=4, seed=2)
+        assert any(
+            a[name].gemm_dims() != b[name].gemm_dims() for name in a.layer_names()
+        )
+
+    def test_dims_within_bounds(self):
+        net = random_gemm_suite(count=20, seed=3, min_dim=4, max_dim=64)
+        for layer in net:
+            for dim in layer.gemm_dims():
+                assert 1 <= dim <= 65
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            random_gemm_suite(min_dim=10, max_dim=5)
+
+
+class TestAspectFamily:
+    def test_constant_work(self):
+        net = aspect_family(total_macs=2**20, k=64, steps=5)
+        macs = [layer.macs for layer in net]
+        assert max(macs) / min(macs) < 2.5  # equal up to rounding
+
+    def test_aspect_sweeps_monotonically(self):
+        net = aspect_family(total_macs=2**20, k=64, steps=5)
+        ratios = [layer.gemm_m / layer.gemm_n for layer in net]
+        assert ratios == sorted(ratios)
+
+    def test_middle_is_square(self):
+        net = aspect_family(total_macs=2**20, k=64, steps=5)
+        middle = net[len(net) // 2]
+        assert 0.5 <= middle.gemm_m / middle.gemm_n <= 2.0
+
+
+class TestReductionFamily:
+    def test_k_decreases_by_powers_of_four(self):
+        net = reduction_family(total_macs=2**22, spatial=2**10, steps=4)
+        ks = [layer.gemm_k for layer in net]
+        assert ks == sorted(ks, reverse=True)
+        for deep, shallow in zip(ks, ks[1:]):
+            assert deep == 4 * shallow or shallow == 1
+
+    def test_spatial_fixed(self):
+        net = reduction_family(total_macs=2**22, spatial=2**10, steps=4)
+        dims = {(layer.gemm_m, layer.gemm_n) for layer in net}
+        assert len(dims) == 1
