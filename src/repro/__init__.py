@@ -72,12 +72,29 @@ from repro.workloads import (
     language_models,
     resnet50,
 )
-from repro.sweep import run_sweep, sweep_to_csv
+from repro.sweep import run_sweep, run_sweep_report, sweep_to_csv
+from repro.robust import (
+    CheckpointStore,
+    ExecutionPolicy,
+    Fault,
+    PointRecord,
+    RunReport,
+    check_layer_result,
+    check_trace_conservation,
+    execute_grid,
+    execute_point,
+    inject_faults,
+)
 from repro.traceanalysis import reuse_profile, stream_stats
 from repro.errors import (
+    CheckpointError,
+    CircuitOpenError,
     ConfigError,
     DramError,
+    ExecutionError,
+    InvariantError,
     MappingError,
+    PointTimeoutError,
     ReproError,
     SearchError,
     SimulationError,
@@ -154,9 +171,21 @@ __all__ = [
     "resnet50",
     # tooling
     "run_sweep",
+    "run_sweep_report",
     "sweep_to_csv",
     "reuse_profile",
     "stream_stats",
+    # robust execution
+    "CheckpointStore",
+    "ExecutionPolicy",
+    "Fault",
+    "PointRecord",
+    "RunReport",
+    "check_layer_result",
+    "check_trace_conservation",
+    "execute_grid",
+    "execute_point",
+    "inject_faults",
     # errors
     "ReproError",
     "ConfigError",
@@ -165,5 +194,10 @@ __all__ = [
     "SimulationError",
     "SearchError",
     "DramError",
+    "ExecutionError",
+    "PointTimeoutError",
+    "CircuitOpenError",
+    "CheckpointError",
+    "InvariantError",
     "__version__",
 ]

@@ -32,12 +32,95 @@ from repro.config.presets import paper_scaling_config
 from repro.engine.reports import render_report, write_report_csv
 from repro.engine.scaleout import ScaleOutSimulator
 from repro.engine.simulator import Simulator
-from repro.errors import ReproError
+from repro.errors import (
+    CheckpointError,
+    ConfigError,
+    DramError,
+    ExecutionError,
+    InvariantError,
+    MappingError,
+    ReproError,
+    SearchError,
+    SimulationError,
+    TopologyError,
+)
+from repro.robust.checkpoint import CheckpointStore
+from repro.robust.policy import ExecutionPolicy
+from repro.sweep import run_sweep_report
 from repro.topology.network import Network
 from repro.topology.parser import load_topology
 from repro.utils.mathutils import is_power_of_two
 from repro.workloads.language import language_layer, TABLE_IV_DIMS
 from repro.workloads.registry import available_workloads, get_workload
+
+
+#: Stable process exit codes per failure class, most specific first.
+EXIT_CODES: Tuple[Tuple[type, int], ...] = (
+    (ConfigError, 2),
+    (TopologyError, 3),
+    (SimulationError, 4),
+    (MappingError, 5),
+    (SearchError, 6),
+    (DramError, 7),
+    (CheckpointError, 8),
+    (InvariantError, 9),
+    (ExecutionError, 10),
+)
+
+#: Generic non-zero exit for failures without a dedicated code.
+EXIT_FAILURE = 1
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Map a :class:`ReproError` to its documented process exit code."""
+    for error_type, code in EXIT_CODES:
+        if isinstance(exc, error_type):
+            return code
+    return EXIT_FAILURE
+
+
+def _add_robust_flags(sub: argparse.ArgumentParser) -> None:
+    """Fault-tolerance flags shared by the batch subcommands."""
+    sub.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="JSONL journal recording each completed point",
+    )
+    sub.add_argument(
+        "--resume", action="store_true",
+        help="resume an existing --checkpoint journal, skipping completed points",
+    )
+    sub.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="per-point wall-clock budget",
+    )
+    sub.add_argument(
+        "--max-failures", type=int, dest="max_failures", metavar="N",
+        help="collect failures but stop after N of them (default: abort on first)",
+    )
+    sub.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retries per failing point, with exponential backoff (default 0)",
+    )
+
+
+def _robust_policy(args: argparse.Namespace) -> ExecutionPolicy:
+    try:
+        return ExecutionPolicy(
+            max_retries=args.retries,
+            timeout=args.timeout,
+            max_failures=args.max_failures,
+            mode="collect" if args.max_failures is not None else "fail_fast",
+        )
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
+
+
+def _robust_checkpoint(args: argparse.Namespace) -> Optional[CheckpointStore]:
+    if args.resume and not args.checkpoint:
+        raise CheckpointError("--resume requires --checkpoint FILE")
+    if not args.checkpoint:
+        return None
+    return CheckpointStore(args.checkpoint, resume=args.resume)
 
 
 def _parse_shape(text: str, what: str) -> Tuple[int, int]:
@@ -183,24 +266,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.layer not in network:
             raise SystemExit(f"unknown layer {args.layer!r}")
         layer = network[args.layer]
-    partitions: List[int] = (
+    candidates: List[int] = (
         [int(p) for p in args.partitions.split(",")]
         if args.partitions
         else [4**i for i in range(8) if 4**i * 64 <= args.macs]
     )
+    counts = [
+        count for count in candidates
+        if not args.macs % count and is_power_of_two(args.macs // count)
+    ]
     print(f"# layer {layer.name}, {args.macs} MACs, OS dataflow")
     print("partitions  array       cycles      avg_bw(B/cyc)  peak_bw(B/cyc)")
-    for count in partitions:
-        if args.macs % count or not is_power_of_two(args.macs // count):
-            continue
-        grid = _square_grid(count)
-        shape = _square_grid(args.macs // count)
+    if not counts:
+        return 0
+
+    def measure(partitions: int) -> dict:
+        grid = _square_grid(partitions)
+        shape = _square_grid(args.macs // partitions)
         config = paper_scaling_config(shape[0], shape[1], grid[0], grid[1])
         result = ScaleOutSimulator(config).run_layer(layer)
+        return {
+            "array": f"{shape[0]}x{shape[1]}",
+            "cycles": result.total_cycles,
+            "avg_bw": round(result.avg_total_bw, 3),
+            "peak_bw": round(result.peak_total_bw, 3),
+        }
+
+    rows, report = run_sweep_report(
+        measure,
+        policy=_robust_policy(args),
+        checkpoint=_robust_checkpoint(args),
+        partitions=counts,
+    )
+    for row in rows:
+        if row.get("status"):
+            print(f"{row['partitions']:10d}  {row['status']}: {row.get('error', '')}")
+            continue
+        array_rows, array_cols = row["array"].split("x")
         print(
-            f"{count:10d}  {shape[0]}x{shape[1]:<8d} {result.total_cycles:10d}  "
-            f"{result.avg_total_bw:13.3f}  {result.peak_total_bw:14.3f}"
+            f"{row['partitions']:10d}  {array_rows}x{int(array_cols):<8d} "
+            f"{row['cycles']:10d}  {row['avg_bw']:13.3f}  {row['peak_bw']:14.3f}"
         )
+    if report.failed or report.skipped:
+        print(f"sweep incomplete: {report.summary()}", file=sys.stderr)
+        return EXIT_FAILURE
     return 0
 
 
@@ -269,18 +378,42 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     if args.list or not args.experiment:
         print("experiments: " + ", ".join(available_experiments()))
         return 0
-    try:
-        rows = run_experiment(args.experiment)
-    except KeyError as exc:
-        raise SystemExit(str(exc)) from None
-    header = list(rows[0].keys())
+    name = args.experiment.lower()
+    if name not in available_experiments():
+        raise SystemExit(
+            f"unknown experiment {args.experiment!r}; "
+            f"available: {available_experiments()}"
+        )
+    rows, report = run_sweep_report(
+        lambda experiment: run_experiment(experiment),
+        policy=_robust_policy(args),
+        checkpoint=_robust_checkpoint(args),
+        experiment=[name],
+    )
+    if report.failed:
+        for record in report.failures():
+            print(
+                f"error: experiment {name!r} failed after "
+                f"{record.attempts} attempt(s): {record.error}",
+                file=sys.stderr,
+            )
+        return EXIT_FAILURE
+    if not rows:
+        print(f"# {name}\n(no rows)")
+        return 0
+    header: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in header:
+                header.append(key)
     widths = {
-        key: max(len(key), max(len(str(row[key])) for row in rows)) for key in header
+        key: max(len(key), max(len(str(row.get(key, ""))) for row in rows))
+        for key in header
     }
-    print(f"# {args.experiment}")
+    print(f"# {name}")
     print("  ".join(key.ljust(widths[key]) for key in header))
     for row in rows:
-        print("  ".join(str(row[key]).ljust(widths[key]) for key in header))
+        print("  ".join(str(row.get(key, "")).ljust(widths[key]) for key in header))
     return 0
 
 
@@ -336,6 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workload", help="network containing --layer (default resnet50)")
     sweep.add_argument("--macs", type=int, required=True)
     sweep.add_argument("--partitions", help="comma-separated partition counts")
+    _add_robust_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     listing = sub.add_parser("workloads", help="list built-in workloads")
@@ -362,6 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce = sub.add_parser("reproduce", help="regenerate a paper table/figure")
     reproduce.add_argument("experiment", nargs="?", help="experiment id, e.g. fig11def")
     reproduce.add_argument("--list", action="store_true", help="list experiment ids")
+    _add_robust_flags(reproduce)
     reproduce.set_defaults(func=_cmd_reproduce)
     return parser
 
@@ -373,7 +508,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

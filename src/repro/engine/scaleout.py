@@ -154,8 +154,24 @@ class ScaleOutSimulator:
         )
 
 
-def simulate(config: HardwareConfig, layer: Layer) -> LayerResult:
-    """Convenience front door: route to the right simulator for ``config``."""
+def simulate(
+    config: HardwareConfig,
+    layer: Layer,
+    verify: bool = False,
+    rel_tol: float = 0.0,
+) -> LayerResult:
+    """Convenience front door: route to the right simulator for ``config``.
+
+    With ``verify=True`` the result is cross-checked against the
+    analytical model (Eq. 1-6) before being returned; divergence beyond
+    ``rel_tol`` raises :class:`~repro.errors.InvariantError`.
+    """
     if config.is_monolithic:
-        return Simulator(config).run_layer(layer)
-    return ScaleOutSimulator(config).run_layer(layer)
+        result = Simulator(config).run_layer(layer)
+    else:
+        result = ScaleOutSimulator(config).run_layer(layer)
+    if verify:
+        from repro.robust.invariants import check_layer_result
+
+        check_layer_result(result, layer, config, rel_tol=rel_tol)
+    return result

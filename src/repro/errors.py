@@ -35,3 +35,24 @@ class SearchError(ReproError):
 
 class DramError(ReproError):
     """Raised by the DRAM back-end for invalid traces or timing configs."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the fault-tolerant execution layer (``repro.robust``)."""
+
+
+class PointTimeoutError(ExecutionError):
+    """Raised when one grid point exceeds its per-point wall-clock timeout."""
+
+
+class CircuitOpenError(ExecutionError):
+    """Raised when a batch run trips its ``max_failures`` circuit breaker."""
+
+
+class CheckpointError(ReproError):
+    """Raised for unreadable, conflicting or misused checkpoint journals."""
+
+
+class InvariantError(ReproError):
+    """Raised when cycle-accurate results diverge from the analytical
+    model (Eq. 1-6) or the demand/trace views stop agreeing."""

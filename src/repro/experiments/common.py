@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.config.hardware import HardwareConfig
 from repro.config.presets import paper_scaling_config
 from repro.engine.results import LayerResult
 from repro.engine.scaleout import ScaleOutSimulator
 from repro.engine.simulator import Simulator
+from repro.errors import SimulationError
+from repro.robust.executor import execute_point
+from repro.robust.policy import ExecutionPolicy
 from repro.topology.layer import Layer
 
 #: MAC budgets the paper sweeps across its figures.
@@ -34,8 +37,44 @@ def paper_partitioned_config(total_macs: int, partitions: int) -> HardwareConfig
     return paper_scaling_config(array_shape[0], array_shape[1], grid[0], grid[1])
 
 
-def simulate_on(config: HardwareConfig, layer: Layer) -> LayerResult:
-    """Route to the right cycle-accurate simulator for ``config``."""
-    if config.is_monolithic:
-        return Simulator(config).run_layer(layer)
-    return ScaleOutSimulator(config).run_layer(layer)
+def simulate_on(
+    config: HardwareConfig,
+    layer: Layer,
+    policy: Optional[ExecutionPolicy] = None,
+    verify: bool = False,
+    rel_tol: float = 0.0,
+) -> LayerResult:
+    """Route to the right cycle-accurate simulator for ``config``.
+
+    ``policy`` runs the simulation through the fault-tolerant executor
+    (retries + timeout); ``verify=True`` cross-checks the result against
+    the analytical model and raises
+    :class:`~repro.errors.InvariantError` on divergence.
+    """
+
+    def _run(**_params) -> dict:
+        if config.is_monolithic:
+            result = Simulator(config).run_layer(layer)
+        else:
+            result = ScaleOutSimulator(config).run_layer(layer)
+        return {"result": result}
+
+    if policy is None:
+        result = _run()["result"]
+    else:
+        record = execute_point(
+            _run, {}, policy=policy, key=f"{config.describe()}|{layer.name}"
+        )
+        if not record.succeeded:
+            if record.exception is not None:
+                raise record.exception
+            raise SimulationError(
+                f"layer {layer.name!r} failed after {record.attempts} "
+                f"attempt(s): {record.error}"
+            )
+        result = record.rows[0]["result"]
+    if verify:
+        from repro.robust.invariants import check_layer_result
+
+        check_layer_result(result, layer, config, rel_tol=rel_tol)
+    return result

@@ -1,0 +1,156 @@
+"""Append-only checkpoint journal for resumable batch runs.
+
+Every completed grid point is journalled as one JSON line, so an
+interrupted sweep resumes exactly where it stopped: points whose key is
+already present with status ``"ok"`` are replayed from the journal
+instead of re-executed.
+
+Keys are a stable SHA-256 of the point's parameters *and* a version
+string (defaulting to the package version), so a code upgrade silently
+invalidates stale checkpoints instead of resuming with mismatched
+results.  The journal is written line-at-a-time with an ``fsync``-free
+flush — cheap, and a crash mid-write at worst truncates the final line,
+which the loader tolerates by discarding it.
+
+Journal line schema::
+
+    {"key": "...", "version": "...", "params": {...},
+     "status": "ok" | "failed", "rows": [...], "attempts": N,
+     "duration": seconds, "error": "..." | null}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.errors import CheckpointError
+
+
+def _package_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+def point_key(params: Dict, version: str) -> str:
+    """Stable content hash of one grid point under one code version."""
+    try:
+        canonical = json.dumps(
+            {"params": params, "version": version},
+            sort_keys=True,
+            default=repr,
+        )
+    except TypeError as exc:  # pragma: no cover - default=repr is total
+        raise CheckpointError(f"unhashable sweep parameters {params!r}") from exc
+    import hashlib
+
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class CheckpointStore:
+    """JSONL journal of completed grid points, keyed by params + version."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        version: Optional[str] = None,
+        resume: bool = True,
+    ):
+        self.path = Path(path)
+        self.version = version if version is not None else _package_version()
+        self._entries: Dict[str, Dict] = {}
+        if self.path.exists():
+            if self.path.is_dir():
+                raise CheckpointError(f"checkpoint path is a directory: {self.path}")
+            if not resume:
+                raise CheckpointError(
+                    f"checkpoint {self.path} already exists; pass resume=True "
+                    "(CLI: --resume) to continue it, or remove the file"
+                )
+            self._load()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {self.path}: {exc}") from exc
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # A crash mid-write leaves a truncated trailing line;
+                # everything before it is still a valid prefix of the run.
+                continue
+            if not isinstance(entry, dict) or "key" not in entry:
+                continue
+            self._entries[entry["key"]] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Dict]:
+        return iter(self._entries.values())
+
+    def key(self, params: Dict) -> str:
+        return point_key(params, self.version)
+
+    def get(self, params: Dict) -> Optional[Dict]:
+        """The journal entry for ``params``, or ``None`` if never recorded."""
+        return self._entries.get(self.key(params))
+
+    def completed(self, params: Dict) -> bool:
+        """True when ``params`` already finished successfully."""
+        entry = self.get(params)
+        return entry is not None and entry.get("status") == "ok"
+
+    @property
+    def completed_count(self) -> int:
+        return sum(1 for e in self._entries.values() if e.get("status") == "ok")
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        params: Dict,
+        status: str,
+        rows: Optional[List[Dict]] = None,
+        attempts: int = 1,
+        duration: float = 0.0,
+        error: Optional[str] = None,
+    ) -> Dict:
+        """Journal one finished point (successful or exhausted)."""
+        entry = {
+            "key": self.key(params),
+            "version": self.version,
+            "params": params,
+            "status": status,
+            "rows": rows if rows is not None else [],
+            "attempts": attempts,
+            "duration": duration,
+            "error": error,
+        }
+        try:
+            # No sort_keys: row dicts must round-trip with their column
+            # order intact so resumed output matches a fresh run.
+            line = json.dumps(entry, default=repr)
+        except TypeError as exc:  # pragma: no cover - default=repr is total
+            raise CheckpointError(f"unserializable checkpoint entry: {exc}") from exc
+        try:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot append to checkpoint {self.path}: {exc}"
+            ) from exc
+        self._entries[entry["key"]] = entry
+        return entry

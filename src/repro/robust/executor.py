@@ -1,0 +1,199 @@
+"""Fault-tolerant point/batch executor.
+
+:func:`execute_point` runs one callable under an
+:class:`~repro.robust.policy.ExecutionPolicy` — retries with
+exponential backoff, a per-point wall-clock timeout, and a structured
+:class:`~repro.robust.report.PointRecord` outcome instead of a raw
+exception.  :func:`execute_grid` drives a whole list of grid points
+through it, journalling each completed point to an optional
+:class:`~repro.robust.checkpoint.CheckpointStore` and enforcing the
+``max_failures`` circuit breaker.
+
+Timeouts run the attempt on a worker thread and abandon it when the
+budget expires; the thread itself cannot be killed (CPython offers no
+safe preemption), so a truly hung point leaks one daemon thread — the
+sweep still makes progress, which is the property we need.  Tests avoid
+wall-clock dependence entirely by injecting simulated timeouts through
+:mod:`repro.robust.faults`.
+
+``KeyboardInterrupt`` (and other ``BaseException`` non-errors) always
+propagates immediately: the checkpoint journal already holds every
+finished point, which is exactly what resume needs.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.errors import CircuitOpenError, PointTimeoutError
+from repro.robust.checkpoint import CheckpointStore
+from repro.robust.policy import ExecutionPolicy
+from repro.robust.report import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    PointRecord,
+    RunReport,
+    exception_chain,
+)
+
+#: Default single-attempt, collect-mode policy used when none is given.
+DEFAULT_POLICY = ExecutionPolicy()
+
+
+def _as_rows(outcome: Union[Dict, Sequence[Dict]]) -> List[Dict]:
+    if isinstance(outcome, dict):
+        return [outcome]
+    if isinstance(outcome, (list, tuple)):
+        return [dict(row) for row in outcome]
+    raise TypeError(
+        f"point callable must return a dict or a sequence of dicts, "
+        f"got {type(outcome).__name__}"
+    )
+
+
+def _attempt(
+    fn: Callable[..., object],
+    params: Dict,
+    timeout: Optional[float],
+) -> object:
+    """Run one attempt, enforcing the wall-clock timeout if set."""
+    if timeout is None:
+        return fn(**params)
+    executor = concurrent.futures.ThreadPoolExecutor(max_workers=1)
+    try:
+        future = executor.submit(fn, **params)
+        try:
+            return future.result(timeout=timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise PointTimeoutError(
+                f"point {params!r} exceeded its {timeout}s wall-clock budget"
+            ) from None
+    finally:
+        executor.shutdown(wait=False)
+
+
+def execute_point(
+    fn: Callable[..., object],
+    params: Dict,
+    policy: Optional[ExecutionPolicy] = None,
+    key: str = "",
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> PointRecord:
+    """Run ``fn(**params)`` under ``policy`` and return its record.
+
+    ``sleep`` and ``clock`` are injectable for deterministic tests.
+    Exceptions matched by ``policy.retry_on`` are retried up to
+    ``policy.max_retries`` times with backoff; anything else (or an
+    exhausted point) yields a ``failed`` record — never a raised
+    exception, so batch drivers choose the failure semantics.
+    """
+    policy = policy or DEFAULT_POLICY
+    start = clock()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            rows = _as_rows(_attempt(fn, params, policy.timeout))
+        except Exception as exc:  # noqa: BLE001 - containment is the point
+            if policy.should_retry(exc, attempt):
+                delay = policy.backoff_delay(attempt, key=key)
+                if delay:
+                    sleep(delay)
+                continue
+            return PointRecord(
+                params=params,
+                status=STATUS_FAILED,
+                attempts=attempt,
+                duration=clock() - start,
+                error=f"{type(exc).__name__}: {exc}",
+                error_chain=tuple(exception_chain(exc)),
+                exception=exc,
+            )
+        return PointRecord(
+            params=params,
+            status=STATUS_OK,
+            attempts=attempt,
+            duration=clock() - start,
+            rows=tuple(rows),
+        )
+
+
+def execute_grid(
+    fn: Callable[..., object],
+    points: Sequence[Dict],
+    policy: Optional[ExecutionPolicy] = None,
+    checkpoint: Optional[CheckpointStore] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> RunReport:
+    """Run every point through :func:`execute_point`, with journalling.
+
+    * Points already completed in ``checkpoint`` are replayed as
+      ``cached`` records without re-execution (resume semantics).
+    * In ``fail_fast`` mode the first exhausted failure re-raises its
+      original exception.
+    * In ``collect`` mode failures are recorded; once ``max_failures``
+      of them accumulate, the remaining points are marked ``skipped``
+      and a :class:`CircuitOpenError` record stops further execution.
+    """
+    policy = policy or DEFAULT_POLICY
+    records: List[PointRecord] = []
+    failures = 0
+    tripped = False
+    for index, params in enumerate(points):
+        if tripped:
+            records.append(
+                PointRecord(
+                    params=params,
+                    status=STATUS_SKIPPED,
+                    attempts=0,
+                    error=(
+                        f"circuit breaker open after {failures} failures "
+                        f"(max_failures={policy.max_failures})"
+                    ),
+                )
+            )
+            continue
+        if checkpoint is not None and checkpoint.completed(params):
+            entry = checkpoint.get(params)
+            records.append(
+                PointRecord(
+                    params=params,
+                    status=STATUS_CACHED,
+                    attempts=0,
+                    rows=tuple(entry.get("rows", ())),
+                )
+            )
+            continue
+        key = checkpoint.key(params) if checkpoint is not None else str(index)
+        record = execute_point(
+            fn, params, policy=policy, key=key, sleep=sleep, clock=clock
+        )
+        records.append(record)
+        if checkpoint is not None:
+            checkpoint.record(
+                params,
+                status=record.status,
+                rows=list(record.rows),
+                attempts=record.attempts,
+                duration=record.duration,
+                error=record.error,
+            )
+        if record.status == STATUS_FAILED:
+            failures += 1
+            if policy.mode == "fail_fast":
+                if record.exception is not None:
+                    raise record.exception
+                raise CircuitOpenError(
+                    f"point {params!r} failed after {record.attempts} attempt(s): "
+                    f"{record.error}"
+                )
+            if policy.max_failures is not None and failures >= policy.max_failures:
+                tripped = True
+    return RunReport(records=records)

@@ -1,0 +1,156 @@
+"""Invariant guards: cross-check simulator output against the models.
+
+The cycle-accurate engine, the per-cycle demand arrays and the
+closed-form analytical model (paper Eq. 1-6) describe the *same*
+execution at different fidelities, so they must agree.  These guards
+make that agreement an enforced runtime property instead of a test-time
+hope: a corrupted result (bit flip, bad aggregation, fault injection)
+is caught at the point it is produced and surfaced as
+:class:`~repro.errors.InvariantError` carrying both the measured and
+the predicted value.
+
+Two independent checks:
+
+* **Cycle agreement** — the engine's ``total_cycles`` must equal the
+  exact fold-by-fold analytical prediction (Eq. 3 summed over the fold
+  grid; Eq. 5/6 tiling for partitioned configs) within a relative
+  tolerance (default: exact).
+* **Trace conservation** — the engine's SRAM element counts must equal
+  the totals of its per-cycle demand arrays: reads/writes can neither
+  appear nor vanish between the two views.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.analytical.runtime import fold_runtime
+from repro.config.hardware import HardwareConfig
+from repro.errors import InvariantError
+from repro.mapping.dims import map_layer
+from repro.topology.layer import Layer
+from repro.utils.mathutils import ceil_div
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataflow.base import DataflowEngine, SramCounts
+    from repro.engine.results import LayerResult
+
+
+def _fold_sizes(extent: int, array_dim: int) -> List[int]:
+    """Sizes of the folds covering ``extent`` on one ``array_dim`` axis."""
+    full, rem = divmod(extent, array_dim)
+    return [array_dim] * full + ([rem] if rem else [])
+
+
+def expected_cycles(layer: Layer, config: HardwareConfig) -> int:
+    """Exact analytical runtime of ``layer`` on ``config`` (Eq. 1-6).
+
+    Unlike :func:`repro.analytical.runtime.scaleup_runtime`, which
+    charges every fold the full-array latency, this accounts for edge
+    folds exactly, so it must *equal* the cycle-accurate engine — any
+    divergence is a bug or a corrupted result, not model error.
+    """
+    mapping = map_layer(layer, config.dataflow)
+    sr, sc = mapping.sr, mapping.sc
+    if not config.is_monolithic:
+        # Eq. 5: each partition tiles the mapped space; Eq. 6: the
+        # slowest (ceil-sized) tile sets the grid's runtime.
+        sr = ceil_div(sr, config.partition_rows)
+        sc = ceil_div(sc, config.partition_cols)
+    row_folds = _fold_sizes(sr, config.array_rows)
+    col_folds = _fold_sizes(sc, config.array_cols)
+    return sum(
+        fold_runtime(rows, cols, mapping.t)
+        for rows in row_folds
+        for cols in col_folds
+    )
+
+
+def check_cycles(
+    result: "LayerResult",
+    layer: Layer,
+    config: HardwareConfig,
+    rel_tol: float = 0.0,
+) -> None:
+    """Raise :class:`InvariantError` unless cycle counts agree.
+
+    The message carries both values so the divergence is diagnosable
+    from the exception alone.
+    """
+    predicted = expected_cycles(layer, config)
+    measured = result.total_cycles
+    if predicted <= 0:
+        raise InvariantError(
+            f"layer {layer.name!r}: analytical model predicts {predicted} cycles"
+        )
+    divergence = abs(measured - predicted) / predicted
+    if divergence > rel_tol:
+        raise InvariantError(
+            f"layer {layer.name!r}: cycle-accurate result diverges from the "
+            f"analytical model (Eq. 1-6): simulated total_cycles={measured}, "
+            f"analytical prediction={predicted} "
+            f"(relative divergence {divergence:.4%}, tolerance {rel_tol:.4%})"
+        )
+
+
+def check_macs(result: "LayerResult", layer: Layer, config: HardwareConfig) -> None:
+    """The aggregated MAC count must equal the layer's workload exactly."""
+    mapping = map_layer(layer, config.dataflow)
+    predicted = mapping.sr * mapping.sc * mapping.t
+    if result.macs != predicted:
+        raise InvariantError(
+            f"layer {layer.name!r}: simulated macs={result.macs} but the "
+            f"mapped workload is S_R*S_C*T={predicted}"
+        )
+
+
+def check_trace_conservation(engine: "DataflowEngine") -> None:
+    """Raise unless SRAM counts equal the demand-model totals.
+
+    Sums the engine's exact per-cycle demand arrays over every fold and
+    compares against :meth:`layer_counts` — the two views of the same
+    execution must conserve every read and write.
+    """
+    counts = engine.layer_counts()
+    ifmap = filter_ = ofmap = 0
+    for fold in engine.plan.folds():
+        demand = engine.fold_demand(fold)
+        ifmap += int(demand.ifmap_reads.sum())
+        filter_ += int(demand.filter_reads.sum())
+        ofmap += int(demand.ofmap_writes.sum())
+    mismatches = [
+        f"{stream} trace total={traced} vs demand-model total={demanded}"
+        for stream, traced, demanded in (
+            ("ifmap_reads", counts.ifmap_reads, ifmap),
+            ("filter_reads", counts.filter_reads, filter_),
+            ("ofmap_writes", counts.ofmap_writes, ofmap),
+        )
+        if traced != demanded
+    ]
+    if mismatches:
+        raise InvariantError(
+            "SRAM traffic not conserved between count and demand views: "
+            + "; ".join(mismatches)
+        )
+
+
+def check_layer_result(
+    result: "LayerResult",
+    layer: Layer,
+    config: HardwareConfig,
+    rel_tol: float = 0.0,
+) -> "LayerResult":
+    """Run every result-level guard; returns ``result`` for chaining."""
+    check_cycles(result, layer, config, rel_tol=rel_tol)
+    check_macs(result, layer, config)
+    if not 0.0 < result.mapping_utilization <= 1.0 + 1e-9:
+        raise InvariantError(
+            f"layer {layer.name!r}: mapping_utilization="
+            f"{result.mapping_utilization} outside (0, 1]"
+        )
+    if result.compute_utilization > 1.0 + 1e-9:
+        raise InvariantError(
+            f"layer {layer.name!r}: compute_utilization="
+            f"{result.compute_utilization} exceeds 1"
+        )
+    return result

@@ -1,0 +1,120 @@
+"""Execution policies for fault-tolerant batch runs.
+
+An :class:`ExecutionPolicy` describes *how hard to try* on each point of
+a batch run: how many times a failing point is retried, how long to back
+off between attempts (exponential with deterministic jitter), how long a
+single point may run before it is declared hung, and when the whole run
+should give up (the ``max_failures`` circuit breaker).
+
+Policies are plain frozen dataclasses so they can live in checkpoints,
+test parametrizations and CLI plumbing without surprises.  All timing
+decisions are pure functions of the policy and the attempt number, which
+keeps retry schedules reproducible — the jitter is derived from a hash
+of the point key, not from a global RNG.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Type
+
+#: Failure-handling modes: abort the batch on first exhausted point, or
+#: collect failures and keep sweeping.
+MODES = ("fail_fast", "collect")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a batch executor treats each grid point.
+
+    Attributes
+    ----------
+    max_retries:
+        Retries *after* the first attempt; ``0`` means a single try.
+    backoff_base:
+        Delay before the first retry, in seconds.
+    backoff_factor:
+        Multiplier applied per further retry (exponential backoff).
+    backoff_max:
+        Upper clamp on any single delay.
+    jitter:
+        Fraction of the delay added/subtracted deterministically from a
+        hash of ``(point key, attempt)`` — spreads retry storms without
+        sacrificing reproducibility.
+    timeout:
+        Per-point wall-clock budget in seconds; ``None`` disables it.
+    max_failures:
+        Circuit breaker: once this many points have *exhausted* their
+        retries, the rest of the run is skipped.  ``None`` disables it.
+    mode:
+        ``"fail_fast"`` re-raises the first exhausted failure,
+        ``"collect"`` records it and moves on.
+    retry_on:
+        Exception classes considered transient (retried).  Anything else
+        fails the point immediately.
+    """
+
+    max_retries: int = 0
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    jitter: float = 0.1
+    timeout: Optional[float] = None
+    max_failures: Optional[int] = None
+    mode: str = "collect"
+    retry_on: Tuple[Type[BaseException], ...] = field(default=(Exception,))
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.max_failures is not None and self.max_failures < 1:
+            raise ValueError(f"max_failures must be >= 1, got {self.max_failures}")
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total tries per point, first attempt included."""
+        return self.max_retries + 1
+
+    def backoff_delay(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based).
+
+        Deterministic: the jitter term comes from hashing the point key
+        with the attempt number, so re-running an identical batch yields
+        an identical retry schedule.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.backoff_max,
+        )
+        if self.jitter and delay:
+            digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+            # Map the first 8 digest bytes to [-1, 1).
+            unit = int.from_bytes(digest[:8], "big") / 2**63 - 1.0
+            delay = max(0.0, delay * (1.0 + self.jitter * unit))
+        return delay
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (1-based) may be retried."""
+        if attempt >= self.max_attempts:
+            return False
+        return isinstance(exc, self.retry_on)
+
+
+#: Strict default used by CLI entry points: one try, abort on failure.
+FAIL_FAST = ExecutionPolicy(mode="fail_fast")
+
+#: Lenient default for exploratory sweeps: collect failures, no retries.
+COLLECT = ExecutionPolicy(mode="collect")

@@ -1,0 +1,151 @@
+"""Structured outcome records for batch runs.
+
+These replace the stringly ``"error"`` column that sweeps used to emit:
+every grid point — succeeded, retried, replayed from a checkpoint,
+failed or skipped by the circuit breaker — gets a :class:`PointRecord`,
+and a batch returns a :class:`RunReport` that accounts for *every*
+point, so nothing fails silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Terminal states a grid point can end in.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_CACHED = "cached"  # replayed from a checkpoint, not re-executed
+STATUS_SKIPPED = "skipped"  # never ran: circuit breaker tripped first
+
+ALL_STATUSES = (STATUS_OK, STATUS_FAILED, STATUS_CACHED, STATUS_SKIPPED)
+
+
+@dataclass(frozen=True)
+class PointRecord:
+    """Everything the executor knows about one grid point's execution."""
+
+    params: Dict
+    status: str
+    attempts: int = 1
+    duration: float = 0.0
+    rows: Tuple[Dict, ...] = ()
+    error: Optional[str] = None
+    #: Exception chain, outermost first (``raise X from Y`` → [X, Y]).
+    error_chain: Tuple[str, ...] = ()
+    #: The live exception object (in-memory only, never journalled) so
+    #: fail-fast drivers can re-raise the original error unchanged.
+    exception: Optional[BaseException] = None
+
+    def __post_init__(self) -> None:
+        if self.status not in ALL_STATUSES:
+            raise ValueError(f"status must be one of {ALL_STATUSES}, got {self.status!r}")
+        object.__setattr__(self, "rows", tuple(self.rows))
+        object.__setattr__(self, "error_chain", tuple(self.error_chain))
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status in (STATUS_OK, STATUS_CACHED)
+
+
+def exception_chain(exc: BaseException) -> List[str]:
+    """Render an exception and its causes, outermost first."""
+    chain: List[str] = []
+    seen = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        chain.append(f"{type(current).__name__}: {current}")
+        if current.__cause__ is not None:
+            current = current.__cause__
+        elif not current.__suppress_context__:
+            current = current.__context__
+        else:
+            current = None
+    return chain
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Per-point accounting for one batch run."""
+
+    records: Tuple[PointRecord, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "records", tuple(self.records))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def count(self, status: str) -> int:
+        return sum(1 for record in self.records if record.status == status)
+
+    @property
+    def ok(self) -> int:
+        return self.count(STATUS_OK)
+
+    @property
+    def failed(self) -> int:
+        return self.count(STATUS_FAILED)
+
+    @property
+    def cached(self) -> int:
+        return self.count(STATUS_CACHED)
+
+    @property
+    def skipped(self) -> int:
+        return self.count(STATUS_SKIPPED)
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(record.attempts for record in self.records)
+
+    def failures(self) -> Sequence[PointRecord]:
+        return [record for record in self.records if record.status == STATUS_FAILED]
+
+    def rows(self, include_failures: bool = True) -> List[Dict]:
+        """Flatten to sweep-style row dicts.
+
+        Successful points contribute their measurement rows unchanged;
+        failed/skipped points contribute one row with a stable
+        ``status`` column and the error text, so downstream CSV export
+        never sees a schema that silently drops points.
+        """
+        out: List[Dict] = []
+        for record in self.records:
+            if record.succeeded:
+                out.extend(dict(row) for row in record.rows)
+            elif include_failures:
+                out.append(
+                    {
+                        **record.params,
+                        "status": record.status,
+                        "error": record.error or "",
+                    }
+                )
+        return out
+
+    def summary(self) -> str:
+        """One-line human summary, e.g. ``12 ok, 2 cached, 1 failed``."""
+        parts = [
+            f"{self.count(status)} {status}"
+            for status in ALL_STATUSES
+            if self.count(status)
+        ]
+        return ", ".join(parts) if parts else "empty run"
+
+    def ensure_complete(self) -> "RunReport":
+        """Raise :class:`~repro.errors.CircuitOpenError` if the circuit
+        breaker skipped points; returns ``self`` for chaining."""
+        from repro.errors import CircuitOpenError
+
+        if self.skipped:
+            raise CircuitOpenError(
+                f"run incomplete: {self.failed} failure(s) tripped the circuit "
+                f"breaker, skipping {self.skipped} of {len(self)} points "
+                f"({self.summary()})"
+            )
+        return self

@@ -12,8 +12,15 @@ captures that pattern once:
 
 The callable receives one keyword per grid axis and returns a dict (or
 a list of dicts) of measurements; each result row carries the parameter
-values that produced it.  Failures can be collected instead of raised,
-so a sweep over a space with infeasible corners still completes.
+values that produced it.
+
+Execution routes through the fault-tolerant layer (:mod:`repro.robust`):
+pass an :class:`~repro.robust.ExecutionPolicy` for retries, per-point
+timeouts and circuit breaking, and a checkpoint path (or
+:class:`~repro.robust.CheckpointStore`) to make the sweep resumable —
+an interrupted run replays completed points from its journal instead of
+re-executing them.  :func:`run_sweep_report` additionally returns the
+:class:`~repro.robust.RunReport` accounting for every grid point.
 """
 
 from __future__ import annotations
@@ -21,38 +28,33 @@ from __future__ import annotations
 import csv
 import itertools
 from pathlib import Path
-from typing import Callable, Dict, List, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.robust.checkpoint import CheckpointStore
+from repro.robust.executor import execute_grid
+from repro.robust.policy import ExecutionPolicy
+from repro.robust.report import RunReport
 
 
-def run_sweep(
-    fn: Callable[..., Union[Dict, Sequence[Dict]]],
-    skip_errors: bool = False,
-    **grid: Sequence,
-) -> List[Dict]:
-    """Evaluate ``fn`` over the cartesian product of the ``grid`` axes.
-
-    Axis order follows keyword order; parameter values are prepended to
-    every result row.  With ``skip_errors=True``, a point that raises
-    contributes one row with an ``"error"`` column instead of aborting
-    the sweep.
-    """
+def grid_points(**grid: Sequence) -> List[Dict]:
+    """The cartesian product of the grid axes, in keyword order."""
     if not grid:
         raise ValueError("sweep needs at least one parameter axis")
     for name, values in grid.items():
         if not values:
             raise ValueError(f"axis {name!r} is empty")
-
     axes = list(grid.items())
-    rows: List[Dict] = []
-    for point in itertools.product(*(values for _, values in axes)):
-        params = {name: value for (name, _), value in zip(axes, point)}
-        try:
-            outcome = fn(**params)
-        except Exception as exc:  # noqa: BLE001 - the point of skip_errors
-            if not skip_errors:
-                raise
-            rows.append({**params, "error": f"{type(exc).__name__}: {exc}"})
-            continue
+    return [
+        {name: value for (name, _), value in zip(axes, point)}
+        for point in itertools.product(*(values for _, values in axes))
+    ]
+
+
+def _checked(fn: Callable[..., Union[Dict, Sequence[Dict]]]) -> Callable:
+    """Wrap ``fn`` to reject result keys that collide with parameters."""
+
+    def wrapped(**params):
+        outcome = fn(**params)
         results = outcome if isinstance(outcome, (list, tuple)) else [outcome]
         for result in results:
             overlap = set(params) & set(result)
@@ -60,12 +62,66 @@ def run_sweep(
                 raise ValueError(
                     f"result keys {sorted(overlap)} collide with parameter names"
                 )
-            rows.append({**params, **result})
+        return [{**params, **result} for result in results]
+
+    return wrapped
+
+
+def run_sweep_report(
+    fn: Callable[..., Union[Dict, Sequence[Dict]]],
+    skip_errors: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
+    checkpoint: Optional[Union[str, Path, CheckpointStore]] = None,
+    **grid: Sequence,
+) -> Tuple[List[Dict], RunReport]:
+    """Like :func:`run_sweep` but also returns the per-point report.
+
+    Axis order follows keyword order; parameter values are prepended to
+    every result row.  With ``skip_errors=True`` (or a collect-mode
+    ``policy``), a point that exhausts its retries contributes one row
+    with stable ``status`` and ``error`` columns instead of aborting the
+    sweep.  The report accounts for every grid point regardless.
+    """
+    points = grid_points(**grid)
+    if policy is None:
+        policy = ExecutionPolicy(mode="collect" if skip_errors else "fail_fast")
+    elif skip_errors and policy.mode != "collect":
+        raise ValueError("skip_errors=True conflicts with a fail_fast policy")
+    if isinstance(checkpoint, (str, Path)):
+        checkpoint = CheckpointStore(checkpoint)
+    report = execute_grid(_checked(fn), points, policy=policy, checkpoint=checkpoint)
+    return report.rows(), report
+
+
+def run_sweep(
+    fn: Callable[..., Union[Dict, Sequence[Dict]]],
+    skip_errors: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
+    checkpoint: Optional[Union[str, Path, CheckpointStore]] = None,
+    **grid: Sequence,
+) -> List[Dict]:
+    """Evaluate ``fn`` over the cartesian product of the ``grid`` axes.
+
+    Axis order follows keyword order; parameter values are prepended to
+    every result row.  With ``skip_errors=True``, a point that raises
+    contributes one row with ``status`` and ``error`` columns instead of
+    aborting the sweep.  ``policy`` and ``checkpoint`` opt in to the
+    fault-tolerant machinery (retries, timeouts, resumable journals) —
+    see :func:`run_sweep_report` to also get the per-point accounting.
+    """
+    rows, _ = run_sweep_report(
+        fn, skip_errors=skip_errors, policy=policy, checkpoint=checkpoint, **grid
+    )
     return rows
 
 
 def sweep_to_csv(rows: Sequence[Dict], path: Union[str, Path]) -> Path:
-    """Write sweep rows to a CSV; the header is the union of all keys."""
+    """Write sweep rows to a CSV; the header is the union of all keys.
+
+    Rows missing some header keys (e.g. error rows without measurement
+    columns) are backfilled with empty cells, so the file always has a
+    rectangular, consistent schema.
+    """
     if not rows:
         raise ValueError("no rows to write")
     header: List[str] = []

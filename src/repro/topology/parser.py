@@ -56,6 +56,11 @@ def _parse_row(cells: List[str], line_no: int) -> ConvLayer:
         dims = [int(cell) for cell in cells[1:_NUM_FIELDS]]
     except ValueError as exc:
         raise TopologyError(f"topology line {line_no}: non-integer dimension: {exc}") from exc
+    for column, value in zip(TOPOLOGY_HEADER[1:], dims):
+        if value < 1:
+            raise TopologyError(
+                f"topology line {line_no}: {column} must be >= 1, got {value}"
+            )
     return ConvLayer(
         name=name,
         ifmap_h=dims[0],
@@ -69,9 +74,13 @@ def _parse_row(cells: List[str], line_no: int) -> ConvLayer:
 
 
 def parse_topology_text(text: str, name: str = "topology") -> Network:
-    """Parse topology CSV contents into a :class:`Network`."""
+    """Parse topology CSV contents into a :class:`Network`.
+
+    Tolerates a UTF-8 byte-order mark (files exported from Windows
+    tooling often carry one) and blank or whitespace-only lines.
+    """
     layers: List[ConvLayer] = []
-    reader = csv.reader(io.StringIO(text))
+    reader = csv.reader(io.StringIO(text.lstrip("\ufeff")))
     for line_no, row in enumerate(reader, start=1):
         cells = [cell for cell in (c.strip() for c in row)]
         # Drop a single trailing empty cell caused by a trailing comma.
@@ -92,7 +101,7 @@ def load_topology(path: Union[str, Path]) -> Network:
     path = Path(path)
     if not path.exists():
         raise TopologyError(f"topology file not found: {path}")
-    return parse_topology_text(path.read_text(), name=path.stem)
+    return parse_topology_text(path.read_text(encoding="utf-8-sig"), name=path.stem)
 
 
 def dump_topology(network: Network, path: Union[str, Path]) -> Path:

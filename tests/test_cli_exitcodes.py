@@ -1,0 +1,114 @@
+"""CLI exit-code hygiene and the robust batch flags."""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_CODES, exit_code_for, main
+from repro.errors import (
+    CheckpointError,
+    ConfigError,
+    InvariantError,
+    PointTimeoutError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+
+
+class TestExitCodeMapping:
+    def test_codes_are_distinct_and_nonzero(self):
+        codes = [code for _, code in EXIT_CODES]
+        assert len(set(codes)) == len(codes)
+        assert all(code not in (0, 1) for code in codes)
+
+    @pytest.mark.parametrize(
+        "exc, code",
+        [
+            (ConfigError("x"), 2),
+            (TopologyError("x"), 3),
+            (SimulationError("x"), 4),
+            (CheckpointError("x"), 8),
+            (InvariantError("x"), 9),
+            (PointTimeoutError("x"), 10),  # via the ExecutionError base
+            (ReproError("x"), 1),  # no dedicated code -> generic failure
+        ],
+    )
+    def test_mapping(self, exc, code):
+        assert exit_code_for(exc) == code
+
+
+class TestCliErrorPaths:
+    def test_topology_error_exits_3(self, tmp_path, capsys):
+        missing = tmp_path / "nope.csv"
+        code = main(["run", "--topology", str(missing)])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "error:" in captured.err
+        assert "error:" not in captured.out
+
+    def test_config_error_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cfg"
+        bad.write_text("[general]\nrun_name = x\n\n[architecture_presets\n")
+        code = main(["run", "--config", str(bad), "--workload", "TF0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_resume_without_checkpoint_exits_8(self, capsys):
+        code = main(["sweep", "--layer", "TF0", "--macs", "1024", "--resume"])
+        assert code == 8
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_existing_checkpoint_without_resume_exits_8(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        journal.write_text("")
+        code = main(
+            ["sweep", "--layer", "TF0", "--macs", "1024",
+             "--checkpoint", str(journal)]
+        )
+        assert code == 8
+        assert "already exists" in capsys.readouterr().err
+
+
+class TestSweepRobustFlags:
+    def test_checkpoint_written_and_resumed(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        argv = ["sweep", "--layer", "TF0", "--macs", "1024",
+                "--checkpoint", str(journal)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        entries = [json.loads(line) for line in journal.read_text().splitlines()]
+        assert entries and all(entry["status"] == "ok" for entry in entries)
+
+        # Resuming replays the journal: identical table, same journal size.
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert len(journal.read_text().splitlines()) == len(entries)
+
+    def test_sweep_output_format_unchanged(self, capsys):
+        assert main(["sweep", "--layer", "TF0", "--macs", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "partitions" in out
+        assert "avg_bw" in out
+
+
+class TestReproduceRobustFlags:
+    def test_reproduce_with_checkpoint_resumes(self, tmp_path, capsys):
+        journal = tmp_path / "exp.jsonl"
+        argv = ["reproduce", "table4", "--checkpoint", str(journal)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "TF0" in first
+
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_unknown_experiment_still_systemexits(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["reproduce", "fig99"])
+
+
+class TestValidateExitCode:
+    def test_validate_passing_run_exits_zero(self, capsys):
+        assert main(["validate", "--trials", "2"]) == 0

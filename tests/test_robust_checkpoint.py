@@ -1,0 +1,80 @@
+"""Unit tests for the JSONL checkpoint journal."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.robust.checkpoint import CheckpointStore, point_key
+
+
+class TestPointKey:
+    def test_stable_across_ordering(self):
+        assert point_key({"a": 1, "b": 2}, "v1") == point_key({"b": 2, "a": 1}, "v1")
+
+    def test_version_invalidates(self):
+        assert point_key({"a": 1}, "v1") != point_key({"a": 1}, "v2")
+
+    def test_distinct_params_distinct_keys(self):
+        assert point_key({"a": 1}, "v1") != point_key({"a": 2}, "v1")
+
+
+class TestStore:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = CheckpointStore(path, version="v1")
+        store.record({"a": 1}, status="ok", rows=[{"a": 1, "x": 2}])
+        store.record({"a": 2}, status="failed", error="RuntimeError: nope")
+
+        reloaded = CheckpointStore(path, version="v1")
+        assert len(reloaded) == 2
+        assert reloaded.completed({"a": 1})
+        assert not reloaded.completed({"a": 2})  # failed points re-run on resume
+        assert reloaded.get({"a": 1})["rows"] == [{"a": 1, "x": 2}]
+        assert reloaded.completed_count == 1
+
+    def test_version_mismatch_misses(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        CheckpointStore(path, version="v1").record({"a": 1}, status="ok")
+        stale = CheckpointStore(path, version="v2")
+        assert not stale.completed({"a": 1})
+
+    def test_truncated_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = CheckpointStore(path, version="v1")
+        store.record({"a": 1}, status="ok", rows=[{"y": 9}])
+        with path.open("a") as handle:
+            handle.write('{"key": "deadbeef", "status"')  # crash mid-write
+
+        reloaded = CheckpointStore(path, version="v1")
+        assert len(reloaded) == 1
+        assert reloaded.completed({"a": 1})
+
+    def test_resume_false_refuses_existing(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        CheckpointStore(path, version="v1").record({"a": 1}, status="ok")
+        with pytest.raises(CheckpointError, match="already exists"):
+            CheckpointStore(path, version="v1", resume=False)
+
+    def test_resume_false_fresh_path_ok(self, tmp_path):
+        CheckpointStore(tmp_path / "new.jsonl", resume=False)
+
+    def test_directory_path_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="directory"):
+            CheckpointStore(tmp_path)
+
+    def test_journal_lines_are_json(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = CheckpointStore(path, version="v1")
+        store.record({"a": 1}, status="ok", attempts=2, duration=0.5)
+        entry = json.loads(path.read_text().splitlines()[0])
+        assert entry["params"] == {"a": 1}
+        assert entry["attempts"] == 2
+        assert entry["version"] == "v1"
+        assert entry["key"] == point_key({"a": 1}, "v1")
+
+    def test_default_version_is_package_version(self, tmp_path):
+        from repro import __version__
+
+        store = CheckpointStore(tmp_path / "run.jsonl")
+        assert store.version == __version__

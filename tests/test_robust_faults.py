@@ -1,0 +1,89 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.errors import PointTimeoutError
+from repro.robust.faults import Fault, InjectedFault, inject_faults
+
+
+def healthy(**params):
+    return {"cycles": 100 * params.get("a", 1)}
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            Fault(kind="gremlin")
+
+    def test_corrupt_requires_mutate(self):
+        with pytest.raises(ValueError, match="mutate"):
+            Fault(kind="corrupt")
+
+    def test_rejects_zero_times(self):
+        with pytest.raises(ValueError, match="times"):
+            Fault(kind="transient", times=0)
+
+
+class TestInjection:
+    def test_transient_fires_then_clears(self):
+        faulty = inject_faults(healthy, Fault(kind="transient", times=2))
+        with pytest.raises(InjectedFault):
+            faulty(a=1)
+        with pytest.raises(InjectedFault):
+            faulty(a=1)
+        assert faulty(a=1) == {"cycles": 100}
+
+    def test_when_matches_param_subset(self):
+        fault = Fault(kind="transient", when={"a": 2}, times=None)
+        faulty = inject_faults(healthy, fault)
+        assert faulty(a=1) == {"cycles": 100}
+        with pytest.raises(InjectedFault):
+            faulty(a=2)
+        assert fault.fired == 1
+
+    def test_timeout_kind_raises_timeout_error(self):
+        faulty = inject_faults(healthy, Fault(kind="timeout"))
+        with pytest.raises(PointTimeoutError, match="injected timeout"):
+            faulty(a=1)
+
+    def test_interrupt_kind_raises_keyboard_interrupt(self):
+        faulty = inject_faults(healthy, Fault(kind="interrupt"))
+        with pytest.raises(KeyboardInterrupt):
+            faulty(a=1)
+
+    def test_corrupt_mutates_result(self):
+        faulty = inject_faults(
+            healthy,
+            Fault(kind="corrupt", mutate=lambda row: {**row, "cycles": -1}),
+        )
+        assert faulty(a=1) == {"cycles": -1}
+
+    def test_corrupt_mutates_each_row_of_list_results(self):
+        def multi(**params):
+            return [{"i": 0}, {"i": 1}]
+
+        faulty = inject_faults(
+            multi, Fault(kind="corrupt", mutate=lambda row: {**row, "bad": True})
+        )
+        assert faulty() == [{"i": 0, "bad": True}, {"i": 1, "bad": True}]
+
+    def test_custom_exception_factory(self):
+        faulty = inject_faults(
+            healthy, Fault(kind="transient", exc=lambda: ConnectionError("net"))
+        )
+        with pytest.raises(ConnectionError):
+            faulty(a=1)
+
+    def test_faults_are_deterministic_per_call_sequence(self):
+        def build():
+            return inject_faults(healthy, Fault(kind="transient", times=1))
+
+        first, second = build(), build()
+        outcomes = []
+        for fn in (first, second):
+            try:
+                fn(a=1)
+                outcomes.append("ok")
+            except InjectedFault:
+                outcomes.append("fault")
+        assert outcomes == ["fault", "fault"]

@@ -1,0 +1,117 @@
+"""Invariant guards: analytical cross-checks and trace conservation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.config.presets import paper_scaling_config
+from repro.engine.scaleout import simulate
+from repro.engine.simulator import Simulator
+from repro.errors import InvariantError
+from repro.robust.invariants import (
+    check_cycles,
+    check_layer_result,
+    check_macs,
+    check_trace_conservation,
+    expected_cycles,
+)
+from repro.topology.layer import GemmLayer
+
+ALL_DATAFLOWS = [
+    Dataflow.OUTPUT_STATIONARY,
+    Dataflow.WEIGHT_STATIONARY,
+    Dataflow.INPUT_STATIONARY,
+]
+
+
+@pytest.fixture
+def layer():
+    return GemmLayer("g", m=40, k=12, n=20)
+
+
+class TestExpectedCycles:
+    @pytest.mark.parametrize("dataflow", ALL_DATAFLOWS)
+    def test_matches_engine_monolithic(self, small_config, layer, dataflow):
+        config = small_config.with_dataflow(dataflow)
+        result = Simulator(config).run_layer(layer)
+        assert expected_cycles(layer, config) == result.total_cycles
+
+    def test_matches_engine_scaleout(self, layer):
+        config = paper_scaling_config(8, 8, 2, 2)
+        result = simulate(config, layer)
+        assert expected_cycles(layer, config) == result.total_cycles
+
+
+class TestCycleGuard:
+    def test_accepts_honest_result(self, small_config, layer):
+        result = Simulator(small_config).run_layer(layer)
+        check_cycles(result, layer, small_config)
+
+    def test_catches_corrupted_cycles(self, small_config, layer):
+        honest = Simulator(small_config).run_layer(layer)
+        corrupted = dataclasses.replace(honest, total_cycles=honest.total_cycles + 999)
+        with pytest.raises(InvariantError) as info:
+            check_cycles(corrupted, layer, small_config)
+        # The message must carry both the measured and the predicted value.
+        message = str(info.value)
+        assert str(corrupted.total_cycles) in message
+        assert str(honest.total_cycles) in message
+        assert "analytical" in message
+
+    def test_tolerance_allows_small_divergence(self, small_config, layer):
+        honest = Simulator(small_config).run_layer(layer)
+        nudged = dataclasses.replace(honest, total_cycles=honest.total_cycles + 1)
+        with pytest.raises(InvariantError):
+            check_cycles(nudged, layer, small_config)
+        check_cycles(nudged, layer, small_config, rel_tol=0.05)
+
+
+class TestMacGuard:
+    def test_catches_corrupted_macs(self, small_config, layer):
+        honest = Simulator(small_config).run_layer(layer)
+        corrupted = dataclasses.replace(honest, macs=honest.macs * 2)
+        with pytest.raises(InvariantError, match="macs"):
+            check_macs(corrupted, layer, small_config)
+
+
+class TestTraceConservation:
+    @pytest.mark.parametrize("dataflow", ALL_DATAFLOWS)
+    def test_engine_conserves_traffic(self, small_config, layer, dataflow):
+        config = small_config.with_dataflow(dataflow)
+        engine = Simulator(config).engine(layer)
+        check_trace_conservation(engine)
+
+    def test_catches_count_demand_mismatch(self, small_config, layer):
+        engine = Simulator(small_config).engine(layer)
+        honest = engine.layer_counts()
+
+        class Lying:
+            plan = engine.plan
+            fold_demand = engine.fold_demand
+
+            def layer_counts(self):
+                return dataclasses.replace(
+                    honest, ifmap_reads=honest.ifmap_reads + 7
+                )
+
+        with pytest.raises(InvariantError, match="ifmap_reads") as info:
+            check_trace_conservation(Lying())
+        assert str(honest.ifmap_reads) in str(info.value)
+        assert str(honest.ifmap_reads + 7) in str(info.value)
+
+
+class TestResultGuard:
+    def test_full_guard_accepts_real_runs(self, small_config, layer):
+        result = Simulator(small_config).run_layer(layer)
+        assert check_layer_result(result, layer, small_config) is result
+
+    def test_simulate_verify_flag(self, small_config, layer):
+        result = simulate(small_config, layer, verify=True)
+        assert result.total_cycles > 0
+
+    def test_guard_rejects_bad_utilization(self, small_config, layer):
+        honest = Simulator(small_config).run_layer(layer)
+        corrupted = dataclasses.replace(honest, mapping_utilization=1.7)
+        with pytest.raises(InvariantError, match="mapping_utilization"):
+            check_layer_result(corrupted, layer, small_config)

@@ -1,0 +1,84 @@
+"""Unit tests for ExecutionPolicy: validation, backoff, retry gating."""
+
+import pytest
+
+from repro.robust.policy import COLLECT, FAIL_FAST, ExecutionPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = ExecutionPolicy()
+        assert policy.max_attempts == 1
+        assert policy.mode == "collect"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_base": -0.1},
+            {"backoff_factor": 0.5},
+            {"jitter": 1.5},
+            {"jitter": -0.1},
+            {"timeout": 0},
+            {"timeout": -1.0},
+            {"max_failures": 0},
+            {"mode": "explode"},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(**kwargs)
+
+    def test_presets(self):
+        assert FAIL_FAST.mode == "fail_fast"
+        assert COLLECT.mode == "collect"
+
+
+class TestBackoff:
+    def test_exponential_growth(self):
+        policy = ExecutionPolicy(
+            max_retries=5, backoff_base=1.0, backoff_factor=2.0, jitter=0.0
+        )
+        delays = [policy.backoff_delay(attempt) for attempt in (1, 2, 3)]
+        assert delays == [1.0, 2.0, 4.0]
+
+    def test_clamped_at_backoff_max(self):
+        policy = ExecutionPolicy(
+            max_retries=10, backoff_base=1.0, backoff_factor=10.0,
+            backoff_max=5.0, jitter=0.0,
+        )
+        assert policy.backoff_delay(4) == 5.0
+
+    def test_jitter_is_deterministic(self):
+        policy = ExecutionPolicy(max_retries=3, backoff_base=1.0, jitter=0.5)
+        first = policy.backoff_delay(2, key="point-a")
+        second = policy.backoff_delay(2, key="point-a")
+        assert first == second
+
+    def test_jitter_varies_by_key(self):
+        policy = ExecutionPolicy(max_retries=3, backoff_base=1.0, jitter=0.5)
+        assert policy.backoff_delay(2, key="a") != policy.backoff_delay(2, key="b")
+
+    def test_jitter_stays_bounded(self):
+        policy = ExecutionPolicy(max_retries=3, backoff_base=1.0, jitter=0.25)
+        for key in map(str, range(50)):
+            delay = policy.backoff_delay(1, key=key)
+            assert 0.75 <= delay <= 1.25
+
+    def test_rejects_attempt_zero(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy().backoff_delay(0)
+
+
+class TestShouldRetry:
+    def test_exhausted_attempts(self):
+        policy = ExecutionPolicy(max_retries=2)
+        exc = RuntimeError("x")
+        assert policy.should_retry(exc, attempt=1)
+        assert policy.should_retry(exc, attempt=2)
+        assert not policy.should_retry(exc, attempt=3)
+
+    def test_non_matching_exception_not_retried(self):
+        policy = ExecutionPolicy(max_retries=5, retry_on=(TimeoutError,))
+        assert not policy.should_retry(ValueError("x"), attempt=1)
+        assert policy.should_retry(TimeoutError("x"), attempt=1)

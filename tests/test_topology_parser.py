@@ -68,6 +68,48 @@ class TestParse:
             parse_topology_text(bad)
 
 
+class TestHardening:
+    def test_utf8_bom_tolerated(self):
+        net = parse_topology_text("\ufeff" + SAMPLE)
+        assert len(net) == 2
+
+    def test_bom_file_loads(self, tmp_path):
+        path = tmp_path / "bom.csv"
+        path.write_bytes(b"\xef\xbb\xbf" + SAMPLE.encode("utf-8"))
+        assert len(load_topology(path)) == 2
+
+    def test_whitespace_only_lines_skipped(self):
+        text = "   \n\t\nConv1, 8, 8, 3, 3, 1, 1, 1,\n  ,  , \n"
+        assert len(parse_topology_text(text)) == 1
+
+    @pytest.mark.parametrize(
+        "row, column",
+        [
+            ("Conv1, -224, 224, 7, 7, 3, 64, 2,", "IFMAP Height"),
+            ("Conv1, 224, 0, 7, 7, 3, 64, 2,", "IFMAP Width"),
+            ("Conv1, 224, 224, 7, 7, -3, 64, 2,", "Channels"),
+            ("Conv1, 224, 224, 7, 7, 3, 0, 2,", "Num Filter"),
+            ("Conv1, 224, 224, 7, 7, 3, 64, -1,", "Strides"),
+            ("Conv1, 224, 224, 7, 7, 3, 64, 0,", "Strides"),
+        ],
+    )
+    def test_non_positive_dimension_rejected(self, row, column):
+        good = "Conv0, 8, 8, 3, 3, 1, 1, 1,"
+        with pytest.raises(TopologyError) as info:
+            parse_topology_text(good + "\n" + row + "\n")
+        message = str(info.value)
+        assert "line 2" in message
+        assert column in message
+
+    def test_non_positive_raises_topology_error_not_valueerror(self):
+        try:
+            parse_topology_text("Conv1, 8, 8, 3, 3, 1, 1, -2,\n")
+        except TopologyError:
+            pass  # the contract: library error, with row context
+        else:  # pragma: no cover
+            pytest.fail("negative stride accepted")
+
+
 class TestFileRoundtrip:
     def test_load_from_disk(self, tmp_path):
         path = tmp_path / "net.csv"
