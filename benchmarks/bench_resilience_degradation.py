@@ -1,0 +1,43 @@
+"""Graceful degradation: runtime and energy vs dead partitions.
+
+Not a paper figure — a scalability question the paper's methodology
+makes easy to ask.  For each fault count ``k`` the sweep kills ``k`` of
+the 16 partitions, re-maps the orphaned tiles onto the survivors, and
+measures the slowdown against the closed-form degraded bound
+``ceil(P / (P - k))``.
+
+Expected shape: a staircase.  Runtime is flat while the survivors can
+absorb the orphans without anyone owning two extra tiles, then jumps a
+whole multiple of the healthy runtime.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.resilience import degradation_sweep
+from repro.workloads.resnet50 import PAPER_CBA3_LAYER, resnet50
+
+CBA3 = resnet50()[PAPER_CBA3_LAYER]
+DEAD_COUNTS = (0, 1, 2, 4, 8)
+
+
+def test_degradation_staircase(benchmark, reporter):
+    def sweep():
+        return degradation_sweep(CBA3, total_macs=2**14, partitions=16,
+                                 dead_counts=DEAD_COUNTS)
+
+    rows = run_once(benchmark, sweep)
+    reporter.emit("cba3 degradation 16 partitions", rows)
+
+    slowdowns = [row["slowdown"] for row in rows]
+    assert slowdowns[0] == 1.0
+    assert slowdowns == sorted(slowdowns)
+    # Killing half the grid at least doubles the runtime.
+    assert slowdowns[-1] >= 2.0
+    # Engine never beats physics: measured cycles within the serial bound.
+    for row in rows:
+        assert row["cycles"] <= row["bound_cycles"]
+    # Every degraded scenario re-mapped exactly the orphaned tiles.
+    for row in rows[1:]:
+        assert row["remapped_tiles"] >= row["dead"]

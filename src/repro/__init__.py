@@ -63,7 +63,16 @@ from repro.analytical import (
     search_space,
     unlimited_runtime,
 )
-from repro.noc import MeshNoc, NocConfig, NocCost, layer_noc_cost
+from repro.noc import DegradedMeshNoc, MeshNoc, NocConfig, NocCost, layer_noc_cost
+from repro.resilience import (
+    FaultMap,
+    RemapPlan,
+    load_fault_map,
+    predict_layer_cycles,
+    random_fault_map,
+    remap_layer,
+)
+from repro.analytical.runtime import degraded_scaleout_runtime, degraded_scaleup_runtime
 from repro.energy import DEFAULT_ENERGY, EnergyParams, energy_of_result, energy_of_run
 from repro.golden import golden_gemm
 from repro.dram import DDR4_2400_LIKE, DramAccess, DramSimulator, DramTiming
@@ -96,6 +105,7 @@ from repro.errors import (
     MappingError,
     PointTimeoutError,
     ReproError,
+    ResilienceError,
     SearchError,
     SimulationError,
     TopologyError,
@@ -150,10 +160,20 @@ __all__ = [
     "StalledRuntime",
     "bandwidth_limited_runtime",
     "sweet_spot_bandwidth",
+    "DegradedMeshNoc",
     "MeshNoc",
     "NocConfig",
     "NocCost",
     "layer_noc_cost",
+    # resilience (degraded-mode simulation)
+    "FaultMap",
+    "RemapPlan",
+    "load_fault_map",
+    "predict_layer_cycles",
+    "random_fault_map",
+    "remap_layer",
+    "degraded_scaleout_runtime",
+    "degraded_scaleup_runtime",
     # energy
     "DEFAULT_ENERGY",
     "EnergyParams",
@@ -199,5 +219,6 @@ __all__ = [
     "CircuitOpenError",
     "CheckpointError",
     "InvariantError",
+    "ResilienceError",
     "__version__",
 ]

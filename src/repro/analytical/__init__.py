@@ -5,6 +5,8 @@ from repro.analytical.runtime import (
     unlimited_runtime,
     scaleup_runtime,
     scaleout_runtime,
+    degraded_scaleup_runtime,
+    degraded_scaleout_runtime,
     mapping_utilization,
 )
 from repro.analytical.search import (
@@ -46,6 +48,8 @@ __all__ = [
     "unlimited_runtime",
     "scaleup_runtime",
     "scaleout_runtime",
+    "degraded_scaleup_runtime",
+    "degraded_scaleout_runtime",
     "mapping_utilization",
     "CandidateConfig",
     "array_shapes",

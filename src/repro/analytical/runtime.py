@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.mapping.dims import OperandMapping
 from repro.utils.mathutils import ceil_div
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_non_negative_int, check_positive_int
 
 
 def fold_runtime(rows: int, cols: int, temporal: int) -> int:
@@ -70,6 +70,60 @@ def scaleout_runtime(
     tile_sc = ceil_div(mapping.sc, partition_cols)
     tile = OperandMapping(sr=tile_sr, sc=tile_sc, t=mapping.t, dataflow=mapping.dataflow)
     return scaleup_runtime(tile, array_rows, array_cols)
+
+
+def degraded_scaleup_runtime(
+    mapping: OperandMapping,
+    array_rows: int,
+    array_cols: int,
+    dead_rows: int = 0,
+    dead_cols: int = 0,
+) -> int:
+    """Eq. 4 on an array with bypassed PE rows/columns.
+
+    Dead rows/columns are skipped by the sequencer, so the machine
+    behaves as a smaller ``R' x C'`` array: ``R' = R - dead_rows``,
+    ``C' = C - dead_cols``.  A fully dead axis cannot compute anything.
+    """
+    check_non_negative_int(dead_rows, "dead_rows")
+    check_non_negative_int(dead_cols, "dead_cols")
+    eff_rows = array_rows - dead_rows
+    eff_cols = array_cols - dead_cols
+    check_positive_int(eff_rows, "effective array_rows")
+    check_positive_int(eff_cols, "effective array_cols")
+    return scaleup_runtime(mapping, eff_rows, eff_cols)
+
+
+def degraded_scaleout_runtime(
+    mapping: OperandMapping,
+    partition_rows: int,
+    partition_cols: int,
+    array_rows: int,
+    array_cols: int,
+    dead_partitions: int = 0,
+) -> int:
+    """Closed-form Eq. 5/6 for a grid with ``k`` dead partitions.
+
+    With the work of the ``P = P_R * P_C`` Eq.-5 tiles re-mapped evenly
+    over the ``P - k`` survivors, the most-loaded survivor runs
+    ``ceil(P / (P - k))`` ceil-sized tiles back to back:
+
+    ``tau' = ceil(P / (P - k)) * tau_scaleout``.
+
+    This is the first-order bound the exact remap plan
+    (:func:`repro.resilience.remap.remap_layer`) refines with true tile
+    shapes; both coincide on healthy grids (``k = 0``).
+    """
+    check_positive_int(partition_rows, "partition_rows")
+    check_positive_int(partition_cols, "partition_cols")
+    check_non_negative_int(dead_partitions, "dead_partitions")
+    total = partition_rows * partition_cols
+    survivors = total - dead_partitions
+    check_positive_int(survivors, "surviving partitions")
+    tiles_per_survivor = ceil_div(total, survivors)
+    return tiles_per_survivor * scaleout_runtime(
+        mapping, partition_rows, partition_cols, array_rows, array_cols
+    )
 
 
 def mapping_utilization(mapping: OperandMapping, array_rows: int, array_cols: int) -> float:

@@ -7,6 +7,7 @@ Subcommands::
     scalesim-repro analyze  --workload resnet50 --array 32x32
     scalesim-repro search   --workload resnet50 --macs 16384 [--scaleout]
     scalesim-repro sweep    --layer TF0 --macs 16384 [--partitions 1,4,16,...]
+    scalesim-repro resilience --layer TF0 --macs 16384 [--dead 0,1,2,4]
     scalesim-repro dram     --workload TF1 --array 16x16 [--channels 4]
     scalesim-repro workloads
 
@@ -40,6 +41,7 @@ from repro.errors import (
     InvariantError,
     MappingError,
     ReproError,
+    ResilienceError,
     SearchError,
     SimulationError,
     TopologyError,
@@ -65,6 +67,7 @@ EXIT_CODES: Tuple[Tuple[type, int], ...] = (
     (CheckpointError, 8),
     (InvariantError, 9),
     (ExecutionError, 10),
+    (ResilienceError, 11),
 )
 
 #: Generic non-zero exit for failures without a dedicated code.
@@ -141,6 +144,25 @@ def _load_network(args: argparse.Namespace) -> Network:
     raise SystemExit("provide --topology FILE or --workload NAME")
 
 
+def _fault_map_from_args(args: argparse.Namespace):
+    """The fault map named by --faults / --fault-map, or ``None``.
+
+    Parse and file errors raise :class:`~repro.errors.ResilienceError`
+    (exit code 11).
+    """
+    from repro.resilience.faultmap import FaultMap, load_fault_map
+
+    spec = getattr(args, "faults", None)
+    path = getattr(args, "fault_map", None)
+    if spec and path:
+        raise ResilienceError("--faults and --fault-map are mutually exclusive")
+    if spec:
+        return FaultMap.from_spec(spec)
+    if path:
+        return load_fault_map(path)
+    return None
+
+
 def _build_config(args: argparse.Namespace) -> HardwareConfig:
     if args.config:
         config = load_config(args.config)
@@ -154,6 +176,9 @@ def _build_config(args: argparse.Namespace) -> HardwareConfig:
         config = config.with_partitions(rows, cols)
     if args.dataflow:
         config = config.with_dataflow(Dataflow.from_string(args.dataflow))
+    fault_map = _fault_map_from_args(args)
+    if fault_map is not None:
+        config = config.with_fault_map(fault_map)
     return config
 
 
@@ -257,15 +282,20 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_layer(args: argparse.Namespace):
+    """The layer named by --layer, from Table IV or --workload."""
+    if args.layer in TABLE_IV_DIMS:
+        return language_layer(args.layer)
+    network = get_workload(args.workload or "resnet50")
+    if args.layer not in network:
+        raise SystemExit(f"unknown layer {args.layer!r}")
+    return network[args.layer]
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if not is_power_of_two(args.macs):
         raise SystemExit("--macs must be a power of two for the sweep")
-    layer = language_layer(args.layer) if args.layer in TABLE_IV_DIMS else None
-    if layer is None:
-        network = get_workload(args.workload or "resnet50")
-        if args.layer not in network:
-            raise SystemExit(f"unknown layer {args.layer!r}")
-        layer = network[args.layer]
+    layer = _resolve_layer(args)
     candidates: List[int] = (
         [int(p) for p in args.partitions.split(",")]
         if args.partitions
@@ -306,6 +336,60 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(
             f"{row['partitions']:10d}  {array_rows}x{int(array_cols):<8d} "
             f"{row['cycles']:10d}  {row['avg_bw']:13.3f}  {row['peak_bw']:14.3f}"
+        )
+    if report.failed or report.skipped:
+        print(f"sweep incomplete: {report.summary()}", file=sys.stderr)
+        return EXIT_FAILURE
+    return 0
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    """Degraded-mode sweep: runtime/traffic as partitions fail."""
+    from repro.experiments.resilience import degradation_sweep
+
+    if not is_power_of_two(args.macs):
+        raise SystemExit("--macs must be a power of two for the sweep")
+    layer = _resolve_layer(args)
+    fault_map = _fault_map_from_args(args)
+    if fault_map is not None:
+        dead_counts = [len(fault_map.dead_partitions)]
+    else:
+        try:
+            dead_counts = [int(k) for k in args.dead.split(",")]
+        except ValueError:
+            raise SystemExit(f"invalid --dead {args.dead!r}; expected e.g. 0,1,2,4") from None
+
+    def measure(dead: int) -> List[dict]:
+        rows = degradation_sweep(
+            layer,
+            total_macs=args.macs,
+            partitions=args.partitions,
+            dead_counts=[dead],
+            seed=args.seed,
+            fault_map=fault_map,
+        )
+        # The sweep axis re-adds the dead count to every row.
+        return [{k: v for k, v in row.items() if k != "dead"} for row in rows]
+
+    rows, report = run_sweep_report(
+        measure,
+        policy=_robust_policy(args),
+        checkpoint=_robust_checkpoint(args),
+        dead=dead_counts,
+    )
+    print(
+        f"# layer {layer.name}, {args.macs} MACs over {args.partitions} "
+        f"partition(s), seed {args.seed}"
+    )
+    print("dead  cycles      slowdown  bound       remapped  noc_byte_hops  e_total")
+    for row in rows:
+        if row.get("status"):
+            print(f"{row['dead']:4d}  {row['status']}: {row.get('error', '')}")
+            continue
+        print(
+            f"{row['dead']:4d}  {row['cycles']:10d}  {row['slowdown']:8.4f}  "
+            f"{row['bound_cycles']:10d}  {row['remapped_tiles']:8d}  "
+            f"{row['noc_byte_hops']:13d}  {row['e_total']}"
         )
     if report.failed or report.skipped:
         print(f"sweep incomplete: {report.summary()}", file=sys.stderr)
@@ -436,6 +520,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--loop-order", choices=["row", "col"], default="row",
         help="fold iteration order (affects DRAM traffic only)",
     )
+    run.add_argument(
+        "--faults", metavar="SPEC",
+        help="fault-map spec, e.g. 'pe_row:3;partition:1,2;link:0,0-0,1'",
+    )
+    run.add_argument(
+        "--fault-map", dest="fault_map", metavar="FILE",
+        help="JSON fault-map file (see docs/robustness.md)",
+    )
     run.add_argument("-o", "--outdir", help="directory for report CSVs")
     run.set_defaults(func=_cmd_run)
 
@@ -471,6 +563,33 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--partitions", help="comma-separated partition counts")
     _add_robust_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    resilience = sub.add_parser(
+        "resilience", help="degraded-mode sweep: runtime as partitions fail"
+    )
+    resilience.add_argument("--layer", required=True, help="layer name (e.g. TF0, CB2a_3)")
+    resilience.add_argument("--workload", help="network containing --layer (default resnet50)")
+    resilience.add_argument("--macs", type=int, required=True, help="total MAC budget")
+    resilience.add_argument(
+        "--partitions", type=int, default=16,
+        help="partition count of the healthy grid (default 16)",
+    )
+    resilience.add_argument(
+        "--dead", default="0,1,2,4",
+        help="comma-separated dead-partition counts (default 0,1,2,4)",
+    )
+    resilience.add_argument("--seed", type=int, default=0,
+                            help="seed for drawing which partitions die")
+    resilience.add_argument(
+        "--faults", metavar="SPEC",
+        help="run exactly this fault scenario instead of --dead/--seed draws",
+    )
+    resilience.add_argument(
+        "--fault-map", dest="fault_map", metavar="FILE",
+        help="JSON fault-map file (see docs/robustness.md)",
+    )
+    _add_robust_flags(resilience)
+    resilience.set_defaults(func=_cmd_resilience)
 
     listing = sub.add_parser("workloads", help="list built-in workloads")
     listing.set_defaults(func=_cmd_workloads)

@@ -13,10 +13,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.utils.validation import check_positive_int, check_non_negative_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.faultmap import FaultMap
 
 
 class Dataflow(enum.Enum):
@@ -63,6 +66,7 @@ class HardwareConfig:
     partition_cols: int = 1
     word_bytes: int = 1
     run_name: str = "scale-sim-repro"
+    fault_map: Optional["FaultMap"] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.array_rows, "array_rows")
@@ -78,6 +82,17 @@ class HardwareConfig:
         check_positive_int(self.word_bytes, "word_bytes")
         if not isinstance(self.dataflow, Dataflow):
             raise ConfigError(f"dataflow must be a Dataflow, got {self.dataflow!r}")
+        if self.fault_map is not None:
+            from repro.resilience.faultmap import FaultMap
+
+            if not isinstance(self.fault_map, FaultMap):
+                raise ConfigError(
+                    f"fault_map must be a FaultMap, got {self.fault_map!r}"
+                )
+            self.fault_map.validate_for(
+                self.array_rows, self.array_cols,
+                self.partition_rows, self.partition_cols,
+            )
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -101,6 +116,32 @@ class HardwareConfig:
     def is_monolithic(self) -> bool:
         """True when this is a scale-up (single array) configuration."""
         return self.num_partitions == 1
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when a fault map disables any hardware component."""
+        return self.fault_map is not None and not self.fault_map.is_healthy
+
+    @property
+    def effective_array_rows(self) -> int:
+        """Usable array rows after PE-row faults are bypassed (R')."""
+        if self.fault_map is None:
+            return self.array_rows
+        return self.array_rows - len(self.fault_map.dead_pe_rows)
+
+    @property
+    def effective_array_cols(self) -> int:
+        """Usable array columns after PE-column faults are bypassed (C')."""
+        if self.fault_map is None:
+            return self.array_cols
+        return self.array_cols - len(self.fault_map.dead_pe_cols)
+
+    @property
+    def surviving_partitions(self) -> int:
+        """Partitions still alive under the fault map."""
+        if self.fault_map is None:
+            return self.num_partitions
+        return self.num_partitions - len(self.fault_map.dead_partitions)
 
     @property
     def ifmap_sram_bytes(self) -> int:
@@ -129,6 +170,10 @@ class HardwareConfig:
         """Return a copy using a different dataflow."""
         return replace(self, dataflow=dataflow)
 
+    def with_fault_map(self, fault_map: Optional["FaultMap"]) -> "HardwareConfig":
+        """Return a copy describing the same machine under ``fault_map``."""
+        return replace(self, fault_map=fault_map)
+
     def partition_config(self) -> "HardwareConfig":
         """Return the per-partition configuration for a scale-out run.
 
@@ -147,6 +192,9 @@ class HardwareConfig:
             ifmap_sram_kb=max(1, self.ifmap_sram_kb // parts),
             filter_sram_kb=max(1, self.filter_sram_kb // parts),
             ofmap_sram_kb=max(1, self.ofmap_sram_kb // parts),
+            # PE row/column defects follow each partition's array; dead
+            # partitions and links belong to the grid, not its members.
+            fault_map=self.fault_map.pe_only() if self.fault_map else None,
         )
 
     def as_dict(self) -> Dict[str, object]:
@@ -165,6 +213,11 @@ class HardwareConfig:
             "PartitionCols": self.partition_cols,
             "WordBytes": self.word_bytes,
             "RunName": self.run_name,
+            **(
+                {"FaultMap": self.fault_map.to_spec()}
+                if self.fault_map is not None and not self.fault_map.is_healthy
+                else {}
+            ),
         }
 
     def shape(self) -> Tuple[int, int]:
@@ -174,8 +227,11 @@ class HardwareConfig:
     def describe(self) -> str:
         """One-line human-readable summary used by reports and the CLI."""
         grid = f"{self.partition_rows}x{self.partition_cols}"
-        return (
+        text = (
             f"{self.array_rows}x{self.array_cols} array, {grid} partitions, "
             f"{self.dataflow.value} dataflow, SRAM(i/f/o)="
             f"{self.ifmap_sram_kb}/{self.filter_sram_kb}/{self.ofmap_sram_kb} KB"
         )
+        if self.is_degraded:
+            text += f", {self.fault_map.describe()}"
+        return text

@@ -32,6 +32,7 @@ _STR_KEYS = {
     "dataflow": "dataflow",
     "runname": "run_name",
     "run_name": "run_name",
+    "faultmap": "fault_map",
     "topology": None,  # accepted for compatibility; handled by the CLI
 }
 
@@ -59,6 +60,10 @@ def parse_config_text(text: str) -> HardwareConfig:
                 field = _STR_KEYS[key]
                 if field == "dataflow":
                     values[field] = Dataflow.from_string(raw_value)
+                elif field == "fault_map":
+                    from repro.resilience.faultmap import FaultMap
+
+                    values[field] = FaultMap.from_spec(raw_value)
                 elif field is not None:
                     values[field] = raw_value.strip()
             else:

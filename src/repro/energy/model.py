@@ -63,8 +63,12 @@ def energy_of_result(
     result: LayerResult,
     params: EnergyParams = DEFAULT_ENERGY,
 ) -> EnergyBreakdown:
-    """Energy of one layer result (scale-up or scale-out)."""
-    pe_cycles = result.total_pes * result.total_cycles
+    """Energy of one layer result (scale-up or scale-out).
+
+    Dead partitions are power-gated: the idle term charges surviving
+    PEs only (``surviving_pes == total_pes`` on healthy hardware).
+    """
+    pe_cycles = result.surviving_pes * result.total_cycles
     idle_cycles = max(0, pe_cycles - result.macs)
     dram_words = (result.dram_read_bytes + result.dram_write_bytes) / result.word_bytes
     return EnergyBreakdown(

@@ -47,6 +47,9 @@ def layer_result_to_dict(result: LayerResult) -> Dict:
         "word_bytes": result.word_bytes,
         "row_folds": result.row_folds,
         "col_folds": result.col_folds,
+        "idle_partitions": result.idle_partitions,
+        "failed_partitions": result.failed_partitions,
+        "remapped_tiles": result.remapped_tiles,
     }
 
 
@@ -79,6 +82,10 @@ def layer_result_from_dict(data: Dict) -> LayerResult:
             word_bytes=data["word_bytes"],
             row_folds=data["row_folds"],
             col_folds=data["col_folds"],
+            # Absent in schema-1 files written before degraded mode.
+            idle_partitions=data.get("idle_partitions", 0),
+            failed_partitions=data.get("failed_partitions", 0),
+            remapped_tiles=data.get("remapped_tiles", 0),
         )
     except KeyError as exc:
         raise ReproError(f"layer-result record missing field {exc}") from exc

@@ -59,6 +59,11 @@ def render_report(results: Union[RunResult, Iterable[LayerResult]], columns: Seq
             "avg_read_bw",
             "peak_read_bw",
         ]
+        # Partition-health columns appear only when they carry signal,
+        # so healthy-run reports keep their original shape.
+        for extra in ("idle_parts", "failed_parts", "remapped_tiles"):
+            if any(row.get(extra) for row in rows):
+                columns.append(extra)
     missing = [col for col in columns if col not in rows[0]]
     if missing:
         raise KeyError(f"unknown report columns: {missing}")

@@ -41,6 +41,9 @@ class LayerResult:
     word_bytes: int
     row_folds: int
     col_folds: int
+    idle_partitions: int = 0
+    failed_partitions: int = 0
+    remapped_tiles: int = 0
 
     @property
     def num_partitions(self) -> int:
@@ -50,6 +53,21 @@ class LayerResult:
     def total_pes(self) -> int:
         """MAC units across the whole system (all partitions)."""
         return self.array_rows * self.array_cols * self.num_partitions
+
+    @property
+    def surviving_partitions(self) -> int:
+        """Partitions still alive (all of them on healthy hardware)."""
+        return self.num_partitions - self.failed_partitions
+
+    @property
+    def surviving_pes(self) -> int:
+        """MAC units on surviving partitions only."""
+        return self.array_rows * self.array_cols * self.surviving_partitions
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when this result was measured on faulty hardware."""
+        return self.failed_partitions > 0 or self.remapped_tiles > 0
 
     @property
     def dram_total_bytes(self) -> int:
@@ -84,6 +102,9 @@ class LayerResult:
             "peak_read_bw": round(self.peak_read_bw, 4),
             "peak_write_bw": round(self.peak_write_bw, 4),
             "folds": self.row_folds * self.col_folds,
+            "idle_parts": self.idle_partitions,
+            "failed_parts": self.failed_partitions,
+            "remapped_tiles": self.remapped_tiles,
         }
 
 

@@ -12,12 +12,20 @@ The costs of partitioning emerge naturally from summing per-partition
 traffic: each partition fetches its own operand slices, so data shared
 across a grid row/column is fetched multiple times (the loss-of-reuse
 cost of Sec. IV-A), and each partition owns only ``1/P`` of the SRAM.
+
+Degraded grids (a :class:`~repro.resilience.FaultMap` with dead
+partitions on the config) route through :func:`repro.resilience.remap
+.remap_layer`: orphaned tiles are adopted by surviving partitions,
+which run their assigned tiles serially, so the layer latency becomes
+the slowest survivor's *summed* tile latency.  MAC conservation over
+the re-mapped tiles is guarded, and the degraded runtime is
+cross-checked against the same plan by the invariant guards.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.config.hardware import HardwareConfig
 from repro.dataflow.base import SramCounts
@@ -25,6 +33,7 @@ from repro.engine.results import LayerResult, RunResult
 from repro.engine.simulator import Simulator
 from repro.errors import SimulationError
 from repro.mapping.dims import gemm_from_mapping, map_layer
+from repro.resilience.remap import RemapPlan, remap_layer
 from repro.topology.layer import Layer
 from repro.topology.network import Network
 from repro.utils.mathutils import split_evenly
@@ -45,7 +54,8 @@ class ScaleOutSimulator:
 
     def __init__(self, config: HardwareConfig):
         self.config = config
-        # Each partition is a standalone array with 1/P of the SRAM.
+        # Each partition is a standalone array with 1/P of the SRAM
+        # (carrying any PE row/column defects of the fault map).
         self._partition_sim = Simulator(config.partition_config())
 
     # ------------------------------------------------------------------
@@ -58,6 +68,9 @@ class ScaleOutSimulator:
 
     def run_layer_detailed(self, layer: Layer) -> Tuple[LayerResult, List[PartitionShare]]:
         """Simulate one layer; also return the per-partition breakdown."""
+        fault_map = self.config.fault_map
+        if fault_map is not None and fault_map.affects_grid:
+            return self._run_layer_degraded(layer)
         mapping = map_layer(layer, self.config.dataflow)
         row_shares = [s for s in split_evenly(mapping.sr, self.config.partition_rows)]
         col_shares = [s for s in split_evenly(mapping.sc, self.config.partition_cols)]
@@ -79,13 +92,9 @@ class ScaleOutSimulator:
                 f"{self.config.partition_rows}x{self.config.partition_cols} grid"
             )
 
-        shares: List[PartitionShare] = []
-        for (sr, sc), count in sorted(shape_counts.items(), reverse=True):
-            m, k, n = gemm_from_mapping(sr, sc, mapping.t, self.config.dataflow)
-            part_result = self._partition_sim.run_gemm(m, k, n, name=f"{layer.name}[{sr}x{sc}]")
-            shares.append(PartitionShare(count=count, sr=sr, sc=sc, result=part_result))
-
-        return self._aggregate(layer, shares, idle), shares
+        shares = self._simulate_shapes(layer, mapping.t, shape_counts)
+        runtime = max(share.result.total_cycles for share in shares)
+        return self._aggregate(layer, shares, runtime, idle_partitions=idle), shares
 
     def run_network(self, network: Network) -> RunResult:
         """Simulate every layer of ``network`` serially on the grid."""
@@ -97,14 +106,92 @@ class ScaleOutSimulator:
         )
 
     # ------------------------------------------------------------------
+    # Degraded path
+    # ------------------------------------------------------------------
+    def _run_layer_degraded(self, layer: Layer) -> Tuple[LayerResult, List[PartitionShare]]:
+        """Simulate on a grid with dead partitions, re-mapping their work.
+
+        The remap plan (MAC-conservation-guarded inside
+        :func:`remap_layer`) assigns every tile to a survivor; survivors
+        with several tiles run them back to back, so the grid's runtime
+        is the slowest survivor's serial total.
+        """
+        config = self.config
+        mapping = map_layer(layer, config.dataflow)
+        plan: RemapPlan = remap_layer(
+            mapping,
+            config.partition_rows,
+            config.partition_cols,
+            config.effective_array_rows,
+            config.effective_array_cols,
+            config.fault_map,
+        )
+
+        shape_counts: Dict[Tuple[int, int], int] = {}
+        for assignment in plan.assignments:
+            shape = (assignment.sr, assignment.sc)
+            shape_counts[shape] = shape_counts.get(shape, 0) + 1
+        shares = self._simulate_shapes(layer, mapping.t, shape_counts)
+        by_shape = {(s.sr, s.sc): s.result for s in shares}
+
+        # Slowest survivor's serial runtime over its assigned tiles.
+        runtime = max(
+            sum(by_shape[(a.sr, a.sc)].total_cycles for a in tiles)
+            for tiles in plan.per_owner().values()
+        )
+
+        survivors = len(plan.survivors)
+        # Fraction of provisioned survivor PE-time carrying valid
+        # mappings: each tile contributes its utilization weighted by
+        # the cycles it actually occupies an array.
+        mapped_pe_time = sum(
+            by_shape[(a.sr, a.sc)].mapping_utilization
+            * by_shape[(a.sr, a.sc)].total_cycles
+            for a in plan.assignments
+        )
+        mapping_util = mapped_pe_time / (survivors * runtime)
+        surviving_pes = (
+            config.effective_array_rows * config.effective_array_cols * survivors
+        )
+        result = self._aggregate(
+            layer,
+            shares,
+            runtime,
+            idle_partitions=plan.idle_partitions,
+            failed_partitions=plan.failed_partitions,
+            remapped_tiles=plan.remapped_tiles,
+            mapping_utilization=mapping_util,
+            compute_pes=surviving_pes,
+        )
+        return result, shares
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _simulate_shapes(
+        self, layer: Layer, temporal: int, shape_counts: Dict[Tuple[int, int], int]
+    ) -> List[PartitionShare]:
+        """Run the partition engine once per distinct tile shape."""
+        shares: List[PartitionShare] = []
+        for (sr, sc), count in sorted(shape_counts.items(), reverse=True):
+            m, k, n = gemm_from_mapping(sr, sc, temporal, self.config.dataflow)
+            part_result = self._partition_sim.run_gemm(m, k, n, name=f"{layer.name}[{sr}x{sc}]")
+            shares.append(PartitionShare(count=count, sr=sr, sc=sc, result=part_result))
+        return shares
+
     def _aggregate(
-        self, layer: Layer, shares: List[PartitionShare], idle_partitions: int
+        self,
+        layer: Layer,
+        shares: List[PartitionShare],
+        runtime: int,
+        idle_partitions: int = 0,
+        failed_partitions: int = 0,
+        remapped_tiles: int = 0,
+        mapping_utilization: Optional[float] = None,
+        compute_pes: Optional[int] = None,
     ) -> LayerResult:
         config = self.config
         num_partitions = config.num_partitions
-        runtime = max(share.result.total_cycles for share in shares)
 
         sram = SramCounts()
         dram_read = dram_write = cold_start = 0
@@ -128,17 +215,23 @@ class ScaleOutSimulator:
             max_row_folds = max(max_row_folds, res.row_folds)
             max_col_folds = max(max_col_folds, res.col_folds)
 
-        total_pes = config.total_macs
+        if mapping_utilization is None:
+            mapping_utilization = mapping_util_sum / num_partitions
+        total_pes = (
+            compute_pes
+            if compute_pes is not None
+            else config.effective_array_rows * config.effective_array_cols * num_partitions
+        )
         return LayerResult(
             layer_name=layer.name,
             dataflow=config.dataflow,
-            array_rows=config.array_rows,
-            array_cols=config.array_cols,
+            array_rows=config.effective_array_rows,
+            array_cols=config.effective_array_cols,
             partition_rows=config.partition_rows,
             partition_cols=config.partition_cols,
             total_cycles=runtime,
             macs=macs,
-            mapping_utilization=mapping_util_sum / num_partitions,
+            mapping_utilization=mapping_utilization,
             compute_utilization=macs / (total_pes * runtime),
             sram=sram,
             dram_read_bytes=dram_read,
@@ -151,6 +244,9 @@ class ScaleOutSimulator:
             word_bytes=config.word_bytes,
             row_folds=max_row_folds,
             col_folds=max_col_folds,
+            idle_partitions=idle_partitions,
+            failed_partitions=failed_partitions,
+            remapped_tiles=remapped_tiles,
         )
 
 
@@ -163,8 +259,9 @@ def simulate(
     """Convenience front door: route to the right simulator for ``config``.
 
     With ``verify=True`` the result is cross-checked against the
-    analytical model (Eq. 1-6) before being returned; divergence beyond
-    ``rel_tol`` raises :class:`~repro.errors.InvariantError`.
+    analytical model (Eq. 1-6, degraded-aware) before being returned;
+    divergence beyond ``rel_tol`` raises
+    :class:`~repro.errors.InvariantError`.
     """
     if config.is_monolithic:
         result = Simulator(config).run_layer(layer)

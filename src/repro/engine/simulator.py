@@ -40,6 +40,10 @@ class Simulator:
         self.config = config
         self.loop_order = loop_order
         self.buffers = BufferSet.from_config(config)
+        # Dead PE rows/columns are bypassed: the machine computes as a
+        # smaller R' x C' array (healthy configs: R' == R, C' == C).
+        self.array_rows = config.effective_array_rows
+        self.array_cols = config.effective_array_cols
 
     # ------------------------------------------------------------------
     # Public API
@@ -49,15 +53,15 @@ class Simulator:
         engine = engine_for(
             layer,
             self.config.dataflow,
-            self.config.array_rows,
-            self.config.array_cols,
+            self.array_rows,
+            self.array_cols,
         )
         return self._measure(engine, layer.name)
 
     def run_gemm(self, m: int, k: int, n: int, name: str = "gemm") -> LayerResult:
         """Simulate a bare (M x K) @ (K x N) GEMM."""
         engine = engine_for_gemm(
-            m, k, n, self.config.dataflow, self.config.array_rows, self.config.array_cols
+            m, k, n, self.config.dataflow, self.array_rows, self.array_cols
         )
         return self._measure(engine, name)
 
@@ -86,8 +90,8 @@ class Simulator:
         return engine_for(
             layer,
             self.config.dataflow,
-            self.config.array_rows,
-            self.config.array_cols,
+            self.array_rows,
+            self.array_cols,
         )
 
     # ------------------------------------------------------------------
@@ -101,8 +105,8 @@ class Simulator:
         return LayerResult(
             layer_name=layer_name,
             dataflow=self.config.dataflow,
-            array_rows=self.config.array_rows,
-            array_cols=self.config.array_cols,
+            array_rows=self.array_rows,
+            array_cols=self.array_cols,
             partition_rows=1,
             partition_cols=1,
             total_cycles=engine.total_cycles(),

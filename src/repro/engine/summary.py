@@ -27,6 +27,13 @@ class RunSummary:
     worst_utilization: float
     top_cycle_layers: Tuple[Tuple[str, int, float], ...]  # (name, cycles, share)
     top_traffic_layers: Tuple[Tuple[str, int, float], ...]
+    failed_partitions: int = 0
+    idle_partitions: int = 0
+    remapped_tiles: int = 0
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.failed_partitions > 0 or self.remapped_tiles > 0
 
     def describe(self) -> str:
         lines = [
@@ -46,6 +53,14 @@ class RunSummary:
             f"  {name}: {volume} bytes ({share:.1%})"
             for name, volume, share in self.top_traffic_layers
         )
+        if self.is_degraded:
+            lines.append(
+                f"degraded hardware: {self.failed_partitions} failed "
+                f"partition(s), {self.remapped_tiles} tile(s) re-mapped, "
+                f"{self.idle_partitions} survivor(s) idle"
+            )
+        elif self.idle_partitions:
+            lines.append(f"idle partitions: {self.idle_partitions}")
         return "\n".join(lines)
 
 
@@ -81,6 +96,11 @@ def summarize_run(run: RunResult, top_k: int = 3) -> RunSummary:
             )
             for layer in by_traffic[:top_k]
         ),
+        # Hardware health is a run property: every layer sees the same
+        # grid, so max (not sum) avoids double counting across layers.
+        failed_partitions=max(layer.failed_partitions for layer in layers),
+        idle_partitions=max(layer.idle_partitions for layer in layers),
+        remapped_tiles=max(layer.remapped_tiles for layer in layers),
     )
 
 

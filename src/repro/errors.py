@@ -56,3 +56,8 @@ class CheckpointError(ReproError):
 class InvariantError(ReproError):
     """Raised when cycle-accurate results diverge from the analytical
     model (Eq. 1-6) or the demand/trace views stop agreeing."""
+
+
+class ResilienceError(ReproError):
+    """Raised for invalid fault maps or degraded hardware that cannot
+    serve the workload (no surviving partitions, unreachable pods)."""

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.experiments import fig04, fig09, fig10, fig11, fig12, fig13, tables
+from repro.experiments import fig04, fig09, fig10, fig11, fig12, fig13, resilience, tables
 
 _EXPERIMENTS: Dict[str, Callable[[], List[Dict]]] = {
     "table1": tables.table1_config_schema,
@@ -24,6 +24,7 @@ _EXPERIMENTS: Dict[str, Callable[[], List[Dict]]] = {
     "fig13-language": fig13.fig13_language,
     "fig14-resnet": fig13.fig14_resnet,
     "fig14-language": fig13.fig14_language,
+    "resilience": resilience.resilience_experiment,
 }
 
 

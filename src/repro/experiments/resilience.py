@@ -1,0 +1,115 @@
+"""Degraded-mode characterization: runtime vs dead partitions.
+
+Not a paper figure — a scalability question the paper's methodology
+makes easy to ask: how gracefully does a scale-out configuration
+degrade as partitions fail?  For each fault count ``k`` the sweep kills
+``k`` partitions (reproducibly, via :func:`repro.resilience
+.random_fault_map`), re-maps the orphaned work onto the survivors, and
+reports measured cycles against the closed-form degraded bound
+(:func:`repro.analytical.runtime.degraded_scaleout_runtime`), plus the
+NoC and energy cost of the re-routed traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analytical.runtime import degraded_scaleout_runtime
+from repro.energy.model import energy_of_result
+from repro.energy.params import DEFAULT_ENERGY, EnergyParams
+from repro.errors import ResilienceError
+from repro.experiments.common import paper_partitioned_config, simulate_on
+from repro.mapping.dims import map_layer
+from repro.noc.cost import layer_noc_cost
+from repro.noc.mesh import NocConfig
+from repro.resilience.faultmap import FaultMap, random_fault_map
+from repro.topology.layer import Layer
+from repro.workloads.resnet50 import PAPER_CBA3_LAYER, resnet50
+
+DEFAULT_DEAD_COUNTS = (0, 1, 2, 4)
+
+
+def degradation_sweep(
+    layer: Layer,
+    total_macs: int = 2**14,
+    partitions: int = 16,
+    dead_counts: Sequence[int] = DEFAULT_DEAD_COUNTS,
+    seed: int = 0,
+    fault_map: Optional[FaultMap] = None,
+    params: EnergyParams = DEFAULT_ENERGY,
+    verify: bool = True,
+) -> List[Dict]:
+    """Measure graceful degradation of one scale-out configuration.
+
+    With ``fault_map`` given, exactly that scenario runs (one row);
+    otherwise each ``k`` in ``dead_counts`` draws a reproducible
+    scenario from ``seed``.  Every degraded result is cross-checked
+    against the exact remap-plan prediction (``verify``).
+    """
+    healthy_config = paper_partitioned_config(total_macs, partitions)
+    mapping = map_layer(layer, healthy_config.dataflow)
+    baseline = simulate_on(healthy_config, layer, verify=verify)
+
+    if fault_map is not None:
+        scenarios = [fault_map]
+    else:
+        scenarios = [
+            random_fault_map(
+                healthy_config.partition_rows,
+                healthy_config.partition_cols,
+                dead_partitions=k,
+                seed=seed,
+            )
+            for k in dead_counts
+        ]
+
+    rows: List[Dict] = []
+    for scenario in scenarios:
+        config = healthy_config.with_fault_map(None if scenario.is_healthy else scenario)
+        result = simulate_on(config, layer, verify=verify)
+        noc = layer_noc_cost(layer, config)
+        energy = energy_of_result(result, params).with_noc(noc.energy(NocConfig())).total
+        bound = degraded_scaleout_runtime(
+            mapping,
+            config.partition_rows,
+            config.partition_cols,
+            config.effective_array_rows,
+            config.effective_array_cols,
+            dead_partitions=len(scenario.dead_partitions),
+        )
+        rows.append(
+            {
+                "macs": total_macs,
+                "partitions": partitions,
+                "dead": len(scenario.dead_partitions),
+                "dead_links": len(scenario.dead_links),
+                "cycles": result.total_cycles,
+                "slowdown": round(result.total_cycles / baseline.total_cycles, 4),
+                "bound_cycles": bound,
+                "remapped_tiles": result.remapped_tiles,
+                "idle_parts": result.idle_partitions,
+                "noc_byte_hops": noc.total_byte_hops,
+                "port_bw": round(noc.port_bandwidth, 4),
+                "e_total": round(energy, 1),
+                "faults": scenario.to_spec(),
+            }
+        )
+    return rows
+
+
+def resilience_experiment(
+    total_macs: int = 2**14,
+    partitions: int = 16,
+    dead_counts: Sequence[int] = DEFAULT_DEAD_COUNTS,
+    seed: int = 0,
+    layer: Optional[Layer] = None,
+) -> List[Dict]:
+    """The registry entry point: CBa_3 degradation on the default grid."""
+    layer = layer or resnet50()[PAPER_CBA3_LAYER]
+    return degradation_sweep(
+        layer,
+        total_macs=total_macs,
+        partitions=partitions,
+        dead_counts=dead_counts,
+        seed=seed,
+    )

@@ -10,7 +10,7 @@ collection, a port-bandwidth feasibility check, and an energy term that
 composes with :mod:`repro.energy`.
 """
 
-from repro.noc.mesh import MeshNoc, NocConfig
+from repro.noc.mesh import DegradedMeshNoc, MeshNoc, NocConfig
 from repro.noc.cost import NocCost, layer_noc_cost
 
-__all__ = ["MeshNoc", "NocConfig", "NocCost", "layer_noc_cost"]
+__all__ = ["DegradedMeshNoc", "MeshNoc", "NocConfig", "NocCost", "layer_noc_cost"]

@@ -19,13 +19,16 @@ IS mirrors WS.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.analytical.traffic import estimate_traffic
 from repro.config.hardware import Dataflow, HardwareConfig
 from repro.errors import SimulationError
 from repro.mapping.dims import OperandMapping, map_layer
 from repro.memory.buffers import BufferSet
-from repro.noc.mesh import MeshNoc, NocConfig
+from repro.noc.mesh import Coord, DegradedMeshNoc, MeshNoc, NocConfig
+from repro.resilience.faultmap import FaultMap
+from repro.resilience.remap import remap_layer
 from repro.topology.layer import Layer
 from repro.utils.mathutils import split_evenly
 
@@ -58,11 +61,22 @@ class NocCost:
         return self.port_bandwidth <= config.link_bytes_per_cycle
 
 
-def layer_noc_cost(layer: Layer, config: HardwareConfig) -> NocCost:
+def layer_noc_cost(
+    layer: Layer,
+    config: HardwareConfig,
+    fault_map: Optional[FaultMap] = None,
+) -> NocCost:
     """Estimate NoC traffic for ``layer`` on ``config``'s partition grid.
 
     Monolithic configurations cost one hop per byte (the port link).
+    ``fault_map`` (default: the config's own) reroutes around dead
+    links and re-maps dead partitions' traffic to the survivors that
+    adopted their tiles; degraded delivery is unicast per assignment.
     """
+    if fault_map is None:
+        fault_map = config.fault_map
+    if fault_map is not None and (fault_map.affects_grid or fault_map.dead_links):
+        return _degraded_noc_cost(layer, config, fault_map)
     mapping = map_layer(layer, config.dataflow)
     grid_rows, grid_cols = config.partition_rows, config.partition_cols
     mesh = MeshNoc(grid_rows, grid_cols)
@@ -88,7 +102,8 @@ def layer_noc_cost(layer: Layer, config: HardwareConfig) -> NocCost:
                 sr=tile_sr, sc=tile_sc, t=mapping.t, dataflow=dataflow
             )
             est = estimate_traffic(
-                tile, config.array_rows, config.array_cols, buffers, word
+                tile, config.effective_array_rows, config.effective_array_cols,
+                buffers, word,
             )
             runtime = max(runtime, est.total_cycles)
             port_bytes += est.total_bytes
@@ -123,4 +138,65 @@ def layer_noc_cost(layer: Layer, config: HardwareConfig) -> NocCost:
         ofmap_byte_hops=ofmap_hops,
         port_bytes=port_bytes,
         runtime_cycles=runtime,
+    )
+
+
+def _degraded_noc_cost(
+    layer: Layer, config: HardwareConfig, fault_map: FaultMap
+) -> NocCost:
+    """NoC traffic on a degraded grid.
+
+    Every tile of the remap plan is delivered to its *owner* (not its
+    Eq.-5 home) as a unicast over the shortest surviving route —
+    multicast trees assume the regular XY layout and are not rebuilt
+    around faults.  The runtime against which port bandwidth is judged
+    is the slowest survivor's serial total, mirroring the degraded
+    engine.
+    """
+    mapping = map_layer(layer, config.dataflow)
+    grid_rows, grid_cols = config.partition_rows, config.partition_cols
+    mesh = DegradedMeshNoc(grid_rows, grid_cols, fault_map.dead_links)
+    buffers = BufferSet.from_config(config.partition_config())
+    word = config.word_bytes
+
+    plan = remap_layer(
+        mapping,
+        grid_rows,
+        grid_cols,
+        config.effective_array_rows,
+        config.effective_array_cols,
+        fault_map,
+    )
+
+    ifmap_hops = filter_hops = ofmap_hops = 0
+    port_bytes = 0
+    owner_cycles: Dict[Coord, int] = {}
+    for assignment in plan.assignments:
+        tile = OperandMapping(
+            sr=assignment.sr, sc=assignment.sc, t=mapping.t, dataflow=config.dataflow
+        )
+        est = estimate_traffic(
+            tile, config.effective_array_rows, config.effective_array_cols,
+            buffers, word,
+        )
+        owner = assignment.owner
+        owner_cycles[owner] = owner_cycles.get(owner, 0) + est.total_cycles
+        port_bytes += est.total_bytes
+        hops = mesh.unicast_hops(*owner)
+        ifmap_hops += est.ifmap_bytes * hops
+        filter_hops += est.filter_bytes * hops
+        ofmap_hops += est.ofmap_bytes * hops
+
+    if not owner_cycles:
+        raise SimulationError(
+            f"layer {layer.name!r}: no partition received work on a "
+            f"{grid_rows}x{grid_cols} grid"
+        )
+
+    return NocCost(
+        ifmap_byte_hops=ifmap_hops,
+        filter_byte_hops=filter_hops,
+        ofmap_byte_hops=ofmap_hops,
+        port_bytes=port_bytes,
+        runtime_cycles=max(owner_cycles.values()),
     )

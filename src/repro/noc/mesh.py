@@ -10,10 +10,15 @@ link exactly once.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ResilienceError
 from repro.utils.validation import check_positive_int
+
+Coord = Tuple[int, int]
+Link = Tuple[Coord, Coord]
 
 
 @dataclass(frozen=True)
@@ -80,3 +85,69 @@ class MeshNoc:
     def diameter(self) -> int:
         """Longest port-to-partition route."""
         return 1 + (self.grid_rows - 1) + (self.grid_cols - 1)
+
+
+class DegradedMeshNoc(MeshNoc):
+    """Mesh with down links: shortest surviving routes instead of XY.
+
+    Dead *partitions* keep their routers alive (a partition whose
+    compute is fused off can still forward flits), so only the links in
+    ``dead_links`` are removed from the route graph.  Routes are
+    breadth-first shortest paths from the port corner ``(0, 0)``; a
+    partition cut off from the port entirely raises
+    :class:`~repro.errors.ResilienceError` — the grid cannot be fed.
+    """
+
+    def __init__(self, grid_rows: int, grid_cols: int, dead_links: Iterable[Link] = ()):
+        super().__init__(grid_rows, grid_cols)
+        self.dead_links: FrozenSet[Link] = frozenset(
+            tuple(sorted((tuple(a), tuple(b)))) for a, b in dead_links
+        )
+        for a, b in self.dead_links:
+            self._check(*a)
+            self._check(*b)
+        self._distance = self._bfs_distances()
+
+    def _bfs_distances(self) -> Dict[Coord, int]:
+        dead = self.dead_links
+        distance: Dict[Coord, int] = {(0, 0): 0}
+        frontier = deque([(0, 0)])
+        while frontier:
+            node = frontier.popleft()
+            row, col = node
+            for nxt in ((row - 1, col), (row + 1, col), (row, col - 1), (row, col + 1)):
+                if not (0 <= nxt[0] < self.grid_rows and 0 <= nxt[1] < self.grid_cols):
+                    continue
+                if nxt in distance:
+                    continue
+                if tuple(sorted((node, nxt))) in dead:
+                    continue
+                distance[nxt] = distance[node] + 1
+                frontier.append(nxt)
+        return distance
+
+    def reachable(self, row: int, col: int) -> bool:
+        """Whether any surviving route connects the port to (row, col)."""
+        self._check(row, col)
+        return (row, col) in self._distance
+
+    def unicast_hops(self, row: int, col: int) -> int:
+        """Port link + shortest surviving route to partition (row, col)."""
+        self._check(row, col)
+        if (row, col) not in self._distance:
+            raise ResilienceError(
+                f"partition ({row}, {col}) unreachable from the memory port: "
+                f"dead links {sorted(self.dead_links)} disconnect it"
+            )
+        return 1 + self._distance[(row, col)]
+
+    def row_multicast_hops(self, row: int) -> int:
+        """Multicast trees are not rebuilt around faults; deliver
+        row-wise payloads as per-partition unicasts instead."""
+        self._check(row, 0)
+        return sum(self.unicast_hops(row, col) for col in range(self.grid_cols))
+
+    def col_multicast_hops(self, col: int) -> int:
+        """Column-wise payloads degrade to per-partition unicasts too."""
+        self._check(0, col)
+        return sum(self.unicast_hops(row, col) for row in range(self.grid_rows))

@@ -1,0 +1,347 @@
+"""Fault maps: which pieces of a degraded accelerator are dead.
+
+A :class:`FaultMap` describes hardware degradation at three granularities:
+
+* **PE rows/columns** of the systolic array (``dead_pe_rows`` /
+  ``dead_pe_cols``) — a manufacturing defect or harvested die disables
+  whole rows/columns, which systolic arrays bypass so the machine keeps
+  operating as a smaller ``R' x C'`` array;
+* **partitions** of a scale-out grid (``dead_partitions``) — a pod that
+  stopped serving; its share of the workload must be re-mapped onto the
+  survivors (:mod:`repro.resilience.remap`);
+* **NoC links** between adjacent partitions (``dead_links``) — traffic
+  is rerouted around the gap over longer (penalized) paths
+  (:class:`repro.noc.mesh.DegradedMeshNoc`).
+
+Fault maps are frozen and hashable, so they ride inside
+:class:`~repro.config.hardware.HardwareConfig` unchanged.  Two textual
+formats round-trip: the compact spec string
+(``"pe_row:3;partition:1,2;link:0,0-0,1"``) used on the command line
+and in checkpoint keys, and a JSON file for larger scenarios.  All
+parse and validation failures raise
+:class:`~repro.errors.ResilienceError`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import ResilienceError
+
+Coord = Tuple[int, int]
+Link = Tuple[Coord, Coord]
+
+
+def _coerce_indices(values: Iterable, what: str) -> FrozenSet[int]:
+    indices = set()
+    for value in values:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ResilienceError(f"{what} must be non-negative integers, got {value!r}")
+        indices.add(value)
+    return frozenset(indices)
+
+
+def _coerce_coord(value, what: str) -> Coord:
+    try:
+        p, q = value
+    except (TypeError, ValueError):
+        raise ResilienceError(f"{what} must be a (row, col) pair, got {value!r}") from None
+    for axis in (p, q):
+        if not isinstance(axis, int) or isinstance(axis, bool) or axis < 0:
+            raise ResilienceError(f"{what} must be non-negative integers, got {value!r}")
+    return (p, q)
+
+
+def _normalize_link(value, what: str = "link") -> Link:
+    try:
+        a, b = value
+    except (TypeError, ValueError):
+        raise ResilienceError(f"{what} must join two partitions, got {value!r}") from None
+    a = _coerce_coord(a, f"{what} endpoint")
+    b = _coerce_coord(b, f"{what} endpoint")
+    if abs(a[0] - b[0]) + abs(a[1] - b[1]) != 1:
+        raise ResilienceError(
+            f"{what} must join two adjacent partitions, got {a} - {b}"
+        )
+    return (min(a, b), max(a, b))
+
+
+@dataclass(frozen=True)
+class FaultMap:
+    """Immutable description of which hardware components are dead."""
+
+    dead_pe_rows: FrozenSet[int] = frozenset()
+    dead_pe_cols: FrozenSet[int] = frozenset()
+    dead_partitions: FrozenSet[Coord] = frozenset()
+    dead_links: FrozenSet[Link] = frozenset()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "dead_pe_rows", _coerce_indices(self.dead_pe_rows, "dead_pe_rows")
+        )
+        object.__setattr__(
+            self, "dead_pe_cols", _coerce_indices(self.dead_pe_cols, "dead_pe_cols")
+        )
+        object.__setattr__(
+            self,
+            "dead_partitions",
+            frozenset(_coerce_coord(c, "dead partition") for c in self.dead_partitions),
+        )
+        object.__setattr__(
+            self,
+            "dead_links",
+            frozenset(_normalize_link(link) for link in self.dead_links),
+        )
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_healthy(self) -> bool:
+        """True when nothing at all is dead."""
+        return not (
+            self.dead_pe_rows or self.dead_pe_cols
+            or self.dead_partitions or self.dead_links
+        )
+
+    @property
+    def affects_array(self) -> bool:
+        """True when PE rows or columns are disabled."""
+        return bool(self.dead_pe_rows or self.dead_pe_cols)
+
+    @property
+    def affects_grid(self) -> bool:
+        """True when partitions or NoC links are down."""
+        return bool(self.dead_partitions or self.dead_links)
+
+    def pe_only(self) -> Optional["FaultMap"]:
+        """The per-partition view: array faults without grid faults.
+
+        Used by :meth:`HardwareConfig.partition_config` — every
+        partition of a scale-out grid inherits the PE row/column
+        defects, while partition and link faults belong to the grid.
+        Returns ``None`` when no PE faults exist.
+        """
+        if not self.affects_array:
+            return None
+        return FaultMap(dead_pe_rows=self.dead_pe_rows, dead_pe_cols=self.dead_pe_cols)
+
+    # ------------------------------------------------------------------
+    # Validation against a concrete machine
+    # ------------------------------------------------------------------
+    def validate_for(
+        self,
+        array_rows: int,
+        array_cols: int,
+        partition_rows: int,
+        partition_cols: int,
+    ) -> "FaultMap":
+        """Check this map against a machine's dimensions.
+
+        Raises :class:`ResilienceError` when an index is out of range,
+        every PE row/column is dead, or no partition survives.  Returns
+        ``self`` for chaining.
+        """
+        for index in self.dead_pe_rows:
+            if index >= array_rows:
+                raise ResilienceError(
+                    f"dead PE row {index} outside a {array_rows}-row array"
+                )
+        for index in self.dead_pe_cols:
+            if index >= array_cols:
+                raise ResilienceError(
+                    f"dead PE column {index} outside a {array_cols}-column array"
+                )
+        if len(self.dead_pe_rows) >= array_rows:
+            raise ResilienceError(f"all {array_rows} PE rows dead; nothing to compute on")
+        if len(self.dead_pe_cols) >= array_cols:
+            raise ResilienceError(
+                f"all {array_cols} PE columns dead; nothing to compute on"
+            )
+        for p, q in self.dead_partitions:
+            if p >= partition_rows or q >= partition_cols:
+                raise ResilienceError(
+                    f"dead partition ({p}, {q}) outside a "
+                    f"{partition_rows}x{partition_cols} grid"
+                )
+        if len(self.dead_partitions) >= partition_rows * partition_cols:
+            raise ResilienceError(
+                f"all {partition_rows * partition_cols} partitions dead; "
+                "no surviving hardware to re-map onto"
+            )
+        for a, b in self.dead_links:
+            for p, q in (a, b):
+                if p >= partition_rows or q >= partition_cols:
+                    raise ResilienceError(
+                        f"dead link {a}-{b} outside a "
+                        f"{partition_rows}x{partition_cols} grid"
+                    )
+        return self
+
+    # ------------------------------------------------------------------
+    # Spec string round-trip
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, text: str) -> "FaultMap":
+        """Parse the compact spec format.
+
+        Semicolon-separated tokens: ``pe_row:R``, ``pe_col:C``,
+        ``partition:P,Q`` and ``link:P,Q-P,Q``.  An empty string is the
+        all-healthy map.
+
+        >>> FaultMap.from_spec("pe_row:3;partition:1,2;link:0,0-0,1")
+        ... # doctest: +SKIP
+        """
+        pe_rows: List[int] = []
+        pe_cols: List[int] = []
+        partitions: List[Coord] = []
+        links: List[Link] = []
+        for token in str(text).split(";"):
+            token = token.strip()
+            if not token:
+                continue
+            kind, _, value = token.partition(":")
+            kind = kind.strip().lower()
+            try:
+                if kind == "pe_row":
+                    pe_rows.append(int(value))
+                elif kind == "pe_col":
+                    pe_cols.append(int(value))
+                elif kind == "partition":
+                    p, q = value.split(",")
+                    partitions.append((int(p), int(q)))
+                elif kind == "link":
+                    a, b = value.split("-")
+                    links.append(
+                        (tuple(int(x) for x in a.split(",")),
+                         tuple(int(x) for x in b.split(",")))
+                    )
+                else:
+                    raise ResilienceError(
+                        f"unknown fault kind {kind!r} in token {token!r}; legal "
+                        "kinds are pe_row, pe_col, partition, link"
+                    )
+            except (ValueError, TypeError) as exc:
+                raise ResilienceError(f"malformed fault token {token!r}: {exc}") from exc
+        return cls(
+            dead_pe_rows=frozenset(pe_rows),
+            dead_pe_cols=frozenset(pe_cols),
+            dead_partitions=frozenset(partitions),
+            dead_links=frozenset(links),
+        )
+
+    def to_spec(self) -> str:
+        """The compact spec string; ``from_spec`` inverts it."""
+        tokens: List[str] = []
+        tokens.extend(f"pe_row:{r}" for r in sorted(self.dead_pe_rows))
+        tokens.extend(f"pe_col:{c}" for c in sorted(self.dead_pe_cols))
+        tokens.extend(f"partition:{p},{q}" for p, q in sorted(self.dead_partitions))
+        tokens.extend(
+            f"link:{a[0]},{a[1]}-{b[0]},{b[1]}" for a, b in sorted(self.dead_links)
+        )
+        return ";".join(tokens)
+
+    def describe(self) -> str:
+        """Human-readable one-liner used by config descriptions."""
+        if self.is_healthy:
+            return "healthy"
+        parts = []
+        if self.dead_pe_rows:
+            parts.append(f"{len(self.dead_pe_rows)} PE row(s)")
+        if self.dead_pe_cols:
+            parts.append(f"{len(self.dead_pe_cols)} PE col(s)")
+        if self.dead_partitions:
+            parts.append(f"{len(self.dead_partitions)} partition(s)")
+        if self.dead_links:
+            parts.append(f"{len(self.dead_links)} link(s)")
+        return "dead: " + ", ".join(parts)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe representation; :func:`fault_map_from_dict` inverts."""
+        return {
+            "pe_rows": sorted(self.dead_pe_rows),
+            "pe_cols": sorted(self.dead_pe_cols),
+            "partitions": [list(c) for c in sorted(self.dead_partitions)],
+            "links": [[list(a), list(b)] for a, b in sorted(self.dead_links)],
+        }
+
+
+#: The canonical all-healthy map (degraded-mode code paths treat it and
+#: ``None`` identically).
+HEALTHY = FaultMap()
+
+
+def fault_map_from_dict(data: Dict) -> FaultMap:
+    """Build a :class:`FaultMap` from the JSON schema of :meth:`as_dict`."""
+    if not isinstance(data, dict):
+        raise ResilienceError(f"fault map must be a JSON object, got {type(data).__name__}")
+    unknown = set(data) - {"pe_rows", "pe_cols", "partitions", "links"}
+    if unknown:
+        raise ResilienceError(f"unknown fault-map keys {sorted(unknown)}")
+    try:
+        return FaultMap(
+            dead_pe_rows=frozenset(data.get("pe_rows", ())),
+            dead_pe_cols=frozenset(data.get("pe_cols", ())),
+            dead_partitions=frozenset(tuple(c) for c in data.get("partitions", ())),
+            dead_links=frozenset(
+                (tuple(a), tuple(b)) for a, b in data.get("links", ())
+            ),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ResilienceError(f"malformed fault map: {exc}") from exc
+
+
+def load_fault_map(path: Union[str, Path]) -> FaultMap:
+    """Load a fault map from a JSON file."""
+    path = Path(path)
+    if not path.exists():
+        raise ResilienceError(f"fault-map file not found: {path}")
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ResilienceError(f"cannot read fault map {path}: {exc}") from exc
+    return fault_map_from_dict(data)
+
+
+def random_fault_map(
+    partition_rows: int,
+    partition_cols: int,
+    dead_partitions: int = 0,
+    dead_links: int = 0,
+    seed: int = 0,
+) -> FaultMap:
+    """A reproducible random fault scenario for a partition grid.
+
+    Sampling uses a private :class:`random.Random` seeded with ``seed``,
+    so identical arguments always produce identical maps — fault
+    scenarios in sweeps and checkpoints are exactly replayable.  At
+    least one partition always survives.
+    """
+    total = partition_rows * partition_cols
+    if dead_partitions < 0 or dead_links < 0:
+        raise ResilienceError("fault counts must be non-negative")
+    if dead_partitions >= total:
+        raise ResilienceError(
+            f"cannot kill {dead_partitions} of {total} partitions; "
+            "at least one must survive"
+        )
+    rng = random.Random(seed)
+    cells = [(p, q) for p in range(partition_rows) for q in range(partition_cols)]
+    dead_cells = frozenset(rng.sample(cells, dead_partitions))
+    links: List[Link] = []
+    for p in range(partition_rows):
+        for q in range(partition_cols):
+            if q + 1 < partition_cols:
+                links.append(((p, q), (p, q + 1)))
+            if p + 1 < partition_rows:
+                links.append(((p, q), (p + 1, q)))
+    if dead_links > len(links):
+        raise ResilienceError(
+            f"grid has only {len(links)} links; cannot kill {dead_links}"
+        )
+    dead_link_set = frozenset(rng.sample(links, dead_links))
+    return FaultMap(dead_partitions=dead_cells, dead_links=dead_link_set)

@@ -1,0 +1,238 @@
+"""Re-map a partitioned workload over the surviving partitions.
+
+Healthy scale-out tiles the mapped workload ``S_R x S_C`` over the
+``P_R x P_C`` grid (paper Eq. 5) and the slowest partition sets the
+runtime (Eq. 6).  When partitions die, their tiles become *orphans*;
+this module redistributes them so the grid keeps computing the full
+layer instead of crashing or silently under-computing:
+
+* every surviving partition keeps its own tile;
+* orphan tiles are adopted one at a time, largest first, by the
+  survivor with the least total assigned work (ties broken by hop
+  distance to the orphan's home partition, then coordinates) — a
+  deterministic longest-processing-time greedy, so the same fault map
+  always yields the same plan;
+* a survivor with multiple tiles runs them serially, so the degraded
+  runtime is ``max over survivors of the sum of their tile runtimes``.
+
+Tile runtimes are the *exact* edge-fold analytical cycles (Eq. 3 summed
+over the fold grid), which the cycle-accurate engine reproduces
+exactly.  Both the engine (:class:`~repro.engine.scaleout
+.ScaleOutSimulator`) and the invariant guards build the same plan from
+the same fault map, so degraded results are cross-checked bit-for-bit
+just like healthy ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analytical.runtime import fold_runtime
+from repro.errors import InvariantError, ResilienceError
+from repro.mapping.dims import OperandMapping
+from repro.resilience.faultmap import Coord, FaultMap, HEALTHY
+from repro.utils.mathutils import split_evenly
+
+
+def _fold_sizes(extent: int, array_dim: int) -> List[int]:
+    """Sizes of the folds covering ``extent`` on one ``array_dim`` axis."""
+    full, rem = divmod(extent, array_dim)
+    return [array_dim] * full + ([rem] if rem else [])
+
+
+def tile_cycles(sr: int, sc: int, t: int, array_rows: int, array_cols: int) -> int:
+    """Exact stall-free cycles of one ``sr x sc`` tile on one array.
+
+    Sums Eq. 3 over the fold grid with edge folds at their true size,
+    so it *equals* the cycle-accurate engine (unlike the Eq. 4 bound,
+    which charges every fold the full-array latency).
+    """
+    return sum(
+        fold_runtime(rows, cols, t)
+        for rows in _fold_sizes(sr, array_rows)
+        for cols in _fold_sizes(sc, array_cols)
+    )
+
+
+@dataclass(frozen=True)
+class TileAssignment:
+    """One workload tile and the partition that now computes it."""
+
+    origin: Coord  # grid cell the tile belonged to under Eq. 5
+    owner: Coord   # surviving partition that computes it
+    sr: int
+    sc: int
+    cycles: int    # exact analytical runtime of this tile
+
+    @property
+    def native(self) -> bool:
+        """True when the tile still runs on its home partition."""
+        return self.origin == self.owner
+
+
+@dataclass(frozen=True)
+class RemapPlan:
+    """Deterministic assignment of every workload tile to a survivor."""
+
+    grid_rows: int
+    grid_cols: int
+    t: int
+    survivors: Tuple[Coord, ...]
+    assignments: Tuple[TileAssignment, ...]
+
+    @property
+    def failed_partitions(self) -> int:
+        return self.grid_rows * self.grid_cols - len(self.survivors)
+
+    @property
+    def remapped_tiles(self) -> int:
+        """Tiles adopted by a partition other than their home."""
+        return sum(1 for a in self.assignments if not a.native)
+
+    @property
+    def idle_partitions(self) -> int:
+        """Surviving partitions with no work assigned."""
+        working = {a.owner for a in self.assignments}
+        return len(self.survivors) - len(working)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(a.sr * a.sc * self.t for a in self.assignments)
+
+    def per_owner(self) -> Dict[Coord, List[TileAssignment]]:
+        """Assignments grouped by owning partition (workers only)."""
+        grouped: Dict[Coord, List[TileAssignment]] = {}
+        for assignment in self.assignments:
+            grouped.setdefault(assignment.owner, []).append(assignment)
+        return grouped
+
+    @property
+    def predicted_cycles(self) -> int:
+        """Degraded Eq. 6: the slowest survivor's serial tile runtime."""
+        loads = self.owner_cycles()
+        return max(loads.values()) if loads else 0
+
+    def owner_cycles(self) -> Dict[Coord, int]:
+        """Total assigned analytical cycles per working survivor."""
+        loads: Dict[Coord, int] = {}
+        for assignment in self.assignments:
+            loads[assignment.owner] = loads.get(assignment.owner, 0) + assignment.cycles
+        return loads
+
+
+def remap_layer(
+    mapping: OperandMapping,
+    grid_rows: int,
+    grid_cols: int,
+    array_rows: int,
+    array_cols: int,
+    fault_map: Optional[FaultMap] = None,
+) -> RemapPlan:
+    """Tile ``mapping`` over the grid and re-map around dead partitions.
+
+    ``array_rows`` / ``array_cols`` are the *effective* (post-PE-fault)
+    per-partition array dimensions, used to cost tiles exactly.  With a
+    healthy map every tile stays native and the plan reduces to Eq. 5.
+    """
+    fault_map = fault_map if fault_map is not None else HEALTHY
+    for p, q in fault_map.dead_partitions:
+        if p >= grid_rows or q >= grid_cols:
+            raise ResilienceError(
+                f"dead partition ({p}, {q}) outside a {grid_rows}x{grid_cols} grid"
+            )
+    dead = fault_map.dead_partitions
+    survivors = tuple(
+        (p, q)
+        for p in range(grid_rows)
+        for q in range(grid_cols)
+        if (p, q) not in dead
+    )
+    if not survivors:
+        raise ResilienceError(
+            f"no surviving partitions on a {grid_rows}x{grid_cols} grid"
+        )
+
+    row_shares = split_evenly(mapping.sr, grid_rows)
+    col_shares = split_evenly(mapping.sc, grid_cols)
+
+    assignments: List[TileAssignment] = []
+    load: Dict[Coord, int] = {coord: 0 for coord in survivors}
+    orphans: List[Tuple[int, int, int, Coord]] = []  # (cycles, sr, sc, origin)
+    for p, tile_sr in enumerate(row_shares):
+        for q, tile_sc in enumerate(col_shares):
+            if tile_sr == 0 or tile_sc == 0:
+                continue
+            cycles = tile_cycles(tile_sr, tile_sc, mapping.t, array_rows, array_cols)
+            if (p, q) in dead:
+                orphans.append((cycles, tile_sr, tile_sc, (p, q)))
+            else:
+                assignments.append(
+                    TileAssignment(
+                        origin=(p, q), owner=(p, q),
+                        sr=tile_sr, sc=tile_sc, cycles=cycles,
+                    )
+                )
+                load[(p, q)] += cycles
+
+    # Longest-processing-time greedy: adopt the costliest orphan first,
+    # always onto the least-loaded survivor.  Every tie-break is total,
+    # so the plan is a pure function of (mapping, grid, fault map).
+    orphans.sort(key=lambda item: (-item[0], item[3]))
+    for cycles, tile_sr, tile_sc, origin in orphans:
+        owner = min(
+            survivors,
+            key=lambda s: (
+                load[s],
+                abs(s[0] - origin[0]) + abs(s[1] - origin[1]),
+                s,
+            ),
+        )
+        assignments.append(
+            TileAssignment(origin=origin, owner=owner,
+                           sr=tile_sr, sc=tile_sc, cycles=cycles)
+        )
+        load[owner] += cycles
+
+    plan = RemapPlan(
+        grid_rows=grid_rows,
+        grid_cols=grid_cols,
+        t=mapping.t,
+        survivors=survivors,
+        assignments=tuple(assignments),
+    )
+    check_remap_conservation(plan, mapping)
+    return plan
+
+
+def check_remap_conservation(plan: RemapPlan, mapping: OperandMapping) -> RemapPlan:
+    """Every MAC of the layer must land on exactly one survivor.
+
+    Raises :class:`~repro.errors.InvariantError` when the re-mapped
+    tiles do not sum back to the layer's workload — the guard against
+    silently under- (or double-) computing under faults.
+    """
+    if plan.total_macs != mapping.macs:
+        raise InvariantError(
+            f"re-mapped work not conserved: assigned tiles sum to "
+            f"{plan.total_macs} MACs but the layer has {mapping.macs} "
+            f"(S_R={mapping.sr}, S_C={mapping.sc}, T={mapping.t})"
+        )
+    return plan
+
+
+def predict_layer_cycles(mapping: OperandMapping, config) -> int:
+    """Exact analytical runtime of ``mapping`` on ``config`` (degraded-aware).
+
+    The single entry point the invariant guards use: builds the same
+    remap plan as the engine (healthy maps reduce to the Eq. 5/6
+    tiling) and returns the slowest survivor's serial runtime.
+    """
+    return remap_layer(
+        mapping,
+        config.partition_rows,
+        config.partition_cols,
+        config.effective_array_rows,
+        config.effective_array_cols,
+        config.fault_map,
+    ).predicted_cycles

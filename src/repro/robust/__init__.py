@@ -25,7 +25,13 @@ See ``docs/robustness.md`` for the full story.
 
 from repro.robust.checkpoint import CheckpointStore, point_key
 from repro.robust.executor import execute_grid, execute_point
-from repro.robust.faults import Fault, InjectedFault, inject_faults
+from repro.robust.faults import (
+    Fault,
+    InjectedFault,
+    fault_scenario,
+    inject_faults,
+    scenario_seed,
+)
 from repro.robust.invariants import (
     check_cycles,
     check_layer_result,
@@ -51,7 +57,9 @@ __all__ = [
     "execute_point",
     "Fault",
     "InjectedFault",
+    "fault_scenario",
     "inject_faults",
+    "scenario_seed",
     "check_cycles",
     "check_layer_result",
     "check_macs",

@@ -8,9 +8,13 @@ instead of re-executed.
 Keys are a stable SHA-256 of the point's parameters *and* a version
 string (defaulting to the package version), so a code upgrade silently
 invalidates stale checkpoints instead of resuming with mismatched
-results.  The journal is written line-at-a-time with an ``fsync``-free
-flush — cheap, and a crash mid-write at worst truncates the final line,
-which the loader tolerates by discarding it.
+results.  The journal is written line-at-a-time and fsynced, so a
+power loss after :meth:`~CheckpointStore.record` returns cannot lose
+the point; a crash *mid*-write at worst truncates the final line,
+which the loader tolerates by discarding it.  Long-lived journals
+accumulate superseded and failed lines; :meth:`~CheckpointStore
+.compact` rewrites the file atomically (temp file + ``os.replace``)
+keeping only the latest useful record per key.
 
 Journal line schema::
 
@@ -22,6 +26,7 @@ Journal line schema::
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
@@ -148,9 +153,54 @@ class CheckpointStore:
             with self.path.open("a", encoding="utf-8") as handle:
                 handle.write(line + "\n")
                 handle.flush()
+                os.fsync(handle.fileno())
         except OSError as exc:
             raise CheckpointError(
                 f"cannot append to checkpoint {self.path}: {exc}"
             ) from exc
         self._entries[entry["key"]] = entry
         return entry
+
+    def compact(self, drop_failed: bool = True) -> int:
+        """Rewrite the journal with only the latest record per key.
+
+        Re-recorded points leave superseded lines behind, and failed
+        points (``drop_failed``) are worth retrying on the next resume
+        rather than replaying as failures.  The rewrite is atomic: a
+        temp file in the same directory is fsynced and then
+        ``os.replace``-d over the journal, so a crash at any instant
+        leaves either the old complete journal or the new one, never a
+        torn file.  Returns the number of journal lines dropped.
+        """
+        if not self.path.exists():
+            return 0
+        try:
+            raw_lines = [
+                line for line in self.path.read_text(encoding="utf-8").splitlines()
+                if line.strip()
+            ]
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {self.path}: {exc}") from exc
+
+        keep = {
+            key: entry
+            for key, entry in self._entries.items()
+            if not (drop_failed and entry.get("status") != "ok")
+        }
+        tmp_path = self.path.with_name(self.path.name + ".tmp")
+        try:
+            with tmp_path.open("w", encoding="utf-8") as handle:
+                for entry in keep.values():
+                    handle.write(json.dumps(entry, default=repr) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot compact checkpoint {self.path}: {exc}"
+            ) from exc
+        finally:
+            if tmp_path.exists():  # pragma: no cover - only on failure paths
+                tmp_path.unlink()
+        self._entries = keep
+        return len(raw_lines) - len(keep)

@@ -106,6 +106,45 @@ def _describe(params: Dict) -> str:
         return repr(params)
 
 
+def scenario_seed(params: Dict, seed: int = 0) -> int:
+    """Deterministic per-point seed: hash of the sweep parameters + seed.
+
+    The same grid point always draws the same fault scenario across
+    runs and resumes, yet distinct points get independent scenarios —
+    the degraded-mode analogue of the checkpoint key.
+    """
+    import hashlib
+
+    canonical = json.dumps({"params": params, "seed": seed}, sort_keys=True, default=repr)
+    return int.from_bytes(hashlib.sha256(canonical.encode()).digest()[:8], "big")
+
+
+def fault_scenario(
+    params: Dict,
+    partition_rows: int,
+    partition_cols: int,
+    dead_partitions: int = 1,
+    dead_links: int = 0,
+    seed: int = 0,
+):
+    """Draw a deterministic degraded-hardware scenario for one sweep point.
+
+    Returns a :class:`~repro.resilience.FaultMap` sampled by
+    :func:`~repro.resilience.random_fault_map` under the per-point seed
+    of :func:`scenario_seed`, so injecting hardware faults into a sweep
+    is reproducible point by point.
+    """
+    from repro.resilience.faultmap import random_fault_map
+
+    return random_fault_map(
+        partition_rows,
+        partition_cols,
+        dead_partitions=dead_partitions,
+        dead_links=dead_links,
+        seed=scenario_seed(params, seed),
+    )
+
+
 def inject_faults(fn: Callable[..., object], *faults: Fault) -> Callable[..., object]:
     """Wrap ``fn`` so the scripted ``faults`` fire on matching calls.
 

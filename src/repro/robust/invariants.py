@@ -22,24 +22,16 @@ Two independent checks:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING
 
-from repro.analytical.runtime import fold_runtime
 from repro.config.hardware import HardwareConfig
 from repro.errors import InvariantError
 from repro.mapping.dims import map_layer
 from repro.topology.layer import Layer
-from repro.utils.mathutils import ceil_div
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dataflow.base import DataflowEngine, SramCounts
     from repro.engine.results import LayerResult
-
-
-def _fold_sizes(extent: int, array_dim: int) -> List[int]:
-    """Sizes of the folds covering ``extent`` on one ``array_dim`` axis."""
-    full, rem = divmod(extent, array_dim)
-    return [array_dim] * full + ([rem] if rem else [])
 
 
 def expected_cycles(layer: Layer, config: HardwareConfig) -> int:
@@ -49,21 +41,17 @@ def expected_cycles(layer: Layer, config: HardwareConfig) -> int:
     charges every fold the full-array latency, this accounts for edge
     folds exactly, so it must *equal* the cycle-accurate engine — any
     divergence is a bug or a corrupted result, not model error.
+
+    Degraded configs (a :class:`~repro.resilience.FaultMap` on the
+    config) are predicted through the same deterministic remap plan the
+    scale-out engine executes, so exactness holds there too.  On a
+    healthy grid the plan's slowest survivor is the ceil-sized tile of
+    Eq. 5/6, recovering the original prediction.
     """
+    from repro.resilience.remap import predict_layer_cycles
+
     mapping = map_layer(layer, config.dataflow)
-    sr, sc = mapping.sr, mapping.sc
-    if not config.is_monolithic:
-        # Eq. 5: each partition tiles the mapped space; Eq. 6: the
-        # slowest (ceil-sized) tile sets the grid's runtime.
-        sr = ceil_div(sr, config.partition_rows)
-        sc = ceil_div(sc, config.partition_cols)
-    row_folds = _fold_sizes(sr, config.array_rows)
-    col_folds = _fold_sizes(sc, config.array_cols)
-    return sum(
-        fold_runtime(rows, cols, mapping.t)
-        for rows in row_folds
-        for cols in col_folds
-    )
+    return predict_layer_cycles(mapping, config)
 
 
 def check_cycles(

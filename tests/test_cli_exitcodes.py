@@ -11,6 +11,7 @@ from repro.errors import (
     InvariantError,
     PointTimeoutError,
     ReproError,
+    ResilienceError,
     SimulationError,
     TopologyError,
 )
@@ -31,6 +32,7 @@ class TestExitCodeMapping:
             (CheckpointError("x"), 8),
             (InvariantError("x"), 9),
             (PointTimeoutError("x"), 10),  # via the ExecutionError base
+            (ResilienceError("x"), 11),
             (ReproError("x"), 1),  # no dedicated code -> generic failure
         ],
     )
@@ -68,6 +70,61 @@ class TestCliErrorPaths:
         )
         assert code == 8
         assert "already exists" in capsys.readouterr().err
+
+
+class TestResilienceCli:
+    def test_bad_fault_spec_exits_11(self, capsys):
+        code = main(["run", "--workload", "TF0", "--faults", "partition:zzz"])
+        assert code == 11
+        assert "error:" in capsys.readouterr().err
+
+    def test_faults_and_fault_map_are_exclusive(self, tmp_path, capsys):
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps({"partitions": [[0, 0]]}))
+        code = main(
+            ["run", "--workload", "TF0",
+             "--faults", "partition:0,0", "--fault-map", str(path)]
+        )
+        assert code == 11
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_run_with_faults_shows_degraded_columns(self, capsys):
+        assert main(
+            ["run", "--workload", "TF0", "--partitions", "2x2",
+             "--faults", "partition:1,1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "failed_parts" in out
+        assert "remapped_tiles" in out
+
+    def test_resilience_happy_path(self, capsys):
+        code = main(
+            ["resilience", "--layer", "TF0", "--macs", "16384",
+             "--dead", "0,1,2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "slowdown" in out
+        assert "bound" in out
+
+    def test_resilience_with_explicit_fault_map(self, tmp_path, capsys):
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps({"partitions": [[0, 0], [1, 1]]}))
+        code = main(
+            ["resilience", "--layer", "TF0", "--macs", "16384",
+             "--fault-map", str(path)]
+        )
+        assert code == 0
+        assert "slowdown" in capsys.readouterr().out
+
+    def test_resilience_checkpoint_resume(self, tmp_path, capsys):
+        journal = tmp_path / "res.jsonl"
+        argv = ["resilience", "--layer", "TF0", "--macs", "16384",
+                "--dead", "0,1", "--checkpoint", str(journal)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
 
 
 class TestSweepRobustFlags:

@@ -18,6 +18,7 @@ from repro.errors import (
     MappingError,
     PointTimeoutError,
     ReproError,
+    ResilienceError,
     SearchError,
     SimulationError,
     TopologyError,
@@ -114,6 +115,12 @@ def _raise_invariant_error():
     )
 
 
+def _raise_resilience_error():
+    from repro.resilience.faultmap import FaultMap
+
+    FaultMap.from_spec("partition:not-a-coord")
+
+
 DOCUMENTED_SITES = {
     ConfigError: _raise_config_error,
     TopologyError: _raise_topology_error,
@@ -125,6 +132,7 @@ DOCUMENTED_SITES = {
     CircuitOpenError: _raise_circuit_open_error,
     CheckpointError: _raise_checkpoint_error,
     InvariantError: _raise_invariant_error,
+    ResilienceError: _raise_resilience_error,
 }
 
 

@@ -78,3 +78,54 @@ class TestStore:
 
         store = CheckpointStore(tmp_path / "run.jsonl")
         assert store.version == __version__
+
+
+class TestCompact:
+    def test_drops_failed_and_superseded_lines(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = CheckpointStore(path, version="v1")
+        store.record({"a": 1}, status="failed", error="boom")
+        store.record({"a": 1}, status="ok", rows=[{"x": 1}])  # supersedes
+        store.record({"a": 2}, status="ok", rows=[{"x": 2}])
+        store.record({"a": 3}, status="failed", error="boom")
+        assert len(path.read_text().splitlines()) == 4
+
+        dropped = store.compact()
+        assert dropped == 2  # the superseded {"a": 1} line and the failed {"a": 3}
+
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)  # file stays valid JSONL
+
+        reloaded = CheckpointStore(path, version="v1")
+        assert reloaded.completed({"a": 1})
+        assert reloaded.completed({"a": 2})
+        assert not reloaded.completed({"a": 3})
+        assert reloaded.get({"a": 1})["rows"] == [{"x": 1}]
+
+    def test_keep_failed_entries(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = CheckpointStore(path, version="v1")
+        store.record({"a": 1}, status="failed", error="boom")
+        assert store.compact(drop_failed=False) == 0
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_compact_empty_journal(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run.jsonl", version="v1")
+        assert store.compact() == 0
+
+    def test_compact_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = CheckpointStore(path, version="v1")
+        store.record({"a": 1}, status="ok")
+        store.compact()
+        assert [p.name for p in tmp_path.iterdir()] == ["run.jsonl"]
+
+    def test_store_usable_after_compact(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = CheckpointStore(path, version="v1")
+        store.record({"a": 1}, status="failed", error="boom")
+        store.compact()
+        store.record({"a": 1}, status="ok")
+        assert CheckpointStore(path, version="v1").completed({"a": 1})

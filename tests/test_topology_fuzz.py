@@ -1,0 +1,83 @@
+"""Fuzz the topology CSV parser: bad input must fail *predictably*.
+
+Whatever bytes arrive, :func:`parse_topology_text` may only raise
+:class:`TopologyError` — never a bare ``ValueError``/``KeyError``/
+``IndexError`` leaking from the implementation.  Robust sweeps rely on
+this to classify failures by exit code.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError, TopologyError
+from repro.topology.parser import TOPOLOGY_HEADER, parse_topology_text
+
+# Printable-ish soup plus the characters that matter to a CSV parser.
+_cell = st.text(
+    alphabet=st.sampled_from("abc019 -._;:%\t"),
+    max_size=6,
+)
+_row = st.lists(_cell, min_size=0, max_size=12).map(",".join)
+_csv_text = st.lists(_row, min_size=0, max_size=8).map("\n".join)
+
+
+def _assert_only_topology_error(text):
+    try:
+        network = parse_topology_text(text)
+    except TopologyError:
+        pass  # the one sanctioned failure mode
+    else:
+        assert len(network) >= 1
+
+
+@settings(max_examples=200)
+@given(text=_csv_text)
+def test_random_csv_soup_raises_only_topology_error(text):
+    _assert_only_topology_error(text)
+
+
+@settings(max_examples=100)
+@given(
+    rows=st.lists(
+        st.lists(st.integers(-5, 5).map(str), min_size=1, max_size=10),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_numeric_rows_with_wrong_shape_raise_only_topology_error(rows):
+    """Near-miss inputs: right character class, wrong arity or range."""
+    body = "\n".join("L{},{}".format(i, ",".join(r)) for i, r in enumerate(rows))
+    _assert_only_topology_error(",".join(TOPOLOGY_HEADER) + "\n" + body)
+
+
+@settings(max_examples=50)
+@given(
+    dims=st.lists(st.integers(1, 64), min_size=8, max_size=8),
+    mutate_at=st.integers(0, 7),
+    garbage=st.sampled_from(["", "x", "-3", "0", "1.5", " "]),
+)
+def test_single_field_corruption_raises_only_topology_error(dims, mutate_at, garbage):
+    """Take a valid row and corrupt exactly one field."""
+    fields = [str(d) for d in dims]
+    fields[mutate_at] = garbage
+    _assert_only_topology_error("corrupt," + ",".join(fields) + ",")
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",
+        ",".join(TOPOLOGY_HEADER),
+        "layer,1,1,1",  # too few fields
+        "layer,3,3,3,1,1,64,one,",  # non-integer
+        "layer,0,3,3,1,1,64,1,",  # dim < 1
+    ],
+)
+def test_known_bad_inputs(text):
+    with pytest.raises(TopologyError):
+        parse_topology_text(text)
+
+
+def test_topology_error_is_a_repro_error():
+    assert issubclass(TopologyError, ReproError)
