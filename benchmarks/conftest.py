@@ -12,12 +12,21 @@ experiment harnesses, not microbenchmarks, so one timed round each.
 from __future__ import annotations
 
 import csv
+import json
+import os
+import time
 from pathlib import Path
 from typing import Dict, List, Sequence
 
 import pytest
 
+from repro import obs
+from repro._version import __version__
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Per-benchmark wall-time + counter stamps land here as JSON.
+PERF_DIR = RESULTS_DIR / "perf"
 
 #: MAC budgets the paper sweeps (Figs. 9-12 use subsets of these).
 PAPER_MAC_BUDGETS = [2**10, 2**12, 2**14, 2**16, 2**18]
@@ -63,6 +72,50 @@ def reporter(request) -> SeriesReporter:
     return SeriesReporter(module)
 
 
+def _bench_name() -> str:
+    """The currently running benchmark's test id, filesystem-safe."""
+    current = os.environ.get("PYTEST_CURRENT_TEST", "benchmark")
+    # "benchmarks/bench_x.py::test_y (call)" -> "bench_x-test_y"
+    current = current.split(" ")[0].replace(".py::", "-")
+    return current.rsplit("/", 1)[-1].replace("::", "-").replace("[", "_").rstrip("]")
+
+
+def _counter_snapshot() -> Dict[str, int]:
+    snap = obs.metrics.snapshot()
+    return dict(snap.get("counters", {}))
+
+
 def run_once(benchmark, fn):
-    """Register ``fn`` with pytest-benchmark, executing exactly once."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    """Register ``fn`` with pytest-benchmark, executing exactly once.
+
+    Also stamps a ``results/perf/<bench>.json`` artifact with the
+    wall time and the delta of every ``repro.obs`` counter that moved
+    during the run (simulated cycles, tiles mapped, DRAM traffic, ...),
+    so benchmark outputs carry their own accounting.
+    """
+    was_enabled = obs.metrics.enabled
+    obs.metrics.enable()
+    before = _counter_snapshot()
+    start = time.perf_counter()
+    try:
+        result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    finally:
+        wall = time.perf_counter() - start
+        after = _counter_snapshot()
+        if not was_enabled:
+            obs.metrics.disable()
+    deltas = {
+        key: after[key] - before.get(key, 0)
+        for key in sorted(after)
+        if after[key] != before.get(key, 0)
+    }
+    PERF_DIR.mkdir(parents=True, exist_ok=True)
+    stamp = {
+        "bench": _bench_name(),
+        "version": __version__,
+        "wall_time_s": round(wall, 6),
+        "counters": deltas,
+    }
+    path = PERF_DIR / f"{_bench_name()}.json"
+    path.write_text(json.dumps(stamp, indent=2, sort_keys=True) + "\n")
+    return result

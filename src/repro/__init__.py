@@ -95,6 +95,13 @@ from repro.robust import (
     inject_faults,
 )
 from repro.traceanalysis import reuse_profile, stream_stats
+from repro.obs import (
+    MetricsRegistry,
+    ProgressTracker,
+    Tracer,
+    metrics,
+    trace,
+)
 from repro.errors import (
     CheckpointError,
     CircuitOpenError,
@@ -111,7 +118,7 @@ from repro.errors import (
     TopologyError,
 )
 
-__version__ = "1.0.0"
+from repro._version import __version__
 
 __all__ = [
     # configuration
@@ -195,6 +202,12 @@ __all__ = [
     "sweep_to_csv",
     "reuse_profile",
     "stream_stats",
+    # observability
+    "trace",
+    "metrics",
+    "Tracer",
+    "MetricsRegistry",
+    "ProgressTracker",
     # robust execution
     "CheckpointStore",
     "ExecutionPolicy",

@@ -1,0 +1,19 @@
+"""Single source of the package version.
+
+The version is read from installed package metadata so ``pip install``
+and ``pyproject.toml`` stay authoritative; running straight from a
+source checkout (``PYTHONPATH=src``) falls back to the pinned string,
+which mirrors ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+from importlib import metadata
+
+#: Fallback for source checkouts that were never pip-installed.
+_SOURCE_VERSION = "1.0.0"
+
+try:
+    __version__ = metadata.version("repro")
+except metadata.PackageNotFoundError:  # pragma: no cover - depends on install
+    __version__ = _SOURCE_VERSION

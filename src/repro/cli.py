@@ -16,15 +16,26 @@ CSV; ``analyze`` prints the instant closed-form estimates (Eq. 4 plus
 the traffic model); ``search`` runs the Sec. IV-B multi-workload
 optimization; ``sweep`` regenerates a Fig. 11-style runtime/bandwidth-
 vs-partitions series for one layer; ``dram`` replays a layer's prefetch
-schedule through the cycle-level DRAM back-end.
+schedule through the cycle-level DRAM back-end; ``stats`` summarizes a
+recorded trace/metrics file.
+
+Global observability flags (before the subcommand): ``--trace FILE``
+records a Chrome trace-event / Perfetto JSON timeline, ``--metrics
+FILE`` a counters/histograms snapshot, and ``-v`` / ``--log-level``
+control the ``repro.*`` logger hierarchy (report tables always print
+to stdout; diagnostics go to stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro._version import __version__
 
 from repro.analytical.multiworkload import WorkloadSet, pareto_search
 from repro.config.hardware import Dataflow, HardwareConfig
@@ -72,6 +83,14 @@ EXIT_CODES: Tuple[Tuple[type, int], ...] = (
 
 #: Generic non-zero exit for failures without a dedicated code.
 EXIT_FAILURE = 1
+
+#: A batch run ended without executing every point (failures tripped the
+#: circuit breaker or points were skipped) — distinct from the
+#: per-error-class codes above so callers can tell "the sweep ran but is
+#: incomplete" from "the sweep aborted".
+EXIT_INCOMPLETE = 12
+
+logger = logging.getLogger("repro.cli")
 
 
 def exit_code_for(exc: BaseException) -> int:
@@ -338,8 +357,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{row['cycles']:10d}  {row['avg_bw']:13.3f}  {row['peak_bw']:14.3f}"
         )
     if report.failed or report.skipped:
-        print(f"sweep incomplete: {report.summary()}", file=sys.stderr)
-        return EXIT_FAILURE
+        logger.warning("sweep incomplete: %s", report.summary())
+        return EXIT_INCOMPLETE
     return 0
 
 
@@ -392,8 +411,8 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
             f"{row['noc_byte_hops']:13d}  {row['e_total']}"
         )
     if report.failed or report.skipped:
-        print(f"sweep incomplete: {report.summary()}", file=sys.stderr)
-        return EXIT_FAILURE
+        logger.warning("sweep incomplete: %s", report.summary())
+        return EXIT_INCOMPLETE
     return 0
 
 
@@ -408,6 +427,19 @@ def _square_grid(count: int) -> Tuple[int, int]:
 def _cmd_workloads(_: argparse.Namespace) -> int:
     print("built-in networks: " + ", ".join(available_workloads()))
     print("Table IV layers:   " + ", ".join(sorted(TABLE_IV_DIMS)))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Summarize a recorded trace or metrics file."""
+    from repro.obs.stats import summarize_file
+
+    try:
+        print(summarize_file(args.file, top=args.top))
+    except FileNotFoundError:
+        raise ConfigError(f"no such file: {args.file}") from None
+    except (ValueError, OSError) as exc:
+        raise ConfigError(str(exc)) from exc
     return 0
 
 
@@ -476,10 +508,9 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     )
     if report.failed:
         for record in report.failures():
-            print(
-                f"error: experiment {name!r} failed after "
-                f"{record.attempts} attempt(s): {record.error}",
-                file=sys.stderr,
+            logger.error(
+                "experiment %r failed after %d attempt(s): %s",
+                name, record.attempts, record.error,
             )
         return EXIT_FAILURE
     if not rows:
@@ -505,6 +536,30 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="scalesim-repro",
         description="SCALE-Sim reproduction: systolic DNN accelerator simulator",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="record a Chrome trace-event / Perfetto JSON timeline to FILE",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE",
+        help="write a counters/gauges/histograms snapshot JSON to FILE",
+    )
+    parser.add_argument(
+        "--events", metavar="FILE",
+        help="append a JSONL structured event log to FILE",
+    )
+    parser.add_argument(
+        "--log-level", dest="log_level",
+        choices=["debug", "info", "warning", "error"],
+        help="threshold for the repro.* logger hierarchy (stderr)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", dest="verbosity", default=0,
+        help="increase log verbosity (-v info, -vv debug)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -617,17 +672,42 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--list", action="store_true", help="list experiment ids")
     _add_robust_flags(reproduce)
     reproduce.set_defaults(func=_cmd_reproduce)
+
+    stats = sub.add_parser(
+        "stats", help="summarize a recorded --trace or --metrics file"
+    )
+    stats.add_argument("file", help="trace JSON or metrics JSON to summarize")
+    stats.add_argument(
+        "--top", type=int, default=10,
+        help="number of spans/histograms to show (default 10)",
+    )
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    obs.configure_logging(level=args.log_level, verbosity=args.verbosity)
+    sinks_requested = bool(args.trace or args.metrics or args.events)
+    if sinks_requested:
+        vector = list(argv) if argv is not None else list(sys.argv[1:])
+        obs.configure(
+            trace_path=args.trace,
+            metrics_path=args.metrics,
+            events_path=args.events,
+            config_digest=obs.config_hash({"argv": vector}),
+            extra_metadata={"command": args.command},
+        )
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return exit_code_for(exc)
+    finally:
+        if sinks_requested:
+            for path in obs.flush():
+                logger.info("wrote %s", path)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,6 +11,7 @@ from repro.dataflow.output_stationary import OutputStationaryEngine
 from repro.dataflow.output_stationary_dataplane import OutputStationaryDataPlaneEngine
 from repro.dataflow.weight_stationary import WeightStationaryEngine
 from repro.errors import MappingError
+from repro.obs import metrics
 from repro.topology.layer import Layer
 
 _ENGINES: Dict[Dataflow, Type[DataflowEngine]] = {
@@ -48,7 +49,9 @@ def engine_for(
     the PE mesh.
     """
     engine_cls = _engine_class(dataflow, output_dataplane)
-    return engine_cls(layer.gemm_m, layer.gemm_k, layer.gemm_n, array_rows, array_cols)
+    engine = engine_cls(layer.gemm_m, layer.gemm_k, layer.gemm_n, array_rows, array_cols)
+    _count_engine(engine)
+    return engine
 
 
 def engine_for_gemm(
@@ -62,4 +65,14 @@ def engine_for_gemm(
 ) -> DataflowEngine:
     """Build the cycle-accurate engine for a bare GEMM under ``dataflow``."""
     engine_cls = _engine_class(dataflow, output_dataplane)
-    return engine_cls(m, k, n, array_rows, array_cols)
+    engine = engine_cls(m, k, n, array_rows, array_cols)
+    _count_engine(engine)
+    return engine
+
+
+def _count_engine(engine: DataflowEngine) -> None:
+    if metrics.enabled:
+        metrics.counter("dataflow.engines_built").add()
+        metrics.counter("dataflow.folds_planned").add(
+            engine.plan.row_folds * engine.plan.col_folds
+        )

@@ -9,6 +9,7 @@ from repro.dram.channel import Channel, ServicedRequest
 from repro.dram.request import DramAccess, decode
 from repro.dram.timing import DDR4_2400_LIKE, DramTiming
 from repro.errors import DramError
+from repro.obs import metrics, trace
 
 
 @dataclass(frozen=True)
@@ -56,16 +57,38 @@ class DramSimulator:
         if not all_requests:
             raise DramError("empty DRAM trace")
 
-        per_channel: List[List[DramAccess]] = [[] for _ in range(self.timing.num_channels)]
-        for request in all_requests:
-            per_channel[decode(request.address, self.timing).channel].append(request)
+        with trace.span(
+            "dram.run",
+            requests=len(all_requests),
+            channels=self.timing.num_channels,
+        ):
+            per_channel: List[List[DramAccess]] = [
+                [] for _ in range(self.timing.num_channels)
+            ]
+            for request in all_requests:
+                per_channel[decode(request.address, self.timing).channel].append(request)
 
-        serviced: List[ServicedRequest] = []
-        for channel_requests in per_channel:
-            if not channel_requests:
-                continue
-            channel = Channel(self.timing, window=self.reorder_window)
-            serviced.extend(channel.service(channel_requests))
+            serviced: List[ServicedRequest] = []
+            for channel_requests in per_channel:
+                if not channel_requests:
+                    continue
+                channel = Channel(self.timing, window=self.reorder_window)
+                serviced.extend(channel.service(channel_requests))
+
+        if metrics.enabled:
+            metrics.counter("dram.requests").add(len(serviced))
+            metrics.counter("dram.row_hits").add(
+                sum(1 for item in serviced if item.row_hit)
+            )
+            metrics.counter("dram.bytes_moved").add(
+                len(serviced) * self.timing.line_bytes
+            )
+            metrics.counter("dram.stall_cycles").add(
+                sum(item.latency for item in serviced)
+            )
+            latency = metrics.histogram("dram.request_latency")
+            for item in serviced:
+                latency.observe(item.latency)
 
         return DramStats(
             num_requests=len(serviced),

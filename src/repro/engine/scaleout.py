@@ -33,6 +33,7 @@ from repro.engine.results import LayerResult, RunResult
 from repro.engine.simulator import Simulator
 from repro.errors import SimulationError
 from repro.mapping.dims import gemm_from_mapping, map_layer
+from repro.obs import metrics, trace
 from repro.resilience.remap import RemapPlan, remap_layer
 from repro.topology.layer import Layer
 from repro.topology.network import Network
@@ -69,7 +70,19 @@ class ScaleOutSimulator:
     def run_layer_detailed(self, layer: Layer) -> Tuple[LayerResult, List[PartitionShare]]:
         """Simulate one layer; also return the per-partition breakdown."""
         fault_map = self.config.fault_map
-        if fault_map is not None and fault_map.affects_grid:
+        degraded = fault_map is not None and fault_map.affects_grid
+        with trace.span(
+            "engine.scaleout_layer",
+            layer=layer.name,
+            grid=f"{self.config.partition_rows}x{self.config.partition_cols}",
+            degraded=degraded,
+        ):
+            return self._run_layer_partitioned(layer, degraded)
+
+    def _run_layer_partitioned(
+        self, layer: Layer, degraded: bool
+    ) -> Tuple[LayerResult, List[PartitionShare]]:
+        if degraded:
             return self._run_layer_degraded(layer)
         mapping = map_layer(layer, self.config.dataflow)
         row_shares = [s for s in split_evenly(mapping.sr, self.config.partition_rows)]
@@ -175,8 +188,18 @@ class ScaleOutSimulator:
         shares: List[PartitionShare] = []
         for (sr, sc), count in sorted(shape_counts.items(), reverse=True):
             m, k, n = gemm_from_mapping(sr, sc, temporal, self.config.dataflow)
-            part_result = self._partition_sim.run_gemm(m, k, n, name=f"{layer.name}[{sr}x{sc}]")
+            with trace.span(
+                "engine.partition_tile", layer=layer.name, sr=sr, sc=sc, count=count
+            ):
+                part_result = self._partition_sim.run_gemm(
+                    m, k, n, name=f"{layer.name}[{sr}x{sc}]"
+                )
             shares.append(PartitionShare(count=count, sr=sr, sc=sc, result=part_result))
+        if metrics.enabled:
+            metrics.counter("sim.tiles_mapped").add(
+                sum(count for count in shape_counts.values())
+            )
+            metrics.counter("sim.tile_shapes").add(len(shape_counts))
         return shares
 
     def _aggregate(

@@ -18,6 +18,7 @@ from repro.engine.results import LayerResult, RunResult
 from repro.errors import SimulationError
 from repro.memory.bandwidth import compute_dram_traffic
 from repro.memory.buffers import BufferSet
+from repro.obs import metrics, trace
 from repro.topology.layer import Layer
 from repro.topology.network import Network
 
@@ -50,24 +51,32 @@ class Simulator:
     # ------------------------------------------------------------------
     def run_layer(self, layer: Layer) -> LayerResult:
         """Simulate one layer and return its measured result."""
-        engine = engine_for(
-            layer,
-            self.config.dataflow,
-            self.array_rows,
-            self.array_cols,
-        )
-        return self._measure(engine, layer.name)
+        with trace.span(
+            "engine.run_layer",
+            layer=layer.name,
+            dataflow=self.config.dataflow.value,
+            array=f"{self.array_rows}x{self.array_cols}",
+        ):
+            engine = engine_for(
+                layer,
+                self.config.dataflow,
+                self.array_rows,
+                self.array_cols,
+            )
+            return self._measure(engine, layer.name)
 
     def run_gemm(self, m: int, k: int, n: int, name: str = "gemm") -> LayerResult:
         """Simulate a bare (M x K) @ (K x N) GEMM."""
-        engine = engine_for_gemm(
-            m, k, n, self.config.dataflow, self.array_rows, self.array_cols
-        )
-        return self._measure(engine, name)
+        with trace.span("engine.run_gemm", name=name, m=m, k=k, n=n):
+            engine = engine_for_gemm(
+                m, k, n, self.config.dataflow, self.array_rows, self.array_cols
+            )
+            return self._measure(engine, name)
 
     def run_network(self, network: Network) -> RunResult:
         """Simulate every layer of ``network`` serially, in file order."""
-        results = [self.run_layer(layer) for layer in network]
+        with trace.span("engine.run_network", network=network.name):
+            results = [self.run_layer(layer) for layer in network]
         return RunResult(
             network_name=network.name,
             config_description=self.config.describe(),
@@ -102,6 +111,12 @@ class Simulator:
             engine, self.buffers, self.config.word_bytes, loop_order=self.loop_order
         )
         sram = engine.layer_counts()
+        if metrics.enabled:
+            metrics.counter("sim.layers").add()
+            metrics.counter("sim.cycles").add(engine.total_cycles())
+            metrics.counter("sim.macs").add(engine.layer_macs)
+            metrics.counter("sim.dram_read_bytes").add(traffic.read_bytes)
+            metrics.counter("sim.dram_write_bytes").add(traffic.write_bytes)
         return LayerResult(
             layer_name=layer_name,
             dataflow=self.config.dataflow,

@@ -10,6 +10,7 @@ from repro.engine.results import LayerResult
 from repro.engine.scaleout import ScaleOutSimulator
 from repro.engine.simulator import Simulator
 from repro.errors import SimulationError
+from repro.obs import trace
 from repro.robust.executor import execute_point
 from repro.robust.policy import ExecutionPolicy
 from repro.topology.layer import Layer
@@ -53,10 +54,13 @@ def simulate_on(
     """
 
     def _run(**_params) -> dict:
-        if config.is_monolithic:
-            result = Simulator(config).run_layer(layer)
-        else:
-            result = ScaleOutSimulator(config).run_layer(layer)
+        with trace.span(
+            "experiment.simulate_on", layer=layer.name, config=config.describe()
+        ):
+            if config.is_monolithic:
+                result = Simulator(config).run_layer(layer)
+            else:
+                result = ScaleOutSimulator(config).run_layer(layer)
         return {"result": result}
 
     if policy is None:

@@ -1,0 +1,217 @@
+"""Counters, gauges and histograms behind a get-or-create registry.
+
+Instrumented code asks the registry for an instrument *at the use
+site*::
+
+    from repro.obs import metrics
+
+    metrics.counter("sim.cycles").add(result.total_cycles)
+
+While the registry is disabled (the default), every accessor returns a
+shared no-op singleton, so the cost of an uninstrumented run is one
+attribute check plus one early return — no dict mutation, no
+allocation.  Because instruments are looked up per call, enabling or
+disabling the registry takes effect immediately everywhere; handles
+must not be cached across :meth:`MetricsRegistry.enable` boundaries.
+
+Histograms keep exact ``count``/``sum``/``min``/``max`` and a bounded
+sample for percentile estimation: once the sample buffer fills, it is
+thinned to every other element and the sampling stride doubles, so
+memory stays bounded while the sample remains spread across the whole
+observation stream (not just its head).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+#: Sample-buffer capacity per histogram; thinning keeps it below this.
+HISTOGRAM_SAMPLE_CAP = 8192
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def add(self, amount: Number = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[Number] = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A distribution with exact moments and sampled percentiles."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_sample", "_stride")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+        self._sample: List[Number] = []
+        self._stride = 1
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if (self.count - 1) % self._stride == 0:
+            self._sample.append(value)
+            if len(self._sample) >= HISTOGRAM_SAMPLE_CAP:
+                self._sample = self._sample[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Linear-interpolated percentile ``p`` in [0, 100] of the sample."""
+        if not self._sample:
+            return None
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self._sample)
+        if len(ordered) == 1:
+            return float(ordered[0])
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def add(self, amount: Number = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: Number) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: Number) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotted on demand."""
+
+    def __init__(self, enabled: bool = False):
+        self._enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def counter(self, name: str):
+        if not self._enabled:
+            return NULL_COUNTER
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str):
+        if not self._enabled:
+            return NULL_GAUGE
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(self, name: str):
+        if not self._enabled:
+            return NULL_HISTOGRAM
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(name, Histogram(name))
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        """A plain-dict view of every instrument, JSON-serializable."""
+        with self._lock:
+            return {
+                "counters": {name: c.value for name, c in sorted(self._counters.items())},
+                "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+                "histograms": {
+                    name: h.snapshot() for name, h in sorted(self._histograms.items())
+                },
+            }

@@ -1,0 +1,194 @@
+"""Summarize recorded trace/metrics files (the ``repro stats`` command).
+
+Consumes the files written by :mod:`repro.obs.export` and produces the
+two summaries an engineer reaches for first:
+
+* **Top spans by self-time** — where did the wall clock actually go,
+  with double-counting from nesting removed (a parent's self-time
+  excludes its children).
+* **Histogram percentiles and counters** — the recorded metrics, with
+  p50/p90/p99 readouts per histogram.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.export import load_metrics, load_trace
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class SpanStat:
+    """Aggregate timing of every span sharing one name."""
+
+    name: str
+    count: int
+    total_us: float
+    self_us: float
+    max_us: float
+
+    @property
+    def avg_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+
+def trace_span_stats(doc: Dict) -> List[SpanStat]:
+    """Per-name aggregates of a Chrome trace doc, by self-time, descending."""
+    totals: Dict[str, Dict[str, float]] = {}
+    for event in doc.get("traceEvents", ()):
+        if event.get("ph") != "X":
+            continue
+        name = event.get("name", "?")
+        duration = float(event.get("dur", 0.0))
+        self_us = float(event.get("args", {}).get("self_us", duration))
+        agg = totals.setdefault(
+            name, {"count": 0, "total": 0.0, "self": 0.0, "max": 0.0}
+        )
+        agg["count"] += 1
+        agg["total"] += duration
+        agg["self"] += self_us
+        agg["max"] = max(agg["max"], duration)
+    stats = [
+        SpanStat(
+            name=name,
+            count=int(agg["count"]),
+            total_us=agg["total"],
+            self_us=agg["self"],
+            max_us=agg["max"],
+        )
+        for name, agg in totals.items()
+    ]
+    stats.sort(key=lambda stat: stat.self_us, reverse=True)
+    return stats
+
+
+def trace_event_counts(doc: Dict) -> Dict[str, int]:
+    """How many instant events of each name the trace carries."""
+    counts: Dict[str, int] = {}
+    for event in doc.get("traceEvents", ()):
+        if event.get("ph") == "i":
+            name = event.get("name", "?")
+            counts[name] = counts.get(name, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def _fmt_us(value: float) -> str:
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.3f}s"
+    if value >= 1_000:
+        return f"{value / 1_000:.3f}ms"
+    return f"{value:.1f}us"
+
+
+def render_trace_summary(doc: Dict, top: int = 10) -> str:
+    """Human-readable trace summary: header, top spans, event counts."""
+    lines: List[str] = []
+    metadata = doc.get("metadata", {})
+    if metadata:
+        lines.append(
+            "# trace from {tool} {version} (config {config})".format(
+                tool=metadata.get("tool", "?"),
+                version=metadata.get("version", "?"),
+                config=metadata.get("config_hash") or "unhashed",
+            )
+        )
+    stats = trace_span_stats(doc)
+    events = [e for e in doc.get("traceEvents", ()) if e.get("ph") == "X"]
+    if events:
+        first = min(e["ts"] for e in events)
+        last = max(e["ts"] + e.get("dur", 0.0) for e in events)
+        lines.append(
+            f"{len(events)} spans over {_fmt_us(last - first)} "
+            f"({len(stats)} distinct names)"
+        )
+    else:
+        lines.append("0 spans")
+    if stats:
+        lines.append("")
+        lines.append(
+            f"{'span':32s} {'count':>7s} {'self':>10s} {'total':>10s} "
+            f"{'avg':>10s} {'max':>10s}"
+        )
+        for stat in stats[:top]:
+            lines.append(
+                f"{stat.name:32s} {stat.count:7d} {_fmt_us(stat.self_us):>10s} "
+                f"{_fmt_us(stat.total_us):>10s} {_fmt_us(stat.avg_us):>10s} "
+                f"{_fmt_us(stat.max_us):>10s}"
+            )
+    counts = trace_event_counts(doc)
+    if counts:
+        lines.append("")
+        lines.append("events: " + ", ".join(f"{name}={n}" for name, n in counts.items()))
+    return "\n".join(lines)
+
+
+def render_metrics_summary(doc: Dict, top: int = 10) -> str:
+    """Human-readable metrics summary: counters, gauges, percentiles."""
+    lines: List[str] = []
+    metadata = doc.get("metadata", {})
+    if metadata:
+        lines.append(
+            "# metrics from {tool} {version} (config {config})".format(
+                tool=metadata.get("tool", "?"),
+                version=metadata.get("version", "?"),
+                config=metadata.get("config_hash") or "unhashed",
+            )
+        )
+    counters = doc.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':40s} {'value':>14s}")
+        for name, value in sorted(counters.items()):
+            lines.append(f"{name:40s} {value:>14}")
+    gauges = {k: v for k, v in doc.get("gauges", {}).items() if v is not None}
+    if gauges:
+        lines.append("")
+        lines.append(f"{'gauge':40s} {'value':>14s}")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"{name:40s} {value:>14}")
+    histograms = doc.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append(
+            f"{'histogram':32s} {'count':>7s} {'mean':>10s} {'p50':>10s} "
+            f"{'p90':>10s} {'p99':>10s} {'max':>10s}"
+        )
+        for name, snap in sorted(histograms.items()):
+            def cell(key: str) -> str:
+                value = snap.get(key)
+                return "-" if value is None else f"{value:.4g}"
+
+            lines.append(
+                f"{name:32s} {snap.get('count', 0):7d} {cell('mean'):>10s} "
+                f"{cell('p50'):>10s} {cell('p90'):>10s} {cell('p99'):>10s} "
+                f"{cell('max'):>10s}"
+            )
+    if len(lines) <= 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def summarize_file(path: PathLike, top: int = 10) -> str:
+    """Sniff ``path`` (trace or metrics JSON) and render its summary.
+
+    Raises :class:`ValueError` for files in neither format.
+    """
+    path = Path(path)
+    with path.open() as handle:
+        head = handle.read(1)
+    if head != "{":
+        raise ValueError(f"{path}: not a JSON object (is this a JSONL log?)")
+    doc = json.loads(path.read_text())
+    if "traceEvents" in doc:
+        return render_trace_summary(load_trace(path), top=top)
+    if "counters" in doc:
+        return render_metrics_summary(load_metrics(path), top=top)
+    raise ValueError(
+        f"{path}: neither a Chrome trace (traceEvents) nor a metrics "
+        "file (counters)"
+    )

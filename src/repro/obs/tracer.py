@@ -1,0 +1,216 @@
+"""Nested span tracer with a strict no-op fast path when disabled.
+
+A :class:`Tracer` records *spans* (timed, nested regions of execution)
+and *events* (instants) into an in-memory buffer that the exporters in
+:mod:`repro.obs.export` turn into Chrome trace-event / Perfetto JSON or
+a JSONL event log.  Usage::
+
+    from repro.obs import trace
+
+    with trace.span("run_layer", layer=layer.name):
+        ...
+    trace.event("retry", attempt=2)
+
+Design constraints, in priority order:
+
+* **Disabled is free.**  The default-constructed tracer is disabled;
+  ``span()`` then returns a shared singleton whose ``__enter__`` /
+  ``__exit__`` do nothing, and ``event()`` returns immediately.  The
+  only per-call cost on the hot path is one attribute check.
+* **Nesting is exact.**  Spans form a stack per thread; each finished
+  span knows its depth and its *self time* (duration minus the summed
+  duration of its direct children), which is what ``repro stats`` ranks
+  by.
+* **Thread-tolerant.**  The robust executor runs points on worker
+  threads when a timeout is set; span stacks are thread-local and the
+  record buffer is guarded by a lock taken only at span exit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Phase tags, following the Chrome trace-event format.
+PHASE_COMPLETE = "X"  # a span with a duration
+PHASE_INSTANT = "i"   # a point-in-time event
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span (or instant event) as recorded by the tracer.
+
+    Timestamps are ``time.perf_counter_ns()`` values relative to the
+    tracer's epoch, so they start near zero and are monotonic within a
+    run.
+    """
+
+    name: str
+    category: str
+    start_ns: int
+    duration_ns: int
+    self_ns: int
+    thread_id: int
+    depth: int
+    phase: str = PHASE_COMPLETE
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class _NullSpan:
+    """The shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+#: Singleton no-op span: the entire cost of a disabled ``with`` block.
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span; records itself on the owning tracer at exit."""
+
+    __slots__ = ("_tracer", "name", "category", "args", "start_ns",
+                 "_child_ns", "_parent", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, args: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.args = args
+        self.start_ns = 0
+        self._child_ns = 0
+        self._parent: Optional[_Span] = None
+        self._depth = 0
+
+    def set(self, **attrs: Any) -> "_Span":
+        """Attach extra attributes to this span (chains)."""
+        self.args.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack()
+        self._parent = stack[-1] if stack else None
+        self._depth = len(stack)
+        stack.append(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_ns = time.perf_counter_ns()
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        duration = end_ns - self.start_ns
+        if self._parent is not None:
+            self._parent._child_ns += duration
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        self._tracer._record(
+            SpanRecord(
+                name=self.name,
+                category=self.category,
+                start_ns=self.start_ns - self._tracer.epoch_ns,
+                duration_ns=duration,
+                self_ns=duration - self._child_ns,
+                thread_id=threading.get_ident(),
+                depth=self._depth,
+                phase=PHASE_COMPLETE,
+                args=self.args,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects :class:`SpanRecord` objects for one process run."""
+
+    def __init__(self, enabled: bool = False):
+        self._enabled = enabled
+        self._records: List[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.epoch_ns = time.perf_counter_ns()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def clear(self) -> None:
+        """Drop all recorded spans and restart the epoch."""
+        with self._lock:
+            self._records = []
+        self.epoch_ns = time.perf_counter_ns()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, /, category: str = "repro", **args: Any):
+        """A context manager timing one nested region.
+
+        Disabled tracers return the shared :data:`NULL_SPAN` singleton
+        without allocating anything.
+        """
+        if not self._enabled:
+            return NULL_SPAN
+        return _Span(self, name, category, args)
+
+    def event(self, name: str, /, category: str = "repro", **args: Any) -> None:
+        """Record an instantaneous event at the current nesting depth."""
+        if not self._enabled:
+            return
+        stack = self._stack()
+        self._record(
+            SpanRecord(
+                name=name,
+                category=category,
+                start_ns=time.perf_counter_ns() - self.epoch_ns,
+                duration_ns=0,
+                self_ns=0,
+                thread_id=threading.get_ident(),
+                depth=len(stack),
+                phase=PHASE_INSTANT,
+                args=args,
+            )
+        )
+
+    def records(self) -> List[SpanRecord]:
+        """A snapshot copy of everything recorded so far."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[_Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)

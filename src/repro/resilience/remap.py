@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.analytical.runtime import fold_runtime
 from repro.errors import InvariantError, ResilienceError
 from repro.mapping.dims import OperandMapping
+from repro.obs import metrics, trace
 from repro.resilience.faultmap import Coord, FaultMap, HEALTHY
 from repro.utils.mathutils import split_evenly
 
@@ -202,6 +203,16 @@ def remap_layer(
         assignments=tuple(assignments),
     )
     check_remap_conservation(plan, mapping)
+    if metrics.enabled:
+        metrics.counter("resilience.remap_plans").add()
+        metrics.counter("resilience.remapped_tiles").add(plan.remapped_tiles)
+    if orphans:
+        trace.event(
+            "resilience.remap",
+            grid=f"{grid_rows}x{grid_cols}",
+            dead=len(dead),
+            remapped_tiles=plan.remapped_tiles,
+        )
     return plan
 
 

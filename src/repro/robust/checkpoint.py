@@ -26,6 +26,7 @@ Journal line schema::
 from __future__ import annotations
 
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
@@ -34,7 +35,7 @@ from repro.errors import CheckpointError
 
 
 def _package_version() -> str:
-    from repro import __version__
+    from repro._version import __version__
 
     return __version__
 
@@ -75,6 +76,10 @@ class CheckpointStore:
                     "(CLI: --resume) to continue it, or remove the file"
                 )
             self._load()
+            logging.getLogger("repro.robust.checkpoint").info(
+                "resuming checkpoint %s: %d completed point(s)",
+                self.path, len(self._entries),
+            )
 
     # ------------------------------------------------------------------
     # Reading

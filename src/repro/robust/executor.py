@@ -24,10 +24,13 @@ finished point, which is exactly what resume needs.
 from __future__ import annotations
 
 import concurrent.futures
+import logging
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import CircuitOpenError, PointTimeoutError
+from repro.obs import metrics, trace
+from repro.obs.progress import ProgressSnapshot, ProgressTracker
 from repro.robust.checkpoint import CheckpointStore
 from repro.robust.policy import ExecutionPolicy
 from repro.robust.report import (
@@ -42,6 +45,9 @@ from repro.robust.report import (
 
 #: Default single-attempt, collect-mode policy used when none is given.
 DEFAULT_POLICY = ExecutionPolicy()
+
+logger = logging.getLogger("repro.robust.executor")
+progress_logger = logging.getLogger("repro.obs.progress")
 
 
 def _as_rows(outcome: Union[Dict, Sequence[Dict]]) -> List[Dict]:
@@ -101,11 +107,35 @@ def execute_point(
         try:
             rows = _as_rows(_attempt(fn, params, policy.timeout))
         except Exception as exc:  # noqa: BLE001 - containment is the point
+            if isinstance(exc, PointTimeoutError):
+                metrics.counter("robust.timeouts").add()
+                trace.event("robust.timeout", key=key, attempt=attempt)
             if policy.should_retry(exc, attempt):
+                metrics.counter("robust.retries").add()
+                trace.event(
+                    "robust.retry",
+                    key=key,
+                    attempt=attempt,
+                    error=type(exc).__name__,
+                )
+                logger.debug(
+                    "point %s attempt %d failed (%s: %s); retrying",
+                    key or params, attempt, type(exc).__name__, exc,
+                )
                 delay = policy.backoff_delay(attempt, key=key)
                 if delay:
                     sleep(delay)
                 continue
+            trace.event(
+                "robust.point_failed",
+                key=key,
+                attempts=attempt,
+                error=type(exc).__name__,
+            )
+            logger.warning(
+                "point %s failed after %d attempt(s): %s: %s",
+                key or params, attempt, type(exc).__name__, exc,
+            )
             return PointRecord(
                 params=params,
                 status=STATUS_FAILED,
@@ -131,6 +161,7 @@ def execute_grid(
     checkpoint: Optional[CheckpointStore] = None,
     sleep: Callable[[float], None] = time.sleep,
     clock: Callable[[], float] = time.monotonic,
+    on_progress: Optional[Callable[[ProgressSnapshot], None]] = None,
 ) -> RunReport:
     """Run every point through :func:`execute_point`, with journalling.
 
@@ -141,14 +172,33 @@ def execute_grid(
     * In ``collect`` mode failures are recorded; once ``max_failures``
       of them accumulate, the remaining points are marked ``skipped``
       and a :class:`CircuitOpenError` record stops further execution.
+
+    Progress telemetry: every settled point updates a
+    :class:`~repro.obs.progress.ProgressTracker` whose snapshot (points
+    done/total, rolling throughput, ETA) is logged at INFO under
+    ``repro.obs.progress``, pushed to ``on_progress`` if given, and
+    mirrored into the ``sweep.points_done``/``sweep.points_total``
+    gauges.
     """
     policy = policy or DEFAULT_POLICY
     records: List[PointRecord] = []
     failures = 0
     tripped = False
+    progress = ProgressTracker(len(points), clock=clock)
+    metrics.gauge("sweep.points_total").set(len(points))
+
+    def settle(record: PointRecord) -> None:
+        records.append(record)
+        metrics.counter(f"robust.points_{record.status}").add()
+        snapshot = progress.update()
+        metrics.gauge("sweep.points_done").set(snapshot.done)
+        progress_logger.info("sweep %s [%s]", snapshot.describe(), record.status)
+        if on_progress is not None:
+            on_progress(snapshot)
+
     for index, params in enumerate(points):
         if tripped:
-            records.append(
+            settle(
                 PointRecord(
                     params=params,
                     status=STATUS_SKIPPED,
@@ -162,7 +212,9 @@ def execute_grid(
             continue
         if checkpoint is not None and checkpoint.completed(params):
             entry = checkpoint.get(params)
-            records.append(
+            metrics.counter("robust.checkpoint_replays").add()
+            trace.event("robust.checkpoint_replay", key=checkpoint.key(params))
+            settle(
                 PointRecord(
                     params=params,
                     status=STATUS_CACHED,
@@ -172,10 +224,14 @@ def execute_grid(
             )
             continue
         key = checkpoint.key(params) if checkpoint is not None else str(index)
-        record = execute_point(
-            fn, params, policy=policy, key=key, sleep=sleep, clock=clock
-        )
-        records.append(record)
+        with trace.span("robust.grid_point", key=key):
+            record = execute_point(
+                fn, params, policy=policy, key=key, sleep=sleep, clock=clock
+            )
+        if metrics.enabled:
+            metrics.histogram("robust.point_seconds").observe(record.duration)
+            metrics.counter("robust.point_attempts").add(record.attempts)
+        settle(record)
         if checkpoint is not None:
             checkpoint.record(
                 params,
@@ -196,4 +252,9 @@ def execute_grid(
                 )
             if policy.max_failures is not None and failures >= policy.max_failures:
                 tripped = True
+                logger.warning(
+                    "circuit breaker tripped after %d failure(s); "
+                    "skipping the remaining points", failures,
+                )
+                trace.event("robust.circuit_open", failures=failures)
     return RunReport(records=records)

@@ -84,6 +84,7 @@ class Fault:
     def trigger(self, params: Dict) -> None:
         """Raise this fault's exception (non-corrupt kinds)."""
         self._fired += 1
+        _record_injection(self, params)
         if self.kind == "transient":
             raise (self.exc() if self.exc else InjectedFault(
                 f"injected transient failure #{self._fired} at {_describe(params)}"
@@ -97,6 +98,14 @@ class Fault:
                 f"injected interrupt #{self._fired} at {_describe(params)}"
             )
         raise AssertionError(f"trigger() called for kind {self.kind!r}")
+
+
+def _record_injection(fault: "Fault", params: Dict) -> None:
+    """Account one injected fault in the observability layer."""
+    from repro.obs import metrics, trace
+
+    metrics.counter("robust.faults_injected").add()
+    trace.event("robust.fault_injected", kind=fault.kind, fired=fault.fired)
 
 
 def _describe(params: Dict) -> str:
@@ -163,6 +172,7 @@ def inject_faults(fn: Callable[..., object], *faults: Fault) -> Callable[..., ob
         for fault in corrupting:
             if fault.matches(params):
                 fault._fired += 1
+                _record_injection(fault, params)
                 if isinstance(outcome, dict):
                     outcome = fault.mutate(outcome)
                 else:

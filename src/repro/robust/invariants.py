@@ -27,11 +27,26 @@ from typing import TYPE_CHECKING
 from repro.config.hardware import HardwareConfig
 from repro.errors import InvariantError
 from repro.mapping.dims import map_layer
+from repro.obs import metrics, trace
 from repro.topology.layer import Layer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dataflow.base import DataflowEngine, SramCounts
     from repro.engine.results import LayerResult
+
+
+def _checked(kind: str) -> None:
+    """Account one executed guard check."""
+    if metrics.enabled:
+        metrics.counter("invariant.checks").add()
+        metrics.counter(f"invariant.checks.{kind}").add()
+
+
+def _violation(kind: str, message: str, **attrs: object) -> "InvariantError":
+    """Account one guard failure and build the error to raise."""
+    metrics.counter("invariant.failures").add()
+    trace.event("invariant.violation", kind=kind, **attrs)
+    return InvariantError(message)
 
 
 def expected_cycles(layer: Layer, config: HardwareConfig) -> int:
@@ -65,30 +80,41 @@ def check_cycles(
     The message carries both values so the divergence is diagnosable
     from the exception alone.
     """
+    _checked("cycles")
     predicted = expected_cycles(layer, config)
     measured = result.total_cycles
     if predicted <= 0:
-        raise InvariantError(
-            f"layer {layer.name!r}: analytical model predicts {predicted} cycles"
+        raise _violation(
+            "cycles", f"layer {layer.name!r}: analytical model predicts "
+            f"{predicted} cycles", layer=layer.name,
         )
     divergence = abs(measured - predicted) / predicted
     if divergence > rel_tol:
-        raise InvariantError(
+        raise _violation(
+            "cycles",
             f"layer {layer.name!r}: cycle-accurate result diverges from the "
             f"analytical model (Eq. 1-6): simulated total_cycles={measured}, "
             f"analytical prediction={predicted} "
-            f"(relative divergence {divergence:.4%}, tolerance {rel_tol:.4%})"
+            f"(relative divergence {divergence:.4%}, tolerance {rel_tol:.4%})",
+            layer=layer.name,
+            measured=measured,
+            predicted=predicted,
         )
 
 
 def check_macs(result: "LayerResult", layer: Layer, config: HardwareConfig) -> None:
     """The aggregated MAC count must equal the layer's workload exactly."""
+    _checked("macs")
     mapping = map_layer(layer, config.dataflow)
     predicted = mapping.sr * mapping.sc * mapping.t
     if result.macs != predicted:
-        raise InvariantError(
+        raise _violation(
+            "macs",
             f"layer {layer.name!r}: simulated macs={result.macs} but the "
-            f"mapped workload is S_R*S_C*T={predicted}"
+            f"mapped workload is S_R*S_C*T={predicted}",
+            layer=layer.name,
+            measured=result.macs,
+            predicted=predicted,
         )
 
 
@@ -99,6 +125,7 @@ def check_trace_conservation(engine: "DataflowEngine") -> None:
     compares against :meth:`layer_counts` — the two views of the same
     execution must conserve every read and write.
     """
+    _checked("trace_conservation")
     counts = engine.layer_counts()
     ifmap = filter_ = ofmap = 0
     for fold in engine.plan.folds():
@@ -116,9 +143,10 @@ def check_trace_conservation(engine: "DataflowEngine") -> None:
         if traced != demanded
     ]
     if mismatches:
-        raise InvariantError(
+        raise _violation(
+            "trace_conservation",
             "SRAM traffic not conserved between count and demand views: "
-            + "; ".join(mismatches)
+            + "; ".join(mismatches),
         )
 
 
@@ -131,14 +159,19 @@ def check_layer_result(
     """Run every result-level guard; returns ``result`` for chaining."""
     check_cycles(result, layer, config, rel_tol=rel_tol)
     check_macs(result, layer, config)
+    _checked("utilization")
     if not 0.0 < result.mapping_utilization <= 1.0 + 1e-9:
-        raise InvariantError(
+        raise _violation(
+            "utilization",
             f"layer {layer.name!r}: mapping_utilization="
-            f"{result.mapping_utilization} outside (0, 1]"
+            f"{result.mapping_utilization} outside (0, 1]",
+            layer=layer.name,
         )
     if result.compute_utilization > 1.0 + 1e-9:
-        raise InvariantError(
+        raise _violation(
+            "utilization",
             f"layer {layer.name!r}: compute_utilization="
-            f"{result.compute_utilization} exceeds 1"
+            f"{result.compute_utilization} exceeds 1",
+            layer=layer.name,
         )
     return result

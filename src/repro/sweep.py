@@ -30,6 +30,7 @@ import itertools
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.progress import ProgressSnapshot
 from repro.robust.checkpoint import CheckpointStore
 from repro.robust.executor import execute_grid
 from repro.robust.policy import ExecutionPolicy
@@ -72,6 +73,7 @@ def run_sweep_report(
     skip_errors: bool = False,
     policy: Optional[ExecutionPolicy] = None,
     checkpoint: Optional[Union[str, Path, CheckpointStore]] = None,
+    on_progress: Optional[Callable[[ProgressSnapshot], None]] = None,
     **grid: Sequence,
 ) -> Tuple[List[Dict], RunReport]:
     """Like :func:`run_sweep` but also returns the per-point report.
@@ -81,6 +83,11 @@ def run_sweep_report(
     ``policy``), a point that exhausts its retries contributes one row
     with stable ``status`` and ``error`` columns instead of aborting the
     sweep.  The report accounts for every grid point regardless.
+
+    ``on_progress`` receives one
+    :class:`~repro.obs.progress.ProgressSnapshot` per settled point
+    (done/total, rolling throughput, ETA); the same telemetry is always
+    logged at INFO under ``repro.obs.progress``.
     """
     points = grid_points(**grid)
     if policy is None:
@@ -89,7 +96,13 @@ def run_sweep_report(
         raise ValueError("skip_errors=True conflicts with a fail_fast policy")
     if isinstance(checkpoint, (str, Path)):
         checkpoint = CheckpointStore(checkpoint)
-    report = execute_grid(_checked(fn), points, policy=policy, checkpoint=checkpoint)
+    report = execute_grid(
+        _checked(fn),
+        points,
+        policy=policy,
+        checkpoint=checkpoint,
+        on_progress=on_progress,
+    )
     return report.rows(), report
 
 

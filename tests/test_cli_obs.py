@@ -1,0 +1,180 @@
+"""CLI observability: --version, --trace/--metrics, stats, exit codes."""
+
+import json
+import logging
+
+import pytest
+
+from repro import obs
+from repro._version import __version__
+from repro.cli import EXIT_CODES, EXIT_FAILURE, EXIT_INCOMPLETE, main
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+    logging.getLogger("repro").setLevel(logging.WARNING)
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_dunder_version(self):
+        import repro
+
+        assert repro.__version__ == __version__
+
+
+class TestTraceAndMetricsFlags:
+    def test_run_writes_valid_chrome_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.trace.json"
+        code = main([
+            "--trace", str(trace_path),
+            "run", "--workload", "NCF0", "--array", "8x8",
+        ])
+        assert code == 0
+        doc = json.loads(trace_path.read_text())
+        assert "traceEvents" in doc
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert spans, "trace must contain at least one complete event"
+        for event in spans:
+            assert {"name", "ph", "ts", "dur"} <= set(event)
+        names = {e["name"] for e in spans}
+        assert "engine.run_layer" in names
+        # header attributes the run
+        assert doc["metadata"]["version"] == __version__
+        assert doc["metadata"]["config_hash"]
+        assert doc["metadata"]["command"] == "run"
+
+    def test_run_writes_metrics_snapshot(self, tmp_path, capsys):
+        metrics_path = tmp_path / "run.metrics.json"
+        code = main([
+            "--metrics", str(metrics_path),
+            "run", "--workload", "NCF0", "--array", "8x8",
+        ])
+        assert code == 0
+        doc = json.loads(metrics_path.read_text())
+        assert doc["counters"]["sim.layers"] == 1
+        assert doc["counters"]["sim.cycles"] > 0
+        assert doc["metadata"]["config_hash"]
+
+    def test_events_jsonl(self, tmp_path, capsys):
+        events_path = tmp_path / "run.events.jsonl"
+        code = main([
+            "--events", str(events_path),
+            "run", "--workload", "NCF0", "--array", "8x8",
+        ])
+        assert code == 0
+        lines = [json.loads(line) for line in events_path.read_text().splitlines()]
+        assert lines[0]["type"] == "header"
+        assert any(line["type"] == "span" for line in lines[1:])
+
+    def test_flags_off_leaves_singletons_disabled(self, capsys):
+        assert main(["run", "--workload", "NCF0", "--array", "8x8"]) == 0
+        assert not obs.trace.enabled
+        assert not obs.metrics.enabled
+        assert len(obs.trace.records()) == 0
+
+    def test_trace_written_even_when_command_fails(self, tmp_path, capsys):
+        trace_path = tmp_path / "fail.trace.json"
+        code = main([
+            "--trace", str(trace_path),
+            "run", "--workload", "NCF0", "--array", "8x8",
+            "--faults", "partition:0",  # 1x1 grid: killing it is fatal
+        ])
+        assert code != 0
+        assert trace_path.exists()
+        json.loads(trace_path.read_text())
+
+
+class TestStatsCommand:
+    def test_stats_on_recorded_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        assert main([
+            "--trace", str(trace_path),
+            "run", "--workload", "NCF0", "--array", "8x8",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine.run_layer" in out
+        assert "self" in out  # ranked by self-time
+
+    def test_stats_on_recorded_metrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        assert main([
+            "--metrics", str(metrics_path),
+            "run", "--workload", "NCF0", "--array", "8x8",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sim.cycles" in out
+
+    def test_stats_missing_file_is_config_error(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "nope.json")])
+        assert code == 2  # ConfigError
+        assert "error:" in capsys.readouterr().err
+
+    def test_stats_wrong_format_is_config_error(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"rows": []}))
+        assert main(["stats", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestIncompleteExit:
+    def test_incomplete_sweep_returns_distinct_code(self, capsys):
+        code = main([
+            "resilience", "--layer", "TF0", "--macs", "1024",
+            "--partitions", "4", "--dead", "0,99", "--max-failures", "2",
+        ])
+        assert code == EXIT_INCOMPLETE
+        assert EXIT_INCOMPLETE not in (0, EXIT_FAILURE)
+        assert EXIT_INCOMPLETE not in {c for _, c in EXIT_CODES}
+
+    def test_complete_sweep_returns_zero(self, capsys):
+        assert main([
+            "resilience", "--layer", "TF0", "--macs", "1024",
+            "--partitions", "4", "--dead", "0,1",
+        ]) == 0
+
+
+class TestLoggingFlags:
+    def test_warning_is_default_threshold(self, capsys):
+        assert main(["workloads"]) == 0
+        assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_verbose_enables_progress_logs(self, capsys):
+        code = main([
+            "-v", "resilience", "--layer", "TF0", "--macs", "1024",
+            "--partitions", "4", "--dead", "0,1",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "sweep 1/2" in err
+        assert "sweep 2/2" in err
+
+    def test_log_level_flag_overrides(self, capsys):
+        assert main(["--log-level", "debug", "workloads"]) == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+
+    def test_tables_stay_on_stdout(self, capsys):
+        assert main([
+            "-v", "resilience", "--layer", "TF0", "--macs", "1024",
+            "--partitions", "4", "--dead", "0",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "slowdown" in captured.out
+        assert "slowdown" not in captured.err
+
+    def test_validate_keeps_its_own_verbose_flag(self, capsys):
+        assert main(["validate", "--trials", "1", "-v"]) == 0
+        # the subcommand's own -v (print every comparison) still works
+        assert "[PASS]" in capsys.readouterr().out

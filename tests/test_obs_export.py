@@ -1,0 +1,127 @@
+"""Export round-trips: Chrome trace-event JSON, metrics JSON, JSONL log."""
+
+import json
+
+import pytest
+
+from repro._version import __version__
+from repro.obs.export import (
+    chrome_trace_events,
+    config_hash,
+    load_metrics,
+    load_trace,
+    run_metadata,
+    write_chrome_trace,
+    write_event_jsonl,
+    write_metrics_json,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def _traced() -> Tracer:
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer", layer="TF0"):
+        with tracer.span("inner"):
+            pass
+        tracer.event("mark", attempt=1)
+    return tracer
+
+
+def test_config_hash_is_deterministic_and_order_insensitive():
+    a = config_hash({"x": 1, "y": 2})
+    b = config_hash({"y": 2, "x": 1})
+    assert a == b
+    assert len(a) == 16
+    assert a != config_hash({"x": 1, "y": 3})
+
+
+def test_run_metadata_carries_version_and_digest():
+    meta = run_metadata(config_digest="abc123", extra={"command": "run"})
+    assert meta["tool"] == "scalesim-repro"
+    assert meta["version"] == __version__
+    assert meta["config_hash"] == "abc123"
+    assert meta["command"] == "run"
+    assert meta["created_unix"] > 0
+
+
+def test_chrome_trace_events_schema():
+    events = chrome_trace_events(_traced())
+    assert len(events) == 3
+    # time-ordered
+    assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+    spans = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(spans) == 2 and len(instants) == 1
+    for event in spans:
+        assert {"name", "cat", "ph", "ts", "pid", "tid", "dur", "args"} <= set(event)
+        assert event["dur"] >= 0
+        assert "self_us" in event["args"]
+    assert instants[0]["s"] == "t"
+    assert instants[0]["args"]["attempt"] == 1
+
+
+def test_write_chrome_trace_round_trip(tmp_path):
+    path = write_chrome_trace(
+        _traced(), tmp_path / "trace.json",
+        metadata=run_metadata(config_digest="deadbeef"),
+    )
+    doc = json.loads(path.read_text())  # plain json.load must work
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["metadata"]["version"] == __version__
+    assert doc["metadata"]["config_hash"] == "deadbeef"
+    loaded = load_trace(path)
+    assert len(loaded["traceEvents"]) == 3
+
+
+def test_write_metrics_json_round_trip(tmp_path):
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("sim.cycles").add(100)
+    registry.gauge("sweep.points_done").set(3)
+    registry.histogram("lat").observe(2.5)
+    path = write_metrics_json(registry, tmp_path / "metrics.json")
+    doc = load_metrics(path)
+    assert doc["counters"]["sim.cycles"] == 100
+    assert doc["gauges"]["sweep.points_done"] == 3
+    assert doc["histograms"]["lat"]["count"] == 1
+    assert doc["metadata"]["version"] == __version__
+
+
+def test_write_event_jsonl_header_first(tmp_path):
+    path = write_event_jsonl(
+        _traced(), tmp_path / "events.jsonl",
+        metadata=run_metadata(config_digest="cafe"),
+    )
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines[0]["type"] == "header"
+    assert lines[0]["config_hash"] == "cafe"
+    kinds = [line["type"] for line in lines[1:]]
+    assert sorted(kinds) == ["event", "span", "span"]
+    span = next(line for line in lines[1:] if line["name"] == "outer")
+    assert span["args"]["layer"] == "TF0"
+    assert span["dur_us"] >= span["self_us"] >= 0
+
+
+def test_load_trace_rejects_wrong_shape(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"counters": {}}))
+    with pytest.raises(ValueError, match="traceEvents"):
+        load_trace(bad)
+
+
+def test_load_metrics_rejects_wrong_shape(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"traceEvents": []}))
+    with pytest.raises(ValueError, match="counters"):
+        load_metrics(bad)
+
+
+def test_non_json_serializable_args_fall_back_to_repr(tmp_path):
+    tracer = Tracer(enabled=True)
+    with tracer.span("work", shape=(8, 8), obj=object()):
+        pass
+    path = write_chrome_trace(tracer, tmp_path / "trace.json")
+    doc = load_trace(path)  # must still be valid JSON
+    args = doc["traceEvents"][0]["args"]
+    assert args["shape"] == [8, 8]
+    assert "object" in args["obj"]

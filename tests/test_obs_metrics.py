@@ -1,0 +1,123 @@
+"""Metrics registry: counters, gauges, histogram percentiles, no-op path."""
+
+import pytest
+
+from repro.obs.metrics import (
+    HISTOGRAM_SAMPLE_CAP,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+
+
+def test_disabled_registry_returns_null_singletons():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is NULL_COUNTER
+    assert registry.gauge("b") is NULL_GAUGE
+    assert registry.histogram("c") is NULL_HISTOGRAM
+    # nulls absorb writes without creating instruments
+    registry.counter("a").add(5)
+    registry.gauge("b").set(1)
+    registry.histogram("c").observe(2.0)
+    snap = registry.snapshot()
+    assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_counter_accumulates_and_defaults_to_one():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("hits").add()
+    registry.counter("hits").add(41)
+    assert registry.snapshot()["counters"]["hits"] == 42
+
+
+def test_gauge_last_write_wins():
+    registry = MetricsRegistry(enabled=True)
+    registry.gauge("done").set(3)
+    registry.gauge("done").set(7)
+    assert registry.snapshot()["gauges"]["done"] == 7
+
+
+def test_instruments_are_get_or_create_by_name():
+    registry = MetricsRegistry(enabled=True)
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.counter("x") is not registry.counter("y")
+
+
+def test_histogram_exact_moments():
+    hist = Histogram("lat")
+    for value in [1, 2, 3, 4, 5]:
+        hist.observe(value)
+    assert hist.count == 5
+    assert hist.total == 15
+    assert hist.min == 1
+    assert hist.max == 5
+    assert hist.mean == 3.0
+
+
+def test_histogram_percentiles_interpolate():
+    hist = Histogram("lat")
+    for value in range(1, 101):  # 1..100
+        hist.observe(value)
+    assert hist.percentile(0) == 1.0
+    assert hist.percentile(100) == 100.0
+    assert hist.percentile(50) == pytest.approx(50.5)
+    assert hist.percentile(90) == pytest.approx(90.1)
+
+
+def test_histogram_percentile_validation():
+    hist = Histogram("lat")
+    assert hist.percentile(50) is None  # empty
+    hist.observe(1)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_histogram_thinning_bounds_memory():
+    hist = Histogram("lat")
+    for value in range(3 * HISTOGRAM_SAMPLE_CAP):
+        hist.observe(value)
+    assert hist.count == 3 * HISTOGRAM_SAMPLE_CAP
+    assert len(hist._sample) < HISTOGRAM_SAMPLE_CAP
+    # sample spans the stream, not just its head
+    assert max(hist._sample) > 2 * HISTOGRAM_SAMPLE_CAP
+    # moments stay exact despite sampling
+    assert hist.max == 3 * HISTOGRAM_SAMPLE_CAP - 1
+    p50 = hist.percentile(50)
+    assert p50 == pytest.approx(1.5 * HISTOGRAM_SAMPLE_CAP, rel=0.05)
+
+
+def test_histogram_snapshot_keys():
+    hist = Histogram("lat")
+    hist.observe(10)
+    snap = hist.snapshot()
+    assert set(snap) == {"count", "sum", "min", "max", "mean", "p50", "p90", "p99"}
+    assert snap["count"] == 1
+    assert snap["p50"] == 10.0
+
+
+def test_registry_snapshot_is_sorted_and_json_shaped():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("b").add()
+    registry.counter("a").add()
+    registry.histogram("h").observe(1.0)
+    snap = registry.snapshot()
+    assert list(snap["counters"]) == ["a", "b"]
+    assert snap["histograms"]["h"]["count"] == 1
+
+
+def test_clear_resets_instruments():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("x").add(9)
+    registry.clear()
+    assert registry.snapshot()["counters"] == {}
+
+
+def test_handles_must_not_cache_across_enable_boundary():
+    registry = MetricsRegistry()
+    stale = registry.counter("x")
+    registry.enable()
+    assert stale is NULL_COUNTER
+    registry.counter("x").add()
+    assert registry.snapshot()["counters"]["x"] == 1

@@ -1,0 +1,101 @@
+"""Progress telemetry with an injected clock: throughput, ETA, describe."""
+
+import pytest
+
+from repro.obs.progress import ProgressSnapshot, ProgressTracker
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ProgressTracker(-1)
+    with pytest.raises(ValueError):
+        ProgressTracker(10, window=1)
+
+
+def test_initial_snapshot_is_empty():
+    clock = FakeClock()
+    tracker = ProgressTracker(10, clock=clock)
+    snap = tracker.snapshot()
+    assert snap.done == 0
+    assert snap.total == 10
+    assert snap.throughput is None
+    assert snap.eta is None
+    assert snap.fraction == 0.0
+
+
+def test_steady_rate_throughput_and_eta():
+    clock = FakeClock()
+    tracker = ProgressTracker(10, clock=clock)
+    for _ in range(4):  # one point every 2 s
+        clock.advance(2.0)
+        snap = tracker.update()
+    assert snap.done == 4
+    assert snap.throughput == pytest.approx(0.5)
+    assert snap.eta == pytest.approx(12.0)  # 6 remaining / 0.5 pt/s
+    assert snap.elapsed == pytest.approx(8.0)
+
+
+def test_rolling_window_tracks_recent_rate():
+    clock = FakeClock()
+    tracker = ProgressTracker(100, clock=clock, window=4)
+    for _ in range(4):  # slow phase: 10 s per point
+        clock.advance(10.0)
+        tracker.update()
+    for _ in range(4):  # fast phase: 1 s per point
+        clock.advance(1.0)
+        snap = tracker.update()
+    # the window only sees the fast phase
+    assert snap.throughput == pytest.approx(1.0)
+
+
+def test_single_point_falls_back_to_overall_rate():
+    clock = FakeClock()
+    tracker = ProgressTracker(4, clock=clock)
+    clock.advance(2.0)
+    snap = tracker.update()
+    assert snap.throughput == pytest.approx(0.5)
+    assert snap.eta == pytest.approx(6.0)
+
+
+def test_fraction_complete_and_empty_batch():
+    clock = FakeClock()
+    tracker = ProgressTracker(2, clock=clock)
+    clock.advance(1.0)
+    tracker.update()
+    clock.advance(1.0)
+    snap = tracker.update()
+    assert snap.fraction == 1.0
+    assert snap.eta == pytest.approx(0.0)
+    assert ProgressSnapshot(0, 0, 0.0, None, None).fraction == 1.0
+
+
+def test_describe_format():
+    snap = ProgressSnapshot(done=12, total=100, elapsed=3.5,
+                            throughput=3.4, eta=25.9)
+    text = snap.describe()
+    assert "12/100" in text
+    assert "12.0%" in text
+    assert "3.40 pt/s" in text
+    assert "eta 26s" in text
+    # unknown throughput omits the rate and eta parts
+    bare = ProgressSnapshot(0, 100, 0.0, None, None).describe()
+    assert "pt/s" not in bare and "eta" not in bare
+
+
+def test_batch_update_counts_n():
+    clock = FakeClock()
+    tracker = ProgressTracker(10, clock=clock)
+    clock.advance(1.0)
+    snap = tracker.update(n=3)
+    assert snap.done == 3

@@ -1,0 +1,119 @@
+"""Trace/metrics summarization behind the ``repro stats`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.obs.export import write_chrome_trace, write_metrics_json
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stats import (
+    render_metrics_summary,
+    render_trace_summary,
+    summarize_file,
+    trace_event_counts,
+    trace_span_stats,
+)
+from repro.obs.tracer import Tracer
+
+
+def _trace_doc():
+    return {
+        "traceEvents": [
+            {"name": "outer", "ph": "X", "ts": 0.0, "dur": 100.0,
+             "args": {"self_us": 10.0}},
+            {"name": "inner", "ph": "X", "ts": 5.0, "dur": 90.0,
+             "args": {"self_us": 90.0}},
+            {"name": "outer", "ph": "X", "ts": 200.0, "dur": 50.0,
+             "args": {"self_us": 50.0}},
+            {"name": "retry", "ph": "i", "ts": 20.0, "s": "t", "args": {}},
+            {"name": "retry", "ph": "i", "ts": 30.0, "s": "t", "args": {}},
+        ],
+        "metadata": {"tool": "scalesim-repro", "version": "1.0.0",
+                     "config_hash": "abc"},
+    }
+
+
+def test_span_stats_aggregate_and_rank_by_self_time():
+    stats = trace_span_stats(_trace_doc())
+    assert [s.name for s in stats] == ["inner", "outer"]
+    outer = stats[1]
+    assert outer.count == 2
+    assert outer.total_us == pytest.approx(150.0)
+    assert outer.self_us == pytest.approx(60.0)
+    assert outer.max_us == pytest.approx(100.0)
+    assert outer.avg_us == pytest.approx(75.0)
+
+
+def test_span_stats_default_self_to_duration():
+    doc = {"traceEvents": [{"name": "bare", "ph": "X", "ts": 0.0, "dur": 7.0}]}
+    (stat,) = trace_span_stats(doc)
+    assert stat.self_us == pytest.approx(7.0)
+
+
+def test_event_counts():
+    assert trace_event_counts(_trace_doc()) == {"retry": 2}
+
+
+def test_render_trace_summary_contents():
+    text = render_trace_summary(_trace_doc())
+    assert "scalesim-repro 1.0.0" in text
+    assert "config abc" in text
+    assert "3 spans" in text
+    assert "2 distinct names" in text
+    assert "retry=2" in text
+    # ranked: inner (90us self) above outer (60us self)
+    assert text.index("inner") < text.index("outer")
+
+
+def test_render_trace_summary_respects_top():
+    text = render_trace_summary(_trace_doc(), top=1)
+    assert "inner" in text
+    lines = [line for line in text.splitlines() if line.startswith("outer")]
+    assert not lines
+
+
+def test_render_metrics_summary_contents():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("sim.cycles").add(12345)
+    registry.gauge("sweep.points_done").set(4)
+    for value in range(100):
+        registry.histogram("dram.request_latency").observe(value)
+    doc = {"metadata": {"tool": "scalesim-repro", "version": "1.0.0",
+                        "config_hash": None},
+           **registry.snapshot()}
+    text = render_metrics_summary(doc)
+    assert "unhashed" in text
+    assert "sim.cycles" in text and "12345" in text
+    assert "sweep.points_done" in text
+    assert "dram.request_latency" in text
+    assert "p50" in text and "p99" in text
+
+
+def test_render_metrics_summary_empty():
+    assert "(no metrics recorded)" in render_metrics_summary({"counters": {}})
+
+
+def test_summarize_file_sniffs_both_formats(tmp_path):
+    tracer = Tracer(enabled=True)
+    with tracer.span("work"):
+        pass
+    trace_path = write_chrome_trace(tracer, tmp_path / "t.json")
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("x").add()
+    metrics_path = write_metrics_json(registry, tmp_path / "m.json")
+    assert "spans" in summarize_file(trace_path)
+    assert "counter" in summarize_file(metrics_path)
+
+
+def test_summarize_file_rejects_unknown_json(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"rows": []}))
+    with pytest.raises(ValueError, match="neither"):
+        summarize_file(path)
+
+
+def test_summarize_file_rejects_jsonl(tmp_path):
+    path = tmp_path / "log.jsonl"
+    path.write_text('["not", "an", "object"]\n')
+    with pytest.raises(ValueError, match="JSON object"):
+        summarize_file(path)

@@ -1,0 +1,149 @@
+"""Span tracer: nesting, self-time, disabled no-op fast path."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_SPAN,
+    PHASE_COMPLETE,
+    PHASE_INSTANT,
+    SpanRecord,
+    Tracer,
+)
+
+
+def test_disabled_tracer_returns_null_span_singleton():
+    tracer = Tracer()
+    assert not tracer.enabled
+    assert tracer.span("anything", key="value") is NULL_SPAN
+    # the singleton is reusable and inert
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    tracer.event("nothing")
+    assert len(tracer) == 0
+
+
+def test_null_span_set_chains_and_does_nothing():
+    assert NULL_SPAN.set(a=1) is NULL_SPAN
+
+
+def test_span_records_name_category_and_args():
+    tracer = Tracer(enabled=True)
+    with tracer.span("work", category="test", layer="TF0"):
+        pass
+    (record,) = tracer.records()
+    assert record.name == "work"
+    assert record.category == "test"
+    assert record.args["layer"] == "TF0"
+    assert record.phase == PHASE_COMPLETE
+    assert record.duration_ns >= 0
+    assert record.depth == 0
+
+
+def test_nesting_depth_and_order():
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer"):
+        with tracer.span("middle"):
+            with tracer.span("inner"):
+                pass
+    records = {r.name: r for r in tracer.records()}
+    assert records["outer"].depth == 0
+    assert records["middle"].depth == 1
+    assert records["inner"].depth == 2
+    # children finish (and record) before their parents
+    names = [r.name for r in tracer.records()]
+    assert names == ["inner", "middle", "outer"]
+
+
+def test_self_time_excludes_direct_children():
+    tracer = Tracer(enabled=True)
+    with tracer.span("parent"):
+        with tracer.span("child_a"):
+            pass
+        with tracer.span("child_b"):
+            pass
+    records = {r.name: r for r in tracer.records()}
+    parent = records["parent"]
+    child_total = records["child_a"].duration_ns + records["child_b"].duration_ns
+    assert parent.self_ns == parent.duration_ns - child_total
+    assert 0 <= parent.self_ns <= parent.duration_ns
+    # leaves have self == duration
+    assert records["child_a"].self_ns == records["child_a"].duration_ns
+
+
+def test_exception_annotates_span_and_propagates():
+    tracer = Tracer(enabled=True)
+    with pytest.raises(ValueError):
+        with tracer.span("failing"):
+            raise ValueError("boom")
+    (record,) = tracer.records()
+    assert record.args["error"] == "ValueError"
+
+
+def test_event_records_instant_at_current_depth():
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer"):
+        tracer.event("ping", attempt=2)
+    event = [r for r in tracer.records() if r.phase == PHASE_INSTANT][0]
+    assert event.name == "ping"
+    assert event.args == {"attempt": 2}
+    assert event.depth == 1
+    assert event.duration_ns == 0
+
+
+def test_set_attaches_attributes_mid_span():
+    tracer = Tracer(enabled=True)
+    with tracer.span("work") as span:
+        span.set(rows=8, cols=8)
+    (record,) = tracer.records()
+    assert record.args == {"rows": 8, "cols": 8}
+
+
+def test_clear_drops_records_and_restarts_epoch():
+    tracer = Tracer(enabled=True)
+    with tracer.span("one"):
+        pass
+    assert len(tracer) == 1
+    tracer.clear()
+    assert len(tracer) == 0
+    with tracer.span("two"):
+        pass
+    (record,) = tracer.records()
+    # epoch restarted: timestamps stay near zero
+    assert record.start_ns >= 0
+
+
+def test_spans_are_thread_local():
+    tracer = Tracer(enabled=True)
+    done = threading.Event()
+
+    def worker():
+        with tracer.span("worker_span"):
+            pass
+        done.set()
+
+    with tracer.span("main_span"):
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    assert done.is_set()
+    records = {r.name: r for r in tracer.records()}
+    # the worker's span must not see main's stack as its parent
+    assert records["worker_span"].depth == 0
+    assert records["worker_span"].thread_id != records["main_span"].thread_id
+
+
+def test_records_returns_snapshot_copy():
+    tracer = Tracer(enabled=True)
+    with tracer.span("a"):
+        pass
+    snap = tracer.records()
+    snap.append(
+        SpanRecord(
+            name="fake", category="x", start_ns=0, duration_ns=0,
+            self_ns=0, thread_id=0, depth=0,
+        )
+    )
+    assert len(tracer) == 1
