@@ -29,6 +29,7 @@ to stdout; diagnostics go to stderr).
 from __future__ import annotations
 
 import argparse
+import functools
 import logging
 import sys
 from pathlib import Path
@@ -122,6 +123,10 @@ def _add_robust_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--retries", type=int, default=0, metavar="N",
         help="retries per failing point, with exponential backoff (default 0)",
+    )
+    sub.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="evaluate grid points on N worker processes (default 1: serial)",
     )
 
 
@@ -311,6 +316,21 @@ def _resolve_layer(args: argparse.Namespace):
     return network[args.layer]
 
 
+def _sweep_measure(partitions: int, layer=None, macs: int = 0) -> dict:
+    """One partition-sweep point; module-level so worker processes can
+    unpickle it (closures cannot cross the process boundary)."""
+    grid = _square_grid(partitions)
+    shape = _square_grid(macs // partitions)
+    config = paper_scaling_config(shape[0], shape[1], grid[0], grid[1])
+    result = ScaleOutSimulator(config).run_layer(layer)
+    return {
+        "array": f"{shape[0]}x{shape[1]}",
+        "cycles": result.total_cycles,
+        "avg_bw": round(result.avg_total_bw, 3),
+        "peak_bw": round(result.peak_total_bw, 3),
+    }
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if not is_power_of_two(args.macs):
         raise SystemExit("--macs must be a power of two for the sweep")
@@ -329,22 +349,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not counts:
         return 0
 
-    def measure(partitions: int) -> dict:
-        grid = _square_grid(partitions)
-        shape = _square_grid(args.macs // partitions)
-        config = paper_scaling_config(shape[0], shape[1], grid[0], grid[1])
-        result = ScaleOutSimulator(config).run_layer(layer)
-        return {
-            "array": f"{shape[0]}x{shape[1]}",
-            "cycles": result.total_cycles,
-            "avg_bw": round(result.avg_total_bw, 3),
-            "peak_bw": round(result.peak_total_bw, 3),
-        }
-
     rows, report = run_sweep_report(
-        measure,
+        functools.partial(_sweep_measure, layer=layer, macs=args.macs),
         policy=_robust_policy(args),
         checkpoint=_robust_checkpoint(args),
+        workers=args.workers,
         partitions=counts,
     )
     for row in rows:
@@ -362,10 +371,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_resilience(args: argparse.Namespace) -> int:
-    """Degraded-mode sweep: runtime/traffic as partitions fail."""
+def _resilience_measure(
+    dead: int,
+    layer=None,
+    macs: int = 0,
+    partitions: int = 16,
+    seed: int = 0,
+    fault_map=None,
+) -> List[dict]:
+    """One degradation-sweep point; module-level for picklability."""
     from repro.experiments.resilience import degradation_sweep
 
+    rows = degradation_sweep(
+        layer,
+        total_macs=macs,
+        partitions=partitions,
+        dead_counts=[dead],
+        seed=seed,
+        fault_map=fault_map,
+    )
+    # The sweep axis re-adds the dead count to every row.
+    return [{k: v for k, v in row.items() if k != "dead"} for row in rows]
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    """Degraded-mode sweep: runtime/traffic as partitions fail."""
     if not is_power_of_two(args.macs):
         raise SystemExit("--macs must be a power of two for the sweep")
     layer = _resolve_layer(args)
@@ -378,22 +408,18 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         except ValueError:
             raise SystemExit(f"invalid --dead {args.dead!r}; expected e.g. 0,1,2,4") from None
 
-    def measure(dead: int) -> List[dict]:
-        rows = degradation_sweep(
-            layer,
-            total_macs=args.macs,
+    rows, report = run_sweep_report(
+        functools.partial(
+            _resilience_measure,
+            layer=layer,
+            macs=args.macs,
             partitions=args.partitions,
-            dead_counts=[dead],
             seed=args.seed,
             fault_map=fault_map,
-        )
-        # The sweep axis re-adds the dead count to every row.
-        return [{k: v for k, v in row.items() if k != "dead"} for row in rows]
-
-    rows, report = run_sweep_report(
-        measure,
+        ),
         policy=_robust_policy(args),
         checkpoint=_robust_checkpoint(args),
+        workers=args.workers,
         dead=dead_counts,
     )
     print(
@@ -487,9 +513,16 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _reproduce_measure(experiment: str):
+    """One experiment evaluation; module-level for picklability."""
+    from repro.experiments import run_experiment
+
+    return run_experiment(experiment)
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     """Regenerate one of the paper's tables/figures and print its rows."""
-    from repro.experiments import available_experiments, run_experiment
+    from repro.experiments import available_experiments
 
     if args.list or not args.experiment:
         print("experiments: " + ", ".join(available_experiments()))
@@ -501,9 +534,10 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             f"available: {available_experiments()}"
         )
     rows, report = run_sweep_report(
-        lambda experiment: run_experiment(experiment),
+        _reproduce_measure,
         policy=_robust_policy(args),
         checkpoint=_robust_checkpoint(args),
+        workers=args.workers,
         experiment=[name],
     )
     if report.failed:
@@ -551,6 +585,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--events", metavar="FILE",
         help="append a JSONL structured event log to FILE",
+    )
+    parser.add_argument(
+        "--no-cache", dest="no_cache", action="store_true",
+        help="disable the in-process simulation result cache",
     )
     parser.add_argument(
         "--log-level", dest="log_level",
@@ -689,6 +727,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     obs.configure_logging(level=args.log_level, verbosity=args.verbosity)
+    if args.no_cache:
+        from repro.perf import cache
+
+        cache.disable()
     sinks_requested = bool(args.trace or args.metrics or args.events)
     if sinks_requested:
         vector = list(argv) if argv is not None else list(sys.argv[1:])

@@ -65,6 +65,19 @@ class SramCounts:
             ofmap_writes=self.ofmap_writes + other.ofmap_writes,
         )
 
+    def __mul__(self, count: int) -> "SramCounts":
+        if not isinstance(count, int) or isinstance(count, bool):
+            return NotImplemented
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return SramCounts(
+            ifmap_reads=self.ifmap_reads * count,
+            filter_reads=self.filter_reads * count,
+            ofmap_writes=self.ofmap_writes * count,
+        )
+
+    __rmul__ = __mul__
+
     @property
     def total_reads(self) -> int:
         return self.ifmap_reads + self.filter_reads
@@ -178,6 +191,21 @@ class DataflowEngine(abc.ABC):
     #: Which dataflow this engine implements; set by subclasses.
     dataflow: Dataflow
 
+    #: Whether per-fold timing and SRAM counts depend only on the fold's
+    #: ``(rows, cols)`` shape.  True for all Eq. 3 dataflows, which lets
+    #: layer aggregates be computed from the <=4 fold shape classes
+    #: instead of iterating all F_R x F_C folds.  Subclasses whose
+    #: ``fold_cycles``/``fold_counts`` depend on fold *position* (not
+    #: just shape) must set this False to restore the exhaustive walk.
+    shape_uniform_folds: bool = True
+
+    #: Which fold-grid axis each operand slice is keyed on: "row" (one
+    #: slice per row fold), "col" (one per column fold), or "tile" (one
+    #: per fold).  ``None`` means unknown — the closed-form DRAM-traffic
+    #: path only engages when both are declared.
+    ifmap_slice_axis: str | None = None
+    filter_slice_axis: str | None = None
+
     def __init__(self, m: int, k: int, n: int, array_rows: int, array_cols: int):
         self.m = check_positive_int(m, "m")
         self.k = check_positive_int(k, "k")
@@ -195,7 +223,16 @@ class DataflowEngine(abc.ABC):
         return fold_cycles(fold.rows, fold.cols, self.mapping.t)
 
     def total_cycles(self) -> int:
-        """Layer latency: folds execute back to back (SCALE-Sim v1)."""
+        """Layer latency: folds execute back to back (SCALE-Sim v1).
+
+        When fold latency depends only on fold shape (Eq. 3 does), the
+        sum collapses to the <=4 shape classes weighted by multiplicity.
+        """
+        if self.shape_uniform_folds:
+            return sum(
+                count * self.fold_cycles(fold)
+                for fold, count in self.plan.shape_classes()
+            )
         return sum(self.fold_cycles(fold) for fold in self.plan.folds())
 
     # ------------------------------------------------------------------
@@ -229,7 +266,16 @@ class DataflowEngine(abc.ABC):
     # Layer-level aggregation
     # ------------------------------------------------------------------
     def layer_counts(self) -> SramCounts:
-        """Exact SRAM element totals across the whole layer."""
+        """Exact SRAM element totals across the whole layer.
+
+        Aggregated from fold shape classes when counts are a pure
+        function of fold shape (all Eq. 3 dataflows).
+        """
+        if self.shape_uniform_folds:
+            total = SramCounts()
+            for fold, count in self.plan.shape_classes():
+                total = total + self.fold_counts(fold) * count
+            return total
         total = SramCounts()
         for fold in self.plan.folds():
             total = total + self.fold_counts(fold)
@@ -255,13 +301,21 @@ class DataflowEngine(abc.ABC):
         fewer than R x C PEs, diluting utilization.
         """
         total_pes = self.array_rows * self.array_cols
-        folds = list(self.plan.folds())
-        mapped = sum(fold.mapped_pes for fold in folds)
-        return mapped / (total_pes * len(folds))
+        # mapped PEs summed over all folds telescopes to S_R x S_C.
+        mapped = sum(
+            count * fold.mapped_pes for fold, count in self.plan.shape_classes()
+        )
+        return mapped / (total_pes * self.plan.num_folds)
 
-    def compute_utilization(self) -> float:
-        """Useful MACs / (PEs x total cycles): includes fill/drain overhead."""
-        total = self.total_cycles() * self.array_rows * self.array_cols
+    def compute_utilization(self, total_cycles: int | None = None) -> float:
+        """Useful MACs / (PEs x total cycles): includes fill/drain overhead.
+
+        Pass ``total_cycles`` when the caller already computed it, to
+        avoid a redundant fold-plan aggregation.
+        """
+        if total_cycles is None:
+            total_cycles = self.total_cycles()
+        total = total_cycles * self.array_rows * self.array_cols
         return (self.m * self.k * self.n) / total
 
     @property

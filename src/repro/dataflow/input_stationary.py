@@ -39,6 +39,8 @@ class InputStationaryEngine(DataflowEngine):
     """Cycle-accurate IS execution of one GEMM on one array."""
 
     dataflow = Dataflow.INPUT_STATIONARY
+    ifmap_slice_axis = "tile"
+    filter_slice_axis = "row"
 
     def fold_counts(self, fold: Fold) -> SramCounts:
         t = self.mapping.t

@@ -38,6 +38,8 @@ class OutputStationaryEngine(DataflowEngine):
     """Cycle-accurate OS execution of one GEMM on one array."""
 
     dataflow = Dataflow.OUTPUT_STATIONARY
+    ifmap_slice_axis = "row"
+    filter_slice_axis = "col"
 
     def fold_counts(self, fold: Fold) -> SramCounts:
         t = self.mapping.t

@@ -39,6 +39,8 @@ class WeightStationaryEngine(DataflowEngine):
     """Cycle-accurate WS execution of one GEMM on one array."""
 
     dataflow = Dataflow.WEIGHT_STATIONARY
+    ifmap_slice_axis = "row"
+    filter_slice_axis = "tile"
 
     def fold_counts(self, fold: Fold) -> SramCounts:
         t = self.mapping.t

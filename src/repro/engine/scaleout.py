@@ -224,8 +224,7 @@ class ScaleOutSimulator:
         max_row_folds = max_col_folds = 0
         for share in shares:
             res = share.result
-            for _ in range(share.count):
-                sram = sram + res.sram
+            sram = sram + res.sram * share.count
             dram_read += res.dram_read_bytes * share.count
             dram_write += res.dram_write_bytes * share.count
             cold_start += res.cold_start_bytes * share.count

@@ -9,6 +9,7 @@ topology, layer by layer, in file order (Sec. II-E semantics).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from repro.config.hardware import HardwareConfig
@@ -19,6 +20,7 @@ from repro.errors import SimulationError
 from repro.memory.bandwidth import compute_dram_traffic
 from repro.memory.buffers import BufferSet
 from repro.obs import metrics, trace
+from repro.perf.cache import cache, simulation_key
 from repro.topology.layer import Layer
 from repro.topology.network import Network
 
@@ -57,13 +59,7 @@ class Simulator:
             dataflow=self.config.dataflow.value,
             array=f"{self.array_rows}x{self.array_cols}",
         ):
-            engine = engine_for(
-                layer,
-                self.config.dataflow,
-                self.array_rows,
-                self.array_cols,
-            )
-            return self._measure(engine, layer.name)
+            return self._measure(self.engine(layer), layer.name)
 
     def run_gemm(self, m: int, k: int, n: int, name: str = "gemm") -> LayerResult:
         """Simulate a bare (M x K) @ (K x N) GEMM."""
@@ -107,27 +103,36 @@ class Simulator:
     # Internals
     # ------------------------------------------------------------------
     def _measure(self, engine: DataflowEngine, layer_name: str) -> LayerResult:
+        key = simulation_key(
+            self.config,
+            self.array_rows,
+            self.array_cols,
+            engine.m,
+            engine.k,
+            engine.n,
+            self.loop_order,
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            result, _traffic = hit
+            self._record_metrics(result)
+            return replace(result, layer_name=layer_name)
         traffic = compute_dram_traffic(
             engine, self.buffers, self.config.word_bytes, loop_order=self.loop_order
         )
         sram = engine.layer_counts()
-        if metrics.enabled:
-            metrics.counter("sim.layers").add()
-            metrics.counter("sim.cycles").add(engine.total_cycles())
-            metrics.counter("sim.macs").add(engine.layer_macs)
-            metrics.counter("sim.dram_read_bytes").add(traffic.read_bytes)
-            metrics.counter("sim.dram_write_bytes").add(traffic.write_bytes)
-        return LayerResult(
+        total_cycles = engine.total_cycles()
+        result = LayerResult(
             layer_name=layer_name,
             dataflow=self.config.dataflow,
             array_rows=self.array_rows,
             array_cols=self.array_cols,
             partition_rows=1,
             partition_cols=1,
-            total_cycles=engine.total_cycles(),
+            total_cycles=total_cycles,
             macs=engine.layer_macs,
             mapping_utilization=engine.mapping_utilization(),
-            compute_utilization=engine.compute_utilization(),
+            compute_utilization=engine.compute_utilization(total_cycles),
             sram=sram,
             dram_read_bytes=traffic.read_bytes,
             dram_write_bytes=traffic.write_bytes,
@@ -140,3 +145,16 @@ class Simulator:
             row_folds=engine.plan.row_folds,
             col_folds=engine.plan.col_folds,
         )
+        self._record_metrics(result)
+        cache.put(key, (result, traffic))
+        return result
+
+    @staticmethod
+    def _record_metrics(result: LayerResult) -> None:
+        """Identical sim.* accounting for fresh and cache-hit results."""
+        if metrics.enabled:
+            metrics.counter("sim.layers").add()
+            metrics.counter("sim.cycles").add(result.total_cycles)
+            metrics.counter("sim.macs").add(result.macs)
+            metrics.counter("sim.dram_read_bytes").add(result.dram_read_bytes)
+            metrics.counter("sim.dram_write_bytes").add(result.dram_write_bytes)

@@ -121,14 +121,77 @@ class FoldPlan:
         """Return the (rows, cols) of every fold, in execution order."""
         return [(fold.rows, fold.cols) for fold in self.folds()]
 
+    # ------------------------------------------------------------------
+    # Shape classes (closed-form aggregation)
+    # ------------------------------------------------------------------
+    #
+    # The fold grid has at most two distinct row extents (full rows and
+    # one remainder edge) and two distinct column extents, so every fold
+    # belongs to one of at most four *shape classes* (interior,
+    # edge-row, edge-col, corner).  Quantities that depend only on a
+    # fold's shape — latency, SRAM counts, mapped PEs — can therefore be
+    # aggregated from class multiplicities in O(1) instead of iterating
+    # all F_R x F_C folds.
+
+    def row_classes(self) -> List[Tuple[int, int, int]]:
+        """Distinct row-fold extents, in execution order.
+
+        Each entry is ``(rows, count, first_index)``: the mapped row
+        extent, how many row folds share it, and the fold-grid row index
+        of a representative.  Full rows come first, the remainder edge
+        last; the two entries collapse to one when F_R == 1.
+        """
+        folds = self.row_folds
+        edge = self.mapping.sr - self.array_rows * (folds - 1)
+        if folds == 1:
+            return [(edge, 1, 0)]
+        return [(self.array_rows, folds - 1, 0), (edge, 1, folds - 1)]
+
+    def col_classes(self) -> List[Tuple[int, int, int]]:
+        """Distinct col-fold extents: ``(cols, count, first_index)``."""
+        folds = self.col_folds
+        edge = self.mapping.sc - self.array_cols * (folds - 1)
+        if folds == 1:
+            return [(edge, 1, 0)]
+        return [(self.array_cols, folds - 1, 0), (edge, 1, folds - 1)]
+
+    def fold_at(self, row_index: int, col_index: int) -> Fold:
+        """Build the fold at one position of the fold grid."""
+        return Fold(
+            row_index=row_index,
+            col_index=col_index,
+            rows=self.fold_rows(row_index),
+            cols=self.fold_cols(col_index),
+            row_offset=row_index * self.array_rows,
+            col_offset=col_index * self.array_cols,
+        )
+
+    def shape_classes(self) -> List[Tuple[Fold, int]]:
+        """The at-most-four fold shape classes with their multiplicities.
+
+        Each entry pairs a representative :class:`Fold` (with genuine
+        grid indices and offsets) with the number of folds sharing its
+        ``(rows, cols)`` position class.  The multiplicities sum to
+        :attr:`num_folds`.
+        """
+        return [
+            (self.fold_at(ri, ci), r_count * c_count)
+            for _, r_count, ri in self.row_classes()
+            for _, c_count, ci in self.col_classes()
+        ]
+
     @property
     def total_mapped_pe_cycles(self) -> int:
         """Sum over folds of mapped PEs x T: the MAC-active cycle count.
 
         Every mapped PE performs exactly T useful MACs per fold in each
         of the three dataflows, so this equals the layer's MAC count.
+        Computed from shape-class multiplicities (the per-fold mapped-PE
+        sum telescopes to S_R x S_C).
         """
-        return self.mapping.t * sum(fold.mapped_pes for fold in self.folds())
+        return self.mapping.t * sum(
+            count * fold.mapped_pes for fold, count in self.shape_classes()
+        )
 
 
 def plan_folds(mapping: OperandMapping, array_rows: int, array_cols: int) -> FoldPlan:

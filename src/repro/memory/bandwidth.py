@@ -8,16 +8,37 @@ per-fold transfer rate this schedule ever demands; the *average
 bandwidth* is total bytes over total cycles.  Fold 0's operands have no
 predecessor to hide behind — they are reported separately as the
 cold-start bytes (SCALE-Sim's initial prefetch delay).
+
+Two implementations produce the same (asserted-identical) numbers:
+
+* the *iterative* path walks every fold, calling back into the engine
+  for slices, output volumes and latencies — the reference semantics;
+* the *closed-form* path exploits that folds come in at most four shape
+  classes (interior, edge-row, edge-col, corner) and that each engine
+  declares which fold-grid axis keys its operand slices, so the
+  per-fold lists can be assembled from <= 4 engine probes by list
+  repetition instead of O(F_R x F_C) Python calls.
+
+The closed-form path self-checks its assumptions against probe slices
+from the representative folds and silently falls back to the iterative
+path on any mismatch, so custom engines stay correct by default.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.dataflow.base import DataflowEngine
-from repro.memory.buffers import BufferSet
+from repro.mapping.folds import Fold
+from repro.memory.buffers import BufferSet, DoubleBuffer
 from repro.memory.reuse import OperandTraffic, operand_dram_traffic
+
+#: Above this magnitude, int -> float64 conversion may round and the
+#: vectorized bandwidth computation could diverge from the scalar one.
+_EXACT_FLOAT_LIMIT = 2**52
 
 
 @dataclass(frozen=True)
@@ -79,19 +100,28 @@ def _stall_free_bandwidths(
     total_cycles = sum(fold_cycles)
     total_reads = sum(read_per_fold)
     total_writes = sum(write_per_fold)
-    peak_read = 0.0
-    peak_write = 0.0
-    for k in range(1, len(fold_cycles)):
-        # Fold k's operands prefetch during fold k-1.
-        peak_read = max(peak_read, read_per_fold[k] / fold_cycles[k - 1])
-        # Fold k-1's outputs drain during fold k.
-        peak_write = max(peak_write, write_per_fold[k - 1] / fold_cycles[k])
-    if len(fold_cycles) == 1:
+    n = len(fold_cycles)
+    if n == 1:
         # Single fold: everything must move within the fold itself.
         peak_read = read_per_fold[0] / fold_cycles[0]
         peak_write = write_per_fold[0] / fold_cycles[0]
+    elif max(max(read_per_fold), max(write_per_fold), max(fold_cycles)) < _EXACT_FLOAT_LIMIT:
+        reads = np.asarray(read_per_fold, dtype=np.float64)
+        writes = np.asarray(write_per_fold, dtype=np.float64)
+        cycles = np.asarray(fold_cycles, dtype=np.float64)
+        # Fold k's operands prefetch during fold k-1.
+        peak_read = float(np.max(reads[1:] / cycles[:-1]))
+        # Fold k-1's outputs drain during fold k; the final fold's
+        # outputs also need one fold-time to drain.
+        peak_write = float(
+            max(np.max(writes[:-1] / cycles[1:]), writes[-1] / cycles[-1])
+        )
     else:
-        # The final fold's outputs also need one fold-time to drain.
+        peak_read = 0.0
+        peak_write = 0.0
+        for k in range(1, n):
+            peak_read = max(peak_read, read_per_fold[k] / fold_cycles[k - 1])
+            peak_write = max(peak_write, write_per_fold[k - 1] / fold_cycles[k])
         peak_write = max(peak_write, write_per_fold[-1] / fold_cycles[-1])
     return BandwidthProfile(
         avg_read_bw=total_reads / total_cycles,
@@ -101,23 +131,194 @@ def _stall_free_bandwidths(
     )
 
 
-def compute_dram_traffic(
+# ----------------------------------------------------------------------
+# Closed-form fast path
+# ----------------------------------------------------------------------
+
+def _probe_slice_elements(
+    engine: DataflowEngine,
+    which: str,
+    axis: str,
+    classes: Sequence[Tuple[Fold, int]],
+) -> Optional[Dict[Hashable, int]]:
+    """Probe representative folds and map axis key -> slice elements.
+
+    Returns ``None`` when the engine's actual slices contradict its
+    declared axis (wrong ``slice_id`` structure, or element counts that
+    vary along the supposedly irrelevant axis) — the caller then falls
+    back to the exhaustive walk.
+    """
+    elems: Dict[Hashable, int] = {}
+    for fold, _ in classes:
+        piece = engine.ifmap_slice(fold) if which == "ifmap" else engine.filter_slice(fold)
+        if axis == "row":
+            expected: Hashable = ("row", fold.row_index)
+            key: Hashable = fold.row_index
+        elif axis == "col":
+            expected = ("col", fold.col_index)
+            key = fold.col_index
+        elif axis == "tile":
+            expected = ("tile", fold.row_index, fold.col_index)
+            key = (fold.row_index, fold.col_index)
+        else:
+            return None
+        if piece.slice_id != expected:
+            return None
+        if key in elems and elems[key] != piece.elements:
+            return None
+        elems[key] = piece.elements
+    return elems
+
+
+def _per_fold_shape_values(
+    value: Callable[[int, int], int],
+    outer: Sequence[Tuple[int, int, int]],
+    inner: Sequence[Tuple[int, int, int]],
+    order: str,
+) -> List[int]:
+    """Assemble a per-fold list (loop order) of a shape-only quantity.
+
+    ``value(row_index, col_index)`` is evaluated once per shape class
+    (<= 4 calls); the full F-entry list is built by list repetition.
+    """
+    out: List[int] = []
+    for _, o_count, oi in outer:
+        block: List[int] = []
+        for _, i_count, ii in inner:
+            ri, ci = (oi, ii) if order == "row" else (ii, oi)
+            block += [value(ri, ci)] * i_count
+        out += block * o_count
+    return out
+
+
+def _closed_form_operand(
+    stream: str,
+    axis: str,
+    elems: Dict[Hashable, int],
+    unique_elements: int,
+    buffer: DoubleBuffer,
+    word_bytes: int,
+    outer: Sequence[Tuple[int, int, int]],
+    inner: Sequence[Tuple[int, int, int]],
+    order: str,
+) -> OperandTraffic:
+    """Reproduce :func:`operand_dram_traffic` from shape classes.
+
+    The declared slice axis fixes the slice-id change pattern over the
+    fold sequence, so fetch decisions collapse per axis class:
+
+    * axis == outer loop axis: a new slice on the first fold of each
+      outer block, re-fetched within the block only when streaming;
+    * axis == inner loop axis: the slice id changes on every fold when
+      F_inner > 1 (fetch everywhere unless the whole operand fits, in
+      which case only the first outer block pays); constant when
+      F_inner == 1 (fetch once, or every fold when streaming);
+    * axis == "tile": every fold brings a distinct slice — always fetch.
+    """
+    n_outer = sum(count for _, count, _ in outer)
+    n_inner = sum(count for _, count, _ in inner)
+    unique_bytes = unique_elements * word_bytes
+    whole_fits = buffer.holds(unique_bytes)
+    outer_axis = "row" if order == "row" else "col"
+    inner_axis = "col" if order == "row" else "row"
+
+    per_fold: List[int] = []
+    if axis == "tile":
+        def tile_bytes(ri: int, ci: int) -> int:
+            return elems[(ri, ci)] * word_bytes
+
+        per_fold = _per_fold_shape_values(tile_bytes, outer, inner, order)
+    elif axis == outer_axis:
+        for _, o_count, oi in outer:
+            piece_bytes = elems[oi] * word_bytes
+            streaming = not whole_fits and not buffer.holds(piece_bytes)
+            rest = piece_bytes if streaming else 0
+            per_fold += ([piece_bytes] + [rest] * (n_inner - 1)) * o_count
+    elif axis == inner_axis:
+        first_block: List[int] = []
+        for _, i_count, ii in inner:
+            first_block += [elems[ii] * word_bytes] * i_count
+        if whole_fits:
+            per_fold = first_block + [0] * (n_inner * (n_outer - 1))
+        elif n_inner > 1:
+            per_fold = first_block * n_outer
+        else:
+            piece_bytes = first_block[0]
+            streaming = not buffer.holds(piece_bytes)
+            rest = piece_bytes if streaming else 0
+            per_fold = [piece_bytes] + [rest] * (n_outer - 1)
+    else:  # pragma: no cover - guarded by the axis probe
+        raise ValueError(f"unknown slice axis {axis!r}")
+    return OperandTraffic(stream=stream, per_fold_bytes=per_fold, unique_bytes=unique_bytes)
+
+
+def _closed_form_traffic(
     engine: DataflowEngine,
     buffers: BufferSet,
     word_bytes: int,
-    loop_order: str = "row",
+    loop_order: str,
+) -> Optional[DramTraffic]:
+    """The shape-class DRAM traffic computation, or ``None`` if the
+    engine's declarations don't support it."""
+    if not getattr(engine, "shape_uniform_folds", False):
+        return None
+    ifmap_axis = getattr(engine, "ifmap_slice_axis", None)
+    filter_axis = getattr(engine, "filter_slice_axis", None)
+    if ifmap_axis is None or filter_axis is None:
+        return None
+
+    plan = engine.plan
+    classes = plan.shape_classes()
+    ifmap_elems = _probe_slice_elements(engine, "ifmap", ifmap_axis, classes)
+    filter_elems = _probe_slice_elements(engine, "filter", filter_axis, classes)
+    if ifmap_elems is None or filter_elems is None:
+        return None
+
+    if loop_order == "row":
+        outer, inner = plan.row_classes(), plan.col_classes()
+    else:
+        outer, inner = plan.col_classes(), plan.row_classes()
+
+    reps = {(fold.row_index, fold.col_index): fold for fold, _ in classes}
+    fold_cycles = _per_fold_shape_values(
+        lambda ri, ci: engine.fold_cycles(reps[(ri, ci)]), outer, inner, loop_order
+    )
+    write_per_fold = _per_fold_shape_values(
+        lambda ri, ci: engine.fold_ofmap_elements(reps[(ri, ci)]) * word_bytes,
+        outer,
+        inner,
+        loop_order,
+    )
+    ifmap_traffic = _closed_form_operand(
+        "ifmap", ifmap_axis, ifmap_elems, engine.m * engine.k,
+        buffers.ifmap, word_bytes, outer, inner, loop_order,
+    )
+    filter_traffic = _closed_form_operand(
+        "filter", filter_axis, filter_elems, engine.k * engine.n,
+        buffers.filter, word_bytes, outer, inner, loop_order,
+    )
+    read_per_fold = [
+        i_bytes + f_bytes
+        for i_bytes, f_bytes in zip(ifmap_traffic.per_fold_bytes, filter_traffic.per_fold_bytes)
+    ]
+    bandwidth = _stall_free_bandwidths(read_per_fold, write_per_fold, fold_cycles)
+    return DramTraffic(
+        ifmap=ifmap_traffic,
+        filter=filter_traffic,
+        ofmap_per_fold_bytes=write_per_fold,
+        cold_start_bytes=read_per_fold[0],
+        fold_cycles=fold_cycles,
+        bandwidth=bandwidth,
+    )
+
+
+def _iterative_traffic(
+    engine: DataflowEngine,
+    buffers: BufferSet,
+    word_bytes: int,
+    loop_order: str,
 ) -> DramTraffic:
-    """Derive the full DRAM traffic picture for one layer on one array.
-
-    Walks the engine's fold plan once, collecting operand slices, output
-    volumes and fold latencies, then applies the reuse model per operand
-    and the double-buffer pipelining rule for bandwidth.
-
-    ``loop_order`` selects the fold iteration order ("row" is
-    SCALE-Sim's default; "col" transposes the loop nest).  Runtime is
-    order-independent, but which operand enjoys consecutive-fold reuse
-    is not — see the fold-order ablation benchmark.
-    """
+    """Reference semantics: walk every fold of the plan."""
     folds = list(engine.plan.folds(order=loop_order))
     ifmap_slices = [engine.ifmap_slice(fold) for fold in folds]
     filter_slices = [engine.filter_slice(fold) for fold in folds]
@@ -143,3 +344,30 @@ def compute_dram_traffic(
         fold_cycles=fold_cycles,
         bandwidth=bandwidth,
     )
+
+
+def compute_dram_traffic(
+    engine: DataflowEngine,
+    buffers: BufferSet,
+    word_bytes: int,
+    loop_order: str = "row",
+) -> DramTraffic:
+    """Derive the full DRAM traffic picture for one layer on one array.
+
+    ``loop_order`` selects the fold iteration order ("row" is
+    SCALE-Sim's default; "col" transposes the loop nest).  Runtime is
+    order-independent, but which operand enjoys consecutive-fold reuse
+    is not — see the fold-order ablation benchmark.
+
+    Uses the closed-form shape-class computation whenever the engine
+    declares shape-uniform folds and its operand slice axes; falls back
+    to the exhaustive per-fold walk otherwise.  The two paths are
+    asserted identical by the equivalence tests.
+    """
+    if loop_order not in ("row", "col"):
+        # Delegate the error to the fold iterator for a uniform message.
+        return _iterative_traffic(engine, buffers, word_bytes, loop_order)
+    fast = _closed_form_traffic(engine, buffers, word_bytes, loop_order)
+    if fast is not None:
+        return fast
+    return _iterative_traffic(engine, buffers, word_bytes, loop_order)

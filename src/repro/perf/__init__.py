@@ -1,0 +1,25 @@
+"""Performance layer: memoization and parallel sweep execution.
+
+``repro.perf`` holds the machinery that makes design-space sweeps fast
+without changing what they compute:
+
+* :data:`cache` — a process-wide bounded LRU memoizing simulated
+  ``(LayerResult, DramTraffic)`` pairs across layers, tiles and grid
+  points (ResNet-50 repeats conv shapes; scale-out grids collapse to
+  <= 4 distinct GEMMs per layer).
+* :func:`~repro.perf.parallel.execute_grid_parallel` — the
+  multiprocess grid backend behind ``execute_grid(workers=N)``,
+  preserving serial semantics exactly (row order, retries, circuit
+  breaker, checkpointing from the parent).
+
+Every speed-up in this package is exactness-preserving and covered by
+equivalence tests against the serial/uncached reference paths.
+"""
+
+from repro.perf.cache import SimulationCache, cache, simulation_key
+
+__all__ = [
+    "SimulationCache",
+    "cache",
+    "simulation_key",
+]

@@ -154,6 +154,112 @@ def execute_point(
         )
 
 
+class _GridRun:
+    """Shared bookkeeping between the serial and parallel grid drivers.
+
+    Both drivers funnel every point through the same four operations —
+    ``settle_skipped`` (breaker already open), ``try_replay``
+    (checkpoint resume), ``finish_executed`` (observe + journal + apply
+    failure semantics) and ``report`` — so ordering, journalling and
+    circuit-breaker behaviour are identical by construction.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Dict],
+        policy: ExecutionPolicy,
+        checkpoint: Optional[CheckpointStore],
+        clock: Callable[[], float],
+        on_progress: Optional[Callable[[ProgressSnapshot], None]],
+    ):
+        self.policy = policy
+        self.checkpoint = checkpoint
+        self.on_progress = on_progress
+        self.records: List[PointRecord] = []
+        self.failures = 0
+        self.tripped = False
+        self.progress = ProgressTracker(len(points), clock=clock)
+        metrics.gauge("sweep.points_total").set(len(points))
+
+    def key(self, index: int, params: Dict) -> str:
+        return self.checkpoint.key(params) if self.checkpoint is not None else str(index)
+
+    def settle(self, record: PointRecord) -> None:
+        self.records.append(record)
+        metrics.counter(f"robust.points_{record.status}").add()
+        snapshot = self.progress.update()
+        metrics.gauge("sweep.points_done").set(snapshot.done)
+        progress_logger.info("sweep %s [%s]", snapshot.describe(), record.status)
+        if self.on_progress is not None:
+            self.on_progress(snapshot)
+
+    def settle_skipped(self, params: Dict) -> None:
+        self.settle(
+            PointRecord(
+                params=params,
+                status=STATUS_SKIPPED,
+                attempts=0,
+                error=(
+                    f"circuit breaker open after {self.failures} failures "
+                    f"(max_failures={self.policy.max_failures})"
+                ),
+            )
+        )
+
+    def try_replay(self, params: Dict) -> bool:
+        """Replay ``params`` from the checkpoint journal if completed."""
+        if self.checkpoint is None or not self.checkpoint.completed(params):
+            return False
+        entry = self.checkpoint.get(params)
+        metrics.counter("robust.checkpoint_replays").add()
+        trace.event("robust.checkpoint_replay", key=self.checkpoint.key(params))
+        self.settle(
+            PointRecord(
+                params=params,
+                status=STATUS_CACHED,
+                attempts=0,
+                rows=tuple(entry.get("rows", ())),
+            )
+        )
+        return True
+
+    def finish_executed(self, record: PointRecord, params: Dict) -> None:
+        """Observe, settle and journal one executed record, then apply
+        the policy's failure semantics (may raise, may trip the breaker)."""
+        if metrics.enabled:
+            metrics.histogram("robust.point_seconds").observe(record.duration)
+            metrics.counter("robust.point_attempts").add(record.attempts)
+        self.settle(record)
+        if self.checkpoint is not None:
+            self.checkpoint.record(
+                params,
+                status=record.status,
+                rows=list(record.rows),
+                attempts=record.attempts,
+                duration=record.duration,
+                error=record.error,
+            )
+        if record.status == STATUS_FAILED:
+            self.failures += 1
+            if self.policy.mode == "fail_fast":
+                if record.exception is not None:
+                    raise record.exception
+                raise CircuitOpenError(
+                    f"point {params!r} failed after {record.attempts} attempt(s): "
+                    f"{record.error}"
+                )
+            if self.policy.max_failures is not None and self.failures >= self.policy.max_failures:
+                self.tripped = True
+                logger.warning(
+                    "circuit breaker tripped after %d failure(s); "
+                    "skipping the remaining points", self.failures,
+                )
+                trace.event("robust.circuit_open", failures=self.failures)
+
+    def report(self) -> RunReport:
+        return RunReport(records=self.records)
+
+
 def execute_grid(
     fn: Callable[..., object],
     points: Sequence[Dict],
@@ -162,6 +268,7 @@ def execute_grid(
     sleep: Callable[[float], None] = time.sleep,
     clock: Callable[[], float] = time.monotonic,
     on_progress: Optional[Callable[[ProgressSnapshot], None]] = None,
+    workers: int = 1,
 ) -> RunReport:
     """Run every point through :func:`execute_point`, with journalling.
 
@@ -173,6 +280,15 @@ def execute_grid(
       of them accumulate, the remaining points are marked ``skipped``
       and a :class:`CircuitOpenError` record stops further execution.
 
+    ``workers > 1`` dispatches point execution to a process pool (see
+    :mod:`repro.perf.parallel`) while preserving all of the above
+    exactly — record order, retries, the circuit breaker counted in
+    points order, and the journal written only from this process.  The
+    call transparently falls back to serial execution when ``fn``,
+    ``points`` or ``policy`` cannot be pickled, or when non-default
+    ``sleep``/``clock`` callables are injected (worker processes always
+    run on real time).
+
     Progress telemetry: every settled point updates a
     :class:`~repro.obs.progress.ProgressTracker` whose snapshot (points
     done/total, rolling throughput, ETA) is logged at INFO under
@@ -181,80 +297,46 @@ def execute_grid(
     gauges.
     """
     policy = policy or DEFAULT_POLICY
-    records: List[PointRecord] = []
-    failures = 0
-    tripped = False
-    progress = ProgressTracker(len(points), clock=clock)
-    metrics.gauge("sweep.points_total").set(len(points))
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers > 1:
+        from repro.perf.parallel import execute_grid_parallel, pickle_problem
 
-    def settle(record: PointRecord) -> None:
-        records.append(record)
-        metrics.counter(f"robust.points_{record.status}").add()
-        snapshot = progress.update()
-        metrics.gauge("sweep.points_done").set(snapshot.done)
-        progress_logger.info("sweep %s [%s]", snapshot.describe(), record.status)
-        if on_progress is not None:
-            on_progress(snapshot)
+        if sleep is not time.sleep or clock is not time.monotonic:
+            logger.warning(
+                "workers=%d requested with injected sleep/clock; worker "
+                "processes run on real time — executing serially instead",
+                workers,
+            )
+        else:
+            problem = pickle_problem(fn, points, policy)
+            if problem is None:
+                return execute_grid_parallel(
+                    fn,
+                    points,
+                    policy=policy,
+                    checkpoint=checkpoint,
+                    clock=clock,
+                    on_progress=on_progress,
+                    workers=workers,
+                )
+            logger.warning(
+                "workers=%d requested but %s; executing serially instead",
+                workers,
+                problem,
+            )
 
+    run = _GridRun(points, policy, checkpoint, clock, on_progress)
     for index, params in enumerate(points):
-        if tripped:
-            settle(
-                PointRecord(
-                    params=params,
-                    status=STATUS_SKIPPED,
-                    attempts=0,
-                    error=(
-                        f"circuit breaker open after {failures} failures "
-                        f"(max_failures={policy.max_failures})"
-                    ),
-                )
-            )
+        if run.tripped:
+            run.settle_skipped(params)
             continue
-        if checkpoint is not None and checkpoint.completed(params):
-            entry = checkpoint.get(params)
-            metrics.counter("robust.checkpoint_replays").add()
-            trace.event("robust.checkpoint_replay", key=checkpoint.key(params))
-            settle(
-                PointRecord(
-                    params=params,
-                    status=STATUS_CACHED,
-                    attempts=0,
-                    rows=tuple(entry.get("rows", ())),
-                )
-            )
+        if run.try_replay(params):
             continue
-        key = checkpoint.key(params) if checkpoint is not None else str(index)
+        key = run.key(index, params)
         with trace.span("robust.grid_point", key=key):
             record = execute_point(
                 fn, params, policy=policy, key=key, sleep=sleep, clock=clock
             )
-        if metrics.enabled:
-            metrics.histogram("robust.point_seconds").observe(record.duration)
-            metrics.counter("robust.point_attempts").add(record.attempts)
-        settle(record)
-        if checkpoint is not None:
-            checkpoint.record(
-                params,
-                status=record.status,
-                rows=list(record.rows),
-                attempts=record.attempts,
-                duration=record.duration,
-                error=record.error,
-            )
-        if record.status == STATUS_FAILED:
-            failures += 1
-            if policy.mode == "fail_fast":
-                if record.exception is not None:
-                    raise record.exception
-                raise CircuitOpenError(
-                    f"point {params!r} failed after {record.attempts} attempt(s): "
-                    f"{record.error}"
-                )
-            if policy.max_failures is not None and failures >= policy.max_failures:
-                tripped = True
-                logger.warning(
-                    "circuit breaker tripped after %d failure(s); "
-                    "skipping the remaining points", failures,
-                )
-                trace.event("robust.circuit_open", failures=failures)
-    return RunReport(records=records)
+        run.finish_executed(record, params)
+    return run.report()

@@ -51,11 +51,18 @@ def grid_points(**grid: Sequence) -> List[Dict]:
     ]
 
 
-def _checked(fn: Callable[..., Union[Dict, Sequence[Dict]]]) -> Callable:
-    """Wrap ``fn`` to reject result keys that collide with parameters."""
+class _CheckedCallable:
+    """Wrap ``fn`` to reject result keys that collide with parameters.
 
-    def wrapped(**params):
-        outcome = fn(**params)
+    A class (rather than a closure) so the wrapper stays picklable
+    whenever ``fn`` is — required for multiprocess sweeps.
+    """
+
+    def __init__(self, fn: Callable[..., Union[Dict, Sequence[Dict]]]):
+        self.fn = fn
+
+    def __call__(self, **params):
+        outcome = self.fn(**params)
         results = outcome if isinstance(outcome, (list, tuple)) else [outcome]
         for result in results:
             overlap = set(params) & set(result)
@@ -65,7 +72,10 @@ def _checked(fn: Callable[..., Union[Dict, Sequence[Dict]]]) -> Callable:
                 )
         return [{**params, **result} for result in results]
 
-    return wrapped
+
+def _checked(fn: Callable[..., Union[Dict, Sequence[Dict]]]) -> Callable:
+    """Wrap ``fn`` to reject result keys that collide with parameters."""
+    return _CheckedCallable(fn)
 
 
 def run_sweep_report(
@@ -74,6 +84,7 @@ def run_sweep_report(
     policy: Optional[ExecutionPolicy] = None,
     checkpoint: Optional[Union[str, Path, CheckpointStore]] = None,
     on_progress: Optional[Callable[[ProgressSnapshot], None]] = None,
+    workers: int = 1,
     **grid: Sequence,
 ) -> Tuple[List[Dict], RunReport]:
     """Like :func:`run_sweep` but also returns the per-point report.
@@ -83,6 +94,10 @@ def run_sweep_report(
     ``policy``), a point that exhausts its retries contributes one row
     with stable ``status`` and ``error`` columns instead of aborting the
     sweep.  The report accounts for every grid point regardless.
+
+    ``workers > 1`` evaluates grid points on a process pool with
+    byte-identical rows, report and checkpoint journal (serial fallback
+    when ``fn`` is not picklable) — see :mod:`repro.perf.parallel`.
 
     ``on_progress`` receives one
     :class:`~repro.obs.progress.ProgressSnapshot` per settled point
@@ -102,6 +117,7 @@ def run_sweep_report(
         policy=policy,
         checkpoint=checkpoint,
         on_progress=on_progress,
+        workers=workers,
     )
     return report.rows(), report
 
@@ -111,6 +127,7 @@ def run_sweep(
     skip_errors: bool = False,
     policy: Optional[ExecutionPolicy] = None,
     checkpoint: Optional[Union[str, Path, CheckpointStore]] = None,
+    workers: int = 1,
     **grid: Sequence,
 ) -> List[Dict]:
     """Evaluate ``fn`` over the cartesian product of the ``grid`` axes.
@@ -119,11 +136,17 @@ def run_sweep(
     every result row.  With ``skip_errors=True``, a point that raises
     contributes one row with ``status`` and ``error`` columns instead of
     aborting the sweep.  ``policy`` and ``checkpoint`` opt in to the
-    fault-tolerant machinery (retries, timeouts, resumable journals) —
-    see :func:`run_sweep_report` to also get the per-point accounting.
+    fault-tolerant machinery (retries, timeouts, resumable journals),
+    ``workers`` to multiprocess execution — see :func:`run_sweep_report`
+    to also get the per-point accounting.
     """
     rows, _ = run_sweep_report(
-        fn, skip_errors=skip_errors, policy=policy, checkpoint=checkpoint, **grid
+        fn,
+        skip_errors=skip_errors,
+        policy=policy,
+        checkpoint=checkpoint,
+        workers=workers,
+        **grid,
     )
     return rows
 

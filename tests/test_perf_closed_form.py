@@ -1,0 +1,221 @@
+"""Closed-form fold aggregation must match the exhaustive fold walk.
+
+The perf layer replaces O(F_R x F_C) Python loops with shape-class
+arithmetic (at most four distinct fold shapes).  These tests pin the
+equivalence *exactly* — integer totals and IEEE floats alike — against
+brute-force references that iterate every fold, across all engines,
+loop orders, edge-remainder geometries and buffer regimes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataflow.base import SramCounts
+from repro.dataflow.input_stationary import InputStationaryEngine
+from repro.dataflow.output_stationary import OutputStationaryEngine
+from repro.dataflow.output_stationary_dataplane import OutputStationaryDataPlaneEngine
+from repro.dataflow.weight_stationary import WeightStationaryEngine
+from repro.mapping.folds import plan_folds
+from repro.mapping.dims import OperandMapping
+from repro.config.hardware import Dataflow
+from repro.memory.bandwidth import (
+    _closed_form_traffic,
+    _iterative_traffic,
+    compute_dram_traffic,
+)
+from repro.memory.buffers import BufferSet, DoubleBuffer
+
+ENGINES = [
+    OutputStationaryEngine,
+    WeightStationaryEngine,
+    InputStationaryEngine,
+    OutputStationaryDataPlaneEngine,
+]
+
+#: (m, k, n) shapes covering exact-fit, remainder-edge and degenerate cases.
+SHAPES = [(1, 1, 1), (7, 3, 5), (16, 16, 16), (33, 9, 17), (5, 200, 3), (31, 32, 33)]
+ARRAYS = [(4, 4), (3, 5), (16, 16), (1, 1), (32, 8)]
+
+
+def _buffers(ifmap: int, filt: int, ofmap: int) -> BufferSet:
+    return BufferSet(
+        ifmap=DoubleBuffer("ifmap", ifmap),
+        filter=DoubleBuffer("filter", filt),
+        ofmap=DoubleBuffer("ofmap", ofmap),
+    )
+
+
+# ----------------------------------------------------------------------
+# FoldPlan shape classes
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("sr,sc,t,rows,cols", [
+    (1, 1, 1, 1, 1),
+    (8, 8, 3, 4, 4),
+    (9, 7, 2, 4, 4),
+    (100, 1, 5, 8, 8),
+    (5, 5, 5, 16, 16),
+])
+def test_shape_classes_partition_the_fold_grid(sr, sc, t, rows, cols):
+    mapping = OperandMapping(sr=sr, sc=sc, t=t, dataflow=Dataflow.OUTPUT_STATIONARY)
+    plan = plan_folds(mapping, rows, cols)
+    classes = plan.shape_classes()
+    assert sum(count for _, count in classes) == plan.num_folds
+    # Multiplicity-weighted shapes must equal the exhaustive multiset.
+    from collections import Counter
+
+    exhaustive = Counter((f.rows, f.cols) for f in plan.folds())
+    closed = Counter()
+    for fold, count in classes:
+        closed[(fold.rows, fold.cols)] += count
+    assert closed == exhaustive
+    # Representatives carry genuine grid coordinates.
+    for fold, _ in classes:
+        assert fold.rows == plan.fold_rows(fold.row_index)
+        assert fold.cols == plan.fold_cols(fold.col_index)
+        assert fold.row_offset == fold.row_index * rows
+        assert fold.col_offset == fold.col_index * cols
+
+
+@given(
+    sr=st.integers(1, 200),
+    sc=st.integers(1, 200),
+    rows=st.integers(1, 40),
+    cols=st.integers(1, 40),
+)
+def test_row_col_classes_cover_all_folds(sr, sc, rows, cols):
+    mapping = OperandMapping(sr=sr, sc=sc, t=3, dataflow=Dataflow.OUTPUT_STATIONARY)
+    plan = plan_folds(mapping, rows, cols)
+    assert sum(count for _, count, _ in plan.row_classes()) == plan.row_folds
+    assert sum(count for _, count, _ in plan.col_classes()) == plan.col_folds
+    assert sum(ext * cnt for ext, cnt, _ in plan.row_classes()) == sum(
+        plan.fold_rows(i) for i in range(plan.row_folds)
+    )
+    assert sum(ext * cnt for ext, cnt, _ in plan.col_classes()) == sum(
+        plan.fold_cols(i) for i in range(plan.col_folds)
+    )
+
+
+# ----------------------------------------------------------------------
+# Engine aggregates
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("array", ARRAYS)
+def test_engine_aggregates_match_brute_force(engine_cls, shape, array):
+    m, k, n = shape
+    engine = engine_cls(m, k, n, *array)
+    ref_cycles = sum(engine.fold_cycles(f) for f in engine.plan.folds())
+    ref_counts = SramCounts()
+    for fold in engine.plan.folds():
+        ref_counts = ref_counts + engine.fold_counts(fold)
+    folds = list(engine.plan.folds())
+    ref_util = sum(f.mapped_pes for f in folds) / (array[0] * array[1] * len(folds))
+    assert engine.total_cycles() == ref_cycles
+    assert engine.layer_counts() == ref_counts
+    assert engine.mapping_utilization() == ref_util
+    assert engine.compute_utilization() == engine.compute_utilization(ref_cycles)
+    assert engine.plan.total_mapped_pe_cycles == engine.layer_macs
+
+
+def test_shape_uniform_opt_out_restores_exhaustive_walk():
+    class PositionDependent(OutputStationaryEngine):
+        shape_uniform_folds = False
+
+        def fold_cycles(self, fold):
+            # Depends on position, not just shape: closed form would lie.
+            return super().fold_cycles(fold) + fold.row_index
+
+    engine = PositionDependent(33, 4, 17, 8, 8)
+    ref = sum(engine.fold_cycles(f) for f in engine.plan.folds())
+    assert engine.total_cycles() == ref
+
+
+def test_sram_counts_scalar_multiplication():
+    counts = SramCounts(ifmap_reads=3, filter_reads=5, ofmap_writes=7)
+    assert counts * 4 == SramCounts(12, 20, 28)
+    assert 4 * counts == counts * 4
+    assert counts * 0 == SramCounts()
+    assert counts * 1 == counts
+    with pytest.raises(ValueError):
+        counts * -1
+    with pytest.raises(TypeError):
+        counts * 1.5
+
+
+# ----------------------------------------------------------------------
+# DRAM traffic: closed form vs iterative walk
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("array", [(4, 4), (3, 5), (16, 16)])
+@pytest.mark.parametrize("buf_bytes", [(64, 64, 64), (1 << 20, 1 << 20, 1 << 20), (256, 2048, 128)])
+@pytest.mark.parametrize("order", ["row", "col"])
+def test_dram_traffic_closed_form_is_exact(engine_cls, shape, array, buf_bytes, order):
+    engine = engine_cls(*shape, *array)
+    buffers = _buffers(*buf_bytes)
+    fast = _closed_form_traffic(engine, buffers, 2, order)
+    slow = _iterative_traffic(engine, buffers, 2, order)
+    assert fast is not None, "declared engines must take the fast path"
+    # Dataclass equality covers per-fold lists, totals and IEEE floats.
+    assert fast == slow
+    assert compute_dram_traffic(engine, buffers, 2, loop_order=order) == slow
+
+
+@given(
+    m=st.integers(1, 120),
+    k=st.integers(1, 60),
+    n=st.integers(1, 120),
+    rows=st.integers(1, 12),
+    cols=st.integers(1, 12),
+    ifmap_kb=st.sampled_from([64, 1024, 1 << 22]),
+    filter_kb=st.sampled_from([64, 1024, 1 << 22]),
+    order=st.sampled_from(["row", "col"]),
+    engine_index=st.integers(0, len(ENGINES) - 1),
+)
+def test_dram_traffic_equivalence_property(
+    m, k, n, rows, cols, ifmap_kb, filter_kb, order, engine_index
+):
+    engine = ENGINES[engine_index](m, k, n, rows, cols)
+    buffers = _buffers(ifmap_kb, filter_kb, 64)
+    fast = _closed_form_traffic(engine, buffers, 1, order)
+    assert fast == _iterative_traffic(engine, buffers, 1, order)
+
+
+def test_undeclared_slice_axis_falls_back():
+    class CustomSlices(OutputStationaryEngine):
+        ifmap_slice_axis = None  # custom engine: axis unknown
+
+    engine = CustomSlices(20, 4, 20, 8, 8)
+    buffers = _buffers(1024, 1024, 1024)
+    assert _closed_form_traffic(engine, buffers, 1, "row") is None
+    # The public entry point still answers, via the iterative path.
+    assert compute_dram_traffic(engine, buffers, 1) == _iterative_traffic(
+        engine, buffers, 1, "row"
+    )
+
+
+def test_contradicting_slice_axis_is_detected_by_probes():
+    class LyingAxis(OutputStationaryEngine):
+        # Claims filter slices are keyed per column fold, but actually
+        # emits per-tile ids: probes must catch it and fall back.
+        def filter_slice(self, fold):
+            piece = super().filter_slice(fold)
+            from repro.dataflow.base import OperandSlice
+
+            return OperandSlice(
+                stream="filter",
+                slice_id=("tile", fold.row_index, fold.col_index),
+                elements=piece.elements,
+            )
+
+    engine = LyingAxis(33, 4, 17, 8, 8)
+    buffers = _buffers(1024, 1024, 1024)
+    assert _closed_form_traffic(engine, buffers, 1, "row") is None
+    assert compute_dram_traffic(engine, buffers, 1) == _iterative_traffic(
+        engine, buffers, 1, "row"
+    )
