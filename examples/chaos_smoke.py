@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Chaos smoke test: a parallel ResNet-50 sweep survives worker crashes.
+
+A 2-worker supervised sweep over the Fig. 10 ResNet-50 layers, with
+scripted process-level faults attacking the pool mid-run: one layer
+SIGKILLs its worker (a simulated segfault/OOM kill) and another
+allocates a burst of memory. The supervised pool detects the broken
+pool, rebuilds it, resubmits the unfinished points, and the sweep
+completes with rows and a checkpoint journal identical to a clean
+serial run — the determinism contract under chaos.
+
+Run:  python examples/chaos_smoke.py
+Exits non-zero if recovery or determinism fails, so CI can gate on it.
+
+All point callables live at module level so they pickle by reference
+into the worker processes.
+"""
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import (
+    HardwareConfig,
+    Simulator,
+    SupervisorPolicy,
+    WorkerFault,
+    inject_worker_faults,
+    obs,
+    run_sweep,
+)
+from repro.workloads.resnet50 import fig10_resnet_layers
+
+NETWORK = fig10_resnet_layers()  # first + last 5 conv/FC layers
+CONFIG = HardwareConfig(array_rows=32, array_cols=32)
+KILLED_LAYER = NETWORK.layer_names()[3]
+HOGGED_LAYER = NETWORK.layer_names()[6]
+
+
+def measure(layer: str) -> dict:
+    result = Simulator(CONFIG).run_layer(NETWORK[layer])
+    return {
+        "cycles": result.total_cycles,
+        "utilization": round(result.compute_utilization, 4),
+    }
+
+
+def main() -> int:
+    obs.metrics.enable()
+    layers = list(NETWORK.layer_names())
+
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as scratch:
+        serial_journal = Path(scratch) / "serial.jsonl"
+        chaos_journal = Path(scratch) / "chaos.jsonl"
+
+        print(f"serial baseline: {len(layers)} ResNet-50 layers on 32x32 ...")
+        serial = run_sweep(measure, checkpoint=serial_journal, layer=layers)
+
+        chaotic = inject_worker_faults(
+            measure,
+            WorkerFault(kind="kill", marker_dir=scratch,
+                        when={"layer": KILLED_LAYER}),
+            WorkerFault(kind="hog", marker_dir=scratch, hog_mb=200,
+                        hold_seconds=0.1, when={"layer": HOGGED_LAYER}),
+        )
+        print(f"chaos run: 2 workers, SIGKILL on {KILLED_LAYER}, "
+              f"200 MiB hog on {HOGGED_LAYER} ...")
+        chaos = run_sweep(
+            chaotic,
+            checkpoint=chaos_journal,
+            workers=2,
+            supervisor=SupervisorPolicy(poll_interval=0.02, point_timeout=120.0),
+            layer=layers,
+        )
+
+        counters = obs.metrics.snapshot()["counters"]
+        restarts = counters.get("supervisor.restarts", 0)
+        crashes = counters.get("supervisor.crashes", 0)
+        print(f"recovered: {restarts} pool rebuild(s), "
+              f"{crashes} worker crash(es) attributed")
+
+        failures = []
+        if chaos != serial:
+            failures.append("chaos rows differ from the serial baseline")
+        if restarts < 1:
+            failures.append("no pool rebuild observed — kill fault never fired?")
+
+        entries = [json.loads(line)
+                   for line in chaos_journal.read_text().splitlines()]
+        if len(entries) != len(layers):
+            failures.append(
+                f"journal has {len(entries)} entries, expected {len(layers)}")
+        if not all(entry["status"] == "ok" for entry in entries):
+            failures.append("journal contains non-ok entries")
+        if [entry["params"]["layer"] for entry in entries] != layers:
+            failures.append("journal entries out of sweep order")
+
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+
+    print(f"OK: {len(layers)} layers byte-identical to serial, "
+          "journal complete and ordered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,11 +88,14 @@ from repro.robust import (
     Fault,
     PointRecord,
     RunReport,
+    SupervisorPolicy,
+    WorkerFault,
     check_layer_result,
     check_trace_conservation,
     execute_grid,
     execute_point,
     inject_faults,
+    inject_worker_faults,
 )
 from repro.traceanalysis import reuse_profile, stream_stats
 from repro.obs import (
@@ -115,7 +118,10 @@ from repro.errors import (
     ResilienceError,
     SearchError,
     SimulationError,
+    SupervisorExhaustedError,
+    SweepInterrupted,
     TopologyError,
+    WorkerCrashError,
 )
 
 from repro._version import __version__
@@ -214,11 +220,14 @@ __all__ = [
     "Fault",
     "PointRecord",
     "RunReport",
+    "SupervisorPolicy",
+    "WorkerFault",
     "check_layer_result",
     "check_trace_conservation",
     "execute_grid",
     "execute_point",
     "inject_faults",
+    "inject_worker_faults",
     # errors
     "ReproError",
     "ConfigError",
@@ -230,6 +239,9 @@ __all__ = [
     "ExecutionError",
     "PointTimeoutError",
     "CircuitOpenError",
+    "WorkerCrashError",
+    "SupervisorExhaustedError",
+    "SweepInterrupted",
     "CheckpointError",
     "InvariantError",
     "ResilienceError",

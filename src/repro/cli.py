@@ -29,8 +29,10 @@ to stdout; diagnostics go to stderr).
 from __future__ import annotations
 
 import argparse
+import concurrent.futures
 import functools
 import logging
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
@@ -56,10 +58,13 @@ from repro.errors import (
     ResilienceError,
     SearchError,
     SimulationError,
+    SweepInterrupted,
     TopologyError,
+    WorkerCrashError,
 )
 from repro.robust.checkpoint import CheckpointStore
 from repro.robust.policy import ExecutionPolicy
+from repro.robust.supervisor import SupervisorPolicy
 from repro.sweep import run_sweep_report
 from repro.topology.network import Network
 from repro.topology.parser import load_topology
@@ -68,7 +73,43 @@ from repro.workloads.language import language_layer, TABLE_IV_DIMS
 from repro.workloads.registry import available_workloads, get_workload
 
 
+#: A batch run ended without executing every point (failures tripped the
+#: circuit breaker, points were skipped, or SIGINT/SIGTERM drained the
+#: sweep early after flushing the checkpoint journal) — distinct from
+#: the per-error-class codes so callers can tell "the sweep ran but is
+#: incomplete" from "the sweep aborted".
+EXIT_INCOMPLETE = 12
+
+#: The supervised worker pool could not make progress: workers kept
+#: dying past ``max_restarts`` rebuilds, or a point crash escalated in
+#: ``fail_fast`` mode (:class:`~repro.errors.WorkerCrashError`).
+EXIT_POOL_LOSS = 13
+
 #: Stable process exit codes per failure class, most specific first.
+#: This table is THE reference for the CLI's exit contract (mirrored in
+#: docs/robustness.md):
+#:
+#: ====  =========================================================
+#: code  meaning
+#: ====  =========================================================
+#: 0     success
+#: 1     generic failure (bare :class:`~repro.errors.ReproError`)
+#: 2     invalid hardware configuration (``ConfigError``)
+#: 3     invalid topology/layer spec (``TopologyError``)
+#: 4     simulation engine error (``SimulationError``)
+#: 5     unmappable workload (``MappingError``)
+#: 6     invalid search space (``SearchError``)
+#: 7     DRAM back-end error (``DramError``)
+#: 8     checkpoint journal error (``CheckpointError``)
+#: 9     invariant violation (``InvariantError``)
+#: 10    batch execution failure (``ExecutionError`` and subclasses
+#:       without their own code)
+#: 11    invalid/unservable fault map (``ResilienceError``)
+#: 12    incomplete sweep (breaker trip, skips, or a graceful
+#:       SIGINT/SIGTERM drain — ``SweepInterrupted``)
+#: 13    worker-pool loss (``WorkerCrashError`` /
+#:       ``SupervisorExhaustedError``, or a raw ``BrokenProcessPool``)
+#: ====  =========================================================
 EXIT_CODES: Tuple[Tuple[type, int], ...] = (
     (ConfigError, 2),
     (TopologyError, 3),
@@ -78,18 +119,14 @@ EXIT_CODES: Tuple[Tuple[type, int], ...] = (
     (DramError, 7),
     (CheckpointError, 8),
     (InvariantError, 9),
+    (SweepInterrupted, EXIT_INCOMPLETE),
+    (WorkerCrashError, EXIT_POOL_LOSS),
     (ExecutionError, 10),
     (ResilienceError, 11),
 )
 
 #: Generic non-zero exit for failures without a dedicated code.
 EXIT_FAILURE = 1
-
-#: A batch run ended without executing every point (failures tripped the
-#: circuit breaker or points were skipped) — distinct from the
-#: per-error-class codes above so callers can tell "the sweep ran but is
-#: incomplete" from "the sweep aborted".
-EXIT_INCOMPLETE = 12
 
 logger = logging.getLogger("repro.cli")
 
@@ -128,6 +165,47 @@ def _add_robust_flags(sub: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=1, metavar="N",
         help="evaluate grid points on N worker processes (default 1: serial)",
     )
+    sub.add_argument(
+        "--point-timeout", type=float, dest="point_timeout", metavar="SECONDS",
+        help="hard per-point wall-clock ceiling enforced inside each worker "
+             "(the runaway point's worker kills itself; needs --workers > 1)",
+    )
+    sub.add_argument(
+        "--point-rss-mb", type=float, dest="point_rss_mb", metavar="MB",
+        help="per-point resident-memory ceiling in MiB enforced inside each "
+             "worker (needs --workers > 1)",
+    )
+    sub.add_argument(
+        "--quarantine", type=int, default=2, metavar="N",
+        help="quarantine a point after it crashes its worker N times, after "
+             "one final solo retry (default 2)",
+    )
+
+
+def _robust_workers(args: argparse.Namespace) -> int:
+    """Validated worker count: reject < 1, warn + cap at the CPU count."""
+    workers = args.workers
+    if workers < 1:
+        raise ConfigError(f"--workers must be >= 1, got {workers}")
+    cpus = os.cpu_count() or 1
+    if workers > cpus:
+        logger.warning(
+            "--workers %d exceeds the %d available CPU(s); capping at %d",
+            workers, cpus, cpus,
+        )
+        return cpus
+    return workers
+
+
+def _robust_supervisor(args: argparse.Namespace) -> SupervisorPolicy:
+    try:
+        return SupervisorPolicy(
+            point_timeout=args.point_timeout,
+            point_rss_mb=args.point_rss_mb,
+            quarantine_after=args.quarantine,
+        )
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
 
 
 def _robust_policy(args: argparse.Namespace) -> ExecutionPolicy:
@@ -353,7 +431,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         functools.partial(_sweep_measure, layer=layer, macs=args.macs),
         policy=_robust_policy(args),
         checkpoint=_robust_checkpoint(args),
-        workers=args.workers,
+        workers=_robust_workers(args),
+        supervisor=_robust_supervisor(args),
         partitions=counts,
     )
     for row in rows:
@@ -419,7 +498,8 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         ),
         policy=_robust_policy(args),
         checkpoint=_robust_checkpoint(args),
-        workers=args.workers,
+        workers=_robust_workers(args),
+        supervisor=_robust_supervisor(args),
         dead=dead_counts,
     )
     print(
@@ -537,7 +617,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         _reproduce_measure,
         policy=_robust_policy(args),
         checkpoint=_robust_checkpoint(args),
-        workers=args.workers,
+        workers=_robust_workers(args),
+        supervisor=_robust_supervisor(args),
         experiment=[name],
     )
     if report.failed:
@@ -746,6 +827,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return exit_code_for(exc)
+    except concurrent.futures.BrokenExecutor as exc:
+        # A pool loss that escaped the supervisor (should be rare).
+        print(f"error: worker pool broke: {exc}", file=sys.stderr)
+        return EXIT_POOL_LOSS
+    except KeyboardInterrupt:
+        # Second Ctrl-C (or a serial run's first): completed points are
+        # already journalled line-by-line, so --resume still works.
+        print("error: interrupted", file=sys.stderr)
+        return EXIT_INCOMPLETE
     finally:
         if sinks_requested:
             for path in obs.flush():

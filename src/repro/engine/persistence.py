@@ -17,6 +17,7 @@ from repro.config.hardware import Dataflow
 from repro.dataflow.base import SramCounts
 from repro.engine.results import LayerResult, RunResult
 from repro.errors import ReproError
+from repro.utils.atomicio import atomic_write_json
 
 SCHEMA_VERSION = 1
 
@@ -117,10 +118,8 @@ def run_result_from_dict(data: Dict) -> RunResult:
 
 
 def save_run_result(run: RunResult, path: Union[str, Path]) -> Path:
-    """Write a run to ``path`` as JSON; returns the path."""
-    path = Path(path)
-    path.write_text(json.dumps(run_result_to_dict(run), indent=2) + "\n")
-    return path
+    """Write a run to ``path`` as JSON (atomically); returns the path."""
+    return atomic_write_json(path, run_result_to_dict(run))
 
 
 def load_run_result(path: Union[str, Path]) -> RunResult:

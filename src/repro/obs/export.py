@@ -13,6 +13,11 @@ Three output formats, all JSON-loadable:
   (counters / gauges / histogram percentiles) under the same header.
 * **JSONL event log** (:func:`write_event_jsonl`) — one JSON object per
   line, header first, for ``grep``/stream processing of long runs.
+
+All three writers are crash-safe: the document is serialized in memory
+and lands via :func:`repro.utils.atomicio.atomic_write_text` (temp file
++ fsync + rename), so a crash mid-export never leaves a truncated
+artifact behind.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from typing import Dict, List, Optional, Union
 from repro._version import __version__
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import PHASE_COMPLETE, SpanRecord, Tracer
+from repro.utils.atomicio import atomic_write_text
 
 PathLike = Union[str, Path]
 
@@ -94,10 +100,7 @@ def write_chrome_trace(
         "displayTimeUnit": "ms",
         "metadata": metadata if metadata is not None else run_metadata(),
     }
-    path = Path(path)
-    with path.open("w") as handle:
-        json.dump(doc, handle, indent=1, default=repr)
-    return path
+    return atomic_write_text(path, json.dumps(doc, indent=1, default=repr))
 
 
 def write_metrics_json(
@@ -110,10 +113,7 @@ def write_metrics_json(
         "metadata": metadata if metadata is not None else run_metadata(),
         **registry.snapshot(),
     }
-    path = Path(path)
-    with path.open("w") as handle:
-        json.dump(doc, handle, indent=1, default=repr)
-    return path
+    return atomic_write_text(path, json.dumps(doc, indent=1, default=repr))
 
 
 def write_event_jsonl(
@@ -122,29 +122,26 @@ def write_event_jsonl(
     metadata: Optional[Dict] = None,
 ) -> Path:
     """Write every record as one JSON line, header line first."""
-    path = Path(path)
     header = {"type": "header", **(metadata if metadata is not None else run_metadata())}
-    with path.open("w") as handle:
-        handle.write(json.dumps(header, default=repr) + "\n")
-        for record in tracer.records():
-            handle.write(
-                json.dumps(
-                    {
-                        "type": "span" if record.phase == PHASE_COMPLETE else "event",
-                        "name": record.name,
-                        "cat": record.category,
-                        "ts_us": record.start_ns / 1000.0,
-                        "dur_us": record.duration_ns / 1000.0,
-                        "self_us": record.self_ns / 1000.0,
-                        "tid": record.thread_id,
-                        "depth": record.depth,
-                        "args": record.args,
-                    },
-                    default=repr,
-                )
-                + "\n"
+    lines = [json.dumps(header, default=repr)]
+    for record in tracer.records():
+        lines.append(
+            json.dumps(
+                {
+                    "type": "span" if record.phase == PHASE_COMPLETE else "event",
+                    "name": record.name,
+                    "cat": record.category,
+                    "ts_us": record.start_ns / 1000.0,
+                    "dur_us": record.duration_ns / 1000.0,
+                    "self_us": record.self_ns / 1000.0,
+                    "tid": record.thread_id,
+                    "depth": record.depth,
+                    "args": record.args,
+                },
+                default=repr,
             )
-    return path
+        )
+    return atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def load_trace(path: PathLike) -> Dict:

@@ -1,11 +1,13 @@
 """Multiprocess grid execution with serial-identical semantics.
 
 :func:`execute_grid_parallel` is the ``workers > 1`` backend of
-:func:`repro.robust.executor.execute_grid`.  Grid points are submitted
-to a :class:`concurrent.futures.ProcessPoolExecutor` up front, but
-their outcomes are *drained strictly in points order* through the same
-:class:`~repro.robust.executor._GridRun` bookkeeping the serial loop
-uses.  That single design decision buys exact serial equivalence:
+:func:`repro.robust.executor.execute_grid`.  Since the supervised pool
+landed it is a thin front door over
+:func:`repro.robust.supervisor.execute_grid_supervised`, which drains a
+:class:`concurrent.futures.ProcessPoolExecutor` *strictly in points
+order* through the same :class:`~repro.robust.executor._GridRun`
+bookkeeping the serial loop uses.  That single design decision buys
+exact serial equivalence:
 
 * records (and therefore sweep rows and CSVs) appear in points order;
 * failures are counted in points order, so the circuit breaker trips
@@ -22,21 +24,24 @@ the delta of every ``repro.obs`` counter the point moved (simulated
 cycles, cache hits, retries, ...); the parent merges those deltas so
 metrics accounting matches a serial run.  Worker-side trace spans are
 process-local and are not forwarded.
+
+On top of that contract the supervisor adds crash recovery, per-point
+resource ceilings, hung-worker detection and graceful SIGINT/SIGTERM
+shutdown — see :mod:`repro.robust.supervisor` for the failure-mode
+semantics.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import logging
 import pickle
-from dataclasses import replace
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence
 
-from repro.obs import metrics, trace
 from repro.obs.progress import ProgressSnapshot
 from repro.robust.checkpoint import CheckpointStore
 from repro.robust.policy import ExecutionPolicy
-from repro.robust.report import PointRecord, RunReport
+from repro.robust.report import RunReport
+from repro.robust.supervisor import SupervisorPolicy, execute_grid_supervised
 
 logger = logging.getLogger("repro.perf.parallel")
 
@@ -59,50 +64,6 @@ def pickle_problem(
     return None
 
 
-def _counter_snapshot() -> Dict[str, int]:
-    if not metrics.enabled:
-        return {}
-    return dict(metrics.snapshot().get("counters", {}))
-
-
-def _run_point_task(
-    fn: Callable[..., object],
-    params: Dict,
-    policy: ExecutionPolicy,
-    key: str,
-) -> Tuple[PointRecord, Dict[str, int]]:
-    """Worker-side execution of one grid point.
-
-    Returns the point's record plus the delta of every counter the
-    point moved in this worker process, so the parent can merge the
-    accounting.  The record's live exception object is dropped when it
-    cannot be pickled back (the error string and chain always survive).
-    """
-    from repro.robust.executor import execute_point
-
-    before = _counter_snapshot()
-    record = execute_point(fn, params, policy=policy, key=key)
-    after = _counter_snapshot()
-    deltas = {
-        name: after[name] - before.get(name, 0)
-        for name in after
-        if after[name] != before.get(name, 0)
-    }
-    if record.exception is not None:
-        try:
-            pickle.dumps(record.exception)
-        except Exception:  # noqa: BLE001 - exotic exceptions stay worker-side
-            record = replace(record, exception=None)
-    return record, deltas
-
-
-def _merge_counter_deltas(deltas: Dict[str, int]) -> None:
-    if not deltas or not metrics.enabled:
-        return
-    for name, delta in deltas.items():
-        metrics.counter(name).add(delta)
-
-
 def execute_grid_parallel(
     fn: Callable[..., object],
     points: Sequence[Dict],
@@ -111,45 +72,20 @@ def execute_grid_parallel(
     clock: Callable[[], float],
     on_progress: Optional[Callable[[ProgressSnapshot], None]],
     workers: int,
+    supervisor: Optional[SupervisorPolicy] = None,
 ) -> RunReport:
-    """Drain a process-pool grid in points order through ``_GridRun``.
+    """Drain a supervised process-pool grid in points order.
 
     Call through :func:`repro.robust.executor.execute_grid` — it owns
     the picklability and clock checks that make the fallback safe.
     """
-    from repro.robust.executor import _GridRun
-
-    run = _GridRun(points, policy, checkpoint, clock, on_progress)
-    futures: Dict[int, concurrent.futures.Future] = {}
-    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-        try:
-            for index, params in enumerate(points):
-                if checkpoint is not None and checkpoint.completed(params):
-                    continue  # will be replayed as `cached` at its drain turn
-                futures[index] = pool.submit(
-                    _run_point_task, fn, params, policy, run.key(index, params)
-                )
-            for index, params in enumerate(points):
-                if run.tripped:
-                    future = futures.pop(index, None)
-                    if future is not None:
-                        future.cancel()
-                    run.settle_skipped(params)
-                    continue
-                if run.try_replay(params):
-                    # Journalled before the run, or by an earlier
-                    # duplicate point during this drain.
-                    future = futures.pop(index, None)
-                    if future is not None:
-                        future.cancel()
-                    continue
-                future = futures.pop(index)
-                with trace.span("robust.grid_point", key=run.key(index, params)):
-                    record, deltas = future.result()
-                _merge_counter_deltas(deltas)
-                run.finish_executed(record, params)
-        except BaseException:
-            for future in futures.values():
-                future.cancel()
-            raise
-    return run.report()
+    return execute_grid_supervised(
+        fn,
+        points,
+        policy=policy,
+        checkpoint=checkpoint,
+        clock=clock,
+        on_progress=on_progress,
+        workers=workers,
+        supervisor=supervisor,
+    )

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
 from repro.errors import CheckpointError
+from repro.utils.atomicio import atomic_write_text
 
 
 def _package_version() -> str:
@@ -192,20 +193,12 @@ class CheckpointStore:
             for key, entry in self._entries.items()
             if not (drop_failed and entry.get("status") != "ok")
         }
-        tmp_path = self.path.with_name(self.path.name + ".tmp")
+        text = "".join(json.dumps(entry, default=repr) + "\n" for entry in keep.values())
         try:
-            with tmp_path.open("w", encoding="utf-8") as handle:
-                for entry in keep.values():
-                    handle.write(json.dumps(entry, default=repr) + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, self.path)
+            atomic_write_text(self.path, text)
         except OSError as exc:
             raise CheckpointError(
                 f"cannot compact checkpoint {self.path}: {exc}"
             ) from exc
-        finally:
-            if tmp_path.exists():  # pragma: no cover - only on failure paths
-                tmp_path.unlink()
         self._entries = keep
         return len(raw_lines) - len(keep)

@@ -26,7 +26,7 @@ from __future__ import annotations
 import concurrent.futures
 import logging
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import CircuitOpenError, PointTimeoutError
 from repro.obs import metrics, trace
@@ -42,6 +42,9 @@ from repro.robust.report import (
     RunReport,
     exception_chain,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.robust.supervisor import SupervisorPolicy
 
 #: Default single-attempt, collect-mode policy used when none is given.
 DEFAULT_POLICY = ExecutionPolicy()
@@ -269,6 +272,7 @@ def execute_grid(
     clock: Callable[[], float] = time.monotonic,
     on_progress: Optional[Callable[[ProgressSnapshot], None]] = None,
     workers: int = 1,
+    supervisor: Optional["SupervisorPolicy"] = None,
 ) -> RunReport:
     """Run every point through :func:`execute_point`, with journalling.
 
@@ -280,11 +284,16 @@ def execute_grid(
       of them accumulate, the remaining points are marked ``skipped``
       and a :class:`CircuitOpenError` record stops further execution.
 
-    ``workers > 1`` dispatches point execution to a process pool (see
-    :mod:`repro.perf.parallel`) while preserving all of the above
-    exactly — record order, retries, the circuit breaker counted in
-    points order, and the journal written only from this process.  The
-    call transparently falls back to serial execution when ``fn``,
+    ``workers > 1`` dispatches point execution to a supervised process
+    pool (see :mod:`repro.robust.supervisor`) while preserving all of
+    the above exactly — record order, retries, the circuit breaker
+    counted in points order, and the journal written only from this
+    process.  The supervisor additionally survives worker crashes
+    (rebuild + resubmit), enforces per-point wall-clock/RSS ceilings
+    inside the workers, quarantines crash-looping points, and drains +
+    flushes the journal on SIGINT/SIGTERM; tune it with a
+    :class:`~repro.robust.supervisor.SupervisorPolicy`.  The call
+    transparently falls back to serial execution when ``fn``,
     ``points`` or ``policy`` cannot be pickled, or when non-default
     ``sleep``/``clock`` callables are injected (worker processes always
     run on real time).
@@ -319,6 +328,7 @@ def execute_grid(
                     clock=clock,
                     on_progress=on_progress,
                     workers=workers,
+                    supervisor=supervisor,
                 )
             logger.warning(
                 "workers=%d requested but %s; executing serially instead",

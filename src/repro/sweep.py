@@ -35,6 +35,7 @@ from repro.robust.checkpoint import CheckpointStore
 from repro.robust.executor import execute_grid
 from repro.robust.policy import ExecutionPolicy
 from repro.robust.report import RunReport
+from repro.robust.supervisor import SupervisorPolicy
 
 
 def grid_points(**grid: Sequence) -> List[Dict]:
@@ -85,6 +86,7 @@ def run_sweep_report(
     checkpoint: Optional[Union[str, Path, CheckpointStore]] = None,
     on_progress: Optional[Callable[[ProgressSnapshot], None]] = None,
     workers: int = 1,
+    supervisor: Optional[SupervisorPolicy] = None,
     **grid: Sequence,
 ) -> Tuple[List[Dict], RunReport]:
     """Like :func:`run_sweep` but also returns the per-point report.
@@ -95,9 +97,12 @@ def run_sweep_report(
     with stable ``status`` and ``error`` columns instead of aborting the
     sweep.  The report accounts for every grid point regardless.
 
-    ``workers > 1`` evaluates grid points on a process pool with
-    byte-identical rows, report and checkpoint journal (serial fallback
-    when ``fn`` is not picklable) — see :mod:`repro.perf.parallel`.
+    ``workers > 1`` evaluates grid points on a supervised process pool
+    with byte-identical rows, report and checkpoint journal (serial
+    fallback when ``fn`` is not picklable) — see
+    :mod:`repro.robust.supervisor`.  ``supervisor`` tunes the pool's
+    crash recovery, per-point wall-clock/RSS ceilings, hung-worker
+    heartbeats and quarantine thresholds.
 
     ``on_progress`` receives one
     :class:`~repro.obs.progress.ProgressSnapshot` per settled point
@@ -118,6 +123,7 @@ def run_sweep_report(
         checkpoint=checkpoint,
         on_progress=on_progress,
         workers=workers,
+        supervisor=supervisor,
     )
     return report.rows(), report
 
@@ -128,6 +134,7 @@ def run_sweep(
     policy: Optional[ExecutionPolicy] = None,
     checkpoint: Optional[Union[str, Path, CheckpointStore]] = None,
     workers: int = 1,
+    supervisor: Optional[SupervisorPolicy] = None,
     **grid: Sequence,
 ) -> List[Dict]:
     """Evaluate ``fn`` over the cartesian product of the ``grid`` axes.
@@ -146,6 +153,7 @@ def run_sweep(
         policy=policy,
         checkpoint=checkpoint,
         workers=workers,
+        supervisor=supervisor,
         **grid,
     )
     return rows

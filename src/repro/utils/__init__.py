@@ -1,5 +1,6 @@
-"""Shared utilities: integer math, validation helpers, CSV io."""
+"""Shared utilities: integer math, validation helpers, atomic file io."""
 
+from repro.utils.atomicio import atomic_write_json, atomic_write_text
 from repro.utils.mathutils import (
     ceil_div,
     factor_pairs,
@@ -15,6 +16,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "atomic_write_json",
+    "atomic_write_text",
     "ceil_div",
     "factor_pairs",
     "is_power_of_two",

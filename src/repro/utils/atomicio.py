@@ -1,0 +1,51 @@
+"""Crash-safe file writes: temp file + fsync + atomic rename.
+
+Every JSON artifact this package persists (metrics/trace exports, run
+results, compacted checkpoint journals) goes through
+:func:`atomic_write_text`, the pattern the checkpoint store introduced:
+the payload is written to a temporary file *in the destination
+directory* (so the rename cannot cross filesystems), fsynced, and then
+``os.replace``-d over the target.  A crash — or an OOM kill, or a
+resource-guard ``os._exit`` — at any instant leaves either the old
+complete file or the new one on disk, never a truncated hybrid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Durably replace ``path``'s contents with ``text``.
+
+    The write is all-or-nothing: readers only ever observe the previous
+    complete contents or the new complete contents.  The temporary file
+    is cleaned up on failure, and the original file (if any) is left
+    untouched.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path: Union[str, Path], payload: object, indent: int = 2) -> Path:
+    """Serialize ``payload`` as JSON and atomically write it to ``path``."""
+    return atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

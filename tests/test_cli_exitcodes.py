@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import EXIT_CODES, exit_code_for, main
+from repro.cli import EXIT_CODES, EXIT_INCOMPLETE, EXIT_POOL_LOSS, exit_code_for, main
 from repro.errors import (
     CheckpointError,
     ConfigError,
@@ -13,7 +13,10 @@ from repro.errors import (
     ReproError,
     ResilienceError,
     SimulationError,
+    SupervisorExhaustedError,
+    SweepInterrupted,
     TopologyError,
+    WorkerCrashError,
 )
 
 
@@ -33,11 +36,18 @@ class TestExitCodeMapping:
             (InvariantError("x"), 9),
             (PointTimeoutError("x"), 10),  # via the ExecutionError base
             (ResilienceError("x"), 11),
+            (SweepInterrupted("x"), 12),
+            (WorkerCrashError("x"), 13),
+            (SupervisorExhaustedError("x"), 13),  # via the WorkerCrashError base
             (ReproError("x"), 1),  # no dedicated code -> generic failure
         ],
     )
     def test_mapping(self, exc, code):
         assert exit_code_for(exc) == code
+
+    def test_interrupt_and_pool_loss_reuse_documented_constants(self):
+        assert exit_code_for(SweepInterrupted("x")) == EXIT_INCOMPLETE
+        assert exit_code_for(SupervisorExhaustedError("x")) == EXIT_POOL_LOSS
 
 
 class TestCliErrorPaths:
@@ -125,6 +135,52 @@ class TestResilienceCli:
         first = capsys.readouterr().out
         assert main(argv + ["--resume"]) == 0
         assert capsys.readouterr().out == first
+
+
+class TestWorkersValidation:
+    def test_workers_zero_exits_2(self, capsys):
+        code = main(["sweep", "--layer", "TF0", "--macs", "1024", "--workers", "0"])
+        assert code == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_workers_negative_exits_2(self, capsys):
+        code = main(["sweep", "--layer", "TF0", "--macs", "1024", "--workers", "-3"])
+        assert code == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_workers_above_cpu_count_warn_and_cap(self, caplog):
+        import logging
+        import os
+
+        from repro.cli import _robust_workers, build_parser
+
+        huge = (os.cpu_count() or 1) * 64
+        args = build_parser().parse_args(
+            ["sweep", "--layer", "TF0", "--macs", "1024", "--workers", str(huge)]
+        )
+        cli_logger = logging.getLogger("repro.cli")
+        cli_logger.addHandler(caplog.handler)
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.cli"):
+                capped = _robust_workers(args)
+        finally:
+            cli_logger.removeHandler(caplog.handler)
+        assert capped == (os.cpu_count() or 1)
+        assert any("capping" in record.message for record in caplog.records)
+
+    def test_bad_quarantine_exits_2(self, capsys):
+        code = main(
+            ["sweep", "--layer", "TF0", "--macs", "1024", "--quarantine", "0"]
+        )
+        assert code == 2
+        assert "quarantine_after" in capsys.readouterr().err
+
+    def test_bad_point_timeout_exits_2(self, capsys):
+        code = main(
+            ["sweep", "--layer", "TF0", "--macs", "1024", "--point-timeout", "-1"]
+        )
+        assert code == 2
+        assert "point_timeout" in capsys.readouterr().err
 
 
 class TestSweepRobustFlags:

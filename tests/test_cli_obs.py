@@ -137,7 +137,12 @@ class TestIncompleteExit:
         ])
         assert code == EXIT_INCOMPLETE
         assert EXIT_INCOMPLETE not in (0, EXIT_FAILURE)
-        assert EXIT_INCOMPLETE not in {c for _, c in EXIT_CODES}
+        # 12 is shared deliberately: a graceful SweepInterrupted drain
+        # *is* an incomplete sweep. No other error class may claim it.
+        from repro.errors import SweepInterrupted
+
+        claimants = {exc for exc, c in EXIT_CODES if c == EXIT_INCOMPLETE}
+        assert claimants == {SweepInterrupted}
 
     def test_complete_sweep_returns_zero(self, capsys):
         assert main([

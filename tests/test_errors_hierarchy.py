@@ -21,8 +21,36 @@ from repro.errors import (
     ResilienceError,
     SearchError,
     SimulationError,
+    SupervisorExhaustedError,
+    SweepInterrupted,
     TopologyError,
+    WorkerCrashError,
 )
+
+
+def _exit_immediately(x):
+    """A point that always kills its worker process (module-level so it
+    pickles by reference into the pool)."""
+    import os
+
+    os._exit(1)
+
+
+class _SignalParentThenHang:
+    """First point SIGINTs the supervising parent, then sleeps so the
+    sweep has undrained work when the interrupt is honoured."""
+
+    def __call__(self, x):
+        import os
+        import signal
+        import time
+
+        if x == 1:
+            os.kill(os.getppid(), signal.SIGINT)
+            time.sleep(2.0)
+        else:
+            time.sleep(0.2)
+        return {"sq": x * x}
 
 
 def _raise_config_error():
@@ -121,6 +149,44 @@ def _raise_resilience_error():
     FaultMap.from_spec("partition:not-a-coord")
 
 
+def _raise_worker_crash_error():
+    from repro.robust.policy import ExecutionPolicy
+    from repro.robust.supervisor import SupervisorPolicy
+    from repro.sweep import run_sweep
+
+    # fail_fast + a point that always kills its worker: after the
+    # quarantine threshold and the solo retry, the failure re-raises as
+    # WorkerCrashError.
+    run_sweep(
+        _exit_immediately,
+        policy=ExecutionPolicy(mode="fail_fast"),
+        workers=2,
+        supervisor=SupervisorPolicy(quarantine_after=1),
+        x=[1],
+    )
+
+
+def _raise_supervisor_exhausted_error():
+    from repro.robust.supervisor import SupervisorPolicy
+    from repro.sweep import run_sweep
+
+    # max_restarts=0: the first pool loss exhausts the supervisor.
+    run_sweep(
+        _exit_immediately,
+        workers=2,
+        supervisor=SupervisorPolicy(max_restarts=0),
+        x=[1],
+    )
+
+
+def _raise_sweep_interrupted():
+    from repro.sweep import run_sweep
+
+    # A worker SIGINTs this (supervising) process mid-sweep; the
+    # supervisor drains completed futures and raises SweepInterrupted.
+    run_sweep(_SignalParentThenHang(), workers=2, x=[1, 2, 3, 4])
+
+
 DOCUMENTED_SITES = {
     ConfigError: _raise_config_error,
     TopologyError: _raise_topology_error,
@@ -133,6 +199,9 @@ DOCUMENTED_SITES = {
     CheckpointError: _raise_checkpoint_error,
     InvariantError: _raise_invariant_error,
     ResilienceError: _raise_resilience_error,
+    WorkerCrashError: _raise_worker_crash_error,
+    SupervisorExhaustedError: _raise_supervisor_exhausted_error,
+    SweepInterrupted: _raise_sweep_interrupted,
 }
 
 
@@ -158,6 +227,9 @@ class TestHierarchy:
     def test_execution_errors_share_a_base(self):
         assert issubclass(PointTimeoutError, ExecutionError)
         assert issubclass(CircuitOpenError, ExecutionError)
+        assert issubclass(WorkerCrashError, ExecutionError)
+        assert issubclass(SupervisorExhaustedError, WorkerCrashError)
+        assert issubclass(SweepInterrupted, ExecutionError)
 
     def test_every_leaf_class_has_a_documented_site(self):
         missing = [

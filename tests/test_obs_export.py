@@ -125,3 +125,45 @@ def test_non_json_serializable_args_fall_back_to_repr(tmp_path):
     args = doc["traceEvents"][0]["args"]
     assert args["shape"] == [8, 8]
     assert "object" in args["obj"]
+
+
+def test_exports_are_atomic_and_leave_no_temp_files(tmp_path):
+    """A successful export replaces the file wholesale: valid JSON on
+    disk, no stray temp files beside it."""
+    tracer = _traced()
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("sim.cycles").add(5)
+    trace_path = write_chrome_trace(tracer, tmp_path / "run.trace.json")
+    metrics_path = write_metrics_json(registry, tmp_path / "run.metrics.json")
+    events_path = write_event_jsonl(tracer, tmp_path / "run.events.jsonl")
+    load_trace(trace_path)
+    load_metrics(metrics_path)
+    for line in events_path.read_text().splitlines():
+        json.loads(line)
+    leftovers = [p.name for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == []
+
+
+def test_export_overwrite_is_all_or_nothing(tmp_path):
+    """Re-exporting over an existing file swaps it atomically; a failed
+    write never clobbers the previous complete artifact."""
+    from repro.utils.atomicio import atomic_write_json, atomic_write_text
+
+    target = tmp_path / "artifact.json"
+    atomic_write_json(target, {"generation": 1})
+    assert json.loads(target.read_text()) == {"generation": 1}
+    atomic_write_json(target, {"generation": 2})
+    assert json.loads(target.read_text()) == {"generation": 2}
+
+    # Serialization failure happens before any bytes hit the disk: the
+    # old artifact survives untouched and no temp files are left over.
+    with pytest.raises(TypeError):
+        atomic_write_json(target, {"bad": object()})
+    assert json.loads(target.read_text()) == {"generation": 2}
+
+    # A write failure (unwritable destination directory) leaves no
+    # temp debris either.
+    atomic_write_text(target, "still generation 2? no - plain text now")
+    assert target.read_text().startswith("still")
+    leftovers = [p.name for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == []

@@ -1,0 +1,368 @@
+"""The supervised worker pool: crash recovery, guards, graceful stop.
+
+The contract under test is the PR-4 determinism guarantee *under
+chaos*: a 2-worker sweep whose workers are killed, frozen or starved by
+injected process-level faults must still produce rows, CSVs, reports
+and checkpoint journals identical to a clean serial run (journals
+modulo wall-clock durations), and an operator interrupt must drain +
+flush so ``--resume`` continues exactly.
+
+All point callables live at module level so they pickle by reference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro import obs
+from repro.errors import SupervisorExhaustedError, WorkerCrashError
+from repro.robust.checkpoint import CheckpointStore
+from repro.robust.faults import WorkerFault, inject_worker_faults
+from repro.robust.policy import ExecutionPolicy
+from repro.robust.report import STATUS_FAILED, STATUS_OK, STATUS_SKIPPED
+from repro.robust.supervisor import SupervisorPolicy, process_rss_mb
+from repro.sweep import run_sweep, run_sweep_report, sweep_to_csv
+
+WORKERS = 2
+
+#: A quick supervisor for crash tests: fast polls, few restarts.
+FAST = SupervisorPolicy(poll_interval=0.02)
+
+
+def square(x: int) -> dict:
+    return {"sq": x * x, "cube": x * x * x}
+
+
+def crash_always(x: int) -> dict:
+    if x == 2:
+        os._exit(1)
+    return {"sq": x * x, "cube": x * x * x}
+
+
+def _journal_entries(path):
+    entries = [json.loads(line) for line in path.read_text().splitlines()]
+    # Durations are wall-clock and legitimately differ run to run;
+    # everything else must match exactly.
+    for entry in entries:
+        entry.pop("duration", None)
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Crash recovery
+# ----------------------------------------------------------------------
+
+class TestCrashRecovery:
+    def test_killed_worker_sweep_matches_serial_byte_for_byte(self, tmp_path):
+        xs = list(range(10))
+        serial_journal = tmp_path / "serial.jsonl"
+        chaos_journal = tmp_path / "chaos.jsonl"
+        serial = run_sweep(square, checkpoint=serial_journal, x=xs)
+
+        faulty = inject_worker_faults(
+            square,
+            WorkerFault(kind="kill", marker_dir=str(tmp_path), when={"x": 4}),
+        )
+        chaos = run_sweep(
+            faulty, checkpoint=chaos_journal, x=xs, workers=WORKERS, supervisor=FAST
+        )
+        assert chaos == serial
+        serial_csv = sweep_to_csv(serial, tmp_path / "serial.csv")
+        chaos_csv = sweep_to_csv(chaos, tmp_path / "chaos.csv")
+        assert chaos_csv.read_bytes() == serial_csv.read_bytes()
+        assert _journal_entries(chaos_journal) == _journal_entries(serial_journal)
+
+    def test_two_distinct_crashes_recovered(self, tmp_path):
+        xs = list(range(8))
+        serial = run_sweep(square, x=xs)
+        faulty = inject_worker_faults(
+            square,
+            WorkerFault(kind="kill", marker_dir=str(tmp_path), when={"x": 1}),
+            WorkerFault(kind="kill", marker_dir=str(tmp_path), when={"x": 6}),
+        )
+        chaos = run_sweep(faulty, x=xs, workers=WORKERS, supervisor=FAST)
+        assert chaos == serial
+
+    def test_restart_counters_accounted(self, tmp_path):
+        obs.reset()
+        obs.metrics.enable()
+        try:
+            faulty = inject_worker_faults(
+                square,
+                WorkerFault(kind="kill", marker_dir=str(tmp_path), when={"x": 1}),
+            )
+            run_sweep(faulty, x=[1, 2, 3], workers=WORKERS, supervisor=FAST)
+            counters = obs.metrics.snapshot()["counters"]
+            assert counters.get("supervisor.restarts", 0) >= 1
+            assert counters.get("supervisor.crashes", 0) >= 1
+        finally:
+            obs.reset()
+
+
+# ----------------------------------------------------------------------
+# Quarantine
+# ----------------------------------------------------------------------
+
+class TestQuarantine:
+    def test_deterministic_crasher_quarantined_in_collect_mode(self):
+        rows, report = run_sweep_report(
+            crash_always,
+            policy=ExecutionPolicy(mode="collect"),
+            x=[1, 2, 3],
+            workers=WORKERS,
+            supervisor=FAST,
+        )
+        assert [r.status for r in report.records] == [
+            STATUS_OK, STATUS_FAILED, STATUS_OK,
+        ]
+        failed = report.records[1]
+        assert "quarantined" in failed.error
+        assert isinstance(failed.exception, WorkerCrashError)
+        assert rows[0] == {"x": 1, "sq": 1, "cube": 1}
+        assert rows[2] == {"x": 3, "sq": 9, "cube": 27}
+
+    def test_quarantine_counts_against_max_failures(self):
+        _, report = run_sweep_report(
+            crash_always,
+            policy=ExecutionPolicy(mode="collect", max_failures=1),
+            x=[1, 2, 3, 4],
+            workers=WORKERS,
+            supervisor=FAST,
+        )
+        statuses = [r.status for r in report.records]
+        assert statuses[1] == STATUS_FAILED
+        assert STATUS_SKIPPED in statuses[2:]
+
+    def test_fail_fast_raises_worker_crash_error(self):
+        with pytest.raises(WorkerCrashError, match="quarantined"):
+            run_sweep(
+                crash_always,
+                policy=ExecutionPolicy(mode="fail_fast"),
+                x=[1, 2, 3],
+                workers=WORKERS,
+                supervisor=SupervisorPolicy(quarantine_after=1, poll_interval=0.02),
+            )
+
+    def test_exhausted_supervisor_aborts(self):
+        with pytest.raises(SupervisorExhaustedError, match="max_restarts"):
+            run_sweep(
+                crash_always,
+                x=[2],
+                workers=WORKERS,
+                supervisor=SupervisorPolicy(max_restarts=0, poll_interval=0.02),
+            )
+
+
+# ----------------------------------------------------------------------
+# Resource guards (enforced inside the worker)
+# ----------------------------------------------------------------------
+
+class TestResourceGuards:
+    def test_wall_clock_ceiling_kills_runaway_point(self, tmp_path):
+        slow = inject_worker_faults(
+            square,
+            WorkerFault(
+                kind="sleep", marker_dir=str(tmp_path), when={"x": 1},
+                times=10, hold_seconds=30.0,
+            ),
+        )
+        start = time.monotonic()
+        _, report = run_sweep_report(
+            slow,
+            policy=ExecutionPolicy(mode="collect"),
+            x=[1, 2],
+            workers=WORKERS,
+            supervisor=SupervisorPolicy(point_timeout=0.4, poll_interval=0.02),
+        )
+        assert time.monotonic() - start < 20.0  # killed, not waited out
+        assert [r.status for r in report.records] == [STATUS_FAILED, STATUS_OK]
+        assert "wall_clock" in report.records[0].error
+
+    def test_rss_ceiling_kills_memory_hog(self, tmp_path):
+        ceiling = process_rss_mb() + 150.0
+        hog = inject_worker_faults(
+            square,
+            WorkerFault(
+                kind="hog", marker_dir=str(tmp_path), when={"x": 1},
+                times=10, hog_mb=500, hold_seconds=30.0,
+            ),
+        )
+        _, report = run_sweep_report(
+            hog,
+            policy=ExecutionPolicy(mode="collect"),
+            x=[1, 2],
+            workers=WORKERS,
+            supervisor=SupervisorPolicy(point_rss_mb=ceiling, poll_interval=0.02),
+        )
+        assert [r.status for r in report.records] == [STATUS_FAILED, STATUS_OK]
+        assert "rss" in report.records[0].error
+
+    def test_unguarded_points_pay_no_watchdog(self):
+        # No ceilings configured -> no watchdog thread, plain execution.
+        serial = run_sweep(square, x=[1, 2, 3])
+        assert run_sweep(square, x=[1, 2, 3], workers=WORKERS) == serial
+
+
+# ----------------------------------------------------------------------
+# Hung-worker heartbeats
+# ----------------------------------------------------------------------
+
+class TestHeartbeat:
+    def test_frozen_worker_detected_and_sweep_completes(self, tmp_path):
+        serial = run_sweep(square, x=[1, 2, 3, 4])
+        frozen = inject_worker_faults(
+            square,
+            WorkerFault(
+                kind="freeze", marker_dir=str(tmp_path), when={"x": 2},
+                hold_seconds=60.0,
+            ),
+        )
+        start = time.monotonic()
+        rows = run_sweep(
+            frozen,
+            x=[1, 2, 3, 4],
+            workers=WORKERS,
+            supervisor=SupervisorPolicy(heartbeat_timeout=0.6, poll_interval=0.05),
+        )
+        assert rows == serial
+        assert time.monotonic() - start < 30.0  # killed the frozen worker
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown (SIGINT -> drain + flush + exit 12 + exact resume)
+# ----------------------------------------------------------------------
+
+INTERRUPT_SCRIPT = textwrap.dedent(
+    """
+    import sys
+
+    from repro.cli import exit_code_for
+    from repro.errors import ReproError
+    from repro.robust.supervisor import SupervisorPolicy
+    from repro.sweep import run_sweep
+
+
+    def slow_square(x):
+        import time
+        time.sleep(0.4)
+        return {"sq": x * x, "cube": x * x * x}
+
+
+    if __name__ == "__main__":
+        journal = sys.argv[1]
+        try:
+            run_sweep(
+                slow_square,
+                checkpoint=journal,
+                workers=2,
+                supervisor=SupervisorPolicy(poll_interval=0.02),
+                x=list(range(10)),
+            )
+        except ReproError as exc:
+            print(f"interrupted: {exc}", file=sys.stderr)
+            sys.exit(exit_code_for(exc))
+        sys.exit(0)
+    """
+)
+
+
+class TestGracefulShutdown:
+    def test_sigint_flushes_journal_exits_12_and_resumes_exactly(self, tmp_path):
+        script = tmp_path / "interruptible_sweep.py"
+        script.write_text(INTERRUPT_SCRIPT)
+        journal = tmp_path / "sweep.jsonl"
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(journal)],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        # Let a couple of points land in the journal, then interrupt.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if journal.exists() and len(journal.read_text().splitlines()) >= 2:
+                break
+            time.sleep(0.05)
+        else:
+            proc.kill()
+            pytest.fail("journal never accumulated entries")
+        proc.send_signal(signal.SIGINT)
+        stderr = proc.communicate(timeout=30)[1]
+
+        assert proc.returncode == 12, stderr
+        assert "interrupted" in stderr
+        # The flushed journal is valid JSONL with only completed points.
+        entries = [json.loads(line) for line in journal.read_text().splitlines()]
+        assert entries and all(entry["status"] == "ok" for entry in entries)
+        assert len(entries) < 10  # genuinely interrupted mid-sweep
+
+        # --resume semantics: the journal replays, the sweep completes,
+        # and the rows equal a clean uninterrupted run.
+        def slow_square(x):
+            return {"sq": x * x, "cube": x * x * x}
+
+        store = CheckpointStore(journal)
+        rows, report = run_sweep_report(
+            slow_square, checkpoint=store, x=list(range(10))
+        )
+        assert rows == [{"x": x, "sq": x * x, "cube": x * x * x} for x in range(10)]
+        cached = [r for r in report.records if r.status == "cached"]
+        assert len(cached) == len(entries)
+
+
+# ----------------------------------------------------------------------
+# Policy validation
+# ----------------------------------------------------------------------
+
+class TestSupervisorPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"point_timeout": 0},
+            {"point_timeout": -1.0},
+            {"point_rss_mb": 0},
+            {"quarantine_after": 0},
+            {"max_restarts": -1},
+            {"heartbeat_timeout": 0},
+            {"poll_interval": 0},
+        ],
+        ids=lambda kw: next(iter(kw)),
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(**kwargs)
+
+    def test_defaults_are_valid_and_unguarded(self):
+        sup = SupervisorPolicy()
+        assert not sup.guards_worker
+        assert SupervisorPolicy(point_timeout=1.0).guards_worker
+        assert SupervisorPolicy(point_rss_mb=64.0).guards_worker
+        assert SupervisorPolicy(heartbeat_timeout=1.0).guards_worker
+
+    def test_policy_is_picklable(self):
+        import pickle
+
+        sup = SupervisorPolicy(point_timeout=2.0, point_rss_mb=512.0)
+        assert pickle.loads(pickle.dumps(sup)) == sup
+
+
+class TestWorkerFaultValidation:
+    def test_bad_kind_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="kind"):
+            WorkerFault(kind="explode", marker_dir=str(tmp_path))
+
+    def test_markers_survive_worker_restarts(self, tmp_path):
+        fault = WorkerFault(kind="kill", marker_dir=str(tmp_path), when={"x": 1})
+        assert fault.claim({"x": 1}) is True   # first firing claims the marker
+        assert fault.claim({"x": 1}) is False  # any later process sees it spent
+        assert fault.matches({"x": 2}) is False
