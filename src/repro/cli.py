@@ -57,7 +57,9 @@ from repro.errors import (
     ReproError,
     ResilienceError,
     SearchError,
+    ServiceError,
     SimulationError,
+    StorageError,
     SweepInterrupted,
     TopologyError,
     WorkerCrashError,
@@ -65,6 +67,7 @@ from repro.errors import (
 from repro.robust.checkpoint import CheckpointStore
 from repro.robust.policy import ExecutionPolicy
 from repro.robust.supervisor import SupervisorPolicy
+from repro.serve.jobs import sweep_measure
 from repro.sweep import run_sweep_report
 from repro.topology.network import Network
 from repro.topology.parser import load_topology
@@ -84,6 +87,17 @@ EXIT_INCOMPLETE = 12
 #: dying past ``max_restarts`` rebuilds, or a point crash escalated in
 #: ``fail_fast`` mode (:class:`~repro.errors.WorkerCrashError`).
 EXIT_POOL_LOSS = 13
+
+#: A durable write could not complete (``ENOSPC``/``EIO``/vanished
+#: directory — :class:`~repro.errors.StorageError`) and no layer above
+#: could degrade gracefully around it.
+EXIT_STORAGE = 14
+
+#: The ``repro.serve`` daemon/client layer failed: the daemon cannot
+#: bind, the client cannot reach it, a job errored server-side, or
+#: back-pressure retries were exhausted
+#: (:class:`~repro.errors.ServiceError`).
+EXIT_SERVICE = 15
 
 #: Stable process exit codes per failure class, most specific first.
 #: This table is THE reference for the CLI's exit contract (mirrored in
@@ -109,6 +123,11 @@ EXIT_POOL_LOSS = 13
 #:       SIGINT/SIGTERM drain — ``SweepInterrupted``)
 #: 13    worker-pool loss (``WorkerCrashError`` /
 #:       ``SupervisorExhaustedError``, or a raw ``BrokenProcessPool``)
+#: 14    durable write failure (``StorageError``: ENOSPC, EIO, a
+#:       vanished directory) that nothing above could degrade around
+#: 15    simulation service failure (``ServiceError``: daemon cannot
+#:       bind, unreachable, server-side job error, or exhausted
+#:       back-pressure retries)
 #: ====  =========================================================
 EXIT_CODES: Tuple[Tuple[type, int], ...] = (
     (ConfigError, 2),
@@ -123,6 +142,8 @@ EXIT_CODES: Tuple[Tuple[type, int], ...] = (
     (WorkerCrashError, EXIT_POOL_LOSS),
     (ExecutionError, 10),
     (ResilienceError, 11),
+    (StorageError, EXIT_STORAGE),
+    (ServiceError, EXIT_SERVICE),
 )
 
 #: Generic non-zero exit for failures without a dedicated code.
@@ -394,21 +415,6 @@ def _resolve_layer(args: argparse.Namespace):
     return network[args.layer]
 
 
-def _sweep_measure(partitions: int, layer=None, macs: int = 0) -> dict:
-    """One partition-sweep point; module-level so worker processes can
-    unpickle it (closures cannot cross the process boundary)."""
-    grid = _square_grid(partitions)
-    shape = _square_grid(macs // partitions)
-    config = paper_scaling_config(shape[0], shape[1], grid[0], grid[1])
-    result = ScaleOutSimulator(config).run_layer(layer)
-    return {
-        "array": f"{shape[0]}x{shape[1]}",
-        "cycles": result.total_cycles,
-        "avg_bw": round(result.avg_total_bw, 3),
-        "peak_bw": round(result.peak_total_bw, 3),
-    }
-
-
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if not is_power_of_two(args.macs):
         raise SystemExit("--macs must be a power of two for the sweep")
@@ -428,7 +434,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 0
 
     rows, report = run_sweep_report(
-        functools.partial(_sweep_measure, layer=layer, macs=args.macs),
+        functools.partial(sweep_measure, layer=layer, macs=args.macs),
         policy=_robust_policy(args),
         checkpoint=_robust_checkpoint(args),
         workers=_robust_workers(args),
@@ -520,14 +526,6 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         logger.warning("sweep incomplete: %s", report.summary())
         return EXIT_INCOMPLETE
     return 0
-
-
-def _square_grid(count: int) -> Tuple[int, int]:
-    """Most-square power-of-two factorization of ``count``."""
-    rows = 1
-    while rows * rows < count:
-        rows <<= 1
-    return (count // rows, rows) if count % rows == 0 else (1, count)
 
 
 def _cmd_workloads(_: argparse.Namespace) -> int:
@@ -647,6 +645,76 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived simulation daemon until SIGTERM/SIGINT."""
+    import signal
+    import threading
+
+    from repro.serve.daemon import (
+        ServicePolicy,
+        SimulationService,
+        make_server,
+        serve_until_signalled,
+    )
+
+    try:
+        policy = ServicePolicy(
+            workers=args.workers,
+            max_queue=args.queue,
+            client_quota=args.quota,
+            request_timeout=args.request_timeout,
+            drain_timeout=args.drain_timeout,
+        )
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
+    service = SimulationService(policy)
+    server = make_server(
+        service, host=args.host, port=args.port, socket_path=args.socket
+    )
+
+    def _stop(signum: int, _frame) -> None:
+        logger.warning(
+            "received %s: draining in-flight jobs and shutting down",
+            signal.Signals(signum).name,
+        )
+        # serve_forever() must be unblocked from another thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _stop)
+    return serve_until_signalled(server, service)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job (or a health probe) to a running daemon."""
+    import json as _json
+
+    from repro.serve.client import ServiceClient
+
+    client = ServiceClient(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        client_id=args.client,
+        timeout=args.http_timeout,
+    )
+    if args.health:
+        print(_json.dumps(client.health(), indent=2, default=repr))
+        return 0
+    if bool(args.request) == bool(args.file):
+        raise ServiceError("provide exactly one of --request JSON or --file FILE")
+    try:
+        text = Path(args.file).read_text() if args.file else args.request
+        request = _json.loads(text)
+    except OSError as exc:
+        raise ServiceError(f"cannot read request file: {exc}") from exc
+    except _json.JSONDecodeError as exc:
+        raise ServiceError(f"request is not valid JSON: {exc}") from exc
+    body = client.submit(request, max_retries=args.wait)
+    print(_json.dumps(body, indent=2, default=repr))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="scalesim-repro",
@@ -670,6 +738,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-cache", dest="no_cache", action="store_true",
         help="disable the in-process simulation result cache",
+    )
+    parser.add_argument(
+        "--store", metavar="DIR",
+        help="persist simulation results in a content-addressed store at "
+             "DIR (created if missing); identical points are served from "
+             "disk across runs and processes",
+    )
+    parser.add_argument(
+        "--no-store", dest="no_store", action="store_true",
+        help="disable the persistent result store (overrides --store and "
+             "the REPRO_RESULT_STORE environment variable)",
     )
     parser.add_argument(
         "--log-level", dest="log_level",
@@ -801,6 +880,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of spans/histograms to show (default 10)",
     )
     stats.set_defaults(func=_cmd_stats)
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived simulation daemon (see docs/service.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787, help="TCP port (default 8787)")
+    serve.add_argument("--socket", metavar="PATH",
+                       help="serve on a unix domain socket instead of TCP")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent job threads (default 2)")
+    serve.add_argument("--queue", type=int, default=8,
+                       help="jobs that may wait beyond the running ones before "
+                            "429 back-pressure (default 8)")
+    serve.add_argument("--quota", type=int, default=4,
+                       help="max in-flight requests per client id (default 4)")
+    serve.add_argument("--request-timeout", type=float, dest="request_timeout",
+                       metavar="SECONDS", help="per-job wall-clock budget")
+    serve.add_argument("--drain-timeout", type=float, dest="drain_timeout",
+                       default=30.0, metavar="SECONDS",
+                       help="SIGTERM drain budget for in-flight jobs (default 30)")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running daemon and print the result"
+    )
+    submit.add_argument("--host", default="127.0.0.1", help="daemon address")
+    submit.add_argument("--port", type=int, default=8787, help="daemon TCP port")
+    submit.add_argument("--socket", metavar="PATH", help="daemon unix socket path")
+    submit.add_argument("--client", default="anonymous",
+                        help="client id for quota accounting")
+    submit.add_argument("--request", metavar="JSON",
+                        help="inline job request, e.g. "
+                             '\'{"kind":"gemm","m":64,"k":32,"n":48}\'')
+    submit.add_argument("--file", metavar="FILE", help="read the job request from FILE")
+    submit.add_argument("--wait", type=int, default=0, metavar="N",
+                        help="retry back-pressured submissions up to N times, "
+                             "honouring the daemon's Retry-After (default 0)")
+    submit.add_argument("--health", action="store_true",
+                        help="print the daemon's /health snapshot and exit")
+    submit.add_argument("--http-timeout", type=float, dest="http_timeout",
+                        default=300.0, help="HTTP response timeout (default 300s)")
+    submit.set_defaults(func=_cmd_submit)
     return parser
 
 
@@ -812,6 +933,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.perf import cache
 
         cache.disable()
+    from repro import store as result_store
+
+    try:
+        if args.no_store:
+            result_store.disable()
+        elif args.store:
+            result_store.configure(args.store)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
     sinks_requested = bool(args.trace or args.metrics or args.events)
     if sinks_requested:
         vector = list(argv) if argv is not None else list(sys.argv[1:])
@@ -836,6 +967,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # already journalled line-by-line, so --resume still works.
         print("error: interrupted", file=sys.stderr)
         return EXIT_INCOMPLETE
+    except BrokenPipeError:
+        # `repro ... | head` closed stdout early; not an error.  Point
+        # stdout at devnull so the interpreter's shutdown flush does not
+        # print a second traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     finally:
         if sinks_requested:
             for path in obs.flush():

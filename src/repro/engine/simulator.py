@@ -21,6 +21,7 @@ from repro.memory.bandwidth import compute_dram_traffic
 from repro.memory.buffers import BufferSet
 from repro.obs import metrics, trace
 from repro.perf.cache import cache, simulation_key
+from repro.store import runtime as store_runtime
 from repro.topology.layer import Layer
 from repro.topology.network import Network
 
@@ -117,6 +118,12 @@ class Simulator:
             result, _traffic = hit
             self._record_metrics(result)
             return replace(result, layer_name=layer_name)
+        stored = store_runtime.probe(key)
+        if stored is not None:
+            result, _traffic = stored
+            cache.put(key, stored)
+            self._record_metrics(result)
+            return replace(result, layer_name=layer_name)
         traffic = compute_dram_traffic(
             engine, self.buffers, self.config.word_bytes, loop_order=self.loop_order
         )
@@ -147,6 +154,7 @@ class Simulator:
         )
         self._record_metrics(result)
         cache.put(key, (result, traffic))
+        store_runtime.record(key, (replace(result, layer_name=""), traffic))
         return result
 
     @staticmethod

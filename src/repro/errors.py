@@ -72,6 +72,35 @@ class CheckpointError(ReproError):
     """Raised for unreadable, conflicting or misused checkpoint journals."""
 
 
+class StorageError(ReproError, OSError):
+    """Raised when a durable write cannot complete (``ENOSPC``, ``EIO``,
+    vanished directories).  Subclasses ``OSError`` so existing callers
+    that guard filesystem writes with ``except OSError`` keep working,
+    while carrying the library's typed exit-code contract."""
+
+
+class StoreCorruptionError(StorageError):
+    """Raised when the result store itself (not one entry) is unusable:
+    the root is not a store, the manifest directory cannot be created,
+    or quarantine repeatedly fails.  Individual corrupted entries never
+    raise — they are quarantined and recomputed transparently."""
+
+
+class ServiceError(ReproError):
+    """Raised by the ``repro.serve`` daemon/client layer: malformed
+    requests, transport failures, or a server-side job error."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """Raised client-side when the daemon rejects a request with
+    back-pressure (full queue or an exhausted per-client quota); carries
+    the server's suggested ``retry_after`` delay in seconds."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class InvariantError(ReproError):
     """Raised when cycle-accurate results diverge from the analytical
     model (Eq. 1-6) or the demand/trace views stop agreeing."""

@@ -90,7 +90,9 @@ class CheckpointStore:
             text = self.path.read_text(encoding="utf-8")
         except OSError as exc:
             raise CheckpointError(f"cannot read checkpoint {self.path}: {exc}") from exc
-        for line in text.splitlines():
+        logger = logging.getLogger("repro.robust.checkpoint")
+        lines = text.splitlines()
+        for number, line in enumerate(lines, start=1):
             line = line.strip()
             if not line:
                 continue
@@ -98,9 +100,20 @@ class CheckpointStore:
                 entry = json.loads(line)
             except json.JSONDecodeError:
                 # A crash mid-write leaves a truncated trailing line;
-                # everything before it is still a valid prefix of the run.
+                # everything before it is still a valid prefix of the
+                # run.  The dropped point simply re-simulates on resume.
+                logger.warning(
+                    "checkpoint %s line %d/%d is not valid JSON "
+                    "(likely truncated by a crash mid-write); dropping it, "
+                    "the point will be re-simulated",
+                    self.path, number, len(lines),
+                )
                 continue
             if not isinstance(entry, dict) or "key" not in entry:
+                logger.warning(
+                    "checkpoint %s line %d/%d is not a journal entry; "
+                    "dropping it", self.path, number, len(lines),
+                )
                 continue
             self._entries[entry["key"]] = entry
 

@@ -76,6 +76,62 @@ logger = logging.getLogger("repro.robust.supervisor")
 #: Exit code a worker uses when its resource watchdog kills the process.
 RESOURCE_KILL_EXIT = 70
 
+#: Prefix of the per-run scratch directories under the system tempdir.
+SCRATCH_PREFIX = "repro-supervisor-"
+
+#: A scratch dir untouched this long belongs to a run that died without
+#: reaching its ``finally`` (SIGKILL, power loss); reap it on the next
+#: supervised run's startup.  Generous enough that a live concurrent
+#: run — whose heartbeat breadcrumbs keep refreshing the mtime — is
+#: never collected.
+SCRATCH_STALE_SECONDS = 24 * 3600.0
+
+
+def reap_stale_scratch(
+    max_age_seconds: float = SCRATCH_STALE_SECONDS,
+    root: Optional[Path] = None,
+) -> int:
+    """Remove abandoned supervisor scratch dirs; returns how many.
+
+    A run killed with SIGKILL (or the machine losing power) never runs
+    the ``rmtree`` in :func:`execute_grid_supervised`'s ``finally``, so
+    breadcrumb dirs accumulate in the tempdir.  Each supervised run
+    sweeps its siblings on startup: any ``repro-supervisor-*`` dir
+    whose newest content is older than ``max_age_seconds`` is removed.
+    Active runs are safe — their heartbeat files are rewritten every
+    poll interval, keeping the dir young.
+    """
+    base = Path(root) if root is not None else Path(tempfile.gettempdir())
+    now = time.time()
+    reaped = 0
+    try:
+        candidates = list(base.glob(f"{SCRATCH_PREFIX}*"))
+    except OSError:  # pragma: no cover - tempdir itself unreadable
+        return 0
+    for candidate in candidates:
+        try:
+            if not candidate.is_dir():
+                continue
+            newest = candidate.stat().st_mtime
+            for entry in candidate.iterdir():
+                with contextlib.suppress(OSError):
+                    newest = max(newest, entry.stat().st_mtime)
+        except OSError:
+            continue  # vanished or unreadable; another run may own it
+        if now - newest <= max_age_seconds:
+            continue
+        shutil.rmtree(candidate, ignore_errors=True)
+        if not candidate.exists():
+            reaped += 1
+            logger.info(
+                "reaped stale supervisor scratch dir %s (idle %.0fs)",
+                candidate, now - newest,
+            )
+    if reaped and metrics.enabled:
+        metrics.counter("supervisor.scratch_reaped").add(reaped)
+        trace.event("supervisor.scratch_reaped", count=reaped)
+    return reaped
+
 
 @dataclass(frozen=True)
 class SupervisorPolicy:
@@ -698,7 +754,8 @@ def execute_grid_supervised(
     handled on top of that.
     """
     sup = supervisor or DEFAULT_SUPERVISOR
-    scratch = Path(tempfile.mkdtemp(prefix="repro-supervisor-"))
+    reap_stale_scratch()
+    scratch = Path(tempfile.mkdtemp(prefix=SCRATCH_PREFIX))
     run = _Supervisor(
         fn, points, policy, checkpoint, clock, on_progress, workers, sup, scratch
     )

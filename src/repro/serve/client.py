@@ -1,0 +1,139 @@
+"""Thin client for the simulation daemon (``repro submit``).
+
+Stdlib-only JSON-over-HTTP against either the daemon's localhost TCP
+port or its unix domain socket.  Back-pressure is a first-class
+outcome: a 429/503 raises
+:class:`~repro.errors.ServiceUnavailableError` carrying the server's
+``Retry-After`` hint, and :meth:`ServiceClient.submit` can optionally
+honour it with a bounded retry loop — the polite client the admission
+controller is designed for.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ServiceError, ServiceUnavailableError
+
+DEFAULT_PORT = 8787
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """HTTPConnection whose transport is a unix domain socket."""
+
+    def __init__(self, socket_path: str, timeout: Optional[float] = None):
+        super().__init__("localhost", timeout=timeout if timeout is not None else 60.0)
+        self.socket_path = socket_path
+
+    def connect(self) -> None:
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            self.sock.settimeout(self.timeout)
+        self.sock.connect(self.socket_path)
+
+
+class ServiceClient:
+    """One logical client of a running daemon.
+
+    ``client_id`` feeds the server's per-client quota accounting; give
+    each cooperating process its own id so one greedy client cannot
+    starve the rest.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        socket_path: Optional[str] = None,
+        client_id: str = "anonymous",
+        timeout: float = 300.0,
+    ):
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.client_id = client_id
+        self.timeout = timeout
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self.socket_path:
+            return _UnixHTTPConnection(self.socket_path, timeout=self.timeout)
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Tuple[int, Dict, Dict]:
+        """Returns ``(status, headers, parsed_body)``; raises ServiceError
+        on transport failures or non-JSON responses."""
+        connection = self._connection()
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"X-Repro-Client": self.client_id}
+            if payload is not None:
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                parsed = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    f"daemon returned non-JSON body for {method} {path}: {exc}"
+                ) from exc
+            if not isinstance(parsed, dict):
+                raise ServiceError(f"daemon returned non-object body for {method} {path}")
+            return response.status, dict(response.headers), parsed
+        except (OSError, http.client.HTTPException) as exc:
+            where = self.socket_path or f"{self.host}:{self.port}"
+            raise ServiceError(f"cannot reach daemon at {where}: {exc}") from exc
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        status, _headers, body = self._request("GET", "/health")
+        if status != 200:
+            raise ServiceError(f"health check failed with HTTP {status}: {body}")
+        return body
+
+    def submit(self, request: Dict, max_retries: int = 0) -> Dict:
+        """Submit one job and return its result body.
+
+        On back-pressure (429/503) the call sleeps for the server's
+        ``Retry-After`` and retries, at most ``max_retries`` times;
+        exhausted retries raise :class:`ServiceUnavailableError`.
+        Invalid requests and job failures raise :class:`ServiceError`.
+        """
+        attempt = 0
+        while True:
+            status, headers, body = self._request("POST", "/submit", body=request)
+            if status == 200:
+                return body
+            if status in (429, 503):
+                retry_after = _retry_after(headers, body)
+                if attempt < max_retries:
+                    attempt += 1
+                    time.sleep(retry_after)
+                    continue
+                raise ServiceUnavailableError(
+                    f"daemon rejected the request ({body.get('error', status)})",
+                    retry_after=retry_after,
+                )
+            raise ServiceError(
+                f"job failed with HTTP {status}: {body.get('error', body)}"
+            )
+
+
+def _retry_after(headers: Dict, body: Dict) -> float:
+    for source in (headers.get("Retry-After"), body.get("retry_after")):
+        try:
+            if source is not None:
+                return max(0.05, float(source))
+        except (TypeError, ValueError):
+            continue
+    return 1.0

@@ -1,0 +1,37 @@
+"""Durable, content-addressed simulation result store (``repro.store``).
+
+Promotes the in-process LRU of :mod:`repro.perf.cache` to a crash-safe
+cross-run cache on disk: identical grid points simulate once, ever.
+See :mod:`repro.store.result_store` for the durability contract and
+:mod:`repro.store.runtime` for how the engine and worker processes
+find the active store.
+"""
+
+from repro.store.records import decode_result_pair, encode_result_pair
+from repro.store.result_store import SCHEMA_VERSION, ResultStore, payload_checksum
+from repro.store.runtime import (
+    STORE_ENV_VAR,
+    active,
+    configure,
+    deactivate,
+    disable,
+    probe,
+    record,
+    store_key,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "STORE_ENV_VAR",
+    "ResultStore",
+    "active",
+    "configure",
+    "deactivate",
+    "decode_result_pair",
+    "disable",
+    "encode_result_pair",
+    "payload_checksum",
+    "probe",
+    "record",
+    "store_key",
+]

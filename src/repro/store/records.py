@@ -1,0 +1,150 @@
+"""JSON round-trip for the simulator's result pair.
+
+The persistent result store holds exactly what the in-process LRU
+holds: a ``(LayerResult, DramTraffic)`` pair per simulation key.  Both
+are frozen dataclasses of ints, floats, strings and lists, so they
+serialize losslessly — Python's ``repr``-based float JSON encoding is
+shortest-round-trip, which is what makes a store hit byte-identical to
+a cold simulation.
+
+``layer_name`` is normalized away on encode (the store, like the LRU,
+is keyed on the GEMM + hardware, not the label); hits are re-labelled
+by the caller via ``dataclasses.replace``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.config.hardware import Dataflow
+from repro.dataflow.base import SramCounts
+from repro.engine.results import LayerResult
+from repro.memory.bandwidth import BandwidthProfile, DramTraffic
+from repro.memory.reuse import OperandTraffic
+
+#: Bumped whenever this wire format changes shape; readers quarantine
+#: records written under any other schema instead of misparsing them.
+PAYLOAD_KIND = "layer_result_pair"
+
+
+def _operand_to_dict(operand: OperandTraffic) -> Dict:
+    return {
+        "stream": operand.stream,
+        "per_fold_bytes": list(operand.per_fold_bytes),
+        "unique_bytes": operand.unique_bytes,
+    }
+
+
+def _operand_from_dict(payload: Dict) -> OperandTraffic:
+    return OperandTraffic(
+        stream=payload["stream"],
+        per_fold_bytes=[int(v) for v in payload["per_fold_bytes"]],
+        unique_bytes=int(payload["unique_bytes"]),
+    )
+
+
+def encode_result_pair(result: LayerResult, traffic: DramTraffic) -> Dict:
+    """Flatten one simulation result pair into a JSON-safe dict."""
+    return {
+        "kind": PAYLOAD_KIND,
+        "result": {
+            "layer_name": "",  # store entries are label-free
+            "dataflow": result.dataflow.value,
+            "array_rows": result.array_rows,
+            "array_cols": result.array_cols,
+            "partition_rows": result.partition_rows,
+            "partition_cols": result.partition_cols,
+            "total_cycles": result.total_cycles,
+            "macs": result.macs,
+            "mapping_utilization": result.mapping_utilization,
+            "compute_utilization": result.compute_utilization,
+            "sram": {
+                "ifmap_reads": result.sram.ifmap_reads,
+                "filter_reads": result.sram.filter_reads,
+                "ofmap_writes": result.sram.ofmap_writes,
+            },
+            "dram_read_bytes": result.dram_read_bytes,
+            "dram_write_bytes": result.dram_write_bytes,
+            "cold_start_bytes": result.cold_start_bytes,
+            "avg_read_bw": result.avg_read_bw,
+            "avg_write_bw": result.avg_write_bw,
+            "peak_read_bw": result.peak_read_bw,
+            "peak_write_bw": result.peak_write_bw,
+            "word_bytes": result.word_bytes,
+            "row_folds": result.row_folds,
+            "col_folds": result.col_folds,
+            "idle_partitions": result.idle_partitions,
+            "failed_partitions": result.failed_partitions,
+            "remapped_tiles": result.remapped_tiles,
+        },
+        "traffic": {
+            "ifmap": _operand_to_dict(traffic.ifmap),
+            "filter": _operand_to_dict(traffic.filter),
+            "ofmap_per_fold_bytes": list(traffic.ofmap_per_fold_bytes),
+            "cold_start_bytes": traffic.cold_start_bytes,
+            "fold_cycles": list(traffic.fold_cycles),
+            "bandwidth": {
+                "avg_read_bw": traffic.bandwidth.avg_read_bw,
+                "avg_write_bw": traffic.bandwidth.avg_write_bw,
+                "peak_read_bw": traffic.bandwidth.peak_read_bw,
+                "peak_write_bw": traffic.bandwidth.peak_write_bw,
+            },
+        },
+    }
+
+
+def decode_result_pair(payload: Dict) -> Tuple[LayerResult, DramTraffic]:
+    """Rebuild the ``(LayerResult, DramTraffic)`` pair from its dict.
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` on malformed
+    payloads; the store treats any decode failure as corruption and
+    quarantines the entry.
+    """
+    if payload.get("kind") != PAYLOAD_KIND:
+        raise ValueError(f"unexpected payload kind {payload.get('kind')!r}")
+    res = payload["result"]
+    result = LayerResult(
+        layer_name=res["layer_name"],
+        dataflow=Dataflow.from_string(res["dataflow"]),
+        array_rows=int(res["array_rows"]),
+        array_cols=int(res["array_cols"]),
+        partition_rows=int(res["partition_rows"]),
+        partition_cols=int(res["partition_cols"]),
+        total_cycles=int(res["total_cycles"]),
+        macs=int(res["macs"]),
+        mapping_utilization=float(res["mapping_utilization"]),
+        compute_utilization=float(res["compute_utilization"]),
+        sram=SramCounts(
+            ifmap_reads=int(res["sram"]["ifmap_reads"]),
+            filter_reads=int(res["sram"]["filter_reads"]),
+            ofmap_writes=int(res["sram"]["ofmap_writes"]),
+        ),
+        dram_read_bytes=int(res["dram_read_bytes"]),
+        dram_write_bytes=int(res["dram_write_bytes"]),
+        cold_start_bytes=int(res["cold_start_bytes"]),
+        avg_read_bw=float(res["avg_read_bw"]),
+        avg_write_bw=float(res["avg_write_bw"]),
+        peak_read_bw=float(res["peak_read_bw"]),
+        peak_write_bw=float(res["peak_write_bw"]),
+        word_bytes=int(res["word_bytes"]),
+        row_folds=int(res["row_folds"]),
+        col_folds=int(res["col_folds"]),
+        idle_partitions=int(res["idle_partitions"]),
+        failed_partitions=int(res["failed_partitions"]),
+        remapped_tiles=int(res["remapped_tiles"]),
+    )
+    tr = payload["traffic"]
+    traffic = DramTraffic(
+        ifmap=_operand_from_dict(tr["ifmap"]),
+        filter=_operand_from_dict(tr["filter"]),
+        ofmap_per_fold_bytes=[int(v) for v in tr["ofmap_per_fold_bytes"]],
+        cold_start_bytes=int(tr["cold_start_bytes"]),
+        fold_cycles=[int(v) for v in tr["fold_cycles"]],
+        bandwidth=BandwidthProfile(
+            avg_read_bw=float(tr["bandwidth"]["avg_read_bw"]),
+            avg_write_bw=float(tr["bandwidth"]["avg_write_bw"]),
+            peak_read_bw=float(tr["bandwidth"]["peak_read_bw"]),
+            peak_write_bw=float(tr["bandwidth"]["peak_write_bw"]),
+        ),
+    )
+    return result, traffic

@@ -1,22 +1,53 @@
 """Crash-safe file writes: temp file + fsync + atomic rename.
 
 Every JSON artifact this package persists (metrics/trace exports, run
-results, compacted checkpoint journals) goes through
-:func:`atomic_write_text`, the pattern the checkpoint store introduced:
-the payload is written to a temporary file *in the destination
-directory* (so the rename cannot cross filesystems), fsynced, and then
-``os.replace``-d over the target.  A crash — or an OOM kill, or a
-resource-guard ``os._exit`` — at any instant leaves either the old
-complete file or the new one on disk, never a truncated hybrid.
+results, compacted checkpoint journals, result-store entries) goes
+through :func:`atomic_write_text`, the pattern the checkpoint store
+introduced: the payload is written to a temporary file *in the
+destination directory* (so the rename cannot cross filesystems),
+fsynced, and then ``os.replace``-d over the target.  A crash — or an
+OOM kill, or a resource-guard ``os._exit`` — at any instant leaves
+either the old complete file or the new one on disk, never a truncated
+hybrid.
+
+Filesystem failures (``ENOSPC``, ``EIO``, a directory that vanished
+mid-write) are contained, not leaked: the orphaned temporary file is
+unlinked and a typed :class:`~repro.errors.StorageError` is raised so
+callers — and the CLI's exit-code table — can distinguish "the disk is
+full" from a bug.  ``StorageError`` subclasses ``OSError``, so existing
+``except OSError`` guards keep catching it.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import tempfile
 from pathlib import Path
 from typing import Union
+
+from repro.errors import StorageError
+
+#: errno values that mean "the medium failed", worth calling out by name.
+_MEDIUM_ERRNOS = {
+    errno.ENOSPC: "no space left on device",
+    getattr(errno, "EDQUOT", -1): "disk quota exceeded",
+    errno.EIO: "I/O error",
+}
+
+
+def _storage_error(action: str, path: Path, exc: OSError) -> StorageError:
+    """Wrap an ``OSError`` from the write path as a typed StorageError.
+
+    Built through ``OSError``'s three-argument form so ``errno`` /
+    ``strerror`` / ``filename`` are all populated *and* rendered —
+    assigning them after a one-argument init would make ``str()`` drop
+    the message entirely.
+    """
+    detail = _MEDIUM_ERRNOS.get(exc.errno or 0)
+    reason = detail if detail else (exc.strerror or str(exc))
+    return StorageError(exc.errno or 0, f"cannot {action}: {reason}", str(path))
 
 
 def atomic_write_text(path: Union[str, Path], text: str) -> Path:
@@ -24,24 +55,30 @@ def atomic_write_text(path: Union[str, Path], text: str) -> Path:
 
     The write is all-or-nothing: readers only ever observe the previous
     complete contents or the new complete contents.  The temporary file
-    is cleaned up on failure, and the original file (if any) is left
-    untouched.
+    is cleaned up on failure — including ``ENOSPC``/``EIO``, which
+    surface as :class:`~repro.errors.StorageError` — and the original
+    file (if any) is left untouched.
     """
     path = Path(path)
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
-    )
+    try:
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
+        )
+    except OSError as exc:
+        raise _storage_error("create temp file beside", path, exc) from exc
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
-    except BaseException:
+    except BaseException as failure:
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
+        if isinstance(failure, OSError) and not isinstance(failure, StorageError):
+            raise _storage_error("write", path, failure) from failure
         raise
     return path
 
@@ -49,3 +86,23 @@ def atomic_write_text(path: Union[str, Path], text: str) -> Path:
 def atomic_write_json(path: Union[str, Path], payload: object, indent: int = 2) -> Path:
     """Serialize ``payload`` as JSON and atomically write it to ``path``."""
     return atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")
+
+
+def fsync_directory(path: Union[str, Path]) -> None:
+    """Flush a directory's entry table (best effort on exotic platforms).
+
+    After ``os.replace`` lands a file, the *directory* entry itself may
+    still live only in the page cache; a power loss could forget the
+    rename.  The result store fsyncs the entry shard after each put so
+    a published entry survives anything short of media failure.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - directory fsync unsupported
+        pass
+    finally:
+        os.close(fd)

@@ -20,7 +20,11 @@ from repro.errors import (
     ReproError,
     ResilienceError,
     SearchError,
+    ServiceError,
+    ServiceUnavailableError,
     SimulationError,
+    StorageError,
+    StoreCorruptionError,
     SupervisorExhaustedError,
     SweepInterrupted,
     TopologyError,
@@ -187,6 +191,52 @@ def _raise_sweep_interrupted():
     run_sweep(_SignalParentThenHang(), workers=2, x=[1, 2, 3, 4])
 
 
+def _raise_storage_error():
+    import tempfile
+    from pathlib import Path
+
+    from repro.utils.atomicio import atomic_write_text
+
+    with tempfile.TemporaryDirectory() as tmp:
+        atomic_write_text(Path(tmp) / "missing" / "entry.json", "{}")
+
+
+def _raise_store_corruption_error():
+    import tempfile
+
+    from repro.store.result_store import ResultStore
+
+    with tempfile.NamedTemporaryFile() as handle:
+        ResultStore(handle.name)
+
+
+def _raise_service_error():
+    from repro.serve.jobs import normalize_request
+
+    normalize_request({"kind": "teleport"})
+
+
+def _raise_service_unavailable_error():
+    import threading
+
+    from repro.serve.client import ServiceClient
+    from repro.serve.daemon import ServicePolicy, SimulationService, make_server
+
+    # A draining daemon answers 503; with no retries left the client
+    # surfaces it as ServiceUnavailableError.
+    service = SimulationService(ServicePolicy(workers=1))
+    service.drain(timeout=0.0)
+    server = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServiceClient(host="127.0.0.1", port=server.server_address[1])
+        client.submit({"kind": "gemm", "m": 8, "k": 8, "n": 8})
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
 DOCUMENTED_SITES = {
     ConfigError: _raise_config_error,
     TopologyError: _raise_topology_error,
@@ -202,6 +252,10 @@ DOCUMENTED_SITES = {
     WorkerCrashError: _raise_worker_crash_error,
     SupervisorExhaustedError: _raise_supervisor_exhausted_error,
     SweepInterrupted: _raise_sweep_interrupted,
+    StorageError: _raise_storage_error,
+    StoreCorruptionError: _raise_store_corruption_error,
+    ServiceError: _raise_service_error,
+    ServiceUnavailableError: _raise_service_unavailable_error,
 }
 
 

@@ -1,11 +1,27 @@
 """Unit tests for the JSONL checkpoint journal."""
 
+import contextlib
 import json
+import logging
 
 import pytest
 
 from repro.errors import CheckpointError
 from repro.robust.checkpoint import CheckpointStore, point_key
+
+
+@contextlib.contextmanager
+def _capture_checkpoint_warnings(caplog):
+    # The CLI may set repro's logger to propagate=False; attach the
+    # capture handler to the source logger directly (same idiom as
+    # tests/test_perf_parallel.py).
+    checkpoint_logger = logging.getLogger("repro.robust.checkpoint")
+    checkpoint_logger.addHandler(caplog.handler)
+    try:
+        with caplog.at_level(logging.WARNING, logger="repro.robust.checkpoint"):
+            yield
+    finally:
+        checkpoint_logger.removeHandler(caplog.handler)
 
 
 class TestPointKey:
@@ -49,6 +65,26 @@ class TestStore:
         reloaded = CheckpointStore(path, version="v1")
         assert len(reloaded) == 1
         assert reloaded.completed({"a": 1})
+
+    def test_truncated_trailing_line_warns(self, tmp_path, caplog):
+        path = tmp_path / "run.jsonl"
+        store = CheckpointStore(path, version="v1")
+        store.record({"a": 1}, status="ok")
+        with path.open("a") as handle:
+            handle.write('{"key": "deadbeef", "status"')  # crash mid-write
+
+        with _capture_checkpoint_warnings(caplog):
+            CheckpointStore(path, version="v1")
+        dropped = [r for r in caplog.records if "re-simulated" in r.getMessage()]
+        assert len(dropped) == 1
+        assert "line 2/2" in dropped[0].getMessage()
+
+    def test_clean_journal_loads_without_warnings(self, tmp_path, caplog):
+        path = tmp_path / "run.jsonl"
+        CheckpointStore(path, version="v1").record({"a": 1}, status="ok")
+        with _capture_checkpoint_warnings(caplog):
+            CheckpointStore(path, version="v1")
+        assert not [r for r in caplog.records if r.levelname == "WARNING"]
 
     def test_resume_false_refuses_existing(self, tmp_path):
         path = tmp_path / "run.jsonl"

@@ -366,3 +366,62 @@ class TestWorkerFaultValidation:
         assert fault.claim({"x": 1}) is True   # first firing claims the marker
         assert fault.claim({"x": 1}) is False  # any later process sees it spent
         assert fault.matches({"x": 2}) is False
+
+
+class TestScratchReaping:
+    """Startup hygiene: abandoned breadcrumb dirs are aged out."""
+
+    def _aged_dir(self, root, name, age_seconds):
+        scratch = root / name
+        scratch.mkdir()
+        (scratch / "started-0.json").write_text("{}")
+        stamp = time.time() - age_seconds
+        for path in (scratch / "started-0.json", scratch):
+            os.utime(path, (stamp, stamp))
+        return scratch
+
+    def test_stale_dirs_reaped_fresh_kept(self, tmp_path):
+        from repro.robust.supervisor import SCRATCH_PREFIX, reap_stale_scratch
+
+        stale = self._aged_dir(tmp_path, f"{SCRATCH_PREFIX}dead", 7200)
+        fresh = self._aged_dir(tmp_path, f"{SCRATCH_PREFIX}live", 10)
+        unrelated = self._aged_dir(tmp_path, "someone-elses-dir", 7200)
+
+        assert reap_stale_scratch(max_age_seconds=3600, root=tmp_path) == 1
+        assert not stale.exists()
+        assert fresh.exists()
+        assert unrelated.exists()
+
+    def test_live_run_with_fresh_heartbeat_survives(self, tmp_path):
+        from repro.robust.supervisor import SCRATCH_PREFIX, reap_stale_scratch
+
+        # The dir itself is old, but a worker heartbeat just refreshed.
+        scratch = self._aged_dir(tmp_path, f"{SCRATCH_PREFIX}busy", 7200)
+        (scratch / "hb-0.json").write_text("{}")  # fresh mtime
+
+        assert reap_stale_scratch(max_age_seconds=3600, root=tmp_path) == 0
+        assert scratch.exists()
+
+    def test_reaping_is_counted(self, tmp_path):
+        from repro.robust.supervisor import SCRATCH_PREFIX, reap_stale_scratch
+
+        self._aged_dir(tmp_path, f"{SCRATCH_PREFIX}one", 7200)
+        self._aged_dir(tmp_path, f"{SCRATCH_PREFIX}two", 7200)
+        obs.reset()
+        obs.metrics.enable()
+        try:
+            reap_stale_scratch(max_age_seconds=3600, root=tmp_path)
+            counters = obs.metrics.snapshot()["counters"]
+        finally:
+            obs.reset()
+        assert counters.get("supervisor.scratch_reaped") == 2
+
+    def test_supervised_run_sweeps_siblings(self, tmp_path, monkeypatch):
+        from repro.robust.supervisor import SCRATCH_PREFIX
+
+        monkeypatch.setattr("tempfile.tempdir", str(tmp_path))
+        stale = self._aged_dir(tmp_path, f"{SCRATCH_PREFIX}crashed", 2 * 86400)
+        rows = run_sweep(square, x=[1, 2], workers=WORKERS, supervisor=FAST)
+        assert len(rows) == 2
+        assert not stale.exists()
+        assert not list(tmp_path.glob(f"{SCRATCH_PREFIX}*"))  # own dir removed
