@@ -9,6 +9,9 @@ Subcommands::
     scalesim-repro sweep    --layer TF0 --macs 16384 [--partitions 1,4,16,...]
     scalesim-repro resilience --layer TF0 --macs 16384 [--dead 0,1,2,4]
     scalesim-repro dram     --workload TF1 --array 16x16 [--channels 4]
+    scalesim-repro validate [--trials N] [--rel-tol T]
+    scalesim-repro verify   [--budget S] [--seed N] [--props a,b] [--replay]
+    scalesim-repro verify   --bless --reason "why" | --check-golden
     scalesim-repro workloads
 
 ``run`` simulates a topology cycle-accurately and writes the report
@@ -62,6 +65,7 @@ from repro.errors import (
     StorageError,
     SweepInterrupted,
     TopologyError,
+    VerificationError,
     WorkerCrashError,
 )
 from repro.robust.checkpoint import CheckpointStore
@@ -99,6 +103,13 @@ EXIT_STORAGE = 14
 #: (:class:`~repro.errors.ServiceError`).
 EXIT_SERVICE = 15
 
+#: The differential-verification harness found a violation: an oracle
+#: disagreement, a broken metamorphic property, a regression bundle
+#: that reproduces again, a drifted blessed baseline, or a seeded
+#: mutant the harness failed to catch
+#: (:class:`~repro.errors.VerificationError`).
+EXIT_VERIFICATION = 16
+
 #: Stable process exit codes per failure class, most specific first.
 #: This table is THE reference for the CLI's exit contract (mirrored in
 #: docs/robustness.md):
@@ -128,6 +139,9 @@ EXIT_SERVICE = 15
 #: 15    simulation service failure (``ServiceError``: daemon cannot
 #:       bind, unreachable, server-side job error, or exhausted
 #:       back-pressure retries)
+#: 16    verification failure (``VerificationError``: oracle or
+#:       metamorphic violation, a reproducing regression bundle, a
+#:       drifted blessed golden baseline, or a surviving mutant)
 #: ====  =========================================================
 EXIT_CODES: Tuple[Tuple[type, int], ...] = (
     (ConfigError, 2),
@@ -144,6 +158,7 @@ EXIT_CODES: Tuple[Tuple[type, int], ...] = (
     (ResilienceError, 11),
     (StorageError, EXIT_STORAGE),
     (ServiceError, EXIT_SERVICE),
+    (VerificationError, EXIT_VERIFICATION),
 )
 
 #: Generic non-zero exit for failures without a dedicated code.
@@ -547,11 +562,39 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Environment fallback for ``validate --rel-tol`` (flag wins).
+VALIDATE_REL_TOL_ENV = "REPRO_VALIDATE_REL_TOL"
+
+
+def _validate_rel_tol(args: argparse.Namespace) -> float:
+    """Resolve the validation tolerance: flag, then env, then exact 0."""
+    if args.rel_tol is not None:
+        value, origin = args.rel_tol, "--rel-tol"
+    elif os.environ.get(VALIDATE_REL_TOL_ENV):
+        raw = os.environ[VALIDATE_REL_TOL_ENV]
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ConfigError(
+                f"{VALIDATE_REL_TOL_ENV}={raw!r} is not a number"
+            ) from None
+        origin = VALIDATE_REL_TOL_ENV
+    else:
+        return 0.0
+    if not (0.0 <= value < 1.0):
+        raise ConfigError(
+            f"{origin} must be in [0, 1), got {value}"
+        )
+    return value
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     """Cross-model validation sweep (the Fig. 4 methodology, randomized)."""
     from repro.golden.validate import validation_sweep
 
-    reports = validation_sweep(seed=args.seed, trials=args.trials)
+    reports = validation_sweep(
+        seed=args.seed, trials=args.trials, rel_tol=_validate_rel_tol(args)
+    )
     failures = [report for report in reports if not report.passed]
     for report in reports if args.verbose else failures:
         print(report.describe())
@@ -560,6 +603,83 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         "across engine, golden array and Eq. 4"
     )
     return 1 if failures else 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Differential verification: fuzz, replay, mutation smoke, baselines."""
+    from repro.verify import (
+        PROPERTIES,
+        assert_baselines,
+        bless,
+        replay_corpus,
+        run_mutation_smoke,
+        run_verify,
+    )
+
+    if args.list_props:
+        for name, prop in sorted(PROPERTIES.items()):
+            print(f"{name:16} [{prop.kind}] {prop.doc}")
+        return 0
+
+    if args.bless:
+        paths = bless(
+            args.experiments or None,
+            reason=args.reason or "",
+            baseline_dir=args.baselines,
+        )
+        for path in paths:
+            print(f"blessed {path}")
+        return 0
+
+    if args.check_golden:
+        report = assert_baselines(
+            args.experiments or None,
+            baseline_dir=args.baselines,
+            rel_tol=args.golden_rel_tol,
+        )
+        print(report.summary())
+        return 0
+
+    if args.replay:
+        outcomes = replay_corpus(args.corpus)
+        live = {name: violations for name, violations in outcomes.items() if violations}
+        print(f"replayed {len(outcomes)} regression bundle(s) from {args.corpus}")
+        if live:
+            for name, violations in sorted(live.items()):
+                for violation in violations:
+                    print(f"  {name}: {violation.describe()}")
+            raise VerificationError(
+                f"{len(live)} regression bundle(s) reproduce their defect again"
+            )
+        return 0
+
+    if args.mutation_smoke:
+        report = run_mutation_smoke(seed=args.seed)
+        print(report.summary())
+        for name, paths in report.bundles.items():
+            for path in paths[:1]:
+                print(f"  {name}: shrunk repro at {path}")
+        return 0
+
+    props = [name.strip() for name in (args.props or "").split(",") if name.strip()]
+    report = run_verify(
+        budget=args.budget,
+        seed=args.seed,
+        props=props or None,
+        max_cases=args.cases,
+        corpus_dir=args.corpus,
+        shrink=not args.no_shrink,
+    )
+    print(report.summary())
+    for name, count in sorted(report.checks_by_prop.items()):
+        print(f"  {name:16} {count} check(s)")
+    if not report.passed:
+        bundles = ", ".join(str(path) for path in report.bundles) or "none written"
+        raise VerificationError(
+            f"{len(report.violations)} verification violation(s); "
+            f"regression bundle(s): {bundles}"
+        )
+    return 0
 
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
@@ -852,7 +972,54 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--seed", type=int, default=0)
     validate.add_argument("-v", "--verbose", action="store_true",
                           help="print every comparison, not just failures")
+    validate.add_argument("--rel-tol", type=float, dest="rel_tol", default=None,
+                          metavar="TOL",
+                          help="relative tolerance for the cross-model "
+                               "comparisons (default: $"
+                               f"{VALIDATE_REL_TOL_ENV} or exact)")
     validate.set_defaults(func=_cmd_validate)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential verification: fuzz, shrink, regressions, baselines",
+    )
+    verify.add_argument("--budget", type=float, default=30.0, metavar="SECONDS",
+                        help="wall-clock fuzzing budget (default 30)")
+    verify.add_argument("--cases", type=int, default=None, metavar="N",
+                        help="cap on generated cases (default: budget-bound)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="generator seed; (seed, index) replays any case")
+    verify.add_argument("--props", metavar="NAMES",
+                        help="comma-separated property names (see --list-props)")
+    verify.add_argument("--corpus", default="tests/regressions", metavar="DIR",
+                        help="regression-bundle corpus directory "
+                             "(default tests/regressions)")
+    verify.add_argument("--no-shrink", action="store_true",
+                        help="skip minimizing violations before bundling")
+    verify.add_argument("--replay", action="store_true",
+                        help="replay the regression corpus instead of fuzzing")
+    verify.add_argument("--mutation-smoke", action="store_true",
+                        dest="mutation_smoke",
+                        help="prove the harness catches seeded defects")
+    verify.add_argument("--check-golden", action="store_true",
+                        dest="check_golden",
+                        help="diff blessed golden baselines against fresh runs")
+    verify.add_argument("--bless", action="store_true",
+                        help="freeze current experiment rows as blessed "
+                             "baselines (requires --reason)")
+    verify.add_argument("--reason", metavar="TEXT",
+                        help="justification recorded inside blessed baselines")
+    verify.add_argument("--baselines", default="baselines", metavar="DIR",
+                        help="blessed-baseline directory (default baselines)")
+    verify.add_argument("--rel-tol", type=float, dest="golden_rel_tol",
+                        default=0.0, metavar="TOL",
+                        help="relative tolerance for --check-golden (default exact)")
+    verify.add_argument("--list-props", action="store_true", dest="list_props",
+                        help="list the property registry and exit")
+    verify.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help="experiment ids for --bless/--check-golden "
+                             "(default: all)")
+    verify.set_defaults(func=_cmd_verify)
 
     recommend = sub.add_parser("recommend", help="heuristic scaling recommendation")
     recommend.add_argument("--topology", help="Table II topology CSV")

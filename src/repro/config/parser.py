@@ -36,6 +36,21 @@ _STR_KEYS = {
     "topology": None,  # accepted for compatibility; handled by the CLI
 }
 
+#: Any Table I integer past this is file corruption, not hardware.
+MAX_INT_VALUE = 2**31 - 1
+
+
+def _line_of(text: str, raw_key: str) -> str:
+    """Locate ``raw_key`` in the raw INI text for a line-numbered error."""
+    needle = raw_key.strip().lower()
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip().lower()
+        if stripped.startswith(needle):
+            rest = stripped[len(needle):].lstrip()
+            if rest.startswith("=") or rest.startswith(":"):
+                return f"config line {line_no}: "
+    return ""
+
 
 def parse_config_text(text: str) -> HardwareConfig:
     """Parse configuration file contents into a :class:`HardwareConfig`."""
@@ -51,11 +66,19 @@ def parse_config_text(text: str) -> HardwareConfig:
             key = raw_key.strip().lower()
             if key in _INT_KEYS:
                 try:
-                    values[_INT_KEYS[key]] = int(raw_value)
+                    parsed = int(raw_value)
                 except ValueError as exc:
                     raise ConfigError(
-                        f"config key {raw_key!r} must be an integer, got {raw_value!r}"
+                        f"{_line_of(text, raw_key)}config key {raw_key!r} must "
+                        f"be an integer, got {raw_value!r}"
                     ) from exc
+                if parsed > MAX_INT_VALUE:
+                    raise ConfigError(
+                        f"{_line_of(text, raw_key)}config key {raw_key!r} is "
+                        f"absurdly large ({parsed} > {MAX_INT_VALUE}); "
+                        f"refusing to build this configuration"
+                    )
+                values[_INT_KEYS[key]] = parsed
             elif key in _STR_KEYS:
                 field = _STR_KEYS[key]
                 if field == "dataflow":
@@ -68,6 +91,13 @@ def parse_config_text(text: str) -> HardwareConfig:
                     values[field] = raw_value.strip()
             else:
                 raise ConfigError(f"unknown config key {raw_key!r} in section [{section}]")
+    rows = values.get("array_rows", 0)
+    cols = values.get("array_cols", 0)
+    if isinstance(rows, int) and isinstance(cols, int) and rows * cols > MAX_INT_VALUE:
+        raise ConfigError(
+            f"array {rows}x{cols} has an absurd PE count "
+            f"({rows * cols} > {MAX_INT_VALUE}); refusing to build it"
+        )
     try:
         return HardwareConfig(**values)
     except ValueError as exc:

@@ -101,6 +101,13 @@ class ServiceUnavailableError(ServiceError):
         self.retry_after = retry_after
 
 
+class VerificationError(ReproError):
+    """Raised when the differential-verification harness finds (or fails
+    to find, for mutation smoke) a violation: an oracle disagreement, a
+    broken metamorphic property, a blessed golden baseline that drifted,
+    or a seeded mutant the harness could not catch."""
+
+
 class InvariantError(ReproError):
     """Raised when cycle-accurate results diverge from the analytical
     model (Eq. 1-6) or the demand/trace views stop agreeing."""

@@ -34,6 +34,11 @@ TOPOLOGY_HEADER = [
 
 _NUM_FIELDS = 8
 
+#: Dimensions past this are file corruption, not hardware: a single
+#: layer dimension beyond 2^31-1 overflows every downstream consumer's
+#: expectations long before any machine could simulate it.
+MAX_DIMENSION = 2**31 - 1
+
 
 def _is_header(cells: List[str]) -> bool:
     """A row is a header when *every* dimension column is non-numeric.
@@ -60,6 +65,11 @@ def _parse_row(cells: List[str], line_no: int) -> ConvLayer:
         if value < 1:
             raise TopologyError(
                 f"topology line {line_no}: {column} must be >= 1, got {value}"
+            )
+        if value > MAX_DIMENSION:
+            raise TopologyError(
+                f"topology line {line_no}: {column} is absurdly large "
+                f"({value} > {MAX_DIMENSION}); refusing to simulate it"
             )
     return ConvLayer(
         name=name,

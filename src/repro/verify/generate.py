@@ -1,0 +1,200 @@
+"""Seeded randomized generation of verification inputs.
+
+The generator is *deterministic in its seed*: case ``i`` of seed ``s``
+is the same case on every machine and every run, so a violation found
+in a nightly fuzz run reproduces locally from just ``(seed, index)``
+even before its shrunk bundle lands in the corpus.
+
+Two families of inputs are drawn:
+
+* :meth:`CaseGenerator.case` — simulation scenarios
+  (:class:`~repro.verify.cases.VerifyCase`): GEMM shapes biased toward
+  the boundaries the folding arithmetic cares about (1, array-multiple,
+  array±1), arrays, SRAM sizes, dataflows, partition grids and fault
+  maps;
+* :meth:`CaseGenerator.topology_text` / :meth:`config_text` —
+  adversarial parser inputs mixing valid rows with NaN/inf, floats,
+  absurd magnitudes, negatives and missing fields.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.verify.cases import VerifyCase
+
+_SRAM_SIZES = (1, 2, 4, 16, 64, 256)
+_GRIDS = ((1, 1), (1, 2), (2, 1), (2, 2), (1, 4), (4, 1), (2, 4))
+_DATAFLOWS = ("os", "ws", "is")
+
+#: Tokens that historically break numeric parsers.
+_POISON_CELLS = (
+    "nan", "NaN", "inf", "-inf", "Infinity", "1e9", "3.5", "-4", "0",
+    "99999999999999999999", "0x10", " 12 ", "", "twelve", "１２",
+)
+
+
+class CaseGenerator:
+    """Deterministic stream of verification inputs for one seed."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def _rng(self, index: int, salt: str = "case") -> random.Random:
+        return random.Random((self.seed, salt, index).__repr__())
+
+    # ------------------------------------------------------------------
+    # Simulation cases
+    # ------------------------------------------------------------------
+    def _dim(self, rng: random.Random, array_edge: int) -> int:
+        """A GEMM dimension biased toward folding boundary values."""
+        roll = rng.random()
+        if roll < 0.15:
+            return 1
+        if roll < 0.35:
+            # Exact multiple of the array edge: the divisible case where
+            # Eq. 4 must be *exact*, not just an upper bound.
+            return array_edge * rng.randint(1, 4)
+        if roll < 0.55:
+            # One off a multiple: the edge-fold case.
+            return max(1, array_edge * rng.randint(1, 4) + rng.choice((-1, 1)))
+        return rng.randint(1, 48)
+
+    def _boundary_case(self, rng: random.Random) -> VerifyCase:
+        """A healthy monolithic case whose mapped dims divide the array.
+
+        Every fifth case is drawn from this directed slice so the
+        Eq. 4 *exactness* branch (and the PE-level golden oracle's
+        small-case gate) is exercised on every short budget, not just
+        when the random stream happens to align.
+        """
+        array_rows = rng.choice((2, 3, 4, 6, 8))
+        array_cols = rng.choice((2, 3, 4, 6, 8))
+        dataflow = rng.choice(_DATAFLOWS)
+        rows_mult = array_rows * rng.randint(1, 3)
+        cols_mult = array_cols * rng.randint(1, 3)
+        other = rng.randint(1, 12)
+        # Table III: os maps (m, n), ws maps (k, n), is maps (k, m)
+        # onto the (rows, cols) of the array.
+        if dataflow == "os":
+            m, k, n = rows_mult, other, cols_mult
+        elif dataflow == "ws":
+            m, k, n = other, rows_mult, cols_mult
+        else:
+            m, k, n = cols_mult, rows_mult, other
+        return VerifyCase(
+            m=m, k=k, n=n, dataflow=dataflow,
+            array_rows=array_rows, array_cols=array_cols,
+        )
+
+    def case(self, index: int) -> VerifyCase:
+        """Deterministically draw case ``index`` of this seed."""
+        rng = self._rng(index)
+        if index % 5 == 2:
+            return self._boundary_case(rng)
+        array_rows = rng.choice((1, 2, 3, 4, 6, 8, 12, 16))
+        array_cols = rng.choice((1, 2, 3, 4, 6, 8, 12, 16))
+        partition_rows, partition_cols = rng.choice(_GRIDS)
+        case = VerifyCase(
+            m=self._dim(rng, array_rows),
+            k=self._dim(rng, array_rows),
+            n=self._dim(rng, array_cols),
+            dataflow=rng.choice(_DATAFLOWS),
+            array_rows=array_rows,
+            array_cols=array_cols,
+            partition_rows=partition_rows,
+            partition_cols=partition_cols,
+            ifmap_sram_kb=rng.choice(_SRAM_SIZES),
+            filter_sram_kb=rng.choice(_SRAM_SIZES),
+            ofmap_sram_kb=rng.choice(_SRAM_SIZES),
+            word_bytes=rng.choice((1, 1, 2, 4)),
+            loop_order=rng.choice(("row", "row", "col")),
+        )
+        # A quarter of the stream runs degraded: the differential
+        # oracles must hold under faults too, not just on healthy
+        # hardware.
+        if rng.random() < 0.25:
+            case = self._degrade(case, rng)
+        assert case.is_valid(), case
+        return case
+
+    def _degrade(self, case: VerifyCase, rng: random.Random) -> VerifyCase:
+        changes = {}
+        if case.array_rows > 1 and rng.random() < 0.5:
+            count = rng.randint(1, min(2, case.array_rows - 1))
+            changes["dead_pe_rows"] = tuple(
+                sorted(rng.sample(range(case.array_rows), count))
+            )
+        if case.array_cols > 1 and rng.random() < 0.5:
+            count = rng.randint(1, min(2, case.array_cols - 1))
+            changes["dead_pe_cols"] = tuple(
+                sorted(rng.sample(range(case.array_cols), count))
+            )
+        grid = case.partition_rows * case.partition_cols
+        if grid > 1 and rng.random() < 0.6:
+            coords = [
+                (p, q)
+                for p in range(case.partition_rows)
+                for q in range(case.partition_cols)
+            ]
+            count = rng.randint(1, grid - 1)
+            changes["dead_partitions"] = tuple(sorted(rng.sample(coords, count)))
+        return case.replace(**changes)
+
+    # ------------------------------------------------------------------
+    # Parser fuzz inputs
+    # ------------------------------------------------------------------
+    def topology_text(self, index: int) -> str:
+        """Adversarial Table II CSV contents for parser fuzzing."""
+        rng = self._rng(index, salt="topo")
+        lines: List[str] = []
+        if rng.random() < 0.3:
+            lines.append(
+                "Layer name, IFMAP Height, IFMAP Width, Filter Height, "
+                "Filter Width, Channels, Num Filter, Strides,"
+            )
+        for row in range(rng.randint(0, 5)):
+            if rng.random() < 0.5:
+                cells = [f"layer{row}"] + [str(rng.randint(1, 64)) for _ in range(7)]
+            else:
+                cells = [f"layer{row}"]
+                for _ in range(rng.randint(4, 9)):
+                    if rng.random() < 0.4:
+                        cells.append(rng.choice(_POISON_CELLS))
+                    else:
+                        cells.append(str(rng.randint(-3, 10**12)))
+            line = ",".join(cells)
+            if rng.random() < 0.3:
+                line += ","
+            lines.append(line)
+            if rng.random() < 0.2:
+                lines.append("")
+        text = "\n".join(lines)
+        if rng.random() < 0.15:
+            text = "\ufeff" + text
+        return text
+
+    def config_text(self, index: int) -> str:
+        """Adversarial INI config contents for parser fuzzing."""
+        rng = self._rng(index, salt="config")
+        keys = (
+            "ArrayHeight", "ArrayWidth", "IfmapSramSz", "FilterSramSz",
+            "OfmapSramSz", "Dataflow", "WordBytes", "PartitionRows",
+            "PartitionCols", "Bogus", "run_name",
+        )
+        lines = ["[architecture_presets]"]
+        if rng.random() < 0.2:
+            lines.insert(0, "[general]\nrun_name = fuzz")
+        for _ in range(rng.randint(0, 6)):
+            key = rng.choice(keys)
+            if key == "Dataflow":
+                value = rng.choice(("os", "ws", "is", "nw", "NaN", "3"))
+            elif rng.random() < 0.4:
+                value = rng.choice(_POISON_CELLS)
+            else:
+                value = str(rng.randint(-2, 10**12))
+            lines.append(f"{key} = {value}")
+        if rng.random() < 0.1:
+            lines.append("garbage line without equals")
+        return "\n".join(lines)

@@ -1,0 +1,286 @@
+"""Differential oracles: independent models judged against each other.
+
+Four views of the same machine coexist in this library — the iterative
+cycle-accurate engine, the closed-form analytical model (Eq. 1-6), the
+fold-plan shape-class aggregation, and the PE-register-level golden
+array — plus the degraded-mode remap prediction for faulty hardware.
+Each oracle here runs two or more of those views on one
+:class:`~repro.verify.cases.VerifyCase` and reports every documented
+relationship that fails to hold as a :class:`Violation`.
+
+The documented relationships (see ``docs/verification.md``):
+
+* engine ``total_cycles`` equals the exact fold-by-fold analytical
+  prediction, healthy or degraded (``repro.robust.invariants``);
+* engine ``total_cycles`` <= Eq. 4/5/6 (which charge every fold the
+  full-array latency), with equality iff the mapped dims divide;
+* degraded runs stay within the closed-form degraded bound;
+* shape-class aggregation reproduces the iterative fold walk exactly;
+* the golden array agrees with the engine cycle for cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analytical.runtime import (
+    degraded_scaleout_runtime,
+    scaleout_runtime,
+    scaleup_runtime,
+)
+from repro.engine.results import LayerResult
+from repro.engine.scaleout import ScaleOutSimulator
+from repro.engine.simulator import Simulator
+from repro.errors import InvariantError, ReproError
+from repro.golden.validate import validate_configuration
+from repro.mapping.folds import plan_folds
+from repro.robust.invariants import check_layer_result
+from repro.verify.cases import VerifyCase
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken relationship, with everything needed to replay it."""
+
+    prop: str
+    message: str
+    expected: object = None
+    actual: object = None
+    case: Optional[VerifyCase] = None
+    text: Optional[str] = None
+    context: Dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        detail = ""
+        if self.expected is not None or self.actual is not None:
+            detail = f" (expected {self.expected!r}, got {self.actual!r})"
+        where = f" [{self.case.describe()}]" if self.case is not None else ""
+        return f"{self.prop}: {self.message}{detail}{where}"
+
+
+def simulate_case(case: VerifyCase) -> LayerResult:
+    """Run the case's configured machine through the iterative engine."""
+    config = case.config()
+    if config.is_monolithic:
+        return Simulator(config, loop_order=case.loop_order).run_layer(case.layer())
+    return ScaleOutSimulator(config).run_layer(case.layer())
+
+
+def oracle_models(case: VerifyCase) -> List[Violation]:
+    """Iterative engine vs. exact analytical prediction vs. Eq. 4-6 bound.
+
+    Covers healthy and degraded hardware: the exact prediction routes
+    through the same deterministic remap plan the engine executes, and
+    the closed-form degraded bound must stay an upper bound.
+    """
+    violations: List[Violation] = []
+    config = case.config()
+    layer = case.layer()
+    try:
+        result = simulate_case(case)
+    except ReproError as exc:
+        return [
+            Violation(
+                prop="models",
+                message=f"engine refused a valid case: {exc}",
+                actual=type(exc).__name__,
+                case=case,
+            )
+        ]
+
+    # Exact agreement (cycles, MACs, utilization bounds) via the
+    # runtime invariant guards — rel_tol 0 by design.
+    try:
+        check_layer_result(result, layer, config, rel_tol=0.0)
+    except InvariantError as exc:
+        violations.append(
+            Violation(prop="models", message=str(exc), case=case)
+        )
+
+    mapping = case.mapping()
+    if config.is_monolithic:
+        eff_rows = config.effective_array_rows
+        eff_cols = config.effective_array_cols
+        bound = scaleup_runtime(mapping, eff_rows, eff_cols)
+        divides = mapping.sr % eff_rows == 0 and mapping.sc % eff_cols == 0
+        if result.total_cycles > bound:
+            violations.append(
+                Violation(
+                    prop="models",
+                    message="engine exceeds the Eq. 4 closed-form bound",
+                    expected=f"<= {bound}",
+                    actual=result.total_cycles,
+                    case=case,
+                )
+            )
+        elif divides and result.total_cycles != bound:
+            violations.append(
+                Violation(
+                    prop="models",
+                    message="Eq. 4 must be exact when the mapped dims divide the array",
+                    expected=bound,
+                    actual=result.total_cycles,
+                    case=case,
+                )
+            )
+    else:
+        dead = len(case.dead_partitions)
+        if dead:
+            bound = degraded_scaleout_runtime(
+                mapping,
+                config.partition_rows,
+                config.partition_cols,
+                config.effective_array_rows,
+                config.effective_array_cols,
+                dead_partitions=dead,
+            )
+            label = "closed-form degraded scale-out bound"
+        else:
+            bound = scaleout_runtime(
+                mapping,
+                config.partition_rows,
+                config.partition_cols,
+                config.effective_array_rows,
+                config.effective_array_cols,
+            )
+            label = "Eq. 5/6 closed-form bound"
+        if result.total_cycles > bound:
+            violations.append(
+                Violation(
+                    prop="models",
+                    message=f"engine exceeds the {label}",
+                    expected=f"<= {bound}",
+                    actual=result.total_cycles,
+                    case=case,
+                )
+            )
+    return violations
+
+
+def oracle_shape_classes(case: VerifyCase) -> List[Violation]:
+    """Iterative fold walk vs. the O(1) shape-class aggregation.
+
+    ``FoldPlan.shape_classes`` powers the closed-form fast path (PR 4)
+    and the future vectorized sweep compiler; it must reproduce the
+    fold-by-fold walk exactly: same fold population, same mapped-PE
+    total, same summed fold latency.
+    """
+    from repro.analytical.runtime import fold_runtime
+
+    violations: List[Violation] = []
+    config = case.scaleup_config()
+    plan = plan_folds(
+        case.mapping(), config.effective_array_rows, config.effective_array_cols
+    )
+    classes = plan.shape_classes()
+
+    multiplicity = sum(count for _, count in classes)
+    if multiplicity != plan.num_folds:
+        violations.append(
+            Violation(
+                prop="shape_classes",
+                message="class multiplicities do not cover the fold grid",
+                expected=plan.num_folds,
+                actual=multiplicity,
+                case=case,
+            )
+        )
+
+    iter_shapes: Dict = {}
+    for fold in plan.folds():
+        key = (fold.rows, fold.cols)
+        iter_shapes[key] = iter_shapes.get(key, 0) + 1
+    class_shapes: Dict = {}
+    for fold, count in classes:
+        key = (fold.rows, fold.cols)
+        class_shapes[key] = class_shapes.get(key, 0) + count
+    if iter_shapes != class_shapes:
+        violations.append(
+            Violation(
+                prop="shape_classes",
+                message="shape-class population diverges from the iterative folds",
+                expected=iter_shapes,
+                actual=class_shapes,
+                case=case,
+            )
+        )
+
+    iter_pes = sum(fold.mapped_pes for fold in plan.folds())
+    class_pes = sum(fold.mapped_pes * count for fold, count in classes)
+    if iter_pes != class_pes or plan.total_mapped_pe_cycles != case.mapping().macs:
+        violations.append(
+            Violation(
+                prop="shape_classes",
+                message="mapped-PE aggregation diverges (MAC conservation)",
+                expected=(iter_pes, case.mapping().macs),
+                actual=(class_pes, plan.total_mapped_pe_cycles),
+                case=case,
+            )
+        )
+
+    t = case.mapping().t
+    iter_latency = sum(fold_runtime(f.rows, f.cols, t) for f in plan.folds())
+    class_latency = sum(
+        fold_runtime(f.rows, f.cols, t) * count for f, count in classes
+    )
+    if iter_latency != class_latency:
+        violations.append(
+            Violation(
+                prop="shape_classes",
+                message="summed fold latency diverges between the two walks",
+                expected=iter_latency,
+                actual=class_latency,
+                case=case,
+            )
+        )
+    return violations
+
+
+#: Golden-array simulation is O(R*C) registers per cycle; keep it to
+#: cases where the full PE-level replay stays fast.
+_GOLDEN_MAX_DIM = 24
+_GOLDEN_MAX_ARRAY = 8
+
+
+def golden_applies(case: VerifyCase) -> bool:
+    return (
+        not case.is_degraded
+        and case.is_monolithic
+        and max(case.m, case.k, case.n) <= _GOLDEN_MAX_DIM
+        and max(case.array_rows, case.array_cols) <= _GOLDEN_MAX_ARRAY
+    )
+
+
+def oracle_golden(case: VerifyCase) -> List[Violation]:
+    """Engine vs. the PE-register-level golden array (numerics included)."""
+    if not golden_applies(case):
+        return []
+    try:
+        report = validate_configuration(
+            case.m,
+            case.k,
+            case.n,
+            case.config().dataflow,
+            case.array_rows,
+            case.array_cols,
+        )
+    except ReproError as exc:
+        return [
+            Violation(
+                prop="golden",
+                message=f"golden replay refused a valid case: {exc}",
+                case=case,
+            )
+        ]
+    if report.passed:
+        return []
+    return [
+        Violation(
+            prop="golden",
+            message="engine, golden array and Eq. 4 disagree",
+            expected=f"golden {report.golden_cycles}, Eq.4 {report.analytical_cycles}",
+            actual=f"engine {report.engine_cycles}",
+            case=case,
+        )
+    ]

@@ -1,0 +1,424 @@
+"""Metamorphic properties and the verification property registry.
+
+Where the differential oracles (:mod:`repro.verify.oracles`) compare
+*models* of one scenario, metamorphic properties compare *related
+scenarios* whose results must stand in a known relation even when no
+model predicts the absolute numbers:
+
+* ``conservation`` — repartitioning a layer from scale-up to scale-out
+  must conserve MACs (all dataflows) and OFMAP SRAM writes (output
+  stationary): work can be sliced, never created or lost;
+* ``monotone_array`` — doubling both array edges can only speed a
+  layer up (the engine maps edge folds exactly);
+* ``monotone_batch`` — doubling the batch (GEMM M) can only slow it
+  down;
+* ``permutation`` — a network's summed totals are invariant under
+  layer order;
+* ``cache_identity`` — memoized, cold and cache-disabled runs are
+  identical, and the result-store wire codec round-trips losslessly;
+* ``serial_parallel`` — a worker-pool sweep is row-identical to the
+  serial walk (session-level: runs once per harness invocation);
+* ``parser_topology`` / ``parser_config`` — adversarial parser inputs
+  either parse to sane values or raise the *typed* error with a
+  line-numbered message; any other exception is a finding.
+
+Each property is registered as a :class:`Property` so the harness, the
+shrinker and the regression-corpus replayer can address it by name.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config.parser import parse_config_text
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigError, ReproError, TopologyError
+from repro.memory.bandwidth import compute_dram_traffic
+from repro.perf.cache import cache
+from repro.store.records import decode_result_pair, encode_result_pair
+from repro.topology.network import Network
+from repro.topology.parser import parse_topology_text
+from repro.verify.cases import VerifyCase
+from repro.verify.oracles import (
+    Violation,
+    oracle_golden,
+    oracle_models,
+    oracle_shape_classes,
+    simulate_case,
+)
+
+#: Keep derived comparison runs (doubled arrays/batches) tractable.
+_MONOTONE_MAX_COST = 200_000
+
+
+# ----------------------------------------------------------------------
+# Metamorphic properties over simulation cases
+# ----------------------------------------------------------------------
+def prop_conservation(case: VerifyCase) -> List[Violation]:
+    """Scale-up -> scale-out repartitioning conserves work."""
+    if case.is_monolithic and not case.is_degraded:
+        return []
+    violations: List[Violation] = []
+    grid_result = simulate_case(case)
+    mapping = case.mapping()
+    if grid_result.macs != mapping.macs:
+        violations.append(
+            Violation(
+                prop="conservation",
+                message="MACs not conserved across the partition grid",
+                expected=mapping.macs,
+                actual=grid_result.macs,
+                case=case,
+            )
+        )
+    # OFMAP elements are written exactly once under output stationary:
+    # Eq. 5 tiles the output space disjointly, so the grid total must
+    # equal the monolithic total (healthy grids only — remapped tiles
+    # re-run, but still write each output element once; PE faults
+    # change the fold grid, not the output volume).
+    if case.dataflow == "os" and not case.is_monolithic:
+        mono = case.replace(
+            partition_rows=1, partition_cols=1, dead_partitions=()
+        )
+        mono_result = simulate_case(mono)
+        if grid_result.sram.ofmap_writes != mono_result.sram.ofmap_writes:
+            violations.append(
+                Violation(
+                    prop="conservation",
+                    message="OFMAP SRAM writes not conserved under repartitioning",
+                    expected=mono_result.sram.ofmap_writes,
+                    actual=grid_result.sram.ofmap_writes,
+                    case=case,
+                )
+            )
+    return violations
+
+
+def _monolithic_healthy(case: VerifyCase) -> VerifyCase:
+    return case.replace(
+        partition_rows=1,
+        partition_cols=1,
+        dead_pe_rows=(),
+        dead_pe_cols=(),
+        dead_partitions=(),
+    )
+
+
+def prop_monotone_array(case: VerifyCase) -> List[Violation]:
+    """Cycles are non-increasing when both array edges double."""
+    base = _monolithic_healthy(case)
+    if base.cost > _MONOTONE_MAX_COST:
+        return []
+    grown = base.replace(
+        array_rows=base.array_rows * 2, array_cols=base.array_cols * 2
+    )
+    small = simulate_case(base).total_cycles
+    big = simulate_case(grown).total_cycles
+    if big > small:
+        return [
+            Violation(
+                prop="monotone_array",
+                message="doubling the array made the layer slower",
+                expected=f"<= {small}",
+                actual=big,
+                case=base,
+            )
+        ]
+    return []
+
+
+def prop_monotone_batch(case: VerifyCase) -> List[Violation]:
+    """Cycles are non-decreasing when the batch (GEMM M) doubles."""
+    base = _monolithic_healthy(case)
+    if base.cost > _MONOTONE_MAX_COST:
+        return []
+    batched = base.replace(m=base.m * 2)
+    single = simulate_case(base).total_cycles
+    double = simulate_case(batched).total_cycles
+    if double < single:
+        return [
+            Violation(
+                prop="monotone_batch",
+                message="doubling the batch made the layer faster",
+                expected=f">= {single}",
+                actual=double,
+                case=base,
+            )
+        ]
+    return []
+
+
+def prop_permutation(case: VerifyCase) -> List[Violation]:
+    """Network totals are invariant under layer permutation."""
+    from repro.topology.layer import GemmLayer
+
+    base = _monolithic_healthy(case)
+    layers = [
+        GemmLayer(name="L0", m=base.m, k=base.k, n=base.n),
+        GemmLayer(name="L1", m=base.k, k=base.m, n=base.n),
+        GemmLayer(name="L2", m=base.m + 1, k=base.k, n=max(1, base.n // 2)),
+    ]
+    sim = Simulator(base.scaleup_config(), loop_order=base.loop_order)
+    forward = sim.run_network(Network("forward", layers))
+    backward = sim.run_network(Network("backward", list(reversed(layers))))
+
+    def totals(run) -> Dict[str, int]:
+        return {
+            "cycles": sum(r.total_cycles for r in run.layers),
+            "macs": sum(r.macs for r in run.layers),
+            "dram_read_bytes": sum(r.dram_read_bytes for r in run.layers),
+            "dram_write_bytes": sum(r.dram_write_bytes for r in run.layers),
+        }
+
+    expected, actual = totals(forward), totals(backward)
+    if expected != actual:
+        return [
+            Violation(
+                prop="permutation",
+                message="sweep totals changed when the layer order was permuted",
+                expected=expected,
+                actual=actual,
+                case=base,
+            )
+        ]
+    return []
+
+
+def prop_cache_identity(case: VerifyCase) -> List[Violation]:
+    """Cold, memoized and cache-disabled runs must be identical.
+
+    Also exercises cache-key isolation across dataflows (a key that
+    drops any field would alias these runs) and the result-store wire
+    codec (encode/decode must round-trip losslessly).
+    """
+    violations: List[Violation] = []
+    was_enabled = cache.enabled
+    dataflows = ("os", "ws", "is")
+    try:
+        # Ground truth first, with the cache fully off.
+        cache.disable()
+        uncached = {
+            dataflow: simulate_case(case.replace(dataflow=dataflow))
+            for dataflow in dataflows
+        }
+        # Then ONE shared cache lifetime across all three dataflows: a
+        # key that ignored the dataflow would alias their entries, and
+        # a later cold run would silently return the wrong machine's
+        # result.
+        cache.enable()
+        cache.clear()
+        for dataflow in dataflows:
+            variant = case.replace(dataflow=dataflow)
+            cold = simulate_case(variant)
+            memoized = simulate_case(variant)
+            if not (cold == memoized == uncached[dataflow]):
+                violations.append(
+                    Violation(
+                        prop="cache_identity",
+                        message=f"cache changed the {dataflow} result",
+                        expected=repr(uncached[dataflow]),
+                        actual=f"cold={cold!r} hit={memoized!r}",
+                        case=variant,
+                    )
+                )
+                break
+    finally:
+        if was_enabled:
+            cache.enable()
+            cache.clear()
+        else:
+            cache.disable()
+
+    config = case.scaleup_config()
+    sim = Simulator(config, loop_order=case.loop_order)
+    layer = case.layer()
+    result = sim.run_layer(layer)
+    traffic = compute_dram_traffic(
+        sim.engine(layer), sim.buffers, config.word_bytes, loop_order=case.loop_order
+    )
+    decoded_result, decoded_traffic = decode_result_pair(
+        encode_result_pair(result, traffic)
+    )
+    from dataclasses import replace as _replace
+
+    if _replace(decoded_result, layer_name=result.layer_name) != result:
+        violations.append(
+            Violation(
+                prop="cache_identity",
+                message="result-store codec did not round-trip the LayerResult",
+                expected=repr(result),
+                actual=repr(decoded_result),
+                case=case,
+            )
+        )
+    if decoded_traffic != traffic:
+        violations.append(
+            Violation(
+                prop="cache_identity",
+                message="result-store codec did not round-trip the DramTraffic",
+                case=case,
+            )
+        )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Session property: serial vs. parallel sweep byte-identity
+# ----------------------------------------------------------------------
+def prop_serial_parallel(_case: Optional[VerifyCase] = None) -> List[Violation]:
+    """A 2-worker pool sweep must produce row-identical results."""
+    from repro.serve.jobs import sweep_measure
+    from repro.sweep import run_sweep_report
+    from repro.topology.layer import GemmLayer
+
+    layer = GemmLayer(name="verify_pp", m=33, k=9, n=17)
+    measure = functools.partial(sweep_measure, layer=layer, macs=1024)
+    serial_rows, _ = run_sweep_report(measure, partitions=[1, 4])
+    parallel_rows, _ = run_sweep_report(measure, workers=2, partitions=[1, 4])
+    if serial_rows != parallel_rows:
+        return [
+            Violation(
+                prop="serial_parallel",
+                message="parallel sweep rows diverge from the serial walk",
+                expected=repr(serial_rows),
+                actual=repr(parallel_rows),
+            )
+        ]
+    return []
+
+
+# ----------------------------------------------------------------------
+# Parser fuzz properties (text inputs)
+# ----------------------------------------------------------------------
+_TOPOLOGY_DIM_BOUND = 2**31
+
+
+def check_topology_text(text: str) -> List[Violation]:
+    """Adversarial topology text: typed errors or sane layers, only."""
+    try:
+        network = parse_topology_text(text, name="fuzz")
+    except TopologyError:
+        return []  # the documented, typed outcome
+    except Exception as exc:  # noqa: BLE001 - the finding we hunt for
+        return [
+            Violation(
+                prop="parser_topology",
+                message=f"parser leaked {type(exc).__name__}: {exc}",
+                expected="Network or TopologyError",
+                actual=type(exc).__name__,
+                text=text,
+            )
+        ]
+    for layer in network:
+        dims = (layer.gemm_m, layer.gemm_k, layer.gemm_n)
+        if any(d < 1 or d > _TOPOLOGY_DIM_BOUND**2 for d in dims):
+            return [
+                Violation(
+                    prop="parser_topology",
+                    message=f"parser accepted absurd dims {dims} for {layer.name!r}",
+                    text=text,
+                )
+            ]
+    return []
+
+
+def check_config_text(text: str) -> List[Violation]:
+    """Adversarial config text: typed errors or a valid config, only."""
+    try:
+        config = parse_config_text(text)
+    except ConfigError:
+        return []
+    except Exception as exc:  # noqa: BLE001 - the finding we hunt for
+        return [
+            Violation(
+                prop="parser_config",
+                message=f"parser leaked {type(exc).__name__}: {exc}",
+                expected="HardwareConfig or ConfigError",
+                actual=type(exc).__name__,
+                text=text,
+            )
+        ]
+    if config.array_rows * config.array_cols > _TOPOLOGY_DIM_BOUND:
+        return [
+            Violation(
+                prop="parser_config",
+                message=f"parser accepted an absurd array "
+                        f"{config.array_rows}x{config.array_cols}",
+                text=text,
+            )
+        ]
+    return []
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Property:
+    """One named verification property the harness can schedule."""
+
+    name: str
+    kind: str  # "case" | "text-topology" | "text-config" | "session"
+    check: Callable[..., List[Violation]]
+    doc: str
+
+    def applies(self, case: VerifyCase) -> bool:
+        if self.name == "golden":
+            from repro.verify.oracles import golden_applies
+
+            return golden_applies(case)
+        return True
+
+
+PROPERTIES: Dict[str, Property] = {
+    prop.name: prop
+    for prop in (
+        Property("models", "case", oracle_models,
+                 "engine vs exact analytical prediction vs Eq. 4-6 bounds"),
+        Property("shape_classes", "case", oracle_shape_classes,
+                 "iterative fold walk vs O(1) shape-class aggregation"),
+        Property("golden", "case", oracle_golden,
+                 "engine vs PE-register-level golden array (small cases)"),
+        Property("conservation", "case", prop_conservation,
+                 "MAC/OFMAP-write conservation under repartitioning"),
+        Property("monotone_array", "case", prop_monotone_array,
+                 "cycles non-increasing when the array doubles"),
+        Property("monotone_batch", "case", prop_monotone_batch,
+                 "cycles non-decreasing when the batch doubles"),
+        Property("permutation", "case", prop_permutation,
+                 "network totals invariant under layer order"),
+        Property("cache_identity", "case", prop_cache_identity,
+                 "cold == memoized == cache-off; store codec round-trips"),
+        Property("serial_parallel", "session", prop_serial_parallel,
+                 "2-worker sweep row-identical to serial (runs once)"),
+        Property("parser_topology", "text-topology", check_topology_text,
+                 "topology parser: typed errors or sane layers only"),
+        Property("parser_config", "text-config", check_config_text,
+                 "config parser: typed errors or a valid config only"),
+    )
+}
+
+
+def resolve_properties(names: Optional[Sequence[str]] = None) -> List[Property]:
+    """Map ``--props`` names onto registry entries (all, by default)."""
+    if not names:
+        return list(PROPERTIES.values())
+    chosen: List[Property] = []
+    for name in names:
+        key = name.strip()
+        if not key:
+            continue
+        if key not in PROPERTIES:
+            from repro.errors import VerificationError
+
+            raise VerificationError(
+                f"unknown property {key!r}; available: {sorted(PROPERTIES)}"
+            )
+        chosen.append(PROPERTIES[key])
+    if not chosen:
+        from repro.errors import VerificationError
+
+        raise VerificationError("no properties selected")
+    return chosen

@@ -1,0 +1,132 @@
+"""Shrink a violating input to a minimal reproduction.
+
+Fuzzers find big ugly counterexamples; debuggers want tiny ones.  The
+shrinker performs greedy delta-debugging over the two input families:
+
+* **cases** — repeatedly try simplifying transformations (halve a GEMM
+  dimension, shrink the array, drop a fault, collapse the partition
+  grid, reset SRAM/word size to defaults) and keep any candidate that
+  still violates the same property, until a full pass makes no
+  progress;
+* **texts** — drop lines, then halve the text, keeping any candidate
+  that still reproduces.
+
+Shrinking re-executes the violating property once per candidate, so a
+step budget bounds the work; every accepted step is counted in the
+``verify.shrink.steps`` metric.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List
+
+from repro.obs import metrics
+from repro.verify.cases import VerifyCase
+
+#: Upper bound on property re-executions during one shrink.
+DEFAULT_SHRINK_BUDGET = 400
+
+
+def _case_candidates(case: VerifyCase) -> Iterator[VerifyCase]:
+    """Yield simpler variants of ``case``, most aggressive first."""
+    # Drop fault state entirely, then one component at a time.
+    if case.is_degraded:
+        yield case.replace(
+            dead_pe_rows=(), dead_pe_cols=(), dead_partitions=()
+        )
+        if case.dead_partitions:
+            yield case.replace(dead_partitions=case.dead_partitions[:-1])
+        if case.dead_pe_rows:
+            yield case.replace(dead_pe_rows=case.dead_pe_rows[:-1])
+        if case.dead_pe_cols:
+            yield case.replace(dead_pe_cols=case.dead_pe_cols[:-1])
+    # Collapse the grid.
+    if not case.is_monolithic:
+        yield case.replace(
+            partition_rows=1, partition_cols=1, dead_partitions=()
+        )
+    # Numeric fields: halve toward 1, then decrement.
+    for field in ("m", "k", "n", "array_rows", "array_cols",
+                  "partition_rows", "partition_cols"):
+        value = getattr(case, field)
+        if value > 1:
+            yield case.replace(**{field: value // 2})
+            yield case.replace(**{field: value - 1})
+    # Reset incidental knobs to their defaults.
+    for field, default in (
+        ("ifmap_sram_kb", 64), ("filter_sram_kb", 64), ("ofmap_sram_kb", 64),
+        ("word_bytes", 1),
+    ):
+        if getattr(case, field) != default:
+            yield case.replace(**{field: default})
+    if case.loop_order != "row":
+        yield case.replace(loop_order="row")
+    if case.dataflow != "os":
+        yield case.replace(dataflow="os")
+
+
+def shrink_case(
+    case: VerifyCase,
+    still_fails: Callable[[VerifyCase], bool],
+    budget: int = DEFAULT_SHRINK_BUDGET,
+) -> VerifyCase:
+    """Greedily minimize ``case`` while ``still_fails`` keeps holding."""
+    current = case
+    spent = 0
+    progressed = True
+    while progressed and spent < budget:
+        progressed = False
+        for candidate in _case_candidates(current):
+            if spent >= budget:
+                break
+            if not candidate.is_valid() or candidate.cost >= current.cost:
+                continue
+            spent += 1
+            try:
+                failing = still_fails(candidate)
+            except Exception:  # noqa: BLE001 - a crash is also a repro
+                failing = True
+            if failing:
+                current = candidate
+                progressed = True
+                if metrics.enabled:
+                    metrics.counter("verify.shrink.steps").add()
+                break
+    return current
+
+
+def shrink_text(
+    text: str,
+    still_fails: Callable[[str], bool],
+    budget: int = DEFAULT_SHRINK_BUDGET,
+) -> str:
+    """Minimize a violating parser input: drop lines, then halve."""
+    current = text
+    spent = 0
+    progressed = True
+    while progressed and spent < budget:
+        progressed = False
+        lines = current.splitlines()
+        candidates: List[str] = []
+        for index in range(len(lines)):
+            candidates.append("\n".join(lines[:index] + lines[index + 1:]))
+        if len(current) > 2:
+            candidates.append(current[: len(current) // 2])
+            candidates.append(current[len(current) // 2:])
+        for candidate in candidates:
+            if spent >= budget:
+                break
+            if candidate == current or len(candidate) >= len(current):
+                continue
+            spent += 1
+            try:
+                failing = still_fails(candidate)
+            except Exception:  # noqa: BLE001
+                failing = True
+            if failing:
+                current = candidate
+                progressed = True
+                if metrics.enabled:
+                    metrics.counter("verify.shrink.steps").add()
+                break
+    return current

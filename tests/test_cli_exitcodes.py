@@ -16,6 +16,7 @@ from repro.errors import (
     SupervisorExhaustedError,
     SweepInterrupted,
     TopologyError,
+    VerificationError,
     WorkerCrashError,
 )
 
@@ -39,6 +40,7 @@ class TestExitCodeMapping:
             (SweepInterrupted("x"), 12),
             (WorkerCrashError("x"), 13),
             (SupervisorExhaustedError("x"), 13),  # via the WorkerCrashError base
+            (VerificationError("x"), 16),
             (ReproError("x"), 1),  # no dedicated code -> generic failure
         ],
     )
@@ -48,6 +50,12 @@ class TestExitCodeMapping:
     def test_interrupt_and_pool_loss_reuse_documented_constants(self):
         assert exit_code_for(SweepInterrupted("x")) == EXIT_INCOMPLETE
         assert exit_code_for(SupervisorExhaustedError("x")) == EXIT_POOL_LOSS
+
+    def test_verification_error_uses_documented_constant(self):
+        from repro.cli import EXIT_VERIFICATION
+
+        assert EXIT_VERIFICATION == 16
+        assert exit_code_for(VerificationError("x")) == EXIT_VERIFICATION
 
 
 class TestCliErrorPaths:

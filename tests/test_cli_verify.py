@@ -1,0 +1,113 @@
+"""The ``repro verify`` subcommand and ``validate --rel-tol``."""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_VERIFICATION, main
+
+
+class TestVerifyFuzz:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        code = main([
+            "verify", "--budget", "10", "--cases", "10", "--seed", "7",
+            "--corpus", str(tmp_path / "corpus"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[PASS]" in out
+
+    def test_props_filter(self, tmp_path, capsys):
+        code = main([
+            "verify", "--budget", "5", "--cases", "3", "--seed", "0",
+            "--props", "shape_classes", "--corpus", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shape_classes" in out
+        assert "monotone_array" not in out
+
+    def test_unknown_prop_exits_16(self, tmp_path, capsys):
+        code = main([
+            "verify", "--budget", "5", "--props", "bogus",
+            "--corpus", str(tmp_path),
+        ])
+        assert code == EXIT_VERIFICATION
+        assert "unknown property" in capsys.readouterr().err
+
+    def test_list_props(self, capsys):
+        assert main(["verify", "--list-props"]) == 0
+        out = capsys.readouterr().out
+        assert "models" in out and "cache_identity" in out
+
+
+class TestVerifyReplay:
+    def test_empty_corpus_replays_clean(self, tmp_path, capsys):
+        code = main(["verify", "--replay", "--corpus", str(tmp_path)])
+        assert code == 0
+        assert "0 regression bundle(s)" in capsys.readouterr().out
+
+    def test_live_bundle_exits_16(self, tmp_path, capsys):
+        # A hand-written bundle whose "minimal input" still violates:
+        # claim the parser must reject a perfectly valid topology.
+        bundle = {
+            "prop": "models",
+            "case": {"m": 0, "k": 1, "n": 1},  # invalid scenario
+        }
+        (tmp_path / "models-bad.json").write_text(json.dumps(bundle))
+        code = main(["verify", "--replay", "--corpus", str(tmp_path)])
+        assert code == EXIT_VERIFICATION
+
+
+class TestVerifyBaselines:
+    def test_bless_without_reason_exits_16(self, tmp_path, capsys):
+        code = main([
+            "verify", "--bless", "table1", "--baselines", str(tmp_path),
+        ])
+        assert code == EXIT_VERIFICATION
+        assert "reason" in capsys.readouterr().err
+
+    def test_bless_then_check_round_trip(self, tmp_path, capsys):
+        assert main([
+            "verify", "--bless", "table1", "--reason", "test blessing",
+            "--baselines", str(tmp_path),
+        ]) == 0
+        assert main([
+            "verify", "--check-golden", "table1", "--baselines", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "blessed" in out and "[PASS]" in out
+
+    def test_unblessed_check_exits_16(self, tmp_path, capsys):
+        code = main([
+            "verify", "--check-golden", "--baselines", str(tmp_path / "empty"),
+        ])
+        assert code == EXIT_VERIFICATION
+        assert "--bless" in capsys.readouterr().err
+
+
+class TestValidateRelTol:
+    def test_validate_accepts_rel_tol_flag(self, capsys):
+        code = main(["validate", "--trials", "1", "--rel-tol", "0.01"])
+        assert code == 0
+        assert "agree" in capsys.readouterr().out
+
+    def test_bad_rel_tol_flag_exits_2(self, capsys):
+        code = main(["validate", "--trials", "1", "--rel-tol", "1.5"])
+        assert code == 2
+        assert "rel-tol" in capsys.readouterr().err
+
+    def test_env_fallback(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_VALIDATE_REL_TOL", "0.05")
+        assert main(["validate", "--trials", "1"]) == 0
+
+    def test_bad_env_value_exits_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_VALIDATE_REL_TOL", "lots")
+        code = main(["validate", "--trials", "1"])
+        assert code == 2
+        assert "REPRO_VALIDATE_REL_TOL" in capsys.readouterr().err
+
+    def test_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VALIDATE_REL_TOL", "not-a-number")
+        # The env var is broken but the flag short-circuits it.
+        assert main(["validate", "--trials", "1", "--rel-tol", "0"]) == 0

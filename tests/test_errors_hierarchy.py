@@ -28,6 +28,7 @@ from repro.errors import (
     SupervisorExhaustedError,
     SweepInterrupted,
     TopologyError,
+    VerificationError,
     WorkerCrashError,
 )
 
@@ -216,6 +217,12 @@ def _raise_service_error():
     normalize_request({"kind": "teleport"})
 
 
+def _raise_verification_error():
+    from repro.verify.properties import resolve_properties
+
+    resolve_properties(["no-such-property"])
+
+
 def _raise_service_unavailable_error():
     import threading
 
@@ -256,6 +263,7 @@ DOCUMENTED_SITES = {
     StoreCorruptionError: _raise_store_corruption_error,
     ServiceError: _raise_service_error,
     ServiceUnavailableError: _raise_service_unavailable_error,
+    VerificationError: _raise_verification_error,
 }
 
 

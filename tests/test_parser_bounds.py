@@ -1,0 +1,110 @@
+"""Hardened parser input validation: NaN/inf/absurd values are typed errors."""
+
+import pytest
+
+from repro.config.parser import MAX_INT_VALUE, parse_config_text
+from repro.errors import ConfigError, TopologyError
+from repro.topology.parser import MAX_DIMENSION, parse_topology_text
+
+
+class TestTopologyBounds:
+    @pytest.mark.parametrize("poison", ["nan", "inf", "-inf", "NaN", "1e9", "3.5"])
+    def test_non_integer_dimensions_are_typed_errors(self, poison):
+        text = f"layer, {poison}, 2, 3, 3, 4, 8, 1,\n"
+        with pytest.raises(TopologyError, match="line 1"):
+            parse_topology_text(text)
+
+    def test_absurd_dimension_is_rejected_with_line_number(self):
+        huge = MAX_DIMENSION + 1
+        text = f"ok, 8, 8, 3, 3, 4, 8, 1,\nbad, {huge}, 8, 3, 3, 4, 8, 1,\n"
+        with pytest.raises(TopologyError, match="line 2.*absurdly large"):
+            parse_topology_text(text)
+
+    def test_boundary_value_is_still_accepted(self):
+        text = f"edge, {MAX_DIMENSION}, 1, 1, 1, 1, 1, 1,\n"
+        network = parse_topology_text(text)
+        assert next(iter(network)).ifmap_h == MAX_DIMENSION
+
+    def test_zero_and_negative_stay_rejected(self):
+        with pytest.raises(TopologyError, match=">= 1"):
+            parse_topology_text("l, 0, 2, 3, 3, 4, 8, 1,\n")
+
+
+class TestConfigBounds:
+    @pytest.mark.parametrize("poison", ["nan", "inf", "Infinity", "1e9", "3.5", ""])
+    def test_non_integer_values_are_typed_errors(self, poison):
+        text = f"[architecture_presets]\nArrayHeight = {poison}\n"
+        with pytest.raises(ConfigError, match="integer"):
+            parse_config_text(text)
+
+    def test_absurd_value_reports_its_line(self):
+        huge = MAX_INT_VALUE + 1
+        text = (
+            "[architecture_presets]\n"
+            "ArrayWidth = 8\n"
+            f"ArrayHeight = {huge}\n"
+        )
+        with pytest.raises(ConfigError, match="config line 3.*absurdly large"):
+            parse_config_text(text)
+
+    def test_nan_reports_its_line(self):
+        text = "[architecture_presets]\nArrayHeight = nan\n"
+        with pytest.raises(ConfigError, match="config line 2"):
+            parse_config_text(text)
+
+    def test_absurd_pe_count_product_is_rejected(self):
+        side = 2**16  # each side fits, the PE count does not
+        text = (
+            "[architecture_presets]\n"
+            f"ArrayHeight = {side}\n"
+            f"ArrayWidth = {side}\n"
+        )
+        with pytest.raises(ConfigError, match="absurd PE count"):
+            parse_config_text(text)
+
+    def test_reasonable_config_still_parses(self):
+        text = (
+            "[architecture_presets]\n"
+            "ArrayHeight = 32\nArrayWidth = 32\n"
+            "IfmapSramSz = 64\nFilterSramSz = 64\nOfmapSramSz = 64\n"
+            "Dataflow = ws\n"
+        )
+        config = parse_config_text(text)
+        assert config.array_rows == config.array_cols == 32
+        assert config.dataflow.value == "ws"
+
+
+class TestGoldenValidateRelTol:
+    def test_default_is_exact(self):
+        from repro.golden.validate import ValidationReport
+        from repro.config.hardware import Dataflow
+
+        report = ValidationReport(
+            m=4, k=4, n=4, dataflow=Dataflow.OUTPUT_STATIONARY,
+            array_rows=4, array_cols=4,
+            engine_cycles=100, golden_cycles=101, analytical_cycles=100,
+            dims_divide=True,
+        )
+        assert not report.engine_matches_golden
+        assert not report.passed
+
+    def test_rel_tol_relaxes_the_comparison(self):
+        from repro.golden.validate import ValidationReport
+        from repro.config.hardware import Dataflow
+
+        report = ValidationReport(
+            m=4, k=4, n=4, dataflow=Dataflow.OUTPUT_STATIONARY,
+            array_rows=4, array_cols=4,
+            engine_cycles=100, golden_cycles=101, analytical_cycles=100,
+            dims_divide=True, rel_tol=0.05,
+        )
+        assert report.engine_matches_golden
+        assert report.passed
+
+    def test_sweep_threads_rel_tol_through(self):
+        from repro.golden.validate import validation_sweep
+
+        strict = validation_sweep(seed=0, trials=2)
+        relaxed = validation_sweep(seed=0, trials=2, rel_tol=0.1)
+        assert all(r.rel_tol == 0.0 for r in strict)
+        assert all(r.rel_tol == 0.1 for r in relaxed)

@@ -1,0 +1,36 @@
+"""Replay the permanent regression corpus in ``tests/regressions/``.
+
+Every bundle the verification harness ever wrote is re-executed here on
+every test run: a violation that was fixed must stay fixed, and a
+freshly-committed bundle fails this module until the underlying defect
+is repaired.  An empty corpus simply parametrizes to nothing.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify.corpus import load_bundle, load_corpus, replay_bundle
+
+CORPUS = Path(__file__).resolve().parent / "regressions"
+
+BUNDLES = load_corpus(CORPUS)
+
+
+def test_corpus_directory_is_tracked():
+    # The directory (with its README) must exist even when no bundle
+    # has ever been committed, so the harness always has a target.
+    assert CORPUS.is_dir()
+    assert (CORPUS / "README.md").is_file()
+
+
+@pytest.mark.parametrize(
+    "path", BUNDLES, ids=[path.name for path in BUNDLES]
+)
+def test_regression_stays_fixed(path):
+    bundle = load_bundle(path)
+    live = replay_bundle(bundle)
+    details = "; ".join(v.describe() for v in live)
+    assert live == [], (
+        f"regression {path.name} reproduces again ({bundle['message']}): {details}"
+    )

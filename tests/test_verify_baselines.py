@@ -1,0 +1,128 @@
+"""Blessed golden baselines: bless, check, drift, tamper-evidence."""
+
+import json
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify.baseline import (
+    assert_baselines,
+    bless,
+    blessed_experiments,
+    check_baselines,
+    load_baseline,
+)
+
+REASON = "unit-test blessing"
+
+
+class TestBless:
+    def test_bless_requires_a_reason(self, tmp_path):
+        with pytest.raises(VerificationError, match="reason"):
+            bless(["table1"], reason="   ", baseline_dir=tmp_path)
+
+    def test_bless_unknown_experiment_is_rejected(self, tmp_path):
+        with pytest.raises(VerificationError, match="unknown experiment"):
+            bless(["not-a-figure"], reason=REASON, baseline_dir=tmp_path)
+
+    def test_bless_writes_a_self_verifying_record(self, tmp_path):
+        (path,) = bless(["table1"], reason=REASON, baseline_dir=tmp_path)
+        record = load_baseline(path)
+        assert record["experiment"] == "table1"
+        assert record["reason"] == REASON
+        assert record["rows"]
+        assert blessed_experiments(tmp_path) == ["table1"]
+
+
+class TestCheck:
+    def test_blessed_experiment_passes(self, tmp_path):
+        bless(["table1", "table3"], reason=REASON, baseline_dir=tmp_path)
+        report = check_baselines(baseline_dir=tmp_path)
+        assert report.passed
+        assert report.checked == ["table1", "table3"]
+
+    def test_empty_store_protects_nothing_and_fails(self, tmp_path):
+        report = check_baselines(baseline_dir=tmp_path)
+        assert not report.passed
+        assert report.missing  # every known experiment is unprotected
+
+    def test_named_missing_baseline_is_reported(self, tmp_path):
+        bless(["table1"], reason=REASON, baseline_dir=tmp_path)
+        report = check_baselines(["table1", "fig4"], baseline_dir=tmp_path)
+        assert report.missing == ["fig4"]
+        assert not report.passed
+
+    def test_drift_is_detected_and_named(self, tmp_path):
+        (path,) = bless(["table1"], reason=REASON, baseline_dir=tmp_path)
+        record = json.loads(path.read_text())
+        key = next(iter(record["rows"][0]))
+        record["rows"][0][key] = "drifted-value"
+        # Recompute the digest so the record reads as *drift*, not tamper.
+        from repro.verify.baseline import _rows_digest
+
+        record["digest"] = _rows_digest(record["experiment"], record["rows"])
+        path.write_text(json.dumps(record))
+        report = check_baselines(["table1"], baseline_dir=tmp_path)
+        assert "table1" in report.drifted
+        assert "drifted-value" in report.drifted["table1"]
+
+    def test_assert_baselines_raises_with_rebless_instructions(self, tmp_path):
+        with pytest.raises(VerificationError, match="--bless"):
+            assert_baselines(["table1"], baseline_dir=tmp_path)
+
+    def test_rel_tol_absorbs_small_numeric_drift(self, tmp_path):
+        (path,) = bless(["fig9a"], reason=REASON, baseline_dir=tmp_path)
+        record = json.loads(path.read_text())
+        changed = False
+        for row in record["rows"]:
+            for key, value in row.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool) and value:
+                    row[key] = value * (1 + 1e-9)
+                    changed = True
+        assert changed, "fig9a rows carry no numeric field to perturb"
+        from repro.verify.baseline import _rows_digest
+
+        record["digest"] = _rows_digest(record["experiment"], record["rows"])
+        path.write_text(json.dumps(record))
+        strict = check_baselines(["fig9a"], baseline_dir=tmp_path, rel_tol=0.0)
+        relaxed = check_baselines(["fig9a"], baseline_dir=tmp_path, rel_tol=1e-6)
+        assert not strict.passed
+        assert relaxed.passed
+
+
+class TestTamper:
+    def test_hand_edited_rows_are_rejected(self, tmp_path):
+        (path,) = bless(["table1"], reason=REASON, baseline_dir=tmp_path)
+        record = json.loads(path.read_text())
+        key = next(iter(record["rows"][0]))
+        record["rows"][0][key] = "tampered"
+        path.write_text(json.dumps(record))  # digest left stale
+        with pytest.raises(VerificationError, match="corrupt or hand-edited"):
+            load_baseline(path)
+
+    def test_unreadable_record_is_rejected(self, tmp_path):
+        bad = tmp_path / "table1.json"
+        bad.write_text("{ nope")
+        with pytest.raises(VerificationError, match="unreadable"):
+            load_baseline(bad)
+
+    def test_missing_fields_are_rejected(self, tmp_path):
+        bad = tmp_path / "table1.json"
+        bad.write_text(json.dumps({"experiment": "table1"}))
+        with pytest.raises(VerificationError, match="missing"):
+            load_baseline(bad)
+
+
+class TestRepositoryBaselines:
+    """The checked-in ``baselines/`` store must stay green on HEAD."""
+
+    def test_all_experiments_are_blessed_and_clean(self):
+        from pathlib import Path
+
+        from repro.experiments.registry import available_experiments
+
+        store = Path(__file__).resolve().parent.parent / "baselines"
+        blessed = blessed_experiments(store)
+        assert blessed == available_experiments()
+        report = check_baselines(baseline_dir=store)
+        assert report.passed, report.summary()

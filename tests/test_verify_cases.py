@@ -1,0 +1,101 @@
+"""VerifyCase: construction, validity, serialization, shrink ordering."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify.cases import VerifyCase
+
+
+class TestConstruction:
+    def test_default_case_is_valid_and_monolithic(self):
+        case = VerifyCase(m=4, k=4, n=4)
+        assert case.is_valid()
+        assert case.is_monolithic
+        assert not case.is_degraded
+        assert case.fault_map() is None
+
+    def test_config_carries_every_knob(self):
+        case = VerifyCase(
+            m=6, k=3, n=5, dataflow="ws", array_rows=4, array_cols=2,
+            ifmap_sram_kb=16, filter_sram_kb=8, ofmap_sram_kb=4, word_bytes=2,
+        )
+        config = case.config()
+        assert (config.array_rows, config.array_cols) == (4, 2)
+        assert config.dataflow.value == "ws"
+        assert config.ifmap_sram_kb == 16
+        assert config.word_bytes == 2
+
+    def test_degraded_case_builds_fault_map(self):
+        case = VerifyCase(
+            m=4, k=4, n=4, array_rows=4, array_cols=4, dead_pe_rows=(1,)
+        )
+        assert case.is_degraded
+        fault = case.fault_map()
+        assert fault is not None and 1 in fault.dead_pe_rows
+        assert case.config().effective_array_rows == 3
+
+    def test_grid_case_with_dead_partition(self):
+        case = VerifyCase(
+            m=8, k=8, n=8, partition_rows=2, partition_cols=2,
+            dead_partitions=((0, 1),),
+        )
+        assert not case.is_monolithic
+        assert case.is_valid()
+        # The scale-up counterpart drops grid-level faults.
+        mono = case.scaleup_config()
+        assert mono.partition_rows == mono.partition_cols == 1
+
+    def test_layer_and_mapping_agree_on_macs(self):
+        case = VerifyCase(m=5, k=7, n=3, dataflow="is")
+        assert case.mapping().macs == 5 * 7 * 3
+
+
+class TestValidity:
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"m": 0},
+            {"array_rows": 0},
+            {"dataflow": "nope"},
+            {"loop_order": "diagonal"},
+            {"dead_pe_rows": (9,)},  # out of array bounds
+            {"dead_partitions": ((5, 0),)},  # out of grid bounds
+            {"word_bytes": 0},
+        ],
+    )
+    def test_invalid_variants_are_rejected(self, changes):
+        case = VerifyCase(m=4, k=4, n=4, array_rows=4, array_cols=4)
+        assert not case.replace(**changes).is_valid()
+
+    def test_all_array_rows_dead_is_invalid(self):
+        case = VerifyCase(
+            m=2, k=2, n=2, array_rows=2, array_cols=2, dead_pe_rows=(0, 1)
+        )
+        assert not case.is_valid()
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self):
+        case = VerifyCase(
+            m=9, k=2, n=4, dataflow="ws", array_rows=3, array_cols=6,
+            partition_rows=2, partition_cols=2, dead_partitions=((1, 0),),
+            dead_pe_rows=(0,), loop_order="col", word_bytes=4,
+        )
+        assert VerifyCase.from_dict(case.to_dict()) == case
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(VerificationError):
+            VerifyCase.from_dict({"m": 1, "k": 1, "n": 1, "bogus": 2})
+
+    def test_describe_is_human_readable(self):
+        text = VerifyCase(m=4, k=2, n=8, dataflow="os").describe()
+        assert "4x2x8" in text and "os" in text
+
+
+class TestCost:
+    def test_cost_orders_simpler_cases_first(self):
+        small = VerifyCase(m=2, k=2, n=2)
+        big = VerifyCase(m=64, k=64, n=64)
+        degraded = VerifyCase(m=2, k=2, n=2, dead_pe_rows=(0,))
+        assert small.cost < big.cost
+        assert small.cost < degraded.cost

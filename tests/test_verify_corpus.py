@@ -1,0 +1,112 @@
+"""Regression bundles: write, load, replay, corruption handling."""
+
+import json
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify.cases import VerifyCase
+from repro.verify.corpus import (
+    bundle_from_violation,
+    bundle_name,
+    load_bundle,
+    load_corpus,
+    replay_bundle,
+    replay_corpus,
+    write_bundle,
+)
+from repro.verify.oracles import Violation
+
+
+def _case_violation():
+    return Violation(
+        prop="models",
+        message="synthetic",
+        expected=10,
+        actual=11,
+        case=VerifyCase(m=4, k=4, n=4),
+    )
+
+
+def _text_violation():
+    return Violation(
+        prop="parser_topology",
+        message="synthetic leak",
+        text="x, 1, 1, 1, 1, 1, 1, 1,\n",
+    )
+
+
+class TestBundleLifecycle:
+    def test_case_bundle_round_trip(self, tmp_path):
+        bundle = bundle_from_violation(_case_violation(), seed=7)
+        path = write_bundle(tmp_path, bundle)
+        loaded = load_bundle(path)
+        assert loaded["prop"] == "models"
+        assert loaded["seed"] == 7
+        assert VerifyCase.from_dict(loaded["case"]) == VerifyCase(m=4, k=4, n=4)
+
+    def test_text_bundle_round_trip(self, tmp_path):
+        bundle = bundle_from_violation(_text_violation(), seed=0)
+        path = write_bundle(tmp_path, bundle)
+        assert load_bundle(path)["text"].startswith("x,")
+
+    def test_bundle_name_is_content_addressed(self):
+        a = bundle_from_violation(_case_violation(), seed=7)
+        b = bundle_from_violation(_case_violation(), seed=7)
+        assert bundle_name(a) == bundle_name(b)
+        other = bundle_from_violation(_text_violation(), seed=7)
+        assert bundle_name(a) != bundle_name(other)
+
+    def test_rewriting_the_same_violation_does_not_duplicate(self, tmp_path):
+        bundle = bundle_from_violation(_case_violation(), seed=7)
+        write_bundle(tmp_path, bundle)
+        write_bundle(tmp_path, bundle)
+        assert len(load_corpus(tmp_path)) == 1
+
+
+class TestReplay:
+    def test_replaying_a_fixed_defect_returns_no_violations(self, tmp_path):
+        # The synthetic violation describes a healthy case, so on
+        # healthy code the replay comes back clean — exactly the
+        # regression-test semantics.
+        bundle = bundle_from_violation(_case_violation(), seed=7)
+        assert replay_bundle(bundle) == []
+
+    def test_replay_corpus_walks_every_bundle(self, tmp_path):
+        write_bundle(tmp_path, bundle_from_violation(_case_violation(), seed=1))
+        write_bundle(tmp_path, bundle_from_violation(_text_violation(), seed=1))
+        outcomes = replay_corpus(tmp_path)
+        assert len(outcomes) == 2
+        assert all(violations == [] for violations in outcomes.values())
+
+    def test_empty_corpus_is_fine(self, tmp_path):
+        assert load_corpus(tmp_path / "missing") == []
+        assert replay_corpus(tmp_path / "missing") == {}
+
+    def test_unknown_property_is_rejected(self):
+        with pytest.raises(VerificationError, match="unknown property"):
+            replay_bundle({"prop": "not-a-prop", "case": {"m": 1, "k": 1, "n": 1}})
+
+    def test_invalid_case_is_rejected(self):
+        with pytest.raises(VerificationError, match="not a valid scenario"):
+            replay_bundle({"prop": "models", "case": {"m": 0, "k": 1, "n": 1}})
+
+
+class TestCorruption:
+    def test_unparsable_json_raises(self, tmp_path):
+        bad = tmp_path / "broken.json"
+        bad.write_text("{ not json")
+        with pytest.raises(VerificationError, match="unreadable"):
+            load_bundle(bad)
+
+    def test_missing_prop_raises(self, tmp_path):
+        bad = tmp_path / "no-prop.json"
+        bad.write_text(json.dumps({"case": {"m": 1, "k": 1, "n": 1}}))
+        with pytest.raises(VerificationError, match="prop"):
+            load_bundle(bad)
+
+    def test_missing_input_raises(self, tmp_path):
+        bad = tmp_path / "no-input.json"
+        bad.write_text(json.dumps({"prop": "models"}))
+        with pytest.raises(VerificationError, match="neither a case nor a text"):
+            load_bundle(bad)

@@ -1,0 +1,94 @@
+"""Differential oracles: clean cases pass, seeded defects are caught."""
+
+import unittest.mock as mock
+
+import pytest
+
+import repro.analytical.runtime as analytical_runtime
+from repro.verify.cases import VerifyCase
+from repro.verify.oracles import (
+    golden_applies,
+    oracle_golden,
+    oracle_models,
+    oracle_shape_classes,
+    simulate_case,
+)
+
+CLEAN_CASES = [
+    VerifyCase(m=8, k=8, n=8, array_rows=4, array_cols=4),          # divides
+    VerifyCase(m=7, k=5, n=3, dataflow="ws", array_rows=4, array_cols=4),
+    VerifyCase(m=9, k=2, n=6, dataflow="is", array_rows=3, array_cols=5),
+    VerifyCase(m=6, k=6, n=6, array_rows=4, array_cols=4, dead_pe_rows=(1,)),
+    VerifyCase(m=12, k=4, n=8, partition_rows=2, partition_cols=2),
+    VerifyCase(
+        m=12, k=4, n=8, partition_rows=2, partition_cols=2,
+        dead_partitions=((0, 0),),
+    ),
+]
+
+
+class TestCleanCases:
+    @pytest.mark.parametrize("case", CLEAN_CASES, ids=lambda c: c.describe())
+    def test_models_oracle_is_silent(self, case):
+        assert oracle_models(case) == []
+
+    @pytest.mark.parametrize("case", CLEAN_CASES, ids=lambda c: c.describe())
+    def test_shape_class_oracle_is_silent(self, case):
+        assert oracle_shape_classes(case) == []
+
+    def test_golden_oracle_is_silent_on_small_case(self):
+        case = VerifyCase(m=4, k=4, n=4, array_rows=4, array_cols=4)
+        assert golden_applies(case)
+        assert oracle_golden(case) == []
+
+    def test_golden_oracle_skips_big_and_degraded_cases(self):
+        big = VerifyCase(m=100, k=100, n=100)
+        degraded = VerifyCase(m=4, k=4, n=4, dead_pe_rows=(0,))
+        assert not golden_applies(big)
+        assert not golden_applies(degraded)
+        assert oracle_golden(big) == []
+
+
+class TestSeededDefects:
+    def test_fold_runtime_off_by_one_breaks_exactness(self):
+        case = VerifyCase(m=8, k=8, n=8, array_rows=4, array_cols=4)
+        real = analytical_runtime.fold_runtime
+        with mock.patch.object(
+            analytical_runtime, "fold_runtime",
+            lambda r, c, t: real(r, c, t) + 1,
+        ):
+            violations = oracle_models(case)
+        assert violations
+        assert any("exact" in v.message for v in violations)
+
+    def test_shape_class_drop_is_caught(self):
+        from repro.mapping.folds import FoldPlan
+
+        case = VerifyCase(m=9, k=5, n=7, array_rows=4, array_cols=4)
+        real = FoldPlan.shape_classes
+        with mock.patch.object(
+            FoldPlan, "shape_classes", lambda self: real(self)[:-1]
+        ):
+            violations = oracle_shape_classes(case)
+        assert violations
+        assert violations[0].prop == "shape_classes"
+
+    def test_violation_carries_the_case_for_replay(self):
+        case = VerifyCase(m=8, k=8, n=8, array_rows=4, array_cols=4)
+        real = analytical_runtime.fold_runtime
+        with mock.patch.object(
+            analytical_runtime, "fold_runtime",
+            lambda r, c, t: real(r, c, t) + 1,
+        ):
+            violations = oracle_models(case)
+        assert violations[0].case == case
+
+
+class TestSimulateCase:
+    def test_monolithic_and_grid_routes(self):
+        mono = simulate_case(VerifyCase(m=4, k=4, n=4))
+        grid = simulate_case(
+            VerifyCase(m=8, k=4, n=4, partition_rows=2, partition_cols=1)
+        )
+        assert mono.total_cycles > 0
+        assert grid.macs == 8 * 4 * 4

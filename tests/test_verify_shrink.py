@@ -1,0 +1,93 @@
+"""Greedy shrinking: minimal repros, validity, budget discipline."""
+
+from repro.verify.cases import VerifyCase
+from repro.verify.shrink import shrink_case, shrink_text
+
+
+class TestShrinkCase:
+    def test_shrinks_dimensions_to_the_boundary(self):
+        big = VerifyCase(m=64, k=32, n=48)
+        small = shrink_case(big, lambda c: c.m >= 4)
+        assert small.m == 4
+        assert small.k == 1 and small.n == 1
+
+    def test_drops_irrelevant_faults(self):
+        case = VerifyCase(
+            m=16, k=8, n=8, array_rows=4, array_cols=4,
+            dead_pe_rows=(0, 1), dead_pe_cols=(2,),
+        )
+        small = shrink_case(case, lambda c: c.m >= 2)
+        assert not small.is_degraded
+
+    def test_keeps_the_fault_when_it_matters(self):
+        case = VerifyCase(
+            m=16, k=8, n=8, array_rows=4, array_cols=4, dead_pe_rows=(0, 1)
+        )
+        small = shrink_case(case, lambda c: len(c.dead_pe_rows) >= 1)
+        assert len(small.dead_pe_rows) == 1
+
+    def test_collapses_grid_and_resets_knobs(self):
+        case = VerifyCase(
+            m=8, k=8, n=8, partition_rows=4, partition_cols=4,
+            word_bytes=4, loop_order="col", dataflow="ws",
+            ifmap_sram_kb=256,
+        )
+        small = shrink_case(case, lambda c: True)
+        assert small.is_monolithic
+        assert small.word_bytes == 1
+        assert small.loop_order == "row"
+        assert small.dataflow == "os"
+        assert small.ifmap_sram_kb == 64
+
+    def test_never_returns_an_invalid_case(self):
+        case = VerifyCase(
+            m=8, k=8, n=8, array_rows=4, array_cols=4, dead_pe_rows=(0, 1, 2)
+        )
+        small = shrink_case(case, lambda c: True)
+        assert small.is_valid()
+
+    def test_result_still_fails(self):
+        case = VerifyCase(m=40, k=40, n=40)
+        predicate = lambda c: c.m * c.k * c.n >= 100  # noqa: E731
+        small = shrink_case(case, predicate)
+        assert predicate(small)
+        assert small.cost < case.cost
+
+    def test_budget_bounds_the_work(self):
+        calls = []
+
+        def predicate(candidate):
+            calls.append(candidate)
+            return True
+
+        shrink_case(VerifyCase(m=1000, k=1000, n=1000), predicate, budget=5)
+        assert len(calls) <= 5
+
+    def test_crashing_predicate_counts_as_repro(self):
+        case = VerifyCase(m=8, k=8, n=8)
+
+        def explodes(candidate):
+            raise RuntimeError("the bug itself crashes")
+
+        small = shrink_case(case, explodes)
+        assert small.cost < case.cost  # it still made progress
+
+
+class TestShrinkText:
+    def test_drops_irrelevant_lines(self):
+        text = "keep-me\nnoise-1\nnoise-2\nnoise-3"
+        small = shrink_text(text, lambda t: "keep-me" in t)
+        assert small == "keep-me"
+
+    def test_empty_input_is_returned_unchanged(self):
+        assert shrink_text("", lambda t: True) == ""
+
+    def test_budget_bounds_the_work(self):
+        calls = []
+
+        def predicate(candidate):
+            calls.append(candidate)
+            return True
+
+        shrink_text("\n".join(f"line{i}" for i in range(100)), predicate, budget=7)
+        assert len(calls) <= 7
