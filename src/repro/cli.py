@@ -12,6 +12,7 @@ Subcommands::
     scalesim-repro validate [--trials N] [--rel-tol T]
     scalesim-repro verify   [--budget S] [--seed N] [--props a,b] [--replay]
     scalesim-repro verify   --bless --reason "why" | --check-golden
+    scalesim-repro bench    record|compare [--history FILE] [--threshold T]
     scalesim-repro workloads
 
 ``run`` simulates a topology cycle-accurately and writes the report
@@ -24,9 +25,12 @@ recorded trace/metrics file.
 
 Global observability flags (before the subcommand): ``--trace FILE``
 records a Chrome trace-event / Perfetto JSON timeline, ``--metrics
-FILE`` a counters/histograms snapshot, and ``-v`` / ``--log-level``
-control the ``repro.*`` logger hierarchy (report tables always print
-to stdout; diagnostics go to stderr).
+FILE`` a counters/histograms snapshot, ``--flight DIR`` arms the crash
+flight recorder (a bounded telemetry ring dumped to
+``flight-<pid>-<ns>.json`` on infrastructure failures, exit codes >=
+10), and ``-v`` / ``--log-level`` control the ``repro.*`` logger
+hierarchy (report tables always print to stdout; diagnostics go to
+stderr).
 """
 
 from __future__ import annotations
@@ -42,6 +46,13 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro._version import __version__
+from repro.obs import flight as obs_flight
+from repro.obs.bench import (
+    DEFAULT_HISTORY,
+    DEFAULT_THRESHOLD,
+    DEFAULT_WINDOW,
+    NOISE_FLOOR_S,
+)
 
 from repro.analytical.multiworkload import WorkloadSet, pareto_search
 from repro.config.hardware import Dataflow, HardwareConfig
@@ -57,6 +68,7 @@ from repro.errors import (
     ExecutionError,
     InvariantError,
     MappingError,
+    PerfRegressionError,
     ReproError,
     ResilienceError,
     SearchError,
@@ -110,6 +122,12 @@ EXIT_SERVICE = 15
 #: (:class:`~repro.errors.VerificationError`).
 EXIT_VERIFICATION = 16
 
+#: The perf-regression sentinel tripped: ``bench compare`` measured a
+#: tracked benchmark beyond its rolling-baseline noise band
+#: (:class:`~repro.errors.PerfRegressionError`) — "slower", distinct
+#: from "broken", so CI can gate on it separately.
+EXIT_PERF_REGRESSION = 17
+
 #: Stable process exit codes per failure class, most specific first.
 #: This table is THE reference for the CLI's exit contract (mirrored in
 #: docs/robustness.md):
@@ -142,6 +160,9 @@ EXIT_VERIFICATION = 16
 #: 16    verification failure (``VerificationError``: oracle or
 #:       metamorphic violation, a reproducing regression bundle, a
 #:       drifted blessed golden baseline, or a surviving mutant)
+#: 17    performance regression (``PerfRegressionError``: ``bench
+#:       compare`` found a tracked benchmark beyond its rolling
+#:       baseline's noise band)
 #: ====  =========================================================
 EXIT_CODES: Tuple[Tuple[type, int], ...] = (
     (ConfigError, 2),
@@ -159,6 +180,7 @@ EXIT_CODES: Tuple[Tuple[type, int], ...] = (
     (StorageError, EXIT_STORAGE),
     (ServiceError, EXIT_SERVICE),
     (VerificationError, EXIT_VERIFICATION),
+    (PerfRegressionError, EXIT_PERF_REGRESSION),
 )
 
 #: Generic non-zero exit for failures without a dedicated code.
@@ -550,15 +572,69 @@ def _cmd_workloads(_: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    """Summarize a recorded trace or metrics file."""
+    """Summarize a recorded trace/metrics file or a flight dump."""
     from repro.obs.stats import summarize_file
 
+    if bool(args.file) == bool(args.from_flight):
+        raise ConfigError("provide exactly one of FILE or --from-flight FILE")
+    target = args.from_flight or args.file
     try:
-        print(summarize_file(args.file, top=args.top))
+        if args.from_flight:
+            doc = obs_flight.load_flight(args.from_flight)
+            print(obs_flight.render_flight_summary(doc, top=args.top))
+        else:
+            print(summarize_file(args.file, top=args.top))
     except FileNotFoundError:
-        raise ConfigError(f"no such file: {args.file}") from None
+        raise ConfigError(f"no such file: {target}") from None
     except (ValueError, OSError) as exc:
         raise ConfigError(str(exc)) from exc
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Perf-regression sentinel: measure the suite, record or compare."""
+    from repro.obs import bench
+
+    names = (
+        [name.strip() for name in args.benches.split(",") if name.strip()]
+        if args.benches
+        else None
+    )
+    try:
+        results = bench.run_suite(names, repeats=args.repeats)
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
+    history_path = Path(args.history)
+
+    if args.action == "record":
+        bench.record(history_path, results, note=args.note)
+        print(f"# recorded {len(results)} bench(es) to {history_path}")
+        for result in results:
+            print(
+                f"{result.name:16s} {result.wall_time_s:9.4f}s  "
+                f"{len(result.counters)} counter(s)"
+            )
+        return 0
+
+    try:
+        history = bench.load_history(history_path)
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
+    report = bench.compare(
+        history,
+        results,
+        threshold=args.threshold,
+        window=args.window,
+        noise_floor_s=args.noise_floor,
+        inject_slowdown=args.inject_slowdown,
+    )
+    print(f"# bench compare against {history_path} ({len(history)} history entries)")
+    print(report.render())
+    if args.record and report.ok:
+        # only passing runs feed the rolling baseline; a regressed run
+        # must not poison the very history that flagged it
+        bench.record(history_path, results, note=args.note)
+    report.raise_on_regression()
     return 0
 
 
@@ -787,6 +863,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise ConfigError(str(exc)) from exc
+    # /metrics exposition needs live counters/histograms regardless of
+    # whether a --metrics snapshot sink was requested
+    obs.metrics.enable()
     service = SimulationService(policy)
     server = make_server(
         service, host=args.host, port=args.port, socket_path=args.socket
@@ -797,6 +876,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "received %s: draining in-flight jobs and shutting down",
             signal.Signals(signum).name,
         )
+        if signum == signal.SIGTERM:
+            # a terminated daemon leaves its black box behind (no-op
+            # when the flight recorder is not armed)
+            obs_flight.dump("SIGTERM: daemon draining")
         # serve_forever() must be unblocked from another thread.
         threading.Thread(target=server.shutdown, daemon=True).start()
 
@@ -854,6 +937,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--events", metavar="FILE",
         help="append a JSONL structured event log to FILE",
+    )
+    parser.add_argument(
+        "--flight", metavar="DIR",
+        help="arm the crash flight recorder: on infrastructure failures "
+             "(exit codes >= 10), unhandled exceptions, or daemon SIGTERM, "
+             "dump recent spans/logs/metrics atomically to "
+             "DIR/flight-<pid>-<ns>.json (also via $"
+             f"{obs_flight.FLIGHT_DIR_ENV})",
     )
     parser.add_argument(
         "--no-cache", dest="no_cache", action="store_true",
@@ -1039,14 +1130,54 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.set_defaults(func=_cmd_reproduce)
 
     stats = sub.add_parser(
-        "stats", help="summarize a recorded --trace or --metrics file"
+        "stats", help="summarize a recorded --trace/--metrics file or flight dump"
     )
-    stats.add_argument("file", help="trace JSON or metrics JSON to summarize")
+    stats.add_argument("file", nargs="?",
+                       help="trace JSON or metrics JSON to summarize")
+    stats.add_argument(
+        "--from-flight", dest="from_flight", metavar="FILE",
+        help="summarize a crash flight-recorder dump instead "
+             "(crash header, top spans, metrics, log tail)",
+    )
     stats.add_argument(
         "--top", type=int, default=10,
         help="number of spans/histograms to show (default 10)",
     )
     stats.set_defaults(func=_cmd_stats)
+
+    bench = sub.add_parser(
+        "bench", help="perf-regression sentinel: record or compare the bench suite"
+    )
+    bench.add_argument("action", choices=["record", "compare"],
+                       help="record: append this run to the history; "
+                            "compare: judge this run against the rolling baseline")
+    bench.add_argument("--history", default=str(DEFAULT_HISTORY), metavar="FILE",
+                       help=f"durable JSONL bench history (default {DEFAULT_HISTORY})")
+    bench.add_argument("--benches", metavar="NAMES",
+                       help="comma-separated bench names (default: whole suite)")
+    bench.add_argument("--repeats", type=int, default=3, metavar="N",
+                       help="repetitions per bench; min wall time wins (default 3)")
+    bench.add_argument("--note", metavar="TEXT",
+                       help="annotation stored in the recorded history entry")
+    bench.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                       metavar="T",
+                       help="relative wall-time regression tolerated "
+                            f"(default {DEFAULT_THRESHOLD})")
+    bench.add_argument("--window", type=int, default=DEFAULT_WINDOW, metavar="N",
+                       help="rolling-baseline window: median of the last N "
+                            f"history entries (default {DEFAULT_WINDOW})")
+    bench.add_argument("--noise-floor", type=float, dest="noise_floor",
+                       default=NOISE_FLOOR_S, metavar="SECONDS",
+                       help="absolute wall-time slack below which relative "
+                            f"regressions are ignored (default {NOISE_FLOOR_S})")
+    bench.add_argument("--inject-slowdown", type=float, dest="inject_slowdown",
+                       default=0.0, metavar="FRACTION",
+                       help="scale measured wall times by 1+FRACTION — a "
+                            "self-test hook proving the sentinel trips")
+    bench.add_argument("--record", action="store_true",
+                       help="after a passing compare, append this run to the "
+                            "history (regressed runs are never recorded)")
+    bench.set_defaults(func=_cmd_bench)
 
     serve = sub.add_parser(
         "serve", help="run the long-lived simulation daemon (see docs/service.md)"
@@ -1120,28 +1251,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             config_digest=obs.config_hash({"argv": vector}),
             extra_metadata={"command": args.command},
         )
+    flight_dir = Path(args.flight) if args.flight else obs_flight.flight_dir_from_env()
+    if flight_dir is not None:
+        if not sinks_requested:
+            # arming enables the tracer, but nothing will ever drain its
+            # buffer without a --trace sink; bound it so a long-lived
+            # process stays flat on memory (a postmortem only needs the
+            # recent past anyway)
+            obs.trace.limit_records(obs_flight.SPAN_RING_CAPACITY)
+        obs_flight.arm(flight_dir, obs.trace, obs.metrics)
+    rc = EXIT_FAILURE
+    reason: Optional[str] = None
     try:
-        return args.func(args)
+        rc = args.func(args)
+        return rc
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return exit_code_for(exc)
+        reason = f"{type(exc).__name__}: {exc}"
+        rc = exit_code_for(exc)
+        return rc
     except concurrent.futures.BrokenExecutor as exc:
         # A pool loss that escaped the supervisor (should be rare).
         print(f"error: worker pool broke: {exc}", file=sys.stderr)
-        return EXIT_POOL_LOSS
+        reason = f"worker pool broke: {exc}"
+        rc = EXIT_POOL_LOSS
+        return rc
     except KeyboardInterrupt:
         # Second Ctrl-C (or a serial run's first): completed points are
         # already journalled line-by-line, so --resume still works.
         print("error: interrupted", file=sys.stderr)
-        return EXIT_INCOMPLETE
+        reason = "interrupted (SIGINT)"
+        rc = EXIT_INCOMPLETE
+        return rc
     except BrokenPipeError:
         # `repro ... | head` closed stdout early; not an error.  Point
         # stdout at devnull so the interpreter's shutdown flush does not
         # print a second traceback.
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
+        rc = 0
         return 0
     finally:
+        # Codes >= 10 are infrastructure failures (pool loss, storage,
+        # service, incomplete sweeps, ...): exactly the crashes a
+        # postmortem needs the recent telemetry for.
+        if flight_dir is not None and rc >= 10:
+            dump_path = obs_flight.dump(reason or f"exit code {rc}", exit_code=rc)
+            if dump_path is not None:
+                print(f"flight recorder dump: {dump_path}", file=sys.stderr)
         if sinks_requested:
             for path in obs.flush():
                 logger.info("wrote %s", path)

@@ -108,6 +108,19 @@ class VerificationError(ReproError):
     or a seeded mutant the harness could not catch."""
 
 
+class InstrumentKindError(ReproError, TypeError):
+    """Raised when one metric name is requested as two different
+    instrument kinds (e.g. ``counter("x")`` after ``gauge("x")``).
+    Subclasses ``TypeError`` because it is a type confusion at the
+    instrumentation site, not a runtime condition."""
+
+
+class PerfRegressionError(ReproError):
+    """Raised by ``repro bench compare`` when a tracked benchmark
+    metric regresses beyond its noise band against the rolling
+    baseline in ``benchmarks/results/history.jsonl``."""
+
+
 class InvariantError(ReproError):
     """Raised when cycle-accurate results diverge from the analytical
     model (Eq. 1-6) or the demand/trace views stop agreeing."""

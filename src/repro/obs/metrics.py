@@ -26,6 +26,8 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Union
 
+from repro.errors import InstrumentKindError
+
 Number = Union[int, float]
 
 #: Sample-buffer capacity per histogram; thinning keeps it below this.
@@ -181,6 +183,7 @@ class MetricsRegistry:
         instrument = self._counters.get(name)
         if instrument is None:
             with self._lock:
+                self._check_kind(name, "counter")
                 instrument = self._counters.setdefault(name, Counter(name))
         return instrument
 
@@ -190,6 +193,7 @@ class MetricsRegistry:
         instrument = self._gauges.get(name)
         if instrument is None:
             with self._lock:
+                self._check_kind(name, "gauge")
                 instrument = self._gauges.setdefault(name, Gauge(name))
         return instrument
 
@@ -199,8 +203,29 @@ class MetricsRegistry:
         instrument = self._histograms.get(name)
         if instrument is None:
             with self._lock:
+                self._check_kind(name, "histogram")
                 instrument = self._histograms.setdefault(name, Histogram(name))
         return instrument
+
+    def _check_kind(self, name: str, wanted: str) -> None:
+        """Refuse to register one name under two instrument kinds.
+
+        Without this, ``counter("x")`` after ``gauge("x")`` would
+        silently mint a second, unrelated instrument sharing the name —
+        both would export, and downstream Prometheus text would carry
+        the same series under two conflicting ``# TYPE`` declarations.
+        Must be called with ``self._lock`` held.
+        """
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if kind != wanted and name in table:
+                raise InstrumentKindError(
+                    f"metric {name!r} is already registered as a {kind}; "
+                    f"cannot re-register it as a {wanted}"
+                )
 
     # ------------------------------------------------------------------
     # Export

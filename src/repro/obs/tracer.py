@@ -24,14 +24,31 @@ Design constraints, in priority order:
 * **Thread-tolerant.**  The robust executor runs points on worker
   threads when a timeout is set; span stacks are thread-local and the
   record buffer is guarded by a lock taken only at span exit.
+
+Beyond recording, the tracer supports three integration hooks used by
+the operational-observability layer:
+
+* **Bound context** (:meth:`Tracer.bind` / :meth:`Tracer.bound`) — a
+  thread-local attribute dict (e.g. a request correlation ID) merged
+  into every span/event recorded on that thread, so one ``bind`` at a
+  request boundary stamps every nested segment without threading the
+  ID through call signatures.
+* **Listeners** (:meth:`Tracer.add_listener`) — callbacks invoked with
+  each finished :class:`SpanRecord`; the crash flight recorder uses
+  this to keep its bounded ring without a second instrumentation pass.
+* **Foreign records** (:meth:`Tracer.add_record` /
+  :meth:`Tracer.add_span`) — inject already-timed spans, used to merge
+  worker-process span files into the parent trace and to synthesize
+  segments whose duration is known only after the fact (queue wait).
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Union
 
 #: Phase tags, following the Chrome trace-event format.
 PHASE_COMPLETE = "X"  # a span with a duration
@@ -116,6 +133,10 @@ class _Span:
             self._parent._child_ns += duration
         if exc_type is not None:
             self.args.setdefault("error", exc_type.__name__)
+        bound = getattr(self._tracer._local, "context", None)
+        if bound:
+            for key, value in bound.items():
+                self.args.setdefault(key, value)
         self._tracer._record(
             SpanRecord(
                 name=self.name,
@@ -137,10 +158,13 @@ class Tracer:
 
     def __init__(self, enabled: bool = False):
         self._enabled = enabled
-        self._records: List[SpanRecord] = []
+        self._records: Union[List[SpanRecord], Deque[SpanRecord]] = []
         self._lock = threading.Lock()
         self._local = threading.local()
+        self._listeners: List[Callable[[SpanRecord], None]] = []
+        self._max_records: Optional[int] = None
         self.epoch_ns = time.perf_counter_ns()
+        self.epoch_unix = time.time()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -158,8 +182,75 @@ class Tracer:
     def clear(self) -> None:
         """Drop all recorded spans and restart the epoch."""
         with self._lock:
-            self._records = []
+            if self._max_records is not None:
+                self._records = deque(maxlen=self._max_records)
+            else:
+                self._records = []
         self.epoch_ns = time.perf_counter_ns()
+        self.epoch_unix = time.time()
+
+    def limit_records(self, limit: Optional[int]) -> None:
+        """Bound the record buffer to the newest ``limit`` spans.
+
+        Long-lived processes (the daemon, an armed flight recorder with
+        no ``--trace`` sink) enable tracing indefinitely; a bounded
+        buffer keeps memory flat while the newest spans — the ones a
+        postmortem wants — survive.  ``None`` restores the unbounded
+        buffer.  Existing records are preserved (newest kept on
+        shrink).
+        """
+        if limit is not None and limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        with self._lock:
+            self._max_records = limit
+            if limit is None:
+                self._records = list(self._records)
+            else:
+                self._records = deque(self._records, maxlen=limit)
+
+    # ------------------------------------------------------------------
+    # Bound context & listeners
+    # ------------------------------------------------------------------
+    def bind(self, **attrs: Any) -> None:
+        """Merge ``attrs`` into this thread's bound context.
+
+        Bound attributes are added (``setdefault`` — explicit span args
+        win) to every span and event recorded on this thread until
+        :meth:`unbind`.  Used to stamp a correlation ID across every
+        segment of one request.
+        """
+        context = getattr(self._local, "context", None)
+        if context is None:
+            context = self._local.context = {}
+        context.update(attrs)
+
+    def unbind(self, *names: str) -> None:
+        """Remove ``names`` from this thread's bound context (all if empty)."""
+        context = getattr(self._local, "context", None)
+        if not context:
+            return
+        if not names:
+            context.clear()
+            return
+        for name in names:
+            context.pop(name, None)
+
+    def bound(self, **attrs: Any):
+        """Context manager form of :meth:`bind`; restores prior values."""
+        return _BoundContext(self, attrs)
+
+    def context(self) -> Dict[str, Any]:
+        """A copy of this thread's bound context."""
+        return dict(getattr(self._local, "context", None) or {})
+
+    def add_listener(self, listener: Callable[[SpanRecord], None]) -> None:
+        """Invoke ``listener`` with every record as it is recorded."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[SpanRecord], None]) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     # ------------------------------------------------------------------
     # Recording
@@ -179,6 +270,10 @@ class Tracer:
         if not self._enabled:
             return
         stack = self._stack()
+        bound = getattr(self._local, "context", None)
+        if bound:
+            for key, value in bound.items():
+                args.setdefault(key, value)
         self._record(
             SpanRecord(
                 name=name,
@@ -192,6 +287,56 @@ class Tracer:
                 args=args,
             )
         )
+
+    def add_record(self, record: SpanRecord) -> None:
+        """Inject an already-built record (e.g. from a worker process).
+
+        Timestamps must already be relative to *this* tracer's epoch —
+        callers merging foreign span files re-anchor via ``epoch_unix``
+        first.  No-op while disabled, like all recording paths.
+        """
+        if not self._enabled:
+            return
+        self._record(record)
+
+    def add_span(
+        self,
+        name: str,
+        start_ns: int,
+        duration_ns: int,
+        /,
+        category: str = "repro",
+        **args: Any,
+    ) -> None:
+        """Synthesize a span whose timing is known only after the fact.
+
+        Used for segments that are not a ``with`` block in any single
+        thread — e.g. a job's queue wait, measured between enqueue and
+        dispatch.  ``start_ns`` is relative to this tracer's epoch.
+        """
+        if not self._enabled:
+            return
+        bound = getattr(self._local, "context", None)
+        if bound:
+            for key, value in bound.items():
+                args.setdefault(key, value)
+        self._record(
+            SpanRecord(
+                name=name,
+                category=category,
+                start_ns=start_ns,
+                duration_ns=duration_ns,
+                self_ns=duration_ns,
+                thread_id=threading.get_ident(),
+                depth=0,
+                phase=PHASE_COMPLETE,
+                args=args,
+            )
+        )
+
+    def now_ns(self) -> int:
+        """The current time, relative to this tracer's epoch."""
+        return time.perf_counter_ns() - self.epoch_ns
 
     def records(self) -> List[SpanRecord]:
         """A snapshot copy of everything recorded so far."""
@@ -214,3 +359,43 @@ class Tracer:
     def _record(self, record: SpanRecord) -> None:
         with self._lock:
             self._records.append(record)
+        # Listeners run outside the lock: a listener that itself records
+        # (or takes its own lock) must not deadlock the tracer.
+        for listener in list(self._listeners):
+            try:
+                listener(record)
+            except Exception:
+                pass
+
+
+#: Sentinel distinguishing "key absent" from "key bound to None".
+_MISSING = object()
+
+
+class _BoundContext:
+    """Scope guard for :meth:`Tracer.bound`; restores shadowed values."""
+
+    __slots__ = ("_tracer", "_attrs", "_saved")
+
+    def __init__(self, tracer: Tracer, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._attrs = attrs
+        self._saved: Dict[str, Any] = {}
+
+    def __enter__(self) -> "_BoundContext":
+        context = getattr(self._tracer._local, "context", None)
+        if context is None:
+            context = self._tracer._local.context = {}
+        self._saved = {key: context.get(key, _MISSING) for key in self._attrs}
+        context.update(self._attrs)
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        context = getattr(self._tracer._local, "context", None)
+        if context is not None:
+            for key, value in self._saved.items():
+                if value is _MISSING:
+                    context.pop(key, None)
+                else:
+                    context[key] = value
+        return False

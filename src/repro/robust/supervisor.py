@@ -67,6 +67,8 @@ from typing import Callable, Dict, Optional, Sequence, Set, Tuple
 from repro.errors import SupervisorExhaustedError, SweepInterrupted, WorkerCrashError
 from repro.obs import metrics, trace
 from repro.obs.progress import ProgressSnapshot
+from repro.obs.service import CORRELATION_KEY, correlation_id_from_env
+from repro.obs.tracer import SpanRecord
 from repro.robust.checkpoint import CheckpointStore
 from repro.robust.policy import ExecutionPolicy
 from repro.robust.report import STATUS_FAILED, PointRecord, RunReport
@@ -293,6 +295,70 @@ class _ResourceWatchdog(threading.Thread):
         os._exit(RESOURCE_KILL_EXIT)
 
 
+def _worker_initializer(trace_enabled: bool) -> None:
+    """Per-worker-process setup, run once when the pool spawns it.
+
+    Mirrors the parent's logging level (``REPRO_LOG_LEVEL``), restarts
+    the tracer with a fresh epoch when the parent traces (a forked
+    worker inherits the parent's buffer — those spans are the parent's,
+    not this worker's), and binds any correlation ID handed down via
+    ``REPRO_CORRELATION_ID`` so worker spans stitch into the request
+    trace that dispatched them.
+    """
+    from repro.obs.logconf import configure_from_env
+
+    configure_from_env()
+    if trace_enabled:
+        trace.clear()
+        trace.enable()
+    cid = correlation_id_from_env()
+    if cid:
+        trace.bind(**{CORRELATION_KEY: cid})
+
+
+#: Worker span files: ``spans-<index>.json`` in the scratch dir.
+_SPANS_PREFIX = "spans"
+
+#: Schema tag of one worker span file.
+WORKER_SPANS_SCHEMA = "repro.worker-spans/1"
+
+
+def _export_worker_spans(scratch_dir: Path, index: int, mark: int) -> None:
+    """Dump the spans this point recorded into the shared scratch dir.
+
+    ``mark`` is the tracer buffer length when the point began — workers
+    are reused across points, so only the new slice belongs to this
+    one.  Timestamps stay in this worker's epoch; the file carries
+    ``epoch_unix`` so the parent can re-anchor them into its own trace.
+    """
+    records = trace.records()[mark:]
+    if not records:
+        return
+    _write_json(
+        scratch_dir / f"{_SPANS_PREFIX}-{index}.json",
+        {
+            "schema": WORKER_SPANS_SCHEMA,
+            "index": index,
+            "pid": os.getpid(),
+            "epoch_unix": trace.epoch_unix,
+            "spans": [
+                {
+                    "name": record.name,
+                    "category": record.category,
+                    "start_ns": record.start_ns,
+                    "duration_ns": record.duration_ns,
+                    "self_ns": record.self_ns,
+                    "thread_id": record.thread_id,
+                    "depth": record.depth,
+                    "phase": record.phase,
+                    "args": record.args,
+                }
+                for record in records
+            ],
+        },
+    )
+
+
 def _counter_snapshot() -> Dict[str, int]:
     if not metrics.enabled:
         return {}
@@ -336,6 +402,7 @@ def run_supervised_point(
     if sup.guards_worker:
         watchdog = _ResourceWatchdog(key, index, sup, scratch_dir)
         watchdog.start()
+    span_mark = len(trace)
     try:
         before = _counter_snapshot()
         record = execute_point(fn, params, policy=policy, key=key)
@@ -352,6 +419,8 @@ def run_supervised_point(
                 record = replace(record, exception=None)
         return record, deltas
     finally:
+        if trace.enabled:
+            _export_worker_spans(scratch_dir, index, span_mark)
         if watchdog is not None:
             watchdog.stop()
         for leftover in (started, scratch_dir / f"hb-{index}.json"):
@@ -413,8 +482,16 @@ class _Supervisor:
         )
         self.unsettled.add(index)
 
+    def _make_pool(self, workers: int) -> concurrent.futures.ProcessPoolExecutor:
+        """A pool whose workers mirror the parent's logging/trace setup."""
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_initializer,
+            initargs=(trace.enabled,),
+        )
+
     def submit_all(self) -> None:
-        self.pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.workers)
+        self.pool = self._make_pool(self.workers)
         for index, params in enumerate(self.points):
             if self.checkpoint is not None and self.checkpoint.completed(params):
                 continue  # replayed as `cached` at its drain turn
@@ -444,9 +521,11 @@ class _Supervisor:
                 with trace.span("robust.grid_point", key=self.run.key(index, params)):
                     record, deltas = self.result(index, params)
                 merge_counter_deltas(deltas)
+                self.drain_worker_spans()
                 self.unsettled.discard(index)
                 self.run.finish_executed(record, params)
             self.shutdown(wait=True)
+            self.drain_worker_spans()
         except BaseException:
             self.shutdown(wait=False)
             raise
@@ -481,12 +560,56 @@ class _Supervisor:
             with contextlib.suppress(OSError):
                 path.unlink()
 
+    def drain_worker_spans(self) -> int:
+        """Merge worker span files into the parent trace, re-anchored.
+
+        Worker timestamps are relative to each worker's own epoch; the
+        per-file ``epoch_unix`` maps them onto the parent's timeline.
+        Files are consumed (unlinked) as they are merged.  Must run
+        before :meth:`_clear_breadcrumbs`, which deletes every JSON in
+        the scratch dir indiscriminately.
+        """
+        if not trace.enabled:
+            return 0
+        merged = 0
+        for path in sorted(self.scratch.glob(f"{_SPANS_PREFIX}-*.json")):
+            doc = _read_json(path)
+            with contextlib.suppress(OSError):
+                path.unlink()
+            if not doc or doc.get("schema") != WORKER_SPANS_SCHEMA:
+                continue
+            try:
+                offset_ns = int(
+                    (float(doc["epoch_unix"]) - trace.epoch_unix) * 1e9
+                )
+            except (KeyError, TypeError, ValueError):
+                continue
+            for span in doc.get("spans", ()):
+                try:
+                    record = SpanRecord(
+                        name=span["name"],
+                        category=span.get("category", "repro"),
+                        start_ns=int(span["start_ns"]) + offset_ns,
+                        duration_ns=int(span.get("duration_ns", 0)),
+                        self_ns=int(span.get("self_ns", 0)),
+                        thread_id=int(span.get("thread_id", 0)),
+                        depth=int(span.get("depth", 0)),
+                        phase=span.get("phase", "X"),
+                        args={**span.get("args", {}), "worker_pid": doc.get("pid")},
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue
+                trace.add_record(record)
+                merged += 1
+        return merged
+
     def handle_crash(self, exc: BaseException) -> None:
         """Attribute a pool loss, rebuild the pool, resubmit lost work."""
         self.restarts += 1
         metrics.counter("supervisor.restarts").add()
         suspects = self._read_breadcrumbs("started")
         kills = self._read_breadcrumbs("kill")
+        self.drain_worker_spans()
         self._clear_breadcrumbs()
         for index in sorted(set(suspects) | set(kills)):
             if index not in self.unsettled:
@@ -527,7 +650,7 @@ class _Supervisor:
     def _rebuild_pool(self) -> None:
         if self.pool is not None:
             self.pool.shutdown(wait=False, cancel_futures=True)
-        self.pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.workers)
+        self.pool = self._make_pool(self.workers)
         resubmitted = kept = 0
         for index in sorted(self.unsettled):
             if self.crash_counts.get(index, 0) >= self.sup.quarantine_after:
@@ -575,7 +698,7 @@ class _Supervisor:
             "point %s crashed the pool %d time(s); retrying alone before quarantine",
             key, crashes,
         )
-        solo = concurrent.futures.ProcessPoolExecutor(max_workers=1)
+        solo = self._make_pool(1)
         try:
             future = solo.submit(
                 run_supervised_point,
@@ -589,6 +712,7 @@ class _Supervisor:
                     continue
                 except concurrent.futures.BrokenExecutor:
                     kill_info = self._read_breadcrumbs("kill").get(index)
+                    self.drain_worker_spans()
                     self._clear_breadcrumbs()
                     self.serial_pending.discard(index)
                     return self._quarantine(index, params, key, kill_info), {}
@@ -702,6 +826,7 @@ class _Supervisor:
             except BaseException:  # noqa: BLE001
                 pass
             drained += 1
+        self.drain_worker_spans()
         self.shutdown(wait=False)
         raise SweepInterrupted(
             f"sweep interrupted by {sig_name}: {drained} in-flight point(s) "

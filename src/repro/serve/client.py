@@ -18,6 +18,7 @@ import time
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ServiceError, ServiceUnavailableError
+from repro.obs.service import CORRELATION_HEADER, new_correlation_id
 
 DEFAULT_PORT = 8787
 
@@ -64,7 +65,11 @@ class ServiceClient:
         return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
 
     def _request(
-        self, method: str, path: str, body: Optional[Dict] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict] = None,
+        correlation_id: Optional[str] = None,
     ) -> Tuple[int, Dict, Dict]:
         """Returns ``(status, headers, parsed_body)``; raises ServiceError
         on transport failures or non-JSON responses."""
@@ -72,6 +77,8 @@ class ServiceClient:
         try:
             payload = json.dumps(body).encode() if body is not None else None
             headers = {"X-Repro-Client": self.client_id}
+            if correlation_id:
+                headers[CORRELATION_HEADER] = correlation_id
             if payload is not None:
                 headers["Content-Type"] = "application/json"
             connection.request(method, path, body=payload, headers=headers)
@@ -101,17 +108,48 @@ class ServiceClient:
             raise ServiceError(f"health check failed with HTTP {status}: {body}")
         return body
 
-    def submit(self, request: Dict, max_retries: int = 0) -> Dict:
+    def metrics_text(self) -> str:
+        """The daemon's raw Prometheus exposition (``GET /metrics``)."""
+        connection = self._connection()
+        try:
+            connection.request(
+                "GET", "/metrics", headers={"X-Repro-Client": self.client_id}
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise ServiceError(f"metrics scrape failed with HTTP {response.status}")
+            return raw.decode()
+        except (OSError, http.client.HTTPException) as exc:
+            where = self.socket_path or f"{self.host}:{self.port}"
+            raise ServiceError(f"cannot reach daemon at {where}: {exc}") from exc
+        finally:
+            connection.close()
+
+    def submit(
+        self,
+        request: Dict,
+        max_retries: int = 0,
+        correlation_id: Optional[str] = None,
+    ) -> Dict:
         """Submit one job and return its result body.
 
         On back-pressure (429/503) the call sleeps for the server's
         ``Retry-After`` and retries, at most ``max_retries`` times;
         exhausted retries raise :class:`ServiceUnavailableError`.
         Invalid requests and job failures raise :class:`ServiceError`.
+
+        A correlation ID is minted client-side (unless given) and sent
+        in the ``X-Repro-Correlation-Id`` header; retries reuse the
+        same ID, so the daemon's logs show one request story.  The ID
+        comes back in the response body as ``correlation_id``.
         """
+        cid = correlation_id or new_correlation_id()
         attempt = 0
         while True:
-            status, headers, body = self._request("POST", "/submit", body=request)
+            status, headers, body = self._request(
+                "POST", "/submit", body=request, correlation_id=cid
+            )
             if status == 200:
                 return body
             if status in (429, 503):

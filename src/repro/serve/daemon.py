@@ -52,7 +52,13 @@ from typing import Dict, Optional, Tuple
 
 from repro._version import __version__
 from repro.errors import ServiceError
-from repro.obs import metrics
+from repro.obs import metrics, trace
+from repro.obs.service import (
+    CORRELATION_HEADER,
+    CORRELATION_KEY,
+    new_correlation_id,
+    prometheus_text,
+)
 from repro.robust.executor import execute_point
 from repro.robust.policy import ExecutionPolicy
 from repro.serve.jobs import execute_job, job_key, normalize_request
@@ -148,15 +154,35 @@ class SimulationService:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, payload: object, client: str = ANONYMOUS) -> Tuple[int, Dict]:
+    def submit(
+        self,
+        payload: object,
+        client: str = ANONYMOUS,
+        correlation_id: Optional[str] = None,
+    ) -> Tuple[int, Dict]:
         """Admit, dedup and execute one request; block until its result.
 
         Returns ``(http_status, response_body)``.  Never raises for
         request-level problems — admission failures and job failures
         are structured responses.
+
+        ``correlation_id`` is the client-minted request ID (from the
+        ``X-Repro-Correlation-Id`` header); one is minted at ingress if
+        absent.  It is bound into the tracer's thread-local context for
+        the whole request, stamped on the job thread too, and echoed in
+        the response body — one ID stitches the request's queue-wait,
+        execution and store segments across every thread that touched it.
         """
+        cid = correlation_id or new_correlation_id()
+        with trace.bound(**{CORRELATION_KEY: cid}):
+            with trace.span("serve.request", category="serve") as span:
+                status, body = self._submit(payload, client or ANONYMOUS, cid)
+                span.set(status=status)
+        body.setdefault("correlation_id", cid)
+        return status, body
+
+    def _submit(self, payload: object, client: str, cid: str) -> Tuple[int, Dict]:
         self._count("requests")
-        client = client or ANONYMOUS
         try:
             request = normalize_request(payload)
         except ServiceError as exc:
@@ -189,12 +215,23 @@ class SimulationService:
                         "in flight)",
                         "rejected_queue",
                     )
-                future = self._pool.submit(self._run_job, key, request)
+                future = self._pool.submit(
+                    self._run_job, key, request, cid, trace.now_ns()
+                )
                 job = _Job(key, request, future)
                 self._jobs[key] = job
             self._inflight_clients[client] = self._inflight_clients.get(client, 0) + 1
         if joined:
             self._count("singleflight_joined")
+            logger.info(
+                "cid=%s joined in-flight job %s (%s, client=%s)",
+                cid, job.key[:12], request["kind"], client,
+            )
+        else:
+            logger.info(
+                "cid=%s admitted job %s (%s, client=%s)",
+                cid, job.key[:12], request["kind"], client,
+            )
         try:
             record = job.future.result()
         except (concurrent.futures.CancelledError, RuntimeError) as exc:
@@ -243,14 +280,40 @@ class SimulationService:
             "retry_after": self.policy.retry_after,
         }
 
-    def _run_job(self, key: str, request: Dict):
-        """Worker-thread body: run one job under the execution policy."""
+    def _run_job(self, key: str, request: Dict, cid: str, enqueue_ns: int):
+        """Job-thread body: run one job under the execution policy.
+
+        Rebinds the request's correlation ID on the (pooled, reused)
+        job thread, synthesizes the queue-wait segment from the
+        enqueue timestamp, and times the execution into the per-kind
+        latency histogram.
+        """
         self._count("executed")
+        kind = request["kind"]
+        trace.bind(**{CORRELATION_KEY: cid})
         try:
-            return execute_point(
-                execute_job, {"request": request}, policy=self._exec_policy, key=key
+            wait_ns = max(0, trace.now_ns() - enqueue_ns)
+            trace.add_span(
+                "serve.queue_wait", enqueue_ns, wait_ns, category="serve", kind=kind
             )
+            if metrics.enabled:
+                metrics.histogram("serve.queue_wait_seconds").observe(wait_ns / 1e9)
+            start = time.perf_counter()
+            with trace.span("serve.execute", category="serve", kind=kind, key=key):
+                record = execute_point(
+                    execute_job, {"request": request}, policy=self._exec_policy, key=key
+                )
+            if metrics.enabled:
+                metrics.histogram('serve.job_seconds{kind="%s"}' % kind).observe(
+                    time.perf_counter() - start
+                )
+            logger.info(
+                "cid=%s job %s finished (%s, status=%s, %.3fs)",
+                cid, key[:12], kind, record.status, time.perf_counter() - start,
+            )
+            return record
         finally:
+            trace.unbind(CORRELATION_KEY)
             with self._lock:
                 self._jobs.pop(key, None)
 
@@ -264,11 +327,13 @@ class SimulationService:
             clients = dict(self._inflight_clients)
             counts = dict(self._counts)
             draining = self._draining
+        degraded = bool(store is not None and store.degraded_reason)
         return {
-            "status": "draining" if draining else "ok",
+            "status": "draining" if draining else "degraded" if degraded else "ok",
             "version": __version__,
             "pid": os.getpid(),
             "uptime": time.time() - self.started_unix,
+            "degraded_store": degraded,
             "policy": {
                 "workers": self.policy.workers,
                 "max_queue": self.policy.max_queue,
@@ -280,6 +345,35 @@ class SimulationService:
             "counters": counts,
             "store": store.status() if store is not None else None,
         }
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition for ``GET /metrics``.
+
+        Merges the admission counters (authoritative here even when the
+        shared registry is disabled) and runtime gauges over the
+        registry snapshot; identical raw names dedup, so the mirrored
+        ``serve.*`` counters never export twice.
+        """
+        store = store_runtime.active()
+        with self._lock:
+            counts = dict(self._counts)
+            jobs = len(self._jobs)
+            clients = len(self._inflight_clients)
+            draining = self._draining
+        extra_counters = {f"serve.{name}": value for name, value in counts.items()}
+        extra_gauges = {
+            "uptime_seconds": time.time() - self.started_unix,
+            "serve.jobs_in_flight": jobs,
+            "serve.queue_depth": max(0, jobs - self.policy.workers),
+            "serve.clients_in_flight": clients,
+            "serve.draining": 1 if draining else 0,
+            'build_info{version="%s"}' % __version__: 1,
+        }
+        if store is not None:
+            extra_gauges["store.degraded"] = 1 if store.degraded_reason else 0
+        return prometheus_text(
+            metrics, extra_counters=extra_counters, extra_gauges=extra_gauges
+        )
 
     def drain(self, timeout: Optional[float] = None) -> int:
         """Stop admitting, wait for in-flight jobs, shut the pool down.
@@ -324,22 +418,40 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         logger.debug("http %s", format % args)
 
-    def _send_json(self, status: int, body: Dict) -> None:
+    def _send_json(
+        self, status: int, body: Dict, headers: Optional[Dict[str, str]] = None
+    ) -> None:
         data = (json.dumps(body, default=repr) + "\n").encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
         if status in (429, 503):
             self.send_header("Retry-After", str(body.get("retry_after", 1)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         try:
             self.wfile.write(data)
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
             pass  # client gave up while we simulated; nothing to do
 
+    def _send_metrics(self) -> None:
+        data = self.service.metrics_text().encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        try:
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path.split("?")[0] in ("/health", "/"):
+        path = self.path.split("?")[0]
+        if path in ("/health", "/"):
             self._send_json(200, self.service.health())
+        elif path == "/metrics":
+            self._send_metrics()
         else:
             self._send_json(404, {"status": "invalid", "error": f"no route {self.path}"})
 
@@ -362,8 +474,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, {"status": "invalid", "error": f"bad JSON body: {exc}"})
             return
         client = self.headers.get("X-Repro-Client", ANONYMOUS)
-        status, body = self.service.submit(payload, client=client)
-        self._send_json(status, body)
+        cid = (self.headers.get(CORRELATION_HEADER) or "").strip() or None
+        status, body = self.service.submit(payload, client=client, correlation_id=cid)
+        echo = body.get("correlation_id")
+        self._send_json(
+            status, body, headers={CORRELATION_HEADER: echo} if echo else None
+        )
 
 
 class ReproHTTPServer(ThreadingHTTPServer):

@@ -115,26 +115,37 @@ def probe(sim_key: Hashable) -> Optional[Tuple]:
     Returns the decoded ``(LayerResult, DramTraffic)`` pair, or ``None``
     on miss / no store / corrupt entry (already quarantined).
     """
+    from repro.obs import trace
+
     store = active()
     if store is None:
         return None
     key = store_key(sim_key)
-    payload = store.get(key)
-    if payload is None:
-        return None
-    try:
-        return decode_result_pair(payload)
-    except (KeyError, TypeError, ValueError) as exc:
-        # The checksum held but the payload shape didn't: quarantine it
-        # exactly like low-level corruption and recompute.
-        store.quarantine(key, f"undecodable payload ({exc})")
-        return None
+    with trace.span("store.probe", category="store", key=key) as span:
+        payload = store.get(key)
+        span.set(hit=payload is not None)
+        if payload is None:
+            return None
+        try:
+            return decode_result_pair(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            # The checksum held but the payload shape didn't: quarantine it
+            # exactly like low-level corruption and recompute.
+            store.quarantine(key, f"undecodable payload ({exc})")
+            span.set(hit=False, quarantined=True)
+            return None
 
 
 def record(sim_key: Hashable, value: Tuple) -> bool:
     """Persist one freshly computed result pair (best effort)."""
+    from repro.obs import trace
+
     store = active()
     if store is None or not store.writable:
         return False
     result, traffic = value
-    return store.put(store_key(sim_key), encode_result_pair(result, traffic))
+    key = store_key(sim_key)
+    with trace.span("store.record", category="store", key=key) as span:
+        published = store.put(key, encode_result_pair(result, traffic))
+        span.set(published=published)
+        return published

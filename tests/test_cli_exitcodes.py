@@ -9,6 +9,7 @@ from repro.errors import (
     CheckpointError,
     ConfigError,
     InvariantError,
+    PerfRegressionError,
     PointTimeoutError,
     ReproError,
     ResilienceError,
@@ -41,6 +42,7 @@ class TestExitCodeMapping:
             (WorkerCrashError("x"), 13),
             (SupervisorExhaustedError("x"), 13),  # via the WorkerCrashError base
             (VerificationError("x"), 16),
+            (PerfRegressionError("x"), 17),
             (ReproError("x"), 1),  # no dedicated code -> generic failure
         ],
     )
@@ -56,6 +58,12 @@ class TestExitCodeMapping:
 
         assert EXIT_VERIFICATION == 16
         assert exit_code_for(VerificationError("x")) == EXIT_VERIFICATION
+
+    def test_perf_regression_uses_documented_constant(self):
+        from repro.cli import EXIT_PERF_REGRESSION
+
+        assert EXIT_PERF_REGRESSION == 17
+        assert exit_code_for(PerfRegressionError("x")) == EXIT_PERF_REGRESSION
 
 
 class TestCliErrorPaths:

@@ -1,4 +1,4 @@
-"""CLI observability: --version, --trace/--metrics, stats, exit codes."""
+"""CLI observability: --version, --trace/--metrics, stats, flight, bench."""
 
 import json
 import logging
@@ -7,14 +7,23 @@ import pytest
 
 from repro import obs
 from repro._version import __version__
-from repro.cli import EXIT_CODES, EXIT_FAILURE, EXIT_INCOMPLETE, main
+from repro.cli import (
+    EXIT_CODES,
+    EXIT_FAILURE,
+    EXIT_INCOMPLETE,
+    EXIT_PERF_REGRESSION,
+    main,
+)
+from repro.obs import flight
 
 
 @pytest.fixture(autouse=True)
 def _clean_obs():
     obs.reset()
+    flight.disarm()
     yield
     obs.reset()
+    flight.disarm()
     logging.getLogger("repro").setLevel(logging.WARNING)
 
 
@@ -127,6 +136,139 @@ class TestStatsCommand:
         path.write_text(json.dumps({"rows": []}))
         assert main(["stats", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestFlightFlag:
+    def test_failure_with_flight_leaves_a_dump(self, tmp_path, capsys):
+        flight_dir = tmp_path / "flight"
+        code = main([
+            "--flight", str(flight_dir),
+            "run", "--workload", "NCF0", "--array", "8x8",
+            "--faults", "partition:0",  # ResilienceError, exit 11
+        ])
+        assert code >= 10
+        dumps = list(flight_dir.glob("flight-*.json"))
+        assert len(dumps) == 1
+        doc = json.loads(dumps[0].read_text())
+        assert doc["exit_code"] == code
+        assert "flight recorder dump" in capsys.readouterr().err
+
+    def test_success_with_flight_leaves_nothing(self, tmp_path, capsys):
+        flight_dir = tmp_path / "flight"
+        assert main([
+            "--flight", str(flight_dir),
+            "run", "--workload", "NCF0", "--array", "8x8",
+        ]) == 0
+        assert not list(flight_dir.glob("flight-*.json")) if flight_dir.exists() else True
+
+    def test_low_exit_codes_do_not_dump(self, tmp_path, capsys):
+        # ConfigError (2) is a user mistake, not an infrastructure crash
+        flight_dir = tmp_path / "flight"
+        assert main([
+            "--flight", str(flight_dir), "stats", str(tmp_path / "nope.json"),
+        ]) == 2
+        assert not flight_dir.exists() or not list(flight_dir.glob("flight-*.json"))
+
+    def test_env_var_arms_the_recorder(self, tmp_path, capsys, monkeypatch):
+        flight_dir = tmp_path / "from-env"
+        monkeypatch.setenv(flight.FLIGHT_DIR_ENV, str(flight_dir))
+        code = main([
+            "run", "--workload", "NCF0", "--array", "8x8",
+            "--faults", "partition:0",
+        ])
+        assert code >= 10
+        assert list(flight_dir.glob("flight-*.json"))
+
+    def test_stats_renders_a_flight_dump(self, tmp_path, capsys):
+        # an incomplete sweep (exit 12) executes real points before
+        # failing, so the dump carries engine spans worth rendering
+        from repro.perf.cache import cache
+
+        cache.reset()  # a warm layer cache would skip the engine spans
+        flight_dir = tmp_path / "flight"
+        code = main([
+            "--flight", str(flight_dir),
+            "resilience", "--layer", "TF0", "--macs", "1024",
+            "--partitions", "4", "--dead", "0,99", "--max-failures", "2",
+        ])
+        assert code == EXIT_INCOMPLETE
+        dump = next(flight_dir.glob("flight-*.json"))
+        capsys.readouterr()
+        flight.disarm()  # the reader must not depend on the armed writer
+        assert main(["stats", "--from-flight", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "flight recorder dump" in out
+        assert "robust.grid_point" in out
+        assert "sweep incomplete" in out  # the log tail tells the story
+
+    def test_stats_rejects_both_or_neither_input(self, tmp_path, capsys):
+        assert main(["stats"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        path = tmp_path / "x.json"
+        path.write_text("{}")
+        assert main(["stats", str(path), "--from-flight", str(path)]) == 2
+
+    def test_stats_rejects_non_flight_file(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "else/1"}))
+        assert main(["stats", "--from-flight", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_record_then_clean_compare_exits_zero(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        argv_tail = ["--history", str(history), "--benches", "gemm_256",
+                     "--repeats", "1"]
+        assert main(["bench", "record"] + argv_tail + ["--note", "seed"]) == 0
+        assert "recorded" in capsys.readouterr().out
+        assert main(["bench", "compare"] + argv_tail) == 0
+        assert "ok" in capsys.readouterr().out
+
+    @staticmethod
+    def _tiny_baseline(path):
+        # a synthetic near-zero baseline: any real measurement regresses
+        # against it, so the verdict never depends on wall-clock noise
+        entry = {"schema": "repro.bench/1",
+                 "benches": {"gemm_256": {"wall_time_s": 1e-9, "counters": {}}}}
+        path.write_text(json.dumps(entry) + "\n")
+
+    def test_injected_regression_exits_17(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        self._tiny_baseline(history)
+        code = main(
+            ["bench", "compare", "--history", str(history),
+             "--benches", "gemm_256", "--repeats", "1",
+             "--threshold", "0.5", "--inject-slowdown", "5.0",
+             "--noise-floor", "0"]
+        )
+        assert code == EXIT_PERF_REGRESSION == 17
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "performance regression" in captured.err
+
+    def test_compare_record_appends_only_passing_runs(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        argv_tail = ["--history", str(history), "--benches", "gemm_256",
+                     "--repeats", "1"]
+        assert main(["bench", "record"] + argv_tail) == 0
+        assert main(["bench", "compare", "--record"] + argv_tail) == 0
+        assert len(history.read_text().splitlines()) == 2
+
+        poisoned = tmp_path / "tiny.jsonl"
+        self._tiny_baseline(poisoned)
+        code = main(["bench", "compare", "--record",
+                     "--history", str(poisoned),
+                     "--benches", "gemm_256", "--repeats", "1",
+                     "--noise-floor", "0"])
+        assert code == EXIT_PERF_REGRESSION
+        assert len(poisoned.read_text().splitlines()) == 1  # not recorded
+
+    def test_unknown_bench_is_config_error(self, tmp_path, capsys):
+        code = main(["bench", "record", "--history",
+                     str(tmp_path / "h.jsonl"), "--benches", "nope"])
+        assert code == 2
+        assert "unknown bench" in capsys.readouterr().err
 
 
 class TestIncompleteExit:

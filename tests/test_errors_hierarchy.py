@@ -14,8 +14,10 @@ from repro.errors import (
     ConfigError,
     DramError,
     ExecutionError,
+    InstrumentKindError,
     InvariantError,
     MappingError,
+    PerfRegressionError,
     PointTimeoutError,
     ReproError,
     ResilienceError,
@@ -244,6 +246,23 @@ def _raise_service_unavailable_error():
         server.server_close()
 
 
+def _raise_instrument_kind_error():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.enable()
+    registry.gauge("obs.shadowed")
+    registry.counter("obs.shadowed")  # same name, different kind
+
+
+def _raise_perf_regression_error():
+    from repro.obs.bench import BenchResult, compare
+
+    history = [{"schema": "repro.bench/1",
+                "benches": {"gemm_256": {"wall_time_s": 1.0, "counters": {}}}}]
+    compare(history, [BenchResult("gemm_256", 2.0)]).raise_on_regression()
+
+
 DOCUMENTED_SITES = {
     ConfigError: _raise_config_error,
     TopologyError: _raise_topology_error,
@@ -264,6 +283,8 @@ DOCUMENTED_SITES = {
     ServiceError: _raise_service_error,
     ServiceUnavailableError: _raise_service_unavailable_error,
     VerificationError: _raise_verification_error,
+    InstrumentKindError: _raise_instrument_kind_error,
+    PerfRegressionError: _raise_perf_regression_error,
 }
 
 

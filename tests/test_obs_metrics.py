@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import InstrumentKindError, ReproError
 from repro.obs.metrics import (
     HISTOGRAM_SAMPLE_CAP,
     Histogram,
@@ -112,6 +113,34 @@ def test_clear_resets_instruments():
     registry.counter("x").add(9)
     registry.clear()
     assert registry.snapshot()["counters"] == {}
+
+
+@pytest.mark.parametrize("first,second", [
+    ("gauge", "counter"),
+    ("counter", "gauge"),
+    ("counter", "histogram"),
+    ("histogram", "gauge"),
+])
+def test_kind_collision_raises_typed_error(first, second):
+    registry = MetricsRegistry(enabled=True)
+    getattr(registry, first)("x")
+    with pytest.raises(InstrumentKindError) as excinfo:
+        getattr(registry, second)("x")
+    assert first in str(excinfo.value) and second in str(excinfo.value)
+    # the typed error is both a library error and a TypeError
+    assert isinstance(excinfo.value, ReproError)
+    assert isinstance(excinfo.value, TypeError)
+
+
+def test_kind_collision_ignored_while_disabled():
+    registry = MetricsRegistry()
+    registry.gauge("x")
+    assert registry.counter("x") is NULL_COUNTER  # no registration, no clash
+
+
+def test_same_kind_reuse_never_raises():
+    registry = MetricsRegistry(enabled=True)
+    assert registry.gauge("x") is registry.gauge("x")
 
 
 def test_handles_must_not_cache_across_enable_boundary():

@@ -108,6 +108,65 @@ class TestCrashRecovery:
 
 
 # ----------------------------------------------------------------------
+# Chaos telemetry: a killed worker must still leave coherent evidence
+# ----------------------------------------------------------------------
+
+class TestChaosTelemetry:
+    def test_killed_worker_leaves_valid_trace_and_flight_dump(self, tmp_path):
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.flight import FlightRecorder
+
+        obs.reset()
+        recorder = FlightRecorder(tmp_path / "flight")
+        recorder.arm(obs.trace, obs.metrics)
+        obs.metrics.enable()
+        try:
+            faulty = inject_worker_faults(
+                square,
+                WorkerFault(kind="kill", marker_dir=str(tmp_path), when={"x": 3}),
+            )
+            rows = run_sweep(
+                faulty, x=list(range(6)), workers=WORKERS, supervisor=FAST
+            )
+            assert [row["sq"] for row in rows] == [x * x for x in range(6)]
+
+            # the killed point's breadcrumb was attributed in the trace
+            crashes = [
+                record for record in obs.trace.records()
+                if record.name == "supervisor.worker_crash"
+            ]
+            assert crashes, "no worker_crash breadcrumb recorded"
+            assert any("3" in str(c.args.get("key")) for c in crashes)
+
+            # the exported Chrome trace is valid JSON with the breadcrumb
+            trace_path = write_chrome_trace(obs.trace, tmp_path / "chaos.json")
+            exported = json.loads(trace_path.read_text())
+            names = {event["name"] for event in exported["traceEvents"]}
+            assert "supervisor.worker_crash" in names
+            assert "robust.grid_point" in names
+            for event in exported["traceEvents"]:
+                assert {"name", "ph", "ts"} <= set(event)
+
+            # the flight dump carries the same story, sorted and loadable
+            dump_path = recorder.dump("chaos drill", exit_code=13)
+            doc = json.loads(dump_path.read_text())
+            events = doc["traceEvents"]
+            assert events == sorted(events, key=lambda event: event["ts"])
+            crash = next(
+                event for event in events
+                if event["name"] == "supervisor.worker_crash"
+            )
+            assert "3" in str(crash["args"]["key"])
+            assert doc["counters"].get("supervisor.crashes", 0) >= 1
+            assert any(
+                "worker crash" in record["message"] for record in doc["logs"]
+            )
+        finally:
+            recorder.disarm()
+            obs.reset()
+
+
+# ----------------------------------------------------------------------
 # Quarantine
 # ----------------------------------------------------------------------
 

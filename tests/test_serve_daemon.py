@@ -12,7 +12,14 @@ import time
 
 import pytest
 
+from repro import obs
+from repro._version import __version__
 from repro.errors import ServiceUnavailableError
+from repro.obs.service import (
+    CORRELATION_KEY,
+    parse_prometheus_text,
+    sample_value,
+)
 from repro.serve.client import ServiceClient
 from repro.serve.daemon import (
     ServicePolicy,
@@ -20,7 +27,7 @@ from repro.serve.daemon import (
     make_server,
 )
 from repro.serve.jobs import job_key, normalize_request
-from repro.store import deactivate
+from repro.store import configure as store_configure, deactivate
 
 
 @pytest.fixture(autouse=True)
@@ -225,6 +232,129 @@ def test_health_reports_policy_and_counters():
     service.drain(timeout=5)
 
 
+def test_health_reports_version_uptime_and_store_degradation(tmp_path):
+    service = SimulationService(ServicePolicy(workers=1))
+    health = service.health()
+    assert health["version"] == __version__
+    assert health["uptime"] >= 0
+    assert health["degraded_store"] is False
+
+    store = store_configure(tmp_path / "store")
+    store.degraded_reason = "disk full (test)"
+    degraded = service.health()
+    assert degraded["degraded_store"] is True
+    assert degraded["status"] == "degraded"
+    service.drain(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# Correlation IDs: one stitched trace per job
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def tracing():
+    from repro.perf.cache import cache
+
+    obs.reset()
+    cache.reset()  # a warm layer cache would skip the store.probe span
+    obs.trace.enable()
+    yield obs.trace
+    obs.reset()
+    cache.reset()
+
+
+def test_submit_round_trip_is_one_correlated_trace(tmp_path, tracing):
+    """The acceptance criterion: queue-wait, execution and store
+    segments of one submit all share a single correlation ID."""
+    store_configure(tmp_path / "store")
+    service = SimulationService(ServicePolicy(workers=1))
+    status, body = service.submit(gemm(16))
+    assert status == 200
+    cid = body["correlation_id"]
+    assert cid and len(cid) == 16
+
+    spans = {record.name: record for record in tracing.records()}
+    for name in ("serve.request", "serve.queue_wait", "serve.execute",
+                 "store.probe", "store.record"):
+        assert name in spans, f"missing span {name}"
+        assert spans[name].args.get(CORRELATION_KEY) == cid, name
+    # queue-wait is synthesized before execution but must nest within
+    # the request window
+    assert spans["serve.queue_wait"].start_ns >= 0
+    assert spans["serve.execute"].duration_ns > 0
+    service.drain(timeout=5)
+
+
+def test_caller_supplied_correlation_id_wins(tracing):
+    service = SimulationService(ServicePolicy(workers=1))
+    _status, body = service.submit(gemm(8), correlation_id="feedc0dedeadbeef")
+    assert body["correlation_id"] == "feedc0dedeadbeef"
+    service.drain(timeout=5)
+
+
+def test_correlation_id_visible_in_daemon_logs(tracing, caplog):
+    import logging
+
+    service = SimulationService(ServicePolicy(workers=1))
+    # attach directly: an earlier CLI run may have switched the "repro"
+    # hierarchy to propagate=False, which starves caplog's root handler
+    serve_logger = logging.getLogger("repro.serve")
+    serve_logger.addHandler(caplog.handler)
+    try:
+        with caplog.at_level("INFO", logger="repro.serve"):
+            _status, body = service.submit(gemm(24))
+    finally:
+        serve_logger.removeHandler(caplog.handler)
+    cid = body["correlation_id"]
+    tagged = [r for r in caplog.records if f"cid={cid}" in r.getMessage()]
+    assert tagged, "daemon logs never mention the correlation id"
+    service.drain(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def live_metrics():
+    obs.reset()
+    obs.metrics.enable()
+    yield obs.metrics
+    obs.reset()
+
+
+def _summary_count(families, family, **labels):
+    """The ``<family>_count`` sample of a summary, filtered by labels."""
+    for name, sample_labels, value in families[family]["samples"]:
+        if name == f"{family}_count" and all(
+            sample_labels.get(key) == wanted for key, wanted in labels.items()
+        ):
+            return value
+    return None
+
+
+def test_metrics_text_is_valid_prometheus(live_metrics):
+    service = SimulationService(ServicePolicy(workers=2))
+    assert service.submit(gemm(16))[0] == 200
+
+    families = parse_prometheus_text(service.metrics_text())
+    # per-job-kind latency series
+    job_seconds = families["repro_serve_job_seconds"]
+    assert job_seconds["type"] == "summary"
+    assert _summary_count(families, "repro_serve_job_seconds", kind="gemm") == 1
+    # queue depth + in-flight gauges and admission counters
+    assert sample_value(families, "repro_serve_queue_depth") == 0
+    assert sample_value(families, "repro_serve_jobs_in_flight") == 0
+    assert sample_value(families, "repro_serve_executed_total") == 1
+    assert sample_value(families, "repro_serve_completed_total") == 1
+    # queue-wait histogram observed once per executed job
+    assert _summary_count(families, "repro_serve_queue_wait_seconds") == 1
+    # build info + uptime
+    assert sample_value(families, "repro_build_info", version=__version__) == 1
+    assert sample_value(families, "repro_uptime_seconds") >= 0
+    service.drain(timeout=5)
+
+
 # ----------------------------------------------------------------------
 # HTTP transport
 # ----------------------------------------------------------------------
@@ -261,6 +391,30 @@ def test_http_rejection_carries_retry_after(http_daemon, monkeypatch):
     service._draining = False
 
 
+def test_http_metrics_scrape_parses(http_daemon):
+    _service, port = http_daemon
+    client = ServiceClient(port=port, client_id="pytest")
+    assert client.submit(gemm(16))["status"] == "ok"
+    families = parse_prometheus_text(client.metrics_text())
+    # admission counters flow through even without obs.metrics enabled
+    assert sample_value(families, "repro_serve_executed_total") >= 1
+    assert sample_value(families, "repro_serve_queue_depth") is not None
+    assert sample_value(families, "repro_build_info", version=__version__) == 1
+
+
+def test_http_correlation_header_echoed(http_daemon):
+    from repro.obs.service import CORRELATION_HEADER
+
+    _service, port = http_daemon
+    client = ServiceClient(port=port)
+    status, headers, body = client._request(
+        "POST", "/submit", body=gemm(20), correlation_id="cafe0123cafe0123"
+    )
+    assert status == 200
+    assert body["correlation_id"] == "cafe0123cafe0123"
+    assert headers.get(CORRELATION_HEADER) == "cafe0123cafe0123"
+
+
 def test_http_bad_json_and_unknown_routes(http_daemon):
     _service, port = http_daemon
     import http.client
@@ -294,7 +448,7 @@ def test_unix_socket_round_trip(tmp_path):
 def test_client_retry_honours_retry_after(monkeypatch):
     calls = []
 
-    def fake_request(self, method, path, body=None):
+    def fake_request(self, method, path, body=None, correlation_id=None):
         calls.append(path)
         if len(calls) < 3:
             return 429, {"Retry-After": "0.05"}, {"status": "rejected"}
