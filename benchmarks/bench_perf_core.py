@@ -23,7 +23,7 @@ import time
 
 from conftest import run_once
 
-from repro.cli import _sweep_measure
+from repro.serve.jobs import sweep_measure
 from repro.config.presets import paper_scaling_config
 from repro.engine.simulator import Simulator
 from repro.perf.cache import cache
@@ -88,7 +88,7 @@ def test_resnet50_scaleup_cache_speedup(benchmark, reporter):
 
 def test_resnet50_scaleout_parallel_sweep(benchmark, reporter):
     layer = get_workload("resnet50")[9]  # a mid-network conv block
-    fn = functools.partial(_sweep_measure, layer=layer, macs=SWEEP_MACS)
+    fn = functools.partial(sweep_measure, layer=layer, macs=SWEEP_MACS)
 
     cache.reset()
     start = time.perf_counter()
@@ -128,7 +128,7 @@ def test_tf0_sweep_closed_form_consistency(benchmark, reporter):
     """The TF0 partition sweep runs entirely on the closed-form fold
     path; spot-check its figures stay internally consistent."""
     layer = language_layer("TF0")
-    fn = functools.partial(_sweep_measure, layer=layer, macs=2**16)
+    fn = functools.partial(sweep_measure, layer=layer, macs=2**16)
 
     cache.reset()
     rows = run_once(benchmark, lambda: run_sweep(fn, partitions=[1, 4, 16, 64, 256]))

@@ -42,6 +42,15 @@ from repro.analytical.multiworkload import (
     candidate_costs,
     per_workload_losses,
 )
+from repro.analytical.vectorized import (
+    ceil_div_v,
+    exact_cycles_v,
+    estimate_traffic_v,
+    fold_runtime_v,
+    mapping_utilization_v,
+    scaleout_runtime_v,
+    scaleup_runtime_v,
+)
 
 __all__ = [
     "fold_runtime",
@@ -75,4 +84,11 @@ __all__ = [
     "best_dataflow",
     "plan_network_dataflows",
     "plan_savings",
+    "ceil_div_v",
+    "exact_cycles_v",
+    "estimate_traffic_v",
+    "fold_runtime_v",
+    "mapping_utilization_v",
+    "scaleout_runtime_v",
+    "scaleup_runtime_v",
 ]

@@ -17,7 +17,7 @@ fastest/2nd/.../slowest candidate) can be regenerated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analytical.runtime import scaleout_runtime
 from repro.analytical.search import CandidateConfig, best_scaleout, best_scaleup
@@ -77,10 +77,11 @@ def _local_optima(
 def _total_cost(
     workloads: WorkloadSet,
     candidate: CandidateConfig,
+    mappings: Optional[Sequence[OperandMapping]] = None,
 ) -> int:
     """Step 3: additive total runtime of all workloads on one candidate."""
     total = 0
-    for mapping in workloads.mappings():
+    for mapping in (workloads.mappings() if mappings is None else mappings):
         total += scaleout_runtime(
             mapping,
             candidate.partition_rows,
@@ -97,9 +98,38 @@ def candidate_costs(
     scaleout: bool = False,
     min_array_dim: int = 8,
 ) -> List[Tuple[CandidateConfig, int]]:
-    """Return every candidate with its total cost, sorted fastest first."""
+    """Return every candidate with its total cost, sorted fastest first.
+
+    The whole candidates-by-workloads cost matrix evaluates in one
+    vectorized Eq. 5/6 pass (Table III mappings hoisted out of the
+    candidate loop — they depend only on the workload set).
+    """
+    import numpy as np
+
+    from repro.analytical.vectorized import scaleout_runtime_v
+
     candidates = _local_optima(workloads, total_macs, scaleout, min_array_dim)
-    costed = [(cand, _total_cost(workloads, cand)) for cand in candidates]
+    mappings = workloads.mappings()
+    sr = np.array([m.sr for m in mappings], dtype=np.int64)
+    sc = np.array([m.sc for m in mappings], dtype=np.int64)
+    t = np.array([m.t for m in mappings], dtype=np.int64)
+    costed = [
+        (
+            cand,
+            int(
+                scaleout_runtime_v(
+                    sr,
+                    sc,
+                    t,
+                    cand.partition_rows,
+                    cand.partition_cols,
+                    cand.array_rows,
+                    cand.array_cols,
+                ).sum()
+            ),
+        )
+        for cand in candidates
+    ]
     costed.sort(key=lambda pair: pair[1])
     return costed
 

@@ -14,6 +14,7 @@ enumeration.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple, Union
 
@@ -112,6 +113,16 @@ def _partition_counts(total_macs: int, min_array_dim: int) -> Iterable[int]:
                 yield count
 
 
+@functools.lru_cache(maxsize=512)
+def _cached_layer_mapping(layer: Layer, dataflow: Dataflow) -> OperandMapping:
+    """Memoized Table III lookup: the mapping depends only on
+    ``(layer, dataflow)``, yet callers like :func:`best_scaleup` /
+    :func:`best_scaleout` are invoked once per (layer, budget) pair and
+    used to re-derive it every time.  Layers are frozen dataclasses, so
+    they key an LRU cache directly."""
+    return map_layer(layer, dataflow)
+
+
 def _as_mapping(workload: Union[Layer, OperandMapping], dataflow: Dataflow) -> OperandMapping:
     if isinstance(workload, OperandMapping):
         if workload.dataflow is not dataflow:
@@ -119,7 +130,7 @@ def _as_mapping(workload: Union[Layer, OperandMapping], dataflow: Dataflow) -> O
                 f"mapping dataflow {workload.dataflow} != requested {dataflow}"
             )
         return workload
-    return map_layer(workload, dataflow)
+    return _cached_layer_mapping(workload, dataflow)
 
 
 def search_space(

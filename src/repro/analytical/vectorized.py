@@ -1,0 +1,200 @@
+"""Vectorized (numpy) twins of the scalar analytical kernels.
+
+The scalar model in :mod:`repro.analytical.runtime` and
+:mod:`repro.analytical.traffic` prices one design point per call; a
+design-space sweep calls it hundreds of thousands of times from Python.
+This module evaluates Eq. 1-6 runtime, mapping utilization, the exact
+(edge-fold-aware) cycle count and the per-operand closed-form DRAM
+traffic for *whole arrays of points at once* — a few numpy passes
+instead of a Python loop.
+
+Exactness contract: every function here is bit-identical to its scalar
+twin, not merely close.  All integer arithmetic runs in int64 (the
+paper's quantities stay far below 2**53, asserted by :func:`_as_int64`),
+and the only float operation — utilization's ``mapped / available`` —
+is an int64 -> float64 true division, which IEEE-754 rounds exactly
+like Python's ``int / int`` for operands below 2**53.  The equivalence
+is pinned by tests and by the ``vectorized`` verification property
+(rel_tol 0), so the fuzzer's boundary-biased cases exercise these
+kernels nightly.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.config.hardware import Dataflow
+from repro.errors import MappingError
+
+#: Above this, int64 -> float64 conversion stops being exact and the
+#: bit-identity contract with the scalar model would silently break.
+_EXACT_INT_BOUND = 2**53
+
+
+def _as_int64(value) -> np.ndarray:
+    """Broadcastable int64 view of ``value`` with the exactness guard."""
+    array = np.asarray(value, dtype=np.int64)
+    if array.size and np.abs(array).max() >= _EXACT_INT_BOUND:
+        raise ValueError(
+            f"value {np.abs(array).max()} exceeds the 2**53 exactness bound"
+        )
+    return array
+
+
+def ceil_div_v(numerator, denominator) -> np.ndarray:
+    """Elementwise ``ceil(n / d)`` in pure integer arithmetic."""
+    n = _as_int64(numerator)
+    d = _as_int64(denominator)
+    if np.any(d <= 0):
+        raise ValueError("denominators must be positive")
+    return -(-n // d)
+
+
+def fold_runtime_v(rows, cols, temporal) -> np.ndarray:
+    """Eq. 3, elementwise: ``2R + C + T - 2``."""
+    return 2 * _as_int64(rows) + _as_int64(cols) + _as_int64(temporal) - 2
+
+
+def scaleup_runtime_v(sr, sc, t, array_rows, array_cols) -> np.ndarray:
+    """Eq. 4, elementwise: full-array fold latency times the fold count."""
+    folds = ceil_div_v(sr, array_rows) * ceil_div_v(sc, array_cols)
+    return fold_runtime_v(array_rows, array_cols, t) * folds
+
+
+def scaleout_runtime_v(
+    sr, sc, t, partition_rows, partition_cols, array_rows, array_cols
+) -> np.ndarray:
+    """Eq. 5 + Eq. 6, elementwise: Eq. 4 on the ceil-sized tile."""
+    tile_sr = ceil_div_v(sr, partition_rows)
+    tile_sc = ceil_div_v(sc, partition_cols)
+    return scaleup_runtime_v(tile_sr, tile_sc, t, array_rows, array_cols)
+
+
+def mapping_utilization_v(sr, sc, array_rows, array_cols) -> np.ndarray:
+    """Average mapped-PE fraction over all folds, elementwise (float64)."""
+    sr = _as_int64(sr)
+    sc = _as_int64(sc)
+    rows = _as_int64(array_rows)
+    cols = _as_int64(array_cols)
+    row_folds = ceil_div_v(sr, rows)
+    col_folds = ceil_div_v(sc, cols)
+    mapped = sr * sc
+    available = row_folds * col_folds * rows * cols
+    _as_int64(mapped)
+    _as_int64(available)
+    return mapped / available
+
+
+def exact_cycles_v(sr, sc, t, array_rows, array_cols) -> np.ndarray:
+    """Exact engine cycle count, elementwise: edge folds priced truly.
+
+    The closed form of :func:`repro.analytical.traffic.estimate_traffic`'s
+    cycle computation — full and edge folds decomposed by ``divmod`` —
+    which the tests pin to the cycle-accurate engine's ``total_cycles``.
+    """
+    sr = _as_int64(sr)
+    sc = _as_int64(sc)
+    t = _as_int64(t)
+    rows = _as_int64(array_rows)
+    cols = _as_int64(array_cols)
+    full_rows, edge_rows = np.divmod(sr, rows)
+    full_cols, edge_cols = np.divmod(sc, cols)
+
+    def row_cycles(fold_rows: np.ndarray) -> np.ndarray:
+        full = full_cols * fold_runtime_v(fold_rows, cols, t)
+        edge = np.where(edge_cols > 0, fold_runtime_v(fold_rows, edge_cols, t), 0)
+        return full + edge
+
+    cycles = full_rows * row_cycles(np.broadcast_to(rows, full_rows.shape))
+    cycles = cycles + np.where(edge_rows > 0, row_cycles(edge_rows), 0)
+    return cycles
+
+
+def _row_block_traffic_v(
+    sr, t, array_rows, col_folds, working_bytes, word_bytes
+) -> np.ndarray:
+    """Vectorized :func:`repro.analytical.traffic._row_block_traffic`."""
+    sr = _as_int64(sr)
+    t = _as_int64(t)
+    rows = _as_int64(array_rows)
+    col_folds = _as_int64(col_folds)
+    working = _as_int64(working_bytes)
+    word = _as_int64(word_bytes)
+
+    unique = sr * t * word
+    full_blocks, edge_rows = np.divmod(sr, rows)
+    full_block_bytes = rows * t * word
+    full_repeat = np.where(full_block_bytes > working, col_folds, 1)
+    full_term = full_blocks * full_block_bytes * full_repeat
+    edge_block_bytes = edge_rows * t * word
+    edge_repeat = np.where(edge_block_bytes > working, col_folds, 1)
+    edge_term = np.where(edge_rows > 0, edge_block_bytes * edge_repeat, 0)
+    blocked = full_term + edge_term
+    return np.where(unique <= working, unique, blocked)
+
+
+def _col_block_traffic_v(
+    row_folds, unique_elements, working_bytes, word_bytes
+) -> np.ndarray:
+    """Vectorized :func:`repro.analytical.traffic._col_block_traffic`."""
+    row_folds = _as_int64(row_folds)
+    unique = _as_int64(unique_elements) * _as_int64(word_bytes)
+    working = _as_int64(working_bytes)
+    return np.where(unique <= working, unique, unique * row_folds)
+
+
+def estimate_traffic_v(
+    sr,
+    sc,
+    t,
+    dataflow: Dataflow,
+    array_rows,
+    array_cols,
+    ifmap_working_bytes,
+    filter_working_bytes,
+    word_bytes=1,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized closed-form DRAM traffic + exact cycles for one dataflow.
+
+    Returns ``(ifmap_bytes, filter_bytes, ofmap_bytes, total_cycles)``
+    arrays, each bit-identical to the scalar
+    :func:`repro.analytical.traffic.estimate_traffic` fields evaluated
+    per point.  A whole grid sharing one dataflow evaluates in a single
+    call; mixed-dataflow grids split by dataflow (three calls at most).
+    """
+    sr = _as_int64(sr)
+    sc = _as_int64(sc)
+    t = _as_int64(t)
+    rows = _as_int64(array_rows)
+    cols = _as_int64(array_cols)
+    word = _as_int64(word_bytes)
+    row_folds = ceil_div_v(sr, rows)
+    col_folds = ceil_div_v(sc, cols)
+
+    if dataflow is Dataflow.OUTPUT_STATIONARY:
+        ifmap = _row_block_traffic_v(
+            sr, t, rows, col_folds, ifmap_working_bytes, word
+        )
+        filt = _col_block_traffic_v(row_folds, sc * t, filter_working_bytes, word)
+        ofmap = sr * sc * word
+    elif dataflow is Dataflow.WEIGHT_STATIONARY:
+        ifmap = _row_block_traffic_v(
+            sr, t, rows, col_folds, ifmap_working_bytes, word
+        )
+        filt = sr * sc * word
+        ofmap = sc * t * row_folds * word
+    elif dataflow is Dataflow.INPUT_STATIONARY:
+        ifmap = sr * sc * word
+        filt = _row_block_traffic_v(
+            sr, t, rows, col_folds, filter_working_bytes, word
+        )
+        ofmap = sc * t * row_folds * word
+    else:  # pragma: no cover - enum is exhaustive
+        raise MappingError(f"unsupported dataflow {dataflow!r}")
+
+    cycles = exact_cycles_v(sr, sc, t, rows, cols)
+    for operand in (ifmap, filt, ofmap):
+        _as_int64(operand)
+    return ifmap, filt, ofmap, cycles

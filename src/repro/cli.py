@@ -83,7 +83,7 @@ from repro.errors import (
 from repro.robust.checkpoint import CheckpointStore
 from repro.robust.policy import ExecutionPolicy
 from repro.robust.supervisor import SupervisorPolicy
-from repro.serve.jobs import sweep_measure
+from repro.serve.jobs import sweep_estimate, sweep_measure
 from repro.sweep import run_sweep_report
 from repro.topology.network import Network
 from repro.topology.parser import load_topology
@@ -470,22 +470,45 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not counts:
         return 0
 
+    # Analytical pruning is opt-in (--top-k/--prune-band) and --exact
+    # always wins: without an estimator the sweep is byte-identical to
+    # the pre-compiler behaviour.
+    pruning = (
+        not args.exact
+        and (args.top_k is not None or args.prune_band is not None)
+    )
     rows, report = run_sweep_report(
         functools.partial(sweep_measure, layer=layer, macs=args.macs),
         policy=_robust_policy(args),
         checkpoint=_robust_checkpoint(args),
         workers=_robust_workers(args),
         supervisor=_robust_supervisor(args),
+        estimator=(
+            functools.partial(sweep_estimate, layer=layer, macs=args.macs)
+            if pruning
+            else None
+        ),
+        top_k=args.top_k,
+        prune_band=args.prune_band,
+        exact=args.exact,
         partitions=counts,
     )
     for row in rows:
-        if row.get("status"):
-            print(f"{row['partitions']:10d}  {row['status']}: {row.get('error', '')}")
+        status = row.get("status")
+        if status and status != "estimated":
+            print(f"{row['partitions']:10d}  {status}: {row.get('error', '')}")
             continue
+        marker = "  ~ analytical" if status == "estimated" else ""
         array_rows, array_cols = row["array"].split("x")
         print(
             f"{row['partitions']:10d}  {array_rows}x{int(array_cols):<8d} "
             f"{row['cycles']:10d}  {row['avg_bw']:13.3f}  {row['peak_bw']:14.3f}"
+            f"{marker}"
+        )
+    if report.estimated:
+        logger.info(
+            "analytical pruning settled %d of %d point(s) without the engine",
+            report.estimated, len(report),
         )
     if report.failed or report.skipped:
         logger.warning("sweep incomplete: %s", report.summary())
@@ -1025,6 +1048,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workload", help="network containing --layer (default resnet50)")
     sweep.add_argument("--macs", type=int, required=True)
     sweep.add_argument("--partitions", help="comma-separated partition counts")
+    sweep.add_argument(
+        "--top-k", dest="top_k", type=int, metavar="K",
+        help="prune: simulate only the K analytically fastest points "
+             "(plus the --prune-band); the rest settle analytically",
+    )
+    sweep.add_argument(
+        "--prune-band", dest="prune_band", type=float, metavar="FRAC",
+        help="prune: also simulate every point within FRAC of the "
+             "analytical optimum (default 0.25 when pruning is on)",
+    )
+    sweep.add_argument(
+        "--exact", action="store_true",
+        help="simulate every point (escape hatch; ignores pruning flags)",
+    )
     _add_robust_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 

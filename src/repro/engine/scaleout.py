@@ -37,9 +37,6 @@ from repro.obs import metrics, trace
 from repro.resilience.remap import RemapPlan, remap_layer
 from repro.topology.layer import Layer
 from repro.topology.network import Network
-from repro.utils.mathutils import split_evenly
-
-
 @dataclass(frozen=True)
 class PartitionShare:
     """One equivalence class of partitions: same tile shape, same result."""
@@ -48,6 +45,25 @@ class PartitionShare:
     sr: int
     sc: int
     result: LayerResult
+
+
+def _share_classes(total: int, parts: int) -> List[Tuple[int, int]]:
+    """``(size, count)`` classes of ``split_evenly(total, parts)`` in O(1).
+
+    ``split_evenly`` hands the first ``total % parts`` shares one extra
+    element, so an axis has at most two distinct share sizes: ``base + 1``
+    (``total % parts`` of them) and ``base`` (the rest).  Returned
+    largest-first, zero-size classes included, so callers can both build
+    the tile-shape multiset and count idle partitions without
+    materializing the per-partition share list.
+    """
+    base, extra = divmod(total, parts)
+    classes: List[Tuple[int, int]] = []
+    if extra:
+        classes.append((base + 1, extra))
+    if parts - extra:
+        classes.append((base, parts - extra))
+    return classes
 
 
 class ScaleOutSimulator:
@@ -85,20 +101,26 @@ class ScaleOutSimulator:
         if degraded:
             return self._run_layer_degraded(layer)
         mapping = map_layer(layer, self.config.dataflow)
-        row_shares = [s for s in split_evenly(mapping.sr, self.config.partition_rows)]
-        col_shares = [s for s in split_evenly(mapping.sc, self.config.partition_cols)]
-
-        # Partitions beyond the workload extent sit idle.
-        idle = sum(1 for r in row_shares for c in col_shares if r == 0 or c == 0)
+        row_classes = _share_classes(mapping.sr, self.config.partition_rows)
+        col_classes = _share_classes(mapping.sc, self.config.partition_cols)
 
         # Group identical tile shapes: split_evenly yields at most two
-        # distinct sizes per axis, so at most four simulations run.
+        # distinct sizes per axis, so at most four simulations run.  The
+        # class product is O(1) in the grid size — a 64x64 grid costs the
+        # same four multiplies as a 2x2 one.
         shape_counts: Dict[Tuple[int, int], int] = {}
-        for r in row_shares:
-            for c in col_shares:
+        busy = 0
+        for r, row_count in row_classes:
+            for c, col_count in col_classes:
                 if r == 0 or c == 0:
                     continue
-                shape_counts[(r, c)] = shape_counts.get((r, c), 0) + 1
+                shape_counts[(r, c)] = (
+                    shape_counts.get((r, c), 0) + row_count * col_count
+                )
+                busy += row_count * col_count
+
+        # Partitions beyond the workload extent sit idle.
+        idle = self.config.num_partitions - busy
         if not shape_counts:
             raise SimulationError(
                 f"layer {layer.name!r}: no partition received work on a "

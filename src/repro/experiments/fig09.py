@@ -1,10 +1,17 @@
-"""Fig. 9: the scale-up/scale-out design space for one layer."""
+"""Fig. 9: the scale-up/scale-out design space for one layer.
+
+Both figures evaluate through the vectorized sweep compiler
+(:func:`repro.perf.compiler.compile_search_space`), whose materialized
+candidates are bit-identical to the scalar
+:func:`repro.analytical.search.search_space` — the blessed golden rows
+do not move.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.analytical.search import search_space
+from repro.perf.compiler import compile_search_space
 from repro.experiments.common import PAPER_MAC_BUDGETS
 from repro.topology.layer import Layer
 from repro.workloads.language import language_layer
@@ -19,7 +26,9 @@ def fig09a_search_space(
     layer = layer or language_layer("TF0")
     rows: List[Dict] = []
     for budget in budgets:
-        space = search_space(layer, budget, min_array_dim=min_array_dim)
+        space = compile_search_space(
+            layer, budget, min_array_dim=min_array_dim
+        ).candidates()
         worst = max(cand.runtime for cand in space)
         for cand in space:
             rows.append(
@@ -42,7 +51,9 @@ def fig09bc_aspect_sweep(
 ) -> List[Dict]:
     """Monolithic aspect-ratio sweep with utilization (Fig. 9b/c)."""
     layer = layer or language_layer("TF0")
-    space = search_space(layer, budget, min_array_dim=min_array_dim)
+    space = compile_search_space(
+        layer, budget, min_array_dim=min_array_dim
+    ).candidates()
     mono = [cand for cand in space if cand.is_monolithic]
     return [
         {

@@ -1,10 +1,18 @@
-"""Fig. 10: best scale-up vs best scale-out runtime ratios."""
+"""Fig. 10: best scale-up vs best scale-out runtime ratios.
+
+The optima come from the vectorized compiler selectors, which
+reproduce the scalar tie-breaking exactly (equivalence is pinned by
+tests), so every row matches the pre-compiler output bit for bit.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
-from repro.analytical.search import best_scaleout, best_scaleup
+from repro.perf.compiler import (
+    best_scaleout_compiled as best_scaleout,
+    best_scaleup_compiled as best_scaleup,
+)
 from repro.topology.layer import Layer
 from repro.workloads.language import TABLE_IV_DIMS, language_layer
 from repro.workloads.resnet50 import fig10_resnet_layers

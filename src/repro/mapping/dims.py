@@ -86,6 +86,32 @@ def map_layer(layer: Layer, dataflow: Dataflow) -> OperandMapping:
     return map_gemm(layer.gemm_m, layer.gemm_k, layer.gemm_n, dataflow)
 
 
+def map_gemm_batch(m, k, n, dataflow: Dataflow) -> tuple:
+    """Batched Table III: map whole arrays of GEMMs in one pass.
+
+    ``m``/``k``/``n`` are array-likes of equal length; the return value
+    is the ``(sr, sc, t)`` triple of int64 numpy arrays that
+    :func:`map_gemm` would produce per element.  The permutation is a
+    pure relabeling, so one call covers any batch sharing a dataflow
+    (the sweep compiler's per-grid case).
+    """
+    import numpy as np
+
+    m = np.asarray(m, dtype=np.int64)
+    k = np.asarray(k, dtype=np.int64)
+    n = np.asarray(n, dtype=np.int64)
+    for name, dim in (("m", m), ("k", k), ("n", n)):
+        if dim.size and dim.min() < 1:
+            raise MappingError(f"{name} must be positive, got {dim.min()}")
+    if dataflow is Dataflow.OUTPUT_STATIONARY:
+        return m, n, k
+    if dataflow is Dataflow.WEIGHT_STATIONARY:
+        return k, n, m
+    if dataflow is Dataflow.INPUT_STATIONARY:
+        return k, m, n
+    raise MappingError(f"unsupported dataflow: {dataflow!r}")
+
+
 def gemm_from_mapping(sr: int, sc: int, t: int, dataflow: Dataflow) -> tuple:
     """Invert Table III: recover ``(M, K, N)`` from a mapped ``(S_R, S_C, T)``.
 

@@ -91,11 +91,31 @@ def _bench_sweep_slice() -> None:
         sweep_measure(partitions, layer=layer, macs=2**14)
 
 
+def _bench_sweep_compiler() -> None:
+    """Compile, rank and frontier-simulate the Fig. 9 2^16 design space.
+
+    The pruned-sweep pipeline in miniature: vectorized pricing of every
+    (grid, array shape) point for all dataflows, then one engine run on
+    each analytical optimum.  The ``perf.compiler.points`` counter
+    delta doubles as a drift detector on the enumerated space.
+    """
+    from repro.config.hardware import Dataflow
+    from repro.perf.compiler import compile_search_space, simulate_candidates
+    from repro.workloads.language import language_layer
+
+    layer = language_layer("TF0")
+    for dataflow in Dataflow:
+        space = compile_search_space(layer, 2**16, dataflow=dataflow)
+        space.frontier()
+        simulate_candidates(layer, space, [space.best_index()])
+
+
 #: name -> zero-argument callable; deterministic, each well under a second.
 BENCHES: Dict[str, Callable[[], None]] = {
     "gemm_256": _bench_gemm,
     "scaleup_conv": _bench_scaleup_conv,
     "sweep_slice": _bench_sweep_slice,
+    "sweep_compiler": _bench_sweep_compiler,
 }
 
 

@@ -11,15 +11,39 @@ without changing what they compute:
   multiprocess grid backend behind ``execute_grid(workers=N)``,
   preserving serial semantics exactly (row order, retries, circuit
   breaker, checkpointing from the parent).
+* :mod:`~repro.perf.compiler` — the sweep compiler: an entire
+  (grid x array shape) design space evaluated as numpy arrays in a few
+  vectorized passes, with frontier selection so the cycle-accurate
+  engine only runs on analytically interesting points.
 
 Every speed-up in this package is exactness-preserving and covered by
 equivalence tests against the serial/uncached reference paths.
 """
 
 from repro.perf.cache import SimulationCache, cache, simulation_key
+from repro.perf.compiler import (
+    DEFAULT_PRUNE_BAND,
+    DEFAULT_TOP_K,
+    CompiledSpace,
+    CompiledTraffic,
+    best_scaleout_compiled,
+    best_scaleup_compiled,
+    compile_search_space,
+    frontier_indices,
+    simulate_candidates,
+)
 
 __all__ = [
     "SimulationCache",
     "cache",
     "simulation_key",
+    "DEFAULT_PRUNE_BAND",
+    "DEFAULT_TOP_K",
+    "CompiledSpace",
+    "CompiledTraffic",
+    "best_scaleout_compiled",
+    "best_scaleup_compiled",
+    "compile_search_space",
+    "frontier_indices",
+    "simulate_candidates",
 ]

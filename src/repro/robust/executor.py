@@ -35,6 +35,7 @@ from repro.robust.checkpoint import CheckpointStore
 from repro.robust.policy import ExecutionPolicy
 from repro.robust.report import (
     STATUS_CACHED,
+    STATUS_ESTIMATED,
     STATUS_FAILED,
     STATUS_OK,
     STATUS_SKIPPED,
@@ -273,6 +274,7 @@ def execute_grid(
     on_progress: Optional[Callable[[ProgressSnapshot], None]] = None,
     workers: int = 1,
     supervisor: Optional["SupervisorPolicy"] = None,
+    estimates: Optional[Sequence[Optional[Sequence[Dict]]]] = None,
 ) -> RunReport:
     """Run every point through :func:`execute_point`, with journalling.
 
@@ -304,10 +306,31 @@ def execute_grid(
     ``repro.obs.progress``, pushed to ``on_progress`` if given, and
     mirrored into the ``sweep.points_done``/``sweep.points_total``
     gauges.
+
+    ``estimates`` (aligned with ``points``) opts in to pruned-grid
+    execution: a point whose entry is a row sequence settles as an
+    ``estimated`` record carrying those rows — no ``fn`` call — while
+    ``None`` entries execute normally (serial or pooled).  Estimated
+    points are journalled under their own status, so a later ``exact``
+    run re-executes them while completed exact results are still
+    replayed as ``cached`` in preference to re-estimating.
     """
     policy = policy or DEFAULT_POLICY
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if estimates is not None:
+        return _execute_pruned(
+            fn,
+            points,
+            estimates,
+            policy=policy,
+            checkpoint=checkpoint,
+            sleep=sleep,
+            clock=clock,
+            on_progress=on_progress,
+            workers=workers,
+            supervisor=supervisor,
+        )
     if workers > 1:
         from repro.perf.parallel import execute_grid_parallel, pickle_problem
 
@@ -350,3 +373,82 @@ def execute_grid(
             )
         run.finish_executed(record, params)
     return run.report()
+
+
+def _execute_pruned(
+    fn: Callable[..., object],
+    points: Sequence[Dict],
+    estimates: Sequence[Optional[Sequence[Dict]]],
+    policy: ExecutionPolicy,
+    checkpoint: Optional[CheckpointStore],
+    sleep: Callable[[float], None],
+    clock: Callable[[], float],
+    on_progress: Optional[Callable[[ProgressSnapshot], None]],
+    workers: int,
+    supervisor: Optional["SupervisorPolicy"],
+) -> RunReport:
+    """Pruned-grid execution plan: simulate the frontier, settle the rest.
+
+    The frontier subset (``estimates[i] is None``) runs through the
+    normal :func:`execute_grid` machinery — serial or supervised pool,
+    retries, circuit breaker, checkpoint replay — and the pruned points
+    are merged back in original grid order as ``estimated`` records, so
+    rows, reports and journals keep the full grid's shape.
+    """
+    if len(estimates) != len(points):
+        raise ValueError(
+            f"estimates must align with points: {len(estimates)} != {len(points)}"
+        )
+    frontier = [
+        params
+        for params, estimate in zip(points, estimates)
+        if estimate is None
+    ]
+    inner = execute_grid(
+        fn,
+        frontier,
+        policy=policy,
+        checkpoint=checkpoint,
+        sleep=sleep,
+        clock=clock,
+        on_progress=on_progress,
+        workers=workers,
+        supervisor=supervisor,
+    )
+    executed = iter(inner.records)
+    records: List[PointRecord] = []
+    for params, estimate in zip(points, estimates):
+        if estimate is None:
+            records.append(next(executed))
+            continue
+        # A completed exact result beats re-estimating on resume.
+        if checkpoint is not None and checkpoint.completed(params):
+            entry = checkpoint.get(params)
+            metrics.counter("robust.checkpoint_replays").add()
+            records.append(
+                PointRecord(
+                    params=params,
+                    status=STATUS_CACHED,
+                    attempts=0,
+                    rows=tuple(entry.get("rows", ())),
+                )
+            )
+            continue
+        record = PointRecord(
+            params=params,
+            status=STATUS_ESTIMATED,
+            attempts=0,
+            rows=tuple(dict(row) for row in estimate),
+        )
+        metrics.counter("robust.points_estimated").add()
+        if checkpoint is not None:
+            checkpoint.record(
+                params,
+                status=STATUS_ESTIMATED,
+                rows=list(record.rows),
+                attempts=0,
+                duration=0.0,
+                error=None,
+            )
+        records.append(record)
+    return RunReport(records=records)

@@ -17,8 +17,15 @@ STATUS_OK = "ok"
 STATUS_FAILED = "failed"
 STATUS_CACHED = "cached"  # replayed from a checkpoint, not re-executed
 STATUS_SKIPPED = "skipped"  # never ran: circuit breaker tripped first
+STATUS_ESTIMATED = "estimated"  # pruned: settled by the analytical model
 
-ALL_STATUSES = (STATUS_OK, STATUS_FAILED, STATUS_CACHED, STATUS_SKIPPED)
+ALL_STATUSES = (
+    STATUS_OK,
+    STATUS_FAILED,
+    STATUS_CACHED,
+    STATUS_SKIPPED,
+    STATUS_ESTIMATED,
+)
 
 
 @dataclass(frozen=True)
@@ -45,7 +52,7 @@ class PointRecord:
 
     @property
     def succeeded(self) -> bool:
-        return self.status in (STATUS_OK, STATUS_CACHED)
+        return self.status in (STATUS_OK, STATUS_CACHED, STATUS_ESTIMATED)
 
 
 def exception_chain(exc: BaseException) -> List[str]:
@@ -98,6 +105,10 @@ class RunReport:
     @property
     def skipped(self) -> int:
         return self.count(STATUS_SKIPPED)
+
+    @property
+    def estimated(self) -> int:
+        return self.count(STATUS_ESTIMATED)
 
     @property
     def total_attempts(self) -> int:

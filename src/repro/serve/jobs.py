@@ -69,6 +69,55 @@ def sweep_measure(partitions: int, layer=None, macs: int = 0) -> dict:
     }
 
 
+def sweep_estimate(partitions: int, layer=None, macs: int = 0) -> tuple:
+    """Closed-form twin of :func:`sweep_measure` for analytical pruning.
+
+    Returns ``(row, score)`` in the :func:`repro.sweep.run_sweep`
+    estimator contract.  ``cycles`` and ``avg_bw`` are *exact* — the
+    shape-class decomposition prices each of the <= 4 distinct tile
+    GEMMs with the closed-form model the tests pin to the engine —
+    while ``peak_bw`` reports the summed per-tile average bandwidth (a
+    lower bound; the true per-fold peak needs the engine's fold walk).
+    The score is the exact cycle count, the same objective
+    :func:`sweep_measure` minimizes.
+    """
+    from repro.analytical.traffic import estimate_traffic
+    from repro.mapping.dims import OperandMapping, map_layer
+    from repro.memory.buffers import BufferSet
+    from repro.utils.mathutils import split_evenly
+
+    grid = square_grid(partitions)
+    shape = square_grid(macs // partitions)
+    config = paper_scaling_config(shape[0], shape[1], grid[0], grid[1])
+    mapping = map_layer(layer, config.dataflow)
+    buffers = BufferSet.from_config(config.partition_config())
+
+    shape_counts: Dict[Tuple[int, int], int] = {}
+    for r in split_evenly(mapping.sr, grid[0]):
+        for c in split_evenly(mapping.sc, grid[1]):
+            if r == 0 or c == 0:
+                continue
+            shape_counts[(r, c)] = shape_counts.get((r, c), 0) + 1
+    cycles = 0
+    total_bytes = 0
+    peak_proxy = 0.0
+    for (r, c), count in shape_counts.items():
+        tile = OperandMapping(sr=r, sc=c, t=mapping.t, dataflow=mapping.dataflow)
+        estimate = estimate_traffic(
+            tile, shape[0], shape[1], buffers, config.word_bytes
+        )
+        cycles = max(cycles, estimate.total_cycles)
+        total_bytes += estimate.total_bytes * count
+        peak_proxy += estimate.avg_total_bw * count
+    row = {
+        "array": f"{shape[0]}x{shape[1]}",
+        "cycles": cycles,
+        "avg_bw": round(total_bytes / cycles, 3),
+        "peak_bw": round(peak_proxy, 3),
+    }
+    return row, float(cycles)
+
+
 def _parse_shape(text: object, field: str) -> Tuple[int, int]:
     try:
         rows_text, cols_text = str(text).lower().split("x")

@@ -87,6 +87,10 @@ def run_sweep_report(
     on_progress: Optional[Callable[[ProgressSnapshot], None]] = None,
     workers: int = 1,
     supervisor: Optional[SupervisorPolicy] = None,
+    estimator: Optional[Callable[..., Tuple[Dict, float]]] = None,
+    top_k: Optional[int] = None,
+    prune_band: Optional[float] = None,
+    exact: bool = False,
     **grid: Sequence,
 ) -> Tuple[List[Dict], RunReport]:
     """Like :func:`run_sweep` but also returns the per-point report.
@@ -108,6 +112,18 @@ def run_sweep_report(
     :class:`~repro.obs.progress.ProgressSnapshot` per settled point
     (done/total, rolling throughput, ETA); the same telemetry is always
     logged at INFO under ``repro.obs.progress``.
+
+    ``estimator`` opts in to analytical pruning (the sweep compiler):
+    it is called with the same keywords as ``fn`` and returns
+    ``(row, score)`` — a closed-form measurement row and the objective
+    the frontier is ranked by (lower is better).  Only the frontier —
+    the ``top_k`` best-scoring points plus everything within
+    ``prune_band`` of the best score (defaults from
+    :mod:`repro.perf.compiler`) — executes ``fn``; the rest settle as
+    ``estimated`` rows marked with a ``status`` column, keeping CSVs,
+    journals and resume schema-compatible.  ``exact=True`` is the
+    escape hatch: the estimator is ignored and every point simulates
+    byte-identically to a sweep without one.
     """
     points = grid_points(**grid)
     if policy is None:
@@ -116,6 +132,12 @@ def run_sweep_report(
         raise ValueError("skip_errors=True conflicts with a fail_fast policy")
     if isinstance(checkpoint, (str, Path)):
         checkpoint = CheckpointStore(checkpoint)
+    estimates = None
+    if estimator is not None and not exact:
+        estimates = _plan_estimates(estimator, points, top_k, prune_band)
+    elif top_k is not None or prune_band is not None:
+        if estimator is None and not exact:
+            raise ValueError("top_k/prune_band need an estimator to prune with")
     report = execute_grid(
         _checked(fn),
         points,
@@ -124,8 +146,56 @@ def run_sweep_report(
         on_progress=on_progress,
         workers=workers,
         supervisor=supervisor,
+        estimates=estimates,
     )
     return report.rows(), report
+
+
+def _plan_estimates(
+    estimator: Callable[..., Tuple[Dict, float]],
+    points: Sequence[Dict],
+    top_k: Optional[int],
+    prune_band: Optional[float],
+) -> List[Optional[List[Dict]]]:
+    """Score every point analytically and keep only the frontier exact.
+
+    Returns the ``estimates`` sequence :func:`~repro.robust.executor
+    .execute_grid` consumes: ``None`` for frontier points (simulate),
+    param-prefixed ``estimated`` rows for the pruned rest.
+    """
+    from repro.obs import metrics
+    from repro.perf.compiler import (
+        DEFAULT_PRUNE_BAND,
+        DEFAULT_TOP_K,
+        frontier_indices,
+    )
+
+    scored: List[Tuple[Dict, float]] = []
+    for params in points:
+        row, score = estimator(**params)
+        overlap = set(params) & set(row)
+        if overlap:
+            raise ValueError(
+                f"estimator keys {sorted(overlap)} collide with parameter names"
+            )
+        scored.append((row, float(score)))
+    frontier = set(
+        frontier_indices(
+            [score for _, score in scored],
+            top_k=DEFAULT_TOP_K if top_k is None else top_k,
+            prune_band=DEFAULT_PRUNE_BAND if prune_band is None else prune_band,
+        )
+    )
+    estimates: List[Optional[List[Dict]]] = []
+    for index, (params, (row, _)) in enumerate(zip(points, scored)):
+        if index in frontier:
+            estimates.append(None)
+        else:
+            estimates.append([{**params, "status": "estimated", **row}])
+    metrics.counter("perf.compiler.points").add(len(points))
+    metrics.counter("perf.compiler.simulated").add(len(frontier))
+    metrics.counter("perf.compiler.pruned").add(len(points) - len(frontier))
+    return estimates
 
 
 def run_sweep(
@@ -135,6 +205,10 @@ def run_sweep(
     checkpoint: Optional[Union[str, Path, CheckpointStore]] = None,
     workers: int = 1,
     supervisor: Optional[SupervisorPolicy] = None,
+    estimator: Optional[Callable[..., Tuple[Dict, float]]] = None,
+    top_k: Optional[int] = None,
+    prune_band: Optional[float] = None,
+    exact: bool = False,
     **grid: Sequence,
 ) -> List[Dict]:
     """Evaluate ``fn`` over the cartesian product of the ``grid`` axes.
@@ -144,8 +218,10 @@ def run_sweep(
     contributes one row with ``status`` and ``error`` columns instead of
     aborting the sweep.  ``policy`` and ``checkpoint`` opt in to the
     fault-tolerant machinery (retries, timeouts, resumable journals),
-    ``workers`` to multiprocess execution — see :func:`run_sweep_report`
-    to also get the per-point accounting.
+    ``workers`` to multiprocess execution, and ``estimator`` /
+    ``top_k`` / ``prune_band`` / ``exact`` to analytical pruning — see
+    :func:`run_sweep_report` for the full contract and the per-point
+    accounting.
     """
     rows, _ = run_sweep_report(
         fn,
@@ -154,6 +230,10 @@ def run_sweep(
         checkpoint=checkpoint,
         workers=workers,
         supervisor=supervisor,
+        estimator=estimator,
+        top_k=top_k,
+        prune_band=prune_band,
+        exact=exact,
         **grid,
     )
     return rows

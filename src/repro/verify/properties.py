@@ -16,6 +16,9 @@ model predicts the absolute numbers:
   layer order;
 * ``cache_identity`` — memoized, cold and cache-disabled runs are
   identical, and the result-store wire codec round-trips losslessly;
+* ``vectorized`` — the numpy sweep-compiler kernels
+  (:mod:`repro.analytical.vectorized`) are bit-identical to the scalar
+  analytical model (rel_tol 0);
 * ``serial_parallel`` — a worker-pool sweep is row-identical to the
   serial walk (session-level: runs once per harness invocation);
 * ``parser_topology`` / ``parser_config`` — adversarial parser inputs
@@ -264,6 +267,95 @@ def prop_cache_identity(case: VerifyCase) -> List[Violation]:
     return violations
 
 
+def prop_vectorized(case: VerifyCase) -> List[Violation]:
+    """Vectorized numpy kernels are bit-identical to the scalar model.
+
+    The sweep compiler (:mod:`repro.perf.compiler`) prices whole design
+    spaces through :mod:`repro.analytical.vectorized`; this property
+    pins every kernel — Eq. 4/5/6 runtime, mapping utilization, the
+    exact edge-fold cycle count, Table III batch mapping and the
+    per-operand closed-form traffic — to its scalar twin with rel_tol 0
+    on the fuzzer's boundary-biased cases.
+    """
+    from repro.analytical.runtime import (
+        mapping_utilization,
+        scaleout_runtime,
+        scaleup_runtime,
+    )
+    from repro.analytical.traffic import estimate_traffic
+    from repro.analytical.vectorized import (
+        estimate_traffic_v,
+        mapping_utilization_v,
+        scaleout_runtime_v,
+        scaleup_runtime_v,
+    )
+    from repro.config.hardware import Dataflow
+    from repro.mapping.dims import map_gemm_batch
+    from repro.memory.buffers import BufferSet
+
+    mapping = case.mapping()
+    sr, sc, t = mapping.sr, mapping.sc, mapping.t
+    rows, cols = case.array_rows, case.array_cols
+    violations: List[Violation] = []
+
+    def expect(name: str, scalar, vectorized) -> None:
+        if scalar != vectorized:
+            violations.append(
+                Violation(
+                    prop="vectorized",
+                    message=f"{name}: vectorized kernel diverged from scalar",
+                    expected=scalar,
+                    actual=vectorized,
+                    case=case,
+                )
+            )
+
+    sr_v, sc_v, t_v = map_gemm_batch(
+        case.m, case.k, case.n, Dataflow.from_string(case.dataflow)
+    )
+    expect("map_gemm_batch", (sr, sc, t), (int(sr_v), int(sc_v), int(t_v)))
+    expect(
+        "scaleup_runtime",
+        scaleup_runtime(mapping, rows, cols),
+        int(scaleup_runtime_v(sr, sc, t, rows, cols)),
+    )
+    expect(
+        "scaleout_runtime",
+        scaleout_runtime(
+            mapping, case.partition_rows, case.partition_cols, rows, cols
+        ),
+        int(
+            scaleout_runtime_v(
+                sr, sc, t, case.partition_rows, case.partition_cols, rows, cols
+            )
+        ),
+    )
+    expect(
+        "mapping_utilization",
+        mapping_utilization(mapping, rows, cols),
+        float(mapping_utilization_v(sr, sc, rows, cols)),
+    )
+
+    buffers = BufferSet.from_config(case.scaleup_config())
+    scalar = estimate_traffic(mapping, rows, cols, buffers, case.word_bytes)
+    ifmap, filt, ofmap, cycles = estimate_traffic_v(
+        sr,
+        sc,
+        t,
+        Dataflow.from_string(case.dataflow),
+        rows,
+        cols,
+        buffers.ifmap.working_bytes,
+        buffers.filter.working_bytes,
+        case.word_bytes,
+    )
+    expect("traffic.ifmap_bytes", scalar.ifmap_bytes, int(ifmap))
+    expect("traffic.filter_bytes", scalar.filter_bytes, int(filt))
+    expect("traffic.ofmap_bytes", scalar.ofmap_bytes, int(ofmap))
+    expect("traffic.total_cycles", scalar.total_cycles, int(cycles))
+    return violations
+
+
 # ----------------------------------------------------------------------
 # Session property: serial vs. parallel sweep byte-identity
 # ----------------------------------------------------------------------
@@ -391,6 +483,8 @@ PROPERTIES: Dict[str, Property] = {
                  "network totals invariant under layer order"),
         Property("cache_identity", "case", prop_cache_identity,
                  "cold == memoized == cache-off; store codec round-trips"),
+        Property("vectorized", "case", prop_vectorized,
+                 "vectorized numpy kernels bit-identical to the scalar model"),
         Property("serial_parallel", "session", prop_serial_parallel,
                  "2-worker sweep row-identical to serial (runs once)"),
         Property("parser_topology", "text-topology", check_topology_text,

@@ -1,0 +1,168 @@
+"""Vectorized analytical kernels: bit-identity with the scalar model."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analytical.runtime import (
+    fold_runtime,
+    mapping_utilization,
+    scaleout_runtime,
+    scaleup_runtime,
+)
+from repro.analytical.traffic import estimate_traffic
+from repro.analytical.vectorized import (
+    _EXACT_INT_BOUND,
+    ceil_div_v,
+    estimate_traffic_v,
+    exact_cycles_v,
+    fold_runtime_v,
+    mapping_utilization_v,
+    scaleout_runtime_v,
+    scaleup_runtime_v,
+)
+from repro.config.hardware import Dataflow, HardwareConfig
+from repro.mapping.dims import OperandMapping, map_gemm, map_gemm_batch
+from repro.memory.buffers import BufferSet
+from repro.utils.mathutils import ceil_div
+
+#: Boundary-heavy workload dims: 1s, divisors, off-by-one remainders.
+DIMS = [1, 2, 7, 8, 9, 31, 64, 100]
+ARRAYS = [(8, 8), (4, 16), (3, 5), (1, 8)]
+GRIDS = [(1, 1), (2, 2), (1, 4), (3, 2)]
+
+
+def _grid_cases():
+    for sr, sc, t in itertools.product(DIMS, DIMS[:5], DIMS[:4]):
+        yield sr, sc, t
+
+
+class TestRuntimeKernels:
+    def test_ceil_div_matches_scalar(self):
+        n = np.array([0, 1, 7, 8, 9, 63, 64, 65])
+        d = np.array([1, 2, 8, 8, 8, 8, 8, 8])
+        expected = [ceil_div(int(a), int(b)) for a, b in zip(n, d)]
+        assert ceil_div_v(n, d).tolist() == expected
+
+    def test_ceil_div_rejects_nonpositive_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div_v(4, 0)
+
+    def test_int64_bound_guard(self):
+        with pytest.raises(ValueError):
+            ceil_div_v(2**53, 1)
+
+    def test_fold_runtime_elementwise(self):
+        rows = np.array([r for r, _ in ARRAYS])
+        cols = np.array([c for _, c in ARRAYS])
+        got = fold_runtime_v(rows, cols, 7)
+        expected = [fold_runtime(r, c, 7) for r, c in ARRAYS]
+        assert got.tolist() == expected
+
+    def test_scaleup_runtime_matches_scalar(self):
+        for sr, sc, t in _grid_cases():
+            mapping = OperandMapping(sr=sr, sc=sc, t=t, dataflow=Dataflow.OUTPUT_STATIONARY)
+            for rows, cols in ARRAYS:
+                assert int(scaleup_runtime_v(sr, sc, t, rows, cols)) == scaleup_runtime(
+                    mapping, rows, cols
+                )
+
+    def test_scaleout_runtime_matches_scalar(self):
+        for sr, sc, t in _grid_cases():
+            mapping = OperandMapping(sr=sr, sc=sc, t=t, dataflow=Dataflow.OUTPUT_STATIONARY)
+            for (pr, pc), (rows, cols) in itertools.product(GRIDS, ARRAYS[:2]):
+                assert int(
+                    scaleout_runtime_v(sr, sc, t, pr, pc, rows, cols)
+                ) == scaleout_runtime(mapping, pr, pc, rows, cols)
+
+    def test_mapping_utilization_bit_identical(self):
+        for sr, sc, t in _grid_cases():
+            mapping = OperandMapping(sr=sr, sc=sc, t=t, dataflow=Dataflow.OUTPUT_STATIONARY)
+            for rows, cols in ARRAYS:
+                scalar = mapping_utilization(mapping, rows, cols)
+                vector = float(mapping_utilization_v(sr, sc, rows, cols))
+                assert vector == scalar  # rel_tol 0: same float64 bits
+
+    def test_whole_array_evaluation(self):
+        """One call prices a whole column of points at once."""
+        sr = np.array([100, 31, 8, 1])
+        rows = np.array([8, 4, 8, 3])
+        got = scaleup_runtime_v(sr, 64, 9, rows, 16)
+        for i in range(len(sr)):
+            mapping = OperandMapping(
+                sr=int(sr[i]), sc=64, t=9, dataflow=Dataflow.OUTPUT_STATIONARY
+            )
+            assert int(got[i]) == scaleup_runtime(mapping, int(rows[i]), 16)
+
+
+class TestTrafficKernels:
+    def _buffers(self, kb: int) -> BufferSet:
+        config = HardwareConfig(
+            array_rows=8,
+            array_cols=8,
+            ifmap_sram_kb=kb,
+            filter_sram_kb=kb,
+            ofmap_sram_kb=kb,
+        )
+        return BufferSet.from_config(config)
+
+    @pytest.mark.parametrize("dataflow", list(Dataflow))
+    @pytest.mark.parametrize("kb", [1, 4, 64])
+    def test_traffic_matches_scalar(self, dataflow, kb):
+        buffers = self._buffers(kb)
+        for sr, sc, t in _grid_cases():
+            mapping = OperandMapping(sr=sr, sc=sc, t=t, dataflow=dataflow)
+            for rows, cols in ARRAYS[:2]:
+                for word in (1, 2):
+                    scalar = estimate_traffic(mapping, rows, cols, buffers, word)
+                    ifmap, filt, ofmap, cycles = estimate_traffic_v(
+                        sr,
+                        sc,
+                        t,
+                        dataflow,
+                        rows,
+                        cols,
+                        buffers.ifmap.working_bytes,
+                        buffers.filter.working_bytes,
+                        word,
+                    )
+                    assert int(ifmap) == scalar.ifmap_bytes
+                    assert int(filt) == scalar.filter_bytes
+                    assert int(ofmap) == scalar.ofmap_bytes
+                    assert int(cycles) == scalar.total_cycles
+
+    def test_exact_cycles_matches_traffic_closed_form(self):
+        buffers = self._buffers(64)
+        for sr, sc, t in _grid_cases():
+            mapping = OperandMapping(sr=sr, sc=sc, t=t, dataflow=Dataflow.OUTPUT_STATIONARY)
+            for rows, cols in ARRAYS:
+                scalar = estimate_traffic(mapping, rows, cols, buffers, 1)
+                assert int(exact_cycles_v(sr, sc, t, rows, cols)) == scalar.total_cycles
+
+
+class TestBatchMapping:
+    @pytest.mark.parametrize("dataflow", list(Dataflow))
+    def test_map_gemm_batch_matches_scalar(self, dataflow):
+        ms = np.array([1, 7, 64, 100])
+        ks = np.array([9, 3, 64, 1])
+        ns = np.array([17, 8, 64, 5])
+        sr, sc, t = map_gemm_batch(ms, ks, ns, dataflow)
+        for i in range(len(ms)):
+            scalar = map_gemm(int(ms[i]), int(ks[i]), int(ns[i]), dataflow)
+            assert (int(sr[i]), int(sc[i]), int(t[i])) == (
+                scalar.sr,
+                scalar.sc,
+                scalar.t,
+            )
+
+    def test_map_gemm_batch_rejects_nonpositive(self):
+        from repro.errors import MappingError
+
+        with pytest.raises(MappingError):
+            map_gemm_batch(np.array([1, 0]), np.array([1, 1]), np.array([1, 1]),
+                           Dataflow.OUTPUT_STATIONARY)
+
+
+def test_exactness_bound_is_documented_power():
+    assert _EXACT_INT_BOUND == 2**53

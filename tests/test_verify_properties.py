@@ -94,8 +94,8 @@ class TestRegistry:
         assert set(PROPERTIES) == {
             "models", "shape_classes", "golden", "conservation",
             "monotone_array", "monotone_batch", "permutation",
-            "cache_identity", "serial_parallel", "parser_topology",
-            "parser_config",
+            "cache_identity", "vectorized", "serial_parallel",
+            "parser_topology", "parser_config",
         }
 
     def test_resolve_defaults_to_everything(self):
