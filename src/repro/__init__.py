@@ -81,7 +81,7 @@ from repro.workloads import (
     language_models,
     resnet50,
 )
-from repro.sweep import run_sweep, run_sweep_report, sweep_to_csv
+from repro.sweep import pivot_to_csv, run_sweep, run_sweep_report, sweep_to_csv
 from repro.robust import (
     CheckpointStore,
     ExecutionPolicy,
@@ -112,17 +112,21 @@ from repro.errors import (
     DramError,
     ExecutionError,
     InvariantError,
+    LedgerCorruptionError,
     MappingError,
     PointTimeoutError,
     ReproError,
     ResilienceError,
     SearchError,
     SimulationError,
+    StorageError,
     SupervisorExhaustedError,
+    SweepError,
     SweepInterrupted,
     TopologyError,
     WorkerCrashError,
 )
+from repro.store.ledger import LedgerDiff, SweepLedger
 
 from repro._version import __version__
 
@@ -206,6 +210,9 @@ __all__ = [
     "run_sweep",
     "run_sweep_report",
     "sweep_to_csv",
+    "pivot_to_csv",
+    "SweepLedger",
+    "LedgerDiff",
     "reuse_profile",
     "stream_stats",
     # observability
@@ -241,8 +248,11 @@ __all__ = [
     "CircuitOpenError",
     "WorkerCrashError",
     "SupervisorExhaustedError",
+    "SweepError",
     "SweepInterrupted",
     "CheckpointError",
+    "StorageError",
+    "LedgerCorruptionError",
     "InvariantError",
     "ResilienceError",
     "__version__",

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.analytical.runtime import mapping_utilization, scaleout_runtime
 from repro.config.hardware import Dataflow
@@ -232,3 +234,30 @@ def best_scaleout(
             f"with arrays at least {min_array_dim}x{min_array_dim}"
         )
     return min(pool, key=lambda cand: (cand.runtime, cand.num_partitions))
+
+
+def pareto_front(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated rows of ``points`` (all minimized).
+
+    A row is kept when no other row is at least as good on every
+    objective and strictly better on one.  Objectives to *maximize*
+    should be negated by the caller (as
+    :meth:`repro.store.ledger.SweepLedger.pareto` does over its
+    zero-copy columns).  Duplicate rows all survive — dominance is
+    strict — and order is ascending, so results are deterministic.
+    """
+    matrix = np.asarray(points, dtype=float)
+    if matrix.ndim != 2:
+        raise SearchError(
+            f"pareto_front needs a 2-D (points x objectives) array, "
+            f"got shape {matrix.shape}"
+        )
+    kept: List[int] = []
+    for index in range(matrix.shape[0]):
+        row = matrix[index]
+        dominated = np.any(
+            np.all(matrix <= row, axis=1) & np.any(matrix < row, axis=1)
+        )
+        if not dominated:
+            kept.append(index)
+    return kept

@@ -6,7 +6,8 @@ Subcommands::
     scalesim-repro run      --workload resnet50 --array 32x32 ...
     scalesim-repro analyze  --workload resnet50 --array 32x32
     scalesim-repro search   --workload resnet50 --macs 16384 [--scaleout]
-    scalesim-repro sweep    --layer TF0 --macs 16384 [--partitions 1,4,16,...]
+    scalesim-repro sweep    --layer TF0 --macs 16384 [--ledger DIR [--incremental]]
+    scalesim-repro resweep  --layer TF0 --macs 16384 --ledger DIR
     scalesim-repro resilience --layer TF0 --macs 16384 [--dead 0,1,2,4]
     scalesim-repro dram     --workload TF1 --array 16x16 [--channels 4]
     scalesim-repro validate [--trials N] [--rel-tol T]
@@ -153,7 +154,11 @@ EXIT_PERF_REGRESSION = 17
 #: 13    worker-pool loss (``WorkerCrashError`` /
 #:       ``SupervisorExhaustedError``, or a raw ``BrokenProcessPool``)
 #: 14    durable write failure (``StorageError``: ENOSPC, EIO, a
-#:       vanished directory) that nothing above could degrade around
+#:       vanished directory) that nothing above could degrade around.
+#:       The sweep ledger shares this code: corrupt sealed segments
+#:       never exit — they quarantine and re-simulate — so 14 from a
+#:       ``--ledger`` run means the ledger *directory itself* could
+#:       not be created or opened
 #: 15    simulation service failure (``ServiceError``: daemon cannot
 #:       bind, unreachable, server-side job error, or exhausted
 #:       back-pressure retries)
@@ -284,6 +289,30 @@ def _robust_checkpoint(args: argparse.Namespace) -> Optional[CheckpointStore]:
     if not args.checkpoint:
         return None
     return CheckpointStore(args.checkpoint, resume=args.resume)
+
+
+def _sweep_ledger(args: argparse.Namespace):
+    """Validated ``--ledger``/``--incremental`` combination for sweep."""
+    ledger_dir = getattr(args, "ledger", None)
+    incremental = getattr(args, "incremental", False)
+    if incremental and not ledger_dir:
+        raise ConfigError("--incremental requires --ledger DIR")
+    if ledger_dir and args.checkpoint:
+        raise ConfigError(
+            "--ledger and --checkpoint are mutually exclusive; the ledger "
+            "already journals every point durably"
+        )
+    if not ledger_dir:
+        return None
+    from repro.serve.jobs import sweep_ledger_version
+    from repro.store.ledger import SweepLedger
+
+    # Scope the keys to the full simulation identity, not just the
+    # partition counts, so unrelated sweeps can share one ledger.
+    version = sweep_ledger_version(
+        args.layer, getattr(args, "workload", None) or "resnet50", args.macs
+    )
+    return SweepLedger(ledger_dir, version=version)
 
 
 def _parse_shape(text: str, what: str) -> Tuple[int, int]:
@@ -465,9 +494,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         count for count in candidates
         if not args.macs % count and is_power_of_two(args.macs // count)
     ]
+    ledger = _sweep_ledger(args)
+    incremental = getattr(args, "incremental", False)
     print(f"# layer {layer.name}, {args.macs} MACs, OS dataflow")
+    if ledger is not None and incremental:
+        diff = ledger.diff_grid([{"partitions": count} for count in counts])
+        print(f"# incremental re-sweep: {diff.describe()}")
     print("partitions  array       cycles      avg_bw(B/cyc)  peak_bw(B/cyc)")
     if not counts:
+        if ledger is not None:
+            ledger.close()
         return 0
 
     # Analytical pruning is opt-in (--top-k/--prune-band) and --exact
@@ -477,22 +513,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         not args.exact
         and (args.top_k is not None or args.prune_band is not None)
     )
-    rows, report = run_sweep_report(
-        functools.partial(sweep_measure, layer=layer, macs=args.macs),
-        policy=_robust_policy(args),
-        checkpoint=_robust_checkpoint(args),
-        workers=_robust_workers(args),
-        supervisor=_robust_supervisor(args),
-        estimator=(
-            functools.partial(sweep_estimate, layer=layer, macs=args.macs)
-            if pruning
-            else None
-        ),
-        top_k=args.top_k,
-        prune_band=args.prune_band,
-        exact=args.exact,
-        partitions=counts,
-    )
+    try:
+        rows, report = run_sweep_report(
+            functools.partial(sweep_measure, layer=layer, macs=args.macs),
+            policy=_robust_policy(args),
+            checkpoint=_robust_checkpoint(args),
+            workers=_robust_workers(args),
+            supervisor=_robust_supervisor(args),
+            estimator=(
+                functools.partial(sweep_estimate, layer=layer, macs=args.macs)
+                if pruning
+                else None
+            ),
+            top_k=args.top_k,
+            prune_band=args.prune_band,
+            exact=args.exact,
+            ledger=ledger,
+            incremental=incremental,
+            partitions=counts,
+        )
+    finally:
+        if ledger is not None:
+            ledger.close()
     for row in rows:
         status = row.get("status")
         if status and status != "estimated":
@@ -514,6 +556,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         logger.warning("sweep incomplete: %s", report.summary())
         return EXIT_INCOMPLETE
     return 0
+
+
+def _cmd_resweep(args: argparse.Namespace) -> int:
+    """``sweep --ledger DIR --incremental`` spelled as a verb."""
+    args.incremental = True
+    return _cmd_sweep(args)
 
 
 def _resilience_measure(
@@ -595,11 +643,16 @@ def _cmd_workloads(_: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    """Summarize a recorded trace/metrics file or a flight dump."""
+    """Summarize a recorded trace/metrics file, flight dump, or ledger."""
     from repro.obs.stats import summarize_file
 
-    if bool(args.file) == bool(args.from_flight):
-        raise ConfigError("provide exactly one of FILE or --from-flight FILE")
+    chosen = [bool(args.file), bool(args.from_flight), bool(args.ledger)]
+    if sum(chosen) != 1:
+        raise ConfigError(
+            "provide exactly one of FILE, --from-flight FILE or --ledger DIR"
+        )
+    if args.ledger:
+        return _stats_ledger(args)
     target = args.from_flight or args.file
     try:
         if args.from_flight:
@@ -611,6 +664,56 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         raise ConfigError(f"no such file: {target}") from None
     except (ValueError, OSError) as exc:
         raise ConfigError(str(exc)) from exc
+    return 0
+
+
+def _stats_ledger(args: argparse.Namespace) -> int:
+    """Health + column-query summary of a columnar sweep ledger."""
+    from repro.store.ledger import SweepLedger
+
+    if not Path(args.ledger).is_dir():
+        raise ConfigError(f"no such ledger directory: {args.ledger}")
+    ledger = SweepLedger(args.ledger, writable=False)
+    try:
+        status = ledger.status()
+        print(f"# ledger {status['root']} (version {status['version']})")
+        print(f"mode       {status['mode']}"
+              + (f"  ({status['degraded_reason']})"
+                 if status["degraded_reason"] else ""))
+        print(f"entries    {status['entries']} "
+              f"({status['completed']} completed, {status['pending']} unsealed)")
+        print(f"segments   {status['segments']} sealed, "
+              f"{status['corrupt']} quarantined")
+        if status["corrupt"]:
+            for path in ledger.quarantined():
+                print(f"  corrupt: {path.name}")
+        if args.group_by:
+            parts = [p.strip() for p in args.group_by.split(",")]
+            if len(parts) not in (2, 3):
+                raise ConfigError(
+                    f"--group-by wants KEY,VALUE[,AGG], got {args.group_by!r}"
+                )
+            agg = parts[2] if len(parts) == 3 else "min"
+            try:
+                groups = ledger.group_by(parts[0], parts[1], agg=agg)
+            except ValueError as exc:
+                raise ConfigError(str(exc)) from exc
+            print(f"# {agg}({parts[1]}) by {parts[0]}")
+            for group in sorted(groups, key=repr):
+                print(f"  {group!r:16}  {groups[group]}")
+        if args.pareto:
+            names = [n.strip() for n in args.pareto.split(",") if n.strip()]
+            try:
+                front = ledger.pareto(minimize=names)
+            except ValueError as exc:
+                raise ConfigError(str(exc)) from exc
+            print(f"# pareto front minimizing ({', '.join(names)}): "
+                  f"{len(front)} row(s)")
+            for row in front:
+                cells = ", ".join(f"{name}={row.get(name)}" for name in names)
+                print(f"  {cells}")
+    finally:
+        ledger.close()
     return 0
 
 
@@ -889,6 +992,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # /metrics exposition needs live counters/histograms regardless of
     # whether a --metrics snapshot sink was requested
     obs.metrics.enable()
+    if args.ledger:
+        # The job layer opens the ledger lazily per sweep execution, so
+        # the daemon only pays for it when sweep jobs actually arrive.
+        from repro.serve.jobs import SWEEP_LEDGER_ENV
+
+        os.environ[SWEEP_LEDGER_ENV] = args.ledger
     service = SimulationService(policy)
     server = make_server(
         service, host=args.host, port=args.port, socket_path=args.socket
@@ -1062,8 +1171,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--exact", action="store_true",
         help="simulate every point (escape hatch; ignores pruning flags)",
     )
+    sweep.add_argument(
+        "--ledger", metavar="DIR",
+        help="durable columnar sweep ledger directory: every finished "
+             "point is journalled crash-safely and sealed into "
+             "checksummed segments (see docs/robustness.md)",
+    )
+    sweep.add_argument(
+        "--incremental", action="store_true",
+        help="with --ledger: reuse completed ledger points and simulate "
+             "only new, changed or quarantined ones",
+    )
     _add_robust_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    resweep = sub.add_parser(
+        "resweep",
+        help="incremental re-run of a ledgered sweep: only new/invalidated "
+             "points simulate",
+    )
+    resweep.add_argument("--layer", required=True, help="layer name (e.g. TF0, CB2a_3)")
+    resweep.add_argument("--workload", help="network containing --layer (default resnet50)")
+    resweep.add_argument("--macs", type=int, required=True)
+    resweep.add_argument("--partitions", help="comma-separated partition counts")
+    resweep.add_argument(
+        "--top-k", dest="top_k", type=int, metavar="K",
+        help="prune: simulate only the K analytically fastest points "
+             "(plus the --prune-band); the rest settle analytically",
+    )
+    resweep.add_argument(
+        "--prune-band", dest="prune_band", type=float, metavar="FRAC",
+        help="prune: also simulate every point within FRAC of the "
+             "analytical optimum (default 0.25 when pruning is on)",
+    )
+    resweep.add_argument(
+        "--exact", action="store_true",
+        help="simulate every point (escape hatch; ignores pruning flags)",
+    )
+    resweep.add_argument(
+        "--ledger", metavar="DIR", required=True,
+        help="the columnar sweep ledger directory to diff the grid against",
+    )
+    _add_robust_flags(resweep)
+    resweep.set_defaults(func=_cmd_resweep)
 
     resilience = sub.add_parser(
         "resilience", help="degraded-mode sweep: runtime as partitions fail"
@@ -1180,6 +1330,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10,
         help="number of spans/histograms to show (default 10)",
     )
+    stats.add_argument(
+        "--ledger", metavar="DIR",
+        help="summarize a columnar sweep ledger instead (health, "
+             "segments, quarantined corruption)",
+    )
+    stats.add_argument(
+        "--group-by", dest="group_by", metavar="KEY,VALUE[,AGG]",
+        help="with --ledger: aggregate VALUE per distinct KEY over the "
+             "completed rows (AGG: min/max/mean/sum/count; default min)",
+    )
+    stats.add_argument(
+        "--pareto", metavar="COLS",
+        help="with --ledger: print the pareto front minimizing the "
+             "comma-separated columns",
+    )
     stats.set_defaults(func=_cmd_stats)
 
     bench = sub.add_parser(
@@ -1235,6 +1400,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, dest="drain_timeout",
                        default=30.0, metavar="SECONDS",
                        help="SIGTERM drain budget for in-flight jobs (default 30)")
+    serve.add_argument("--ledger", metavar="DIR",
+                       help="sink sweep jobs into this columnar ledger and "
+                            "reuse completed points across requests")
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(

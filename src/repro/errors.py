@@ -68,6 +68,14 @@ class SweepInterrupted(ExecutionError):
         self.signum = signum
 
 
+class SweepError(ExecutionError, ValueError):
+    """Raised when a sweep grid is malformed: a missing, empty or
+    non-sequence axis that would otherwise silently produce an empty (or
+    nonsensical, e.g. a string iterated per character) sweep.  Subclasses
+    ``ValueError`` so callers that guarded grid construction with
+    ``except ValueError`` keep working."""
+
+
 class CheckpointError(ReproError):
     """Raised for unreadable, conflicting or misused checkpoint journals."""
 
@@ -84,6 +92,15 @@ class StoreCorruptionError(StorageError):
     the root is not a store, the manifest directory cannot be created,
     or quarantine repeatedly fails.  Individual corrupted entries never
     raise — they are quarantined and recomputed transparently."""
+
+
+class LedgerCorruptionError(StorageError):
+    """Raised when a columnar sweep-ledger segment fails validation:
+    bad magic, truncated payload, checksum mismatch, or an inconsistent
+    header.  The ledger catches this internally — corrupt segments are
+    quarantined to ``corrupt/`` and their grid points marked incomplete
+    so the executor transparently re-simulates them; it only escapes to
+    callers opening a segment file directly."""
 
 
 class ServiceError(ReproError):

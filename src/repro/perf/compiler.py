@@ -21,7 +21,9 @@ counters account for every decision:
 
 * ``perf.compiler.points`` — grid points compiled,
 * ``perf.compiler.pruned`` — points settled analytically,
-* ``perf.compiler.simulated`` — points handed to the engine.
+* ``perf.compiler.simulated`` — points handed to the engine,
+* ``perf.compiler.reused`` — frontier points replayed from a journal
+  or sweep ledger instead of re-simulated (incremental re-sweep).
 
 Everything here is bit-identical to the scalar reference:
 ``CompiledSpace.candidates()`` equals ``search_space(...)`` element for
@@ -33,9 +35,12 @@ num_partitions)`` lexicographic first-minimum for scale-out).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - hint-only import
+    from repro.robust.checkpoint import PointJournal
 
 from repro.analytical.search import (
     CandidateConfig,
@@ -359,6 +364,65 @@ def frontier_indices(
     best = values[order[0]]
     keep |= set(int(i) for i in np.nonzero(values <= best * (1.0 + prune_band))[0])
     return sorted(keep)
+
+
+def plan_estimates(
+    estimator: Callable[..., Tuple[dict, float]],
+    points: Sequence[dict],
+    top_k: Optional[int] = None,
+    prune_band: Optional[float] = None,
+    journal: Optional["PointJournal"] = None,
+) -> List[Optional[List[dict]]]:
+    """Score every point analytically and keep only the frontier exact.
+
+    Returns the ``estimates`` sequence
+    :func:`repro.robust.executor.execute_grid` consumes: ``None`` for
+    frontier points (simulate), param-prefixed ``estimated`` rows for
+    the pruned rest.  Every point is scored and the frontier is chosen
+    over the full grid regardless of ``journal``, so the plan — and
+    therefore the rows — is byte-identical whether or not a sweep
+    resumes or re-sweeps incrementally.
+
+    ``journal`` (a checkpoint store or sweep ledger) only refines the
+    accounting: points it has already completed will be replayed, not
+    executed, so they move from ``perf.compiler.simulated`` to
+    ``perf.compiler.reused`` — which is what lets an incremental
+    re-sweep assert "only the changed points simulated" from counters.
+    """
+    scored: List[Tuple[dict, float]] = []
+    for params in points:
+        row, score = estimator(**params)
+        overlap = set(params) & set(row)
+        if overlap:
+            raise ValueError(
+                f"estimator keys {sorted(overlap)} collide with parameter names"
+            )
+        scored.append((row, float(score)))
+    frontier = set(
+        frontier_indices(
+            [score for _, score in scored],
+            top_k=DEFAULT_TOP_K if top_k is None else top_k,
+            prune_band=DEFAULT_PRUNE_BAND if prune_band is None else prune_band,
+        )
+    )
+    estimates: List[Optional[List[dict]]] = []
+    for index, (params, (row, _)) in enumerate(zip(points, scored)):
+        if index in frontier:
+            estimates.append(None)
+        else:
+            estimates.append([{**params, "status": "estimated", **row}])
+    reused = 0
+    if journal is not None:
+        reused = sum(
+            1
+            for index, params in enumerate(points)
+            if index in frontier and journal.completed(params)
+        )
+    metrics.counter("perf.compiler.points").add(len(points))
+    metrics.counter("perf.compiler.simulated").add(len(frontier) - reused)
+    metrics.counter("perf.compiler.reused").add(reused)
+    metrics.counter("perf.compiler.pruned").add(len(points) - len(frontier))
+    return estimates
 
 
 def simulate_candidates(

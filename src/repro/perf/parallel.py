@@ -38,7 +38,7 @@ import pickle
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.obs.progress import ProgressSnapshot
-from repro.robust.checkpoint import CheckpointStore
+from repro.robust.checkpoint import PointJournal
 from repro.robust.policy import ExecutionPolicy
 from repro.robust.report import RunReport
 from repro.robust.supervisor import SupervisorPolicy, execute_grid_supervised
@@ -68,7 +68,7 @@ def execute_grid_parallel(
     fn: Callable[..., object],
     points: Sequence[Dict],
     policy: ExecutionPolicy,
-    checkpoint: Optional[CheckpointStore],
+    checkpoint: Optional[PointJournal],
     clock: Callable[[], float],
     on_progress: Optional[Callable[[ProgressSnapshot], None]],
     workers: int,

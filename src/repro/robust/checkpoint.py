@@ -29,7 +29,7 @@ import json
 import logging
 import os
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Protocol, Union
 
 from repro.errors import CheckpointError
 from repro.utils.atomicio import atomic_write_text
@@ -39,6 +39,78 @@ def _package_version() -> str:
     from repro._version import __version__
 
     return __version__
+
+
+class PointJournal(Protocol):
+    """What the executor needs from a journal of completed grid points.
+
+    :class:`CheckpointStore` is the JSONL reference implementation;
+    :class:`repro.store.ledger.SweepLedger` is the durable columnar
+    one.  Anything satisfying this protocol can be passed wherever a
+    ``checkpoint=`` is accepted (``execute_grid``, ``run_sweep``, the
+    supervised pool) — the executor only ever keys, reads, tests and
+    records points.
+    """
+
+    version: str
+
+    def key(self, params: Dict) -> str: ...
+
+    def get(self, params: Dict) -> Optional[Dict]: ...
+
+    def completed(self, params: Dict) -> bool: ...
+
+    def record(
+        self,
+        params: Dict,
+        status: str,
+        rows: Optional[List[Dict]] = None,
+        attempts: int = 1,
+        duration: float = 0.0,
+        error: Optional[str] = None,
+    ) -> Dict: ...
+
+
+def parse_journal_lines(
+    text: str,
+    source: Union[str, Path],
+    logger: Optional[logging.Logger] = None,
+) -> Iterator[Dict]:
+    """Yield the valid journal entries in ``text``, tolerating damage.
+
+    The shared loader for every JSONL point journal (the checkpoint
+    file, the ledger's ``active.jsonl`` tail): a crash mid-append at
+    worst truncates the final line, and unrelated junk must not poison
+    a resume — both are logged and skipped, and the affected point
+    simply re-simulates.
+    """
+    if logger is None:
+        logger = logging.getLogger("repro.robust.checkpoint")
+    lines = text.splitlines()
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            # A crash mid-write leaves a truncated trailing line;
+            # everything before it is still a valid prefix of the
+            # run.  The dropped point simply re-simulates on resume.
+            logger.warning(
+                "journal %s line %d/%d is not valid JSON "
+                "(likely truncated by a crash mid-write); dropping it, "
+                "the point will be re-simulated",
+                source, number, len(lines),
+            )
+            continue
+        if not isinstance(entry, dict) or "key" not in entry:
+            logger.warning(
+                "journal %s line %d/%d is not a journal entry; "
+                "dropping it", source, number, len(lines),
+            )
+            continue
+        yield entry
 
 
 def point_key(params: Dict, version: str) -> str:
@@ -90,31 +162,7 @@ class CheckpointStore:
             text = self.path.read_text(encoding="utf-8")
         except OSError as exc:
             raise CheckpointError(f"cannot read checkpoint {self.path}: {exc}") from exc
-        logger = logging.getLogger("repro.robust.checkpoint")
-        lines = text.splitlines()
-        for number, line in enumerate(lines, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                # A crash mid-write leaves a truncated trailing line;
-                # everything before it is still a valid prefix of the
-                # run.  The dropped point simply re-simulates on resume.
-                logger.warning(
-                    "checkpoint %s line %d/%d is not valid JSON "
-                    "(likely truncated by a crash mid-write); dropping it, "
-                    "the point will be re-simulated",
-                    self.path, number, len(lines),
-                )
-                continue
-            if not isinstance(entry, dict) or "key" not in entry:
-                logger.warning(
-                    "checkpoint %s line %d/%d is not a journal entry; "
-                    "dropping it", self.path, number, len(lines),
-                )
-                continue
+        for entry in parse_journal_lines(text, self.path):
             self._entries[entry["key"]] = entry
 
     def __len__(self) -> int:

@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Unio
 from repro.errors import CircuitOpenError, PointTimeoutError
 from repro.obs import metrics, trace
 from repro.obs.progress import ProgressSnapshot, ProgressTracker
-from repro.robust.checkpoint import CheckpointStore
+from repro.robust.checkpoint import PointJournal
 from repro.robust.policy import ExecutionPolicy
 from repro.robust.report import (
     STATUS_CACHED,
@@ -172,7 +172,7 @@ class _GridRun:
         self,
         points: Sequence[Dict],
         policy: ExecutionPolicy,
-        checkpoint: Optional[CheckpointStore],
+        checkpoint: Optional[PointJournal],
         clock: Callable[[], float],
         on_progress: Optional[Callable[[ProgressSnapshot], None]],
     ):
@@ -268,7 +268,7 @@ def execute_grid(
     fn: Callable[..., object],
     points: Sequence[Dict],
     policy: Optional[ExecutionPolicy] = None,
-    checkpoint: Optional[CheckpointStore] = None,
+    checkpoint: Optional[PointJournal] = None,
     sleep: Callable[[float], None] = time.sleep,
     clock: Callable[[], float] = time.monotonic,
     on_progress: Optional[Callable[[ProgressSnapshot], None]] = None,
@@ -380,7 +380,7 @@ def _execute_pruned(
     points: Sequence[Dict],
     estimates: Sequence[Optional[Sequence[Dict]]],
     policy: ExecutionPolicy,
-    checkpoint: Optional[CheckpointStore],
+    checkpoint: Optional[PointJournal],
     sleep: Callable[[float], None],
     clock: Callable[[], float],
     on_progress: Optional[Callable[[ProgressSnapshot], None]],

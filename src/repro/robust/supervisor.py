@@ -69,7 +69,7 @@ from repro.obs import metrics, trace
 from repro.obs.progress import ProgressSnapshot
 from repro.obs.service import CORRELATION_KEY, correlation_id_from_env
 from repro.obs.tracer import SpanRecord
-from repro.robust.checkpoint import CheckpointStore
+from repro.robust.checkpoint import PointJournal
 from repro.robust.policy import ExecutionPolicy
 from repro.robust.report import STATUS_FAILED, PointRecord, RunReport
 
@@ -440,7 +440,7 @@ class _Supervisor:
         fn: Callable[..., object],
         points: Sequence[Dict],
         policy: ExecutionPolicy,
-        checkpoint: Optional[CheckpointStore],
+        checkpoint: Optional[PointJournal],
         clock: Callable[[], float],
         on_progress: Optional[Callable[[ProgressSnapshot], None]],
         workers: int,
@@ -863,7 +863,7 @@ def execute_grid_supervised(
     fn: Callable[..., object],
     points: Sequence[Dict],
     policy: ExecutionPolicy,
-    checkpoint: Optional[CheckpointStore],
+    checkpoint: Optional[PointJournal],
     clock: Callable[[], float],
     on_progress: Optional[Callable[[ProgressSnapshot], None]],
     workers: int,

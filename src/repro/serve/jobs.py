@@ -36,6 +36,10 @@ from repro.workloads.registry import available_workloads, get_workload
 
 JOB_KINDS = ("gemm", "run", "sweep")
 
+#: When set (``repro serve --ledger DIR``), sweep jobs sink their rows
+#: into this columnar ledger and reuse completed points across requests.
+SWEEP_LEDGER_ENV = "REPRO_SWEEP_LEDGER"
+
 #: Request fields accepted per kind (beyond "kind" itself).
 _FIELDS = {
     "gemm": {"m", "k", "n", "array", "dataflow"},
@@ -50,6 +54,20 @@ def square_grid(count: int) -> Tuple[int, int]:
     while rows * rows < count:
         rows <<= 1
     return (count // rows, rows) if count % rows == 0 else (1, count)
+
+
+def sweep_ledger_version(layer: str, workload: str, macs: int) -> str:
+    """Ledger version string scoping sweep points to one simulation key.
+
+    The sweep grid's per-point parameters are just ``partitions``;
+    alone they would collide across layers in a shared ledger, so the
+    rest of the simulation key rides in the version string — changing
+    the layer, workload, macs budget or package version invalidates
+    reuse exactly the way a code upgrade invalidates a checkpoint.
+    """
+    from repro._version import __version__
+
+    return f"{__version__}/sweep layer={layer} workload={workload} macs={macs}"
 
 
 def sweep_measure(partitions: int, layer=None, macs: int = 0) -> dict:
@@ -275,12 +293,36 @@ def _execute_run(request: Dict) -> Dict:
 
 def _execute_sweep(request: Dict) -> Dict:
     import functools
+    import os
 
     from repro.sweep import run_sweep_report
 
     layer = _resolve_layer(request["layer"], request["workload"])
-    rows, report = run_sweep_report(
-        functools.partial(sweep_measure, layer=layer, macs=request["macs"]),
-        partitions=list(request["partitions"]),
+    measure = functools.partial(sweep_measure, layer=layer, macs=request["macs"])
+    counts = list(request["partitions"])
+    ledger_dir = os.environ.get(SWEEP_LEDGER_ENV)
+    if not ledger_dir:
+        rows, report = run_sweep_report(measure, partitions=counts)
+        return {"rows": rows, "points": len(report.records)}
+
+    from repro.store.ledger import SweepLedger
+
+    # Each job opens (and closes) the ledger: the daemon serializes
+    # sweep execution per key via single-flight, and reopening keeps
+    # the job layer crash-isolated from long-lived daemon state.
+    version = sweep_ledger_version(
+        request["layer"], request["workload"], request["macs"]
     )
-    return {"rows": rows, "points": len(report.records)}
+    with SweepLedger(ledger_dir, version=version) as ledger:
+        diff = ledger.diff_grid([{"partitions": count} for count in counts])
+        rows, report = run_sweep_report(
+            measure,
+            ledger=ledger,
+            incremental=True,
+            partitions=counts,
+        )
+    return {
+        "rows": rows,
+        "points": len(report.records),
+        "ledger": {"reused": len(diff.reused), "simulated": len(diff.pending)},
+    }

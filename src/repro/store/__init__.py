@@ -5,8 +5,17 @@ cross-run cache on disk: identical grid points simulate once, ever.
 See :mod:`repro.store.result_store` for the durability contract and
 :mod:`repro.store.runtime` for how the engine and worker processes
 find the active store.
+
+:mod:`repro.store.ledger` adds the columnar sweep ledger — sealed,
+checksummed segments (:mod:`repro.store.segment`) that make whole
+sweeps durable, corruption-recoverable and incrementally re-runnable.
 """
 
+from repro.store.ledger import (
+    DEFAULT_SEGMENT_ENTRIES,
+    LedgerDiff,
+    SweepLedger,
+)
 from repro.store.records import decode_result_pair, encode_result_pair
 from repro.store.result_store import SCHEMA_VERSION, ResultStore, payload_checksum
 from repro.store.runtime import (
@@ -19,11 +28,19 @@ from repro.store.runtime import (
     record,
     store_key,
 )
+from repro.store.segment import Segment, SegmentInfo, encode_segment, write_segment
 
 __all__ = [
+    "DEFAULT_SEGMENT_ENTRIES",
+    "LedgerDiff",
     "SCHEMA_VERSION",
     "STORE_ENV_VAR",
     "ResultStore",
+    "Segment",
+    "SegmentInfo",
+    "SweepLedger",
+    "encode_segment",
+    "write_segment",
     "active",
     "configure",
     "deactivate",

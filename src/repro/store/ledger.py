@@ -1,0 +1,837 @@
+"""Crash-safe columnar sweep ledger with incremental re-sweep.
+
+The checkpoint journal (:mod:`repro.robust.checkpoint`) made sweeps
+resumable; this module makes their results *durable at scale*.  A
+:class:`SweepLedger` is a drop-in journal for
+:func:`repro.robust.executor.execute_grid` — same ``key`` / ``get`` /
+``completed`` / ``record`` protocol, same :func:`~repro.robust
+.checkpoint.point_key` content hash — that batches completed grid
+points into sealed, checksummed columnar segments
+(:mod:`repro.store.segment`) instead of keeping everything as one
+ever-growing JSONL file.
+
+Layout (one directory per ledger)::
+
+    <root>/
+      manifest.wal            append-only JSONL WAL of seals/quarantines
+      active.jsonl            fsynced journal of not-yet-sealed entries
+      lock                    flock target serializing writers
+      segments/seg-NNNNNN.seg sealed columnar segments
+      corrupt/                quarantined segments (evidence preserved)
+
+Durability contract
+-------------------
+* **Fsynced record.**  :meth:`~SweepLedger.record` appends the entry to
+  ``active.jsonl`` and fsyncs before returning — a ``kill -9`` one
+  instruction later cannot lose the point.  ``active.jsonl`` uses the
+  checkpoint journal's exact line format, so it *is* the existing JSONL
+  journal, scoped to the unsealed tail.
+* **Atomic seal.**  Every ``segment_entries`` records, the buffer is
+  sealed: the segment publishes via temp file + fsync + ``os.replace``
+  (under ``flock``), the manifest WAL is appended and fsynced, and only
+  then is ``active.jsonl`` truncated.  A crash at *any* instant leaves
+  every entry either in the fsynced active journal, in a complete
+  sealed segment, or (harmlessly) in both — recovery dedups by key.
+* **Self-verifying segments.**  Each segment carries a SHA-256 over its
+  entire payload.  ``open()`` verifies every segment; a torn,
+  truncated or bit-flipped one is quarantined to ``corrupt/`` and its
+  grid points simply drop out of the completed set — the executor
+  re-simulates exactly them, transparently.
+* **Graceful degradation.**  ``ENOSPC``/``EDQUOT``/``EIO`` while
+  sealing flips the ledger to *journal-only* mode: entries keep landing
+  in the fsynced ``active.jsonl`` and the sweep completes; the
+  ``ledger.degraded`` gauge and :meth:`status` surface the condition.
+  If even the journal append fails, the ledger degrades once more to
+  memory-only and the sweep still completes.
+
+Incremental re-sweep
+--------------------
+Entries are keyed by the SHA-256 of their full parameter dict plus the
+package version (:func:`~repro.robust.checkpoint.point_key`), so a
+re-opened ledger knows exactly which points of a requested grid are
+already priced under the current code: :meth:`~SweepLedger.diff_grid`
+partitions a grid into reused and pending points, and passing the
+ledger to ``run_sweep(ledger=..., incremental=True)`` (CLI: ``repro
+sweep --ledger ... --incremental`` or ``repro resweep``) simulates only
+the new / invalidated / quarantined points.  Changing an axis value or
+upgrading the package changes the key, which invalidates exactly the
+affected points.
+
+Reads are cheap: sealed segments are memory-mapped and column queries
+(:meth:`numeric_column`, :meth:`pareto`, :meth:`group_by`) slice
+zero-copy numpy views per segment, which is what lets ``repro stats``
+and :func:`repro.analytical.search.pareto_front` chew through large
+ledgers without materializing rows.
+
+Observability: ``ledger.entries`` / ``ledger.rows`` / ``ledger.sealed``
+/ ``ledger.reused`` / ``ledger.quarantined`` / ``ledger.recovered`` /
+``ledger.errors`` counters and the ``ledger.degraded`` gauge mirror
+into :mod:`repro.obs.metrics`; local counts are always in
+:meth:`SweepLedger.status`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import re
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+try:  # pragma: no cover - fcntl is stdlib on POSIX, absent on Windows
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+from repro.errors import LedgerCorruptionError, StorageError, StoreCorruptionError
+from repro.obs import metrics
+from repro.robust.checkpoint import parse_journal_lines, point_key
+from repro.store.segment import Segment, encode_segment
+from repro.utils.atomicio import atomic_write_bytes, fsync_directory
+
+logger = logging.getLogger("repro.store.ledger")
+
+#: Entries buffered in ``active.jsonl`` before sealing a segment.
+DEFAULT_SEGMENT_ENTRIES = 256
+
+#: Test-only fault hook: when this environment variable names one of
+#: the publish pipeline's crash points (``after-record``,
+#: ``before-segment-publish``, ``mid-segment-publish``,
+#: ``after-segment-before-manifest``, ``after-manifest-before-
+#: truncate``), the process dies with ``os._exit(137)`` at that point —
+#: ``mid-segment-publish`` first plants a torn half-written segment at
+#: the final path, simulating a filesystem that lost the tail.  The
+#: crash-drill tests and ``examples/ledger_smoke.py`` drive recovery
+#: through every one of these.
+CRASH_POINT_ENV = "REPRO_LEDGER_CRASH_POINT"
+
+MODE_COLUMNAR = "columnar"
+MODE_JOURNAL = "journal-only"
+MODE_MEMORY = "memory-only"
+_MODES = (MODE_COLUMNAR, MODE_JOURNAL, MODE_MEMORY)
+
+_SEGMENT_NAME = re.compile(r"seg-(\d+)\.seg")
+
+_AGGREGATES = {
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "mean": lambda values: sum(values) / len(values),
+    "count": len,
+}
+
+
+def _package_version() -> str:
+    from repro._version import __version__
+
+    return __version__
+
+
+class _SegmentEntry:
+    """Lazy reference to one entry living in a sealed segment."""
+
+    __slots__ = ("segment", "meta")
+
+    def __init__(self, segment: Segment, meta: Dict):
+        self.segment = segment
+        self.meta = meta
+
+
+@dataclass(frozen=True)
+class LedgerDiff:
+    """A requested grid split against the ledger's completed set."""
+
+    reused: List[Dict] = field(default_factory=list)
+    pending: List[Dict] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.reused) + len(self.pending)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.reused)}/{self.total} point(s) reused from the "
+            f"ledger, {len(self.pending)} to simulate"
+        )
+
+
+class SweepLedger:
+    """Durable columnar sink for sweep results, rooted at a directory.
+
+    Satisfies the :class:`~repro.robust.checkpoint.PointJournal`
+    protocol, so any ``checkpoint=`` site (``execute_grid``,
+    ``run_sweep``, the supervised pool) accepts a ledger unchanged.
+    Thread-safe; concurrent processes sharing the root serialize seals
+    on ``flock`` and recover each other's crashes at open.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        version: Optional[str] = None,
+        segment_entries: int = DEFAULT_SEGMENT_ENTRIES,
+        writable: bool = True,
+    ):
+        if segment_entries < 1:
+            raise ValueError(f"segment_entries must be >= 1, got {segment_entries}")
+        self.root = Path(root)
+        self.version = version if version is not None else _package_version()
+        self.segment_entries = segment_entries
+        self.segments_dir = self.root / "segments"
+        self.corrupt_dir = self.root / "corrupt"
+        self.manifest_path = self.root / "manifest.wal"
+        self.active_path = self.root / "active.jsonl"
+        self.lock_path = self.root / "lock"
+        self._mutex = threading.RLock()
+        self._writable = writable
+        self._mode = MODE_COLUMNAR
+        self.degraded_reason: Optional[str] = None
+        self._counts = {
+            "entries": 0, "rows": 0, "sealed": 0, "reused": 0,
+            "quarantined": 0, "recovered": 0, "errors": 0,
+        }
+        self._entries: Dict[str, Union[Dict, _SegmentEntry]] = {}
+        self._active: List[Dict] = []
+        self._segments: Dict[str, Segment] = {}
+        self._next_segment = 0
+        if self.root.exists() and not self.root.is_dir():
+            raise StoreCorruptionError(f"ledger root {self.root} is not a directory")
+        if writable:
+            try:
+                self.segments_dir.mkdir(parents=True, exist_ok=True)
+                self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+                self.lock_path.touch(exist_ok=True)
+            except OSError as exc:
+                raise StoreCorruptionError(
+                    f"cannot initialize sweep ledger at {self.root}: {exc}"
+                ) from exc
+        self._recover()
+        #: Keys that were already durable when this process opened the
+        #: ledger — a ``get`` hit on one of them is a cross-run reuse.
+        self._loaded_keys = frozenset(self._entries)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _count(self, name: str, delta: int = 1) -> None:
+        with self._mutex:
+            self._counts[name] += delta
+        if metrics.enabled:
+            metrics.counter(f"ledger.{name}").add(delta)
+
+    @contextmanager
+    def _flock(self) -> Iterator[None]:
+        """Serialize writers across processes (best effort without fcntl)."""
+        if fcntl is None or not self._writable:
+            yield
+            return
+        try:
+            handle = self.lock_path.open("a")
+        except OSError:
+            yield
+            return
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            finally:
+                handle.close()
+
+    def _maybe_crash(
+        self, point: str, torn: Optional[Tuple[Path, bytes]] = None
+    ) -> None:
+        """Die mid-pipeline when the crash-drill env hook names ``point``."""
+        if os.environ.get(CRASH_POINT_ENV) != point:
+            return
+        if torn is not None:
+            path, payload = torn
+            try:
+                with open(path, "wb") as handle:
+                    handle.write(payload[: max(1, len(payload) // 2)])
+            except OSError:  # pragma: no cover - the drill still crashes
+                pass
+        os._exit(137)
+
+    def _degrade(self, mode: str, reason: str) -> None:
+        """Step down the durability ladder; the sweep always completes."""
+        self._count("errors")
+        if _MODES.index(mode) <= _MODES.index(self._mode):
+            return
+        self._mode = mode
+        self.degraded_reason = reason
+        if metrics.enabled:
+            metrics.gauge("ledger.degraded").set(_MODES.index(mode))
+        logger.warning(
+            "sweep ledger %s degraded to %s mode: %s", self.root, mode, reason
+        )
+
+    def _note_segment_name(self, name: str) -> None:
+        match = _SEGMENT_NAME.fullmatch(name)
+        if match:
+            self._next_segment = max(self._next_segment, int(match.group(1)) + 1)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _manifest_segments(self) -> Dict[str, str]:
+        """Latest manifest op per segment name, tolerating a torn tail."""
+        ops: Dict[str, str] = {}
+        try:
+            text = self.manifest_path.read_text(encoding="utf-8")
+        except OSError:
+            return ops
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # crash mid-append truncated this line
+            if isinstance(entry, dict) and isinstance(entry.get("segment"), str):
+                ops[entry["segment"]] = str(entry.get("op", ""))
+        return ops
+
+    def _append_manifest(self, entry: Dict) -> None:
+        entry = {**entry, "pid": os.getpid()}
+        with self.manifest_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _recover(self) -> None:
+        """Repair after a crash; safe (and run) at every open.
+
+        Orphaned temp files are dropped, every sealed segment is
+        checksum-verified (corrupt ones quarantined — their points fall
+        out of the completed set and re-simulate), segments that
+        published but died before their WAL append are re-journalled,
+        and the unsealed ``active.jsonl`` tail is re-buffered with
+        already-sealed duplicates dropped.
+        """
+        repairs = {"orphan_tmp": 0, "rejournaled": 0, "quarantined": 0}
+        with self._flock():
+            if self._writable and self.segments_dir.is_dir():
+                # Live writers hold the flock while their temp file
+                # exists, so anything visible here is a crash orphan.
+                for tmp in self.segments_dir.glob(".*.tmp"):
+                    try:
+                        tmp.unlink()
+                        repairs["orphan_tmp"] += 1
+                    except OSError:  # pragma: no cover - raced another opener
+                        pass
+            if self.corrupt_dir.is_dir():
+                for path in self.corrupt_dir.iterdir():
+                    self._note_segment_name(path.name.split(".seg")[0] + ".seg")
+            journalled = self._manifest_segments()
+            if self.segments_dir.is_dir():
+                for path in sorted(self.segments_dir.glob("seg-*.seg")):
+                    self._note_segment_name(path.name)
+                    try:
+                        segment = Segment(path)
+                    except LedgerCorruptionError as exc:
+                        self._quarantine_locked(path, str(exc))
+                        repairs["quarantined"] += 1
+                        continue
+                    self._segments[path.name] = segment
+                    for meta in segment.entry_metas():
+                        self._entries[meta["key"]] = _SegmentEntry(segment, meta)
+                    if self._writable and journalled.get(path.name) != "seal":
+                        try:
+                            self._append_manifest({
+                                "op": "seal", "segment": path.name,
+                                "sha256": segment.sha256, "recovered": True,
+                            })
+                            repairs["rejournaled"] += 1
+                        except OSError as exc:
+                            self._degrade(
+                                MODE_JOURNAL, f"manifest recovery failed: {exc}"
+                            )
+        self._load_active()
+        total = sum(repairs.values())
+        if total:
+            self._count("recovered", total)
+            logger.info(
+                "ledger recovery at %s: %d orphan temp file(s), "
+                "%d segment(s) re-journalled, %d quarantined",
+                self.root, repairs["orphan_tmp"],
+                repairs["rejournaled"], repairs["quarantined"],
+            )
+
+    def _load_active(self) -> None:
+        """Re-buffer the unsealed tail, dropping already-sealed copies."""
+        try:
+            text = self.active_path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            logger.warning("cannot read %s: %s", self.active_path, exc)
+            return
+        for entry in parse_journal_lines(text, self.active_path, logger):
+            sealed = self._entries.get(entry["key"])
+            if isinstance(sealed, _SegmentEntry):
+                # A crash between the manifest append and the active-
+                # journal truncate leaves sealed entries behind in the
+                # tail; the sealed copy is durable, skip the duplicate.
+                if self._same_entry(sealed, entry):
+                    continue
+            self._entries[entry["key"]] = entry
+            self._active.append(entry)
+
+    @staticmethod
+    def _same_entry(sealed: _SegmentEntry, entry: Dict) -> bool:
+        try:
+            return sealed.segment.entry(sealed.meta) == entry
+        except Exception:  # pragma: no cover - defensive: prefer re-seal
+            return False
+
+    def _quarantine_locked(self, path: Path, reason: str) -> Optional[Path]:
+        """Move a corrupt segment into ``corrupt/``; never raises."""
+        destination: Optional[Path] = None
+        for attempt in range(100):
+            candidate = self.corrupt_dir / f"{path.name}.{attempt}"
+            if not candidate.exists():
+                destination = candidate
+                break
+        if not self._writable:
+            logger.warning(
+                "corrupt ledger segment %s (%s); read-only open, "
+                "skipping it", path.name, reason,
+            )
+            self._count("quarantined")
+            return None
+        try:
+            self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+            if destination is None:
+                raise OSError("quarantine namespace exhausted")
+            os.replace(path, destination)
+        except OSError:
+            destination = None
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._count("quarantined")
+        if metrics.enabled:
+            metrics.counter("ledger.corrupt_detected").add()
+        logger.warning(
+            "quarantined corrupt ledger segment %s (%s)%s; its points "
+            "will be re-simulated",
+            path.name, reason,
+            f" -> {destination}" if destination else "",
+        )
+        try:
+            self._append_manifest(
+                {"op": "quarantine", "segment": path.name, "reason": reason}
+            )
+        except OSError as exc:
+            self._degrade(MODE_JOURNAL, f"manifest append failed: {exc}")
+        return destination
+
+    # ------------------------------------------------------------------
+    # PointJournal protocol (checkpoint-compatible)
+    # ------------------------------------------------------------------
+    def key(self, params: Dict) -> str:
+        return point_key(params, self.version)
+
+    def _materialize(self, key: str) -> Optional[Dict]:
+        entry = self._entries.get(key)
+        if isinstance(entry, _SegmentEntry):
+            entry = entry.segment.entry(entry.meta)
+            self._entries[key] = entry
+        return entry
+
+    def get(self, params: Dict) -> Optional[Dict]:
+        """The ledger entry for ``params``, or ``None`` if never recorded."""
+        key = self.key(params)
+        with self._mutex:
+            entry = self._materialize(key)
+        if entry is not None and key in self._loaded_keys:
+            self._count("reused")
+        return entry
+
+    def completed(self, params: Dict) -> bool:
+        """True when ``params`` already finished successfully (status ok)."""
+        entry = self._entries.get(self.key(params))
+        if entry is None:
+            return False
+        status = (
+            entry.meta.get("status")
+            if isinstance(entry, _SegmentEntry)
+            else entry.get("status")
+        )
+        return status == "ok"
+
+    @property
+    def completed_count(self) -> int:
+        count = 0
+        for entry in self._entries.values():
+            status = (
+                entry.meta.get("status")
+                if isinstance(entry, _SegmentEntry)
+                else entry.get("status")
+            )
+            count += status == "ok"
+        return count
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Dict]:
+        for key in list(self._entries):
+            entry = self._materialize(key)
+            if entry is not None:
+                yield entry
+
+    def record(
+        self,
+        params: Dict,
+        status: str,
+        rows: Optional[List[Dict]] = None,
+        attempts: int = 1,
+        duration: float = 0.0,
+        error: Optional[str] = None,
+    ) -> Dict:
+        """Durably journal one finished point (successful or exhausted).
+
+        The entry is fsynced into ``active.jsonl`` before this returns;
+        every ``segment_entries`` records the buffer seals into a
+        columnar segment.  Storage failures degrade the ledger instead
+        of failing the sweep.
+        """
+        if not self._writable:
+            raise StoreCorruptionError(
+                f"sweep ledger {self.root} was opened read-only"
+            )
+        entry = {
+            "key": self.key(params),
+            "version": self.version,
+            "params": params,
+            "status": status,
+            "rows": rows if rows is not None else [],
+            "attempts": attempts,
+            "duration": duration,
+            "error": error,
+        }
+        with self._mutex:
+            self._append_active(entry)
+            self._entries[entry["key"]] = entry
+            self._active.append(entry)
+            self._count("entries")
+            self._count("rows", len(entry["rows"]))
+            if self._mode == MODE_COLUMNAR and len(self._active) >= self.segment_entries:
+                self._seal_locked()
+        return entry
+
+    def _append_active(self, entry: Dict) -> None:
+        if self._mode == MODE_MEMORY:
+            return
+        # No sort_keys, same as the checkpoint journal: row dicts must
+        # round-trip with their column order intact.
+        line = json.dumps(entry, default=repr)
+        try:
+            with self.active_path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            self._degrade(MODE_MEMORY, f"active journal append failed: {exc}")
+        self._maybe_crash("after-record")
+
+    # ------------------------------------------------------------------
+    # Sealing
+    # ------------------------------------------------------------------
+    def flush(self) -> Optional[str]:
+        """Seal any buffered entries into a (possibly short) segment.
+
+        Returns the new segment's name, or ``None`` when there was
+        nothing to seal or the ledger is degraded past columnar mode
+        (the entries stay durable in ``active.jsonl`` either way).
+        """
+        with self._mutex:
+            return self._seal_locked()
+
+    def _seal_locked(self) -> Optional[str]:
+        if not self._active or self._mode != MODE_COLUMNAR or not self._writable:
+            return None
+        name = f"seg-{self._next_segment:06d}.seg"
+        path = self.segments_dir / name
+        entries = len(self._active)
+        rows = sum(len(entry.get("rows") or []) for entry in self._active)
+        try:
+            payload = encode_segment(self._active, version=self.version)
+            self._maybe_crash("before-segment-publish")
+            self._maybe_crash("mid-segment-publish", torn=(path, payload))
+            with self._flock():
+                atomic_write_bytes(path, payload)
+                fsync_directory(self.segments_dir)
+                self._maybe_crash("after-segment-before-manifest")
+                self._append_manifest({
+                    "op": "seal",
+                    "segment": name,
+                    "sha256": hashlib.sha256(payload).hexdigest(),
+                    "entries": entries,
+                    "rows": rows,
+                })
+            self._maybe_crash("after-manifest-before-truncate")
+        except (StorageError, OSError) as exc:
+            self._degrade(MODE_JOURNAL, f"segment publish failed: {exc}")
+            return None
+        self._next_segment += 1
+        self._count("sealed")
+        try:
+            self._segments[name] = Segment(path)
+        except LedgerCorruptionError as exc:  # pragma: no cover - just sealed
+            logger.warning("freshly sealed segment %s unreadable: %s", name, exc)
+        self._active = []
+        self._truncate_active()
+        return name
+
+    def _truncate_active(self) -> None:
+        try:
+            with self.active_path.open("w", encoding="utf-8") as handle:
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            # Benign: the sealed copies dedup the stale tail at the
+            # next open.  Don't degrade a ledger that just sealed fine.
+            logger.warning("cannot truncate %s: %s", self.active_path, exc)
+
+    def close(self) -> None:
+        """Seal the buffered tail (writable ledgers) and unmap segments."""
+        with self._mutex:
+            if self._writable:
+                self._seal_locked()
+            for segment in self._segments.values():
+                segment.close()
+            self._segments = {}
+            # Drop lazy refs into the now-closed mmaps.
+            self._entries = {
+                key: entry
+                for key, entry in self._entries.items()
+                if not isinstance(entry, _SegmentEntry)
+            }
+
+    def __enter__(self) -> "SweepLedger":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Incremental re-sweep
+    # ------------------------------------------------------------------
+    def diff_grid(self, points: Sequence[Dict]) -> LedgerDiff:
+        """Split a requested grid into reused and to-simulate points.
+
+        A point is *reused* when its content key (params + version) is
+        already completed here; everything else — brand-new points,
+        points whose parameters or package version changed, and points
+        lost to a quarantined segment — is *pending*.
+        """
+        diff = LedgerDiff()
+        for params in points:
+            (diff.reused if self.completed(params) else diff.pending).append(params)
+        return diff
+
+    # ------------------------------------------------------------------
+    # Column queries (zero-copy over sealed segments)
+    # ------------------------------------------------------------------
+    def _layout(
+        self, statuses: Tuple[str, ...]
+    ) -> List[Tuple[Optional[Segment], object, Optional[Dict]]]:
+        """Chunks covering every live row: per-segment index arrays for
+        sealed entries (sliced zero-copy) and raw row lists for the
+        unsealed tail, in stable entry order."""
+        chunks: List[Tuple[Optional[Segment], object, Optional[Dict]]] = []
+        for entry in self._entries.values():
+            if isinstance(entry, _SegmentEntry):
+                meta = entry.meta
+                if meta.get("status") not in statuses:
+                    continue
+                count = len(meta.get("row_schema_ids") or ())
+                if count:
+                    start = meta["row_start"]
+                    chunks.append(
+                        (entry.segment, np.arange(start, start + count), meta)
+                    )
+            else:
+                if entry.get("status") not in statuses:
+                    continue
+                rows = entry.get("rows") or []
+                if rows:
+                    chunks.append((None, rows, None))
+        return chunks
+
+    @staticmethod
+    def _as_float(value: object) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return float("nan")
+        return float(value)
+
+    def rows(self, statuses: Tuple[str, ...] = ("ok",)) -> List[Dict]:
+        """Materialized result rows, aligned with the column queries."""
+        out: List[Dict] = []
+        for segment, selection, meta in self._layout(statuses):
+            if segment is None:
+                out.extend(selection)  # type: ignore[arg-type]
+            else:
+                start = meta["row_start"]
+                for offset, schema_id in enumerate(meta["row_schema_ids"]):
+                    out.append(segment.row(start + offset, schema_id))
+        return out
+
+    def numeric_column(
+        self, name: str, statuses: Tuple[str, ...] = ("ok",)
+    ) -> np.ndarray:
+        """One column as float64, NaN where a row lacks it.
+
+        Sealed segments contribute via zero-copy mmap views
+        (:meth:`repro.store.segment.Segment.column`) sliced per entry;
+        only the unsealed tail is assembled row by row.
+        """
+        parts: List[np.ndarray] = []
+        for segment, selection, _meta in self._layout(statuses):
+            if segment is None:
+                parts.append(
+                    np.array(
+                        [self._as_float(row.get(name)) for row in selection],
+                        dtype="<f8",
+                    )
+                )
+            elif segment.has_column(name) and segment.dtype(name) in ("i8", "f8"):
+                view = segment.column(name)[selection]
+                present = segment.presence(name)[selection]
+                values = view.astype("<f8")
+                values[~present] = np.nan
+                parts.append(values)
+            else:
+                cells = (
+                    segment.values(name) if segment.has_column(name) else None
+                )
+                parts.append(
+                    np.array(
+                        [
+                            self._as_float(cells[i]) if cells else float("nan")
+                            for i in selection
+                        ],
+                        dtype="<f8",
+                    )
+                )
+        if not parts:
+            return np.zeros(0, dtype="<f8")
+        return np.concatenate(parts)
+
+    def values_column(
+        self, name: str, statuses: Tuple[str, ...] = ("ok",)
+    ) -> List[object]:
+        """One column as python objects, ``None`` where a row lacks it."""
+        out: List[object] = []
+        for segment, selection, _meta in self._layout(statuses):
+            if segment is None:
+                out.extend(row.get(name) for row in selection)
+            elif segment.has_column(name):
+                cells = segment.values(name)
+                present = segment.presence(name)
+                out.extend(
+                    cells[i] if present[i] else None for i in selection
+                )
+            else:
+                out.extend(None for _ in selection)
+        return out
+
+    def pareto(
+        self,
+        minimize: Sequence[str] = (),
+        maximize: Sequence[str] = (),
+        statuses: Tuple[str, ...] = ("ok",),
+    ) -> List[Dict]:
+        """Rows on the pareto front of the named objective columns."""
+        from repro.analytical.search import pareto_front
+
+        names = list(minimize) + list(maximize)
+        if not names:
+            raise ValueError("pareto needs at least one objective column")
+        columns = [self.numeric_column(name, statuses) for name in minimize]
+        columns += [-self.numeric_column(name, statuses) for name in maximize]
+        matrix = np.column_stack(columns) if columns else np.zeros((0, 0))
+        if matrix.shape[0] == 0:
+            return []
+        valid = ~np.isnan(matrix).any(axis=1)
+        candidates = np.nonzero(valid)[0]
+        if candidates.size == 0:
+            return []
+        front = pareto_front(matrix[candidates])
+        chosen = set(int(candidates[i]) for i in front)
+        rows = self.rows(statuses)
+        return [row for index, row in enumerate(rows) if index in chosen]
+
+    def group_by(
+        self,
+        key: str,
+        value: str,
+        agg: str = "min",
+        statuses: Tuple[str, ...] = ("ok",),
+    ) -> Dict:
+        """Aggregate ``value`` per distinct ``key`` (min/max/mean/sum/count)."""
+        if agg not in _AGGREGATES:
+            raise ValueError(
+                f"unknown aggregate {agg!r}; pick one of {sorted(_AGGREGATES)}"
+            )
+        keys = self.values_column(key, statuses)
+        values = self.numeric_column(value, statuses)
+        groups: Dict[object, List[float]] = {}
+        for group, cell in zip(keys, values):
+            if group is None or np.isnan(cell):
+                continue
+            groups.setdefault(group, []).append(float(cell))
+        reduce = _AGGREGATES[agg]
+        return {group: reduce(cells) for group, cells in groups.items()}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def writable(self) -> bool:
+        return self._writable
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    def segments(self) -> List[Path]:
+        if not self.segments_dir.is_dir():
+            return []
+        return sorted(self.segments_dir.glob("seg-*.seg"))
+
+    def quarantined(self) -> List[Path]:
+        if not self.corrupt_dir.is_dir():
+            return []
+        return sorted(p for p in self.corrupt_dir.iterdir() if p.is_file())
+
+    def status(self) -> Dict:
+        """Health snapshot for the CLI, ``/health`` and tests."""
+        with self._mutex:
+            counts = dict(self._counts)
+            pending = len(self._active)
+        return {
+            "root": str(self.root),
+            "version": self.version,
+            "mode": self._mode,
+            "degraded_reason": self.degraded_reason,
+            "entries": len(self._entries),
+            "completed": self.completed_count,
+            "segments": len(self.segments()),
+            "corrupt": len(self.quarantined()),
+            "pending": pending,
+            "counters": counts,
+        }

@@ -26,30 +26,74 @@ re-executing them.  :func:`run_sweep_report` additionally returns the
 from __future__ import annotations
 
 import csv
+import io
 import itertools
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.errors import SweepError
 from repro.obs.progress import ProgressSnapshot
 from repro.robust.checkpoint import CheckpointStore
 from repro.robust.executor import execute_grid
 from repro.robust.policy import ExecutionPolicy
 from repro.robust.report import RunReport
 from repro.robust.supervisor import SupervisorPolicy
+from repro.utils.atomicio import atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover - hint-only import
+    from repro.store.ledger import SweepLedger
 
 
 def grid_points(**grid: Sequence) -> List[Dict]:
-    """The cartesian product of the grid axes, in keyword order."""
+    """The cartesian product of the grid axes, in keyword order.
+
+    Every axis must be a non-empty sized collection of values; a
+    missing, empty or non-sequence axis (including a bare string, which
+    would silently sweep per *character*) raises a typed
+    :class:`~repro.errors.SweepError` naming the offending key instead
+    of producing an empty or nonsensical sweep.
+    """
     if not grid:
-        raise ValueError("sweep needs at least one parameter axis")
+        raise SweepError("sweep needs at least one parameter axis")
     for name, values in grid.items():
-        if not values:
-            raise ValueError(f"axis {name!r} is empty")
+        if isinstance(values, (str, bytes)) or not hasattr(values, "__len__"):
+            raise SweepError(
+                f"axis {name!r} must be a sequence of values, got "
+                f"{type(values).__name__} ({values!r})"
+            )
+        if len(values) == 0:
+            raise SweepError(f"axis {name!r} is empty")
     axes = list(grid.items())
     return [
         {name: value for (name, _), value in zip(axes, point)}
         for point in itertools.product(*(values for _, values in axes))
     ]
+
+
+class _FreshLedgerView:
+    """A ledger as a write-only journal: records land, nothing replays.
+
+    ``run_sweep(ledger=...)`` without ``incremental=True`` must
+    re-simulate every point (refreshing the ledger's entries) while
+    still sinking results durably — so this view hides the completed
+    set from the executor's replay path but forwards every write.
+    """
+
+    def __init__(self, ledger: "SweepLedger"):
+        self.ledger = ledger
+        self.version = ledger.version
+
+    def key(self, params: Dict) -> str:
+        return self.ledger.key(params)
+
+    def get(self, params: Dict) -> Optional[Dict]:
+        return None
+
+    def completed(self, params: Dict) -> bool:
+        return False
+
+    def record(self, params: Dict, status: str, **kwargs) -> Dict:
+        return self.ledger.record(params, status, **kwargs)
 
 
 class _CheckedCallable:
@@ -91,6 +135,8 @@ def run_sweep_report(
     top_k: Optional[int] = None,
     prune_band: Optional[float] = None,
     exact: bool = False,
+    ledger: Optional[Union[str, Path, "SweepLedger"]] = None,
+    incremental: bool = False,
     **grid: Sequence,
 ) -> Tuple[List[Dict], RunReport]:
     """Like :func:`run_sweep` but also returns the per-point report.
@@ -124,78 +170,65 @@ def run_sweep_report(
     journals and resume schema-compatible.  ``exact=True`` is the
     escape hatch: the estimator is ignored and every point simulates
     byte-identically to a sweep without one.
+
+    ``ledger`` sinks every completed point into a crash-safe columnar
+    :class:`~repro.store.ledger.SweepLedger` (a path opens one) instead
+    of a JSONL checkpoint; with ``incremental=True`` the requested grid
+    is diffed against the ledger first and only new / invalidated /
+    quarantined points simulate — everything already completed under
+    the current parameters and package version replays from the
+    ledger's mmap'd segments.  ``ledger`` and ``checkpoint`` are
+    mutually exclusive (the ledger *is* the journal).
     """
     points = grid_points(**grid)
     if policy is None:
         policy = ExecutionPolicy(mode="collect" if skip_errors else "fail_fast")
     elif skip_errors and policy.mode != "collect":
         raise ValueError("skip_errors=True conflicts with a fail_fast policy")
+    if ledger is not None and checkpoint is not None:
+        raise ValueError("pass either checkpoint or ledger, not both")
+    if incremental and ledger is None:
+        raise ValueError("incremental=True needs a ledger to re-sweep against")
     if isinstance(checkpoint, (str, Path)):
         checkpoint = CheckpointStore(checkpoint)
-    estimates = None
-    if estimator is not None and not exact:
-        estimates = _plan_estimates(estimator, points, top_k, prune_band)
-    elif top_k is not None or prune_band is not None:
-        if estimator is None and not exact:
-            raise ValueError("top_k/prune_band need an estimator to prune with")
-    report = execute_grid(
-        _checked(fn),
-        points,
-        policy=policy,
-        checkpoint=checkpoint,
-        on_progress=on_progress,
-        workers=workers,
-        supervisor=supervisor,
-        estimates=estimates,
-    )
-    return report.rows(), report
+    owned_ledger = None
+    if ledger is not None and not hasattr(ledger, "diff_grid"):
+        from repro.store.ledger import SweepLedger
 
+        ledger = owned_ledger = SweepLedger(ledger)
+    if ledger is not None:
+        journal = ledger if incremental else _FreshLedgerView(ledger)
+    else:
+        journal = checkpoint
+    try:
+        estimates = None
+        if estimator is not None and not exact:
+            from repro.perf.compiler import plan_estimates
 
-def _plan_estimates(
-    estimator: Callable[..., Tuple[Dict, float]],
-    points: Sequence[Dict],
-    top_k: Optional[int],
-    prune_band: Optional[float],
-) -> List[Optional[List[Dict]]]:
-    """Score every point analytically and keep only the frontier exact.
-
-    Returns the ``estimates`` sequence :func:`~repro.robust.executor
-    .execute_grid` consumes: ``None`` for frontier points (simulate),
-    param-prefixed ``estimated`` rows for the pruned rest.
-    """
-    from repro.obs import metrics
-    from repro.perf.compiler import (
-        DEFAULT_PRUNE_BAND,
-        DEFAULT_TOP_K,
-        frontier_indices,
-    )
-
-    scored: List[Tuple[Dict, float]] = []
-    for params in points:
-        row, score = estimator(**params)
-        overlap = set(params) & set(row)
-        if overlap:
-            raise ValueError(
-                f"estimator keys {sorted(overlap)} collide with parameter names"
+            estimates = plan_estimates(
+                estimator, points, top_k, prune_band, journal=journal
             )
-        scored.append((row, float(score)))
-    frontier = set(
-        frontier_indices(
-            [score for _, score in scored],
-            top_k=DEFAULT_TOP_K if top_k is None else top_k,
-            prune_band=DEFAULT_PRUNE_BAND if prune_band is None else prune_band,
+        elif top_k is not None or prune_band is not None:
+            if estimator is None and not exact:
+                raise ValueError("top_k/prune_band need an estimator to prune with")
+        report = execute_grid(
+            _checked(fn),
+            points,
+            policy=policy,
+            checkpoint=journal,
+            on_progress=on_progress,
+            workers=workers,
+            supervisor=supervisor,
+            estimates=estimates,
         )
-    )
-    estimates: List[Optional[List[Dict]]] = []
-    for index, (params, (row, _)) in enumerate(zip(points, scored)):
-        if index in frontier:
-            estimates.append(None)
-        else:
-            estimates.append([{**params, "status": "estimated", **row}])
-    metrics.counter("perf.compiler.points").add(len(points))
-    metrics.counter("perf.compiler.simulated").add(len(frontier))
-    metrics.counter("perf.compiler.pruned").add(len(points) - len(frontier))
-    return estimates
+        return report.rows(), report
+    finally:
+        if ledger is not None:
+            # Seal the tail so results are columnar on disk, not just
+            # journalled; entries are already fsync-durable either way.
+            ledger.flush()
+        if owned_ledger is not None:
+            owned_ledger.close()
 
 
 def run_sweep(
@@ -209,6 +242,8 @@ def run_sweep(
     top_k: Optional[int] = None,
     prune_band: Optional[float] = None,
     exact: bool = False,
+    ledger: Optional[Union[str, Path, "SweepLedger"]] = None,
+    incremental: bool = False,
     **grid: Sequence,
 ) -> List[Dict]:
     """Evaluate ``fn`` over the cartesian product of the ``grid`` axes.
@@ -218,8 +253,9 @@ def run_sweep(
     contributes one row with ``status`` and ``error`` columns instead of
     aborting the sweep.  ``policy`` and ``checkpoint`` opt in to the
     fault-tolerant machinery (retries, timeouts, resumable journals),
-    ``workers`` to multiprocess execution, and ``estimator`` /
-    ``top_k`` / ``prune_band`` / ``exact`` to analytical pruning — see
+    ``workers`` to multiprocess execution, ``estimator`` / ``top_k`` /
+    ``prune_band`` / ``exact`` to analytical pruning, and ``ledger`` /
+    ``incremental`` to the crash-safe columnar sweep ledger — see
     :func:`run_sweep_report` for the full contract and the per-point
     accounting.
     """
@@ -234,17 +270,23 @@ def run_sweep(
         top_k=top_k,
         prune_band=prune_band,
         exact=exact,
+        ledger=ledger,
+        incremental=incremental,
         **grid,
     )
     return rows
 
 
 def sweep_to_csv(rows: Sequence[Dict], path: Union[str, Path]) -> Path:
-    """Write sweep rows to a CSV; the header is the union of all keys.
+    """Atomically write sweep rows to a CSV; the header is the union of
+    all keys.
 
     Rows missing some header keys (e.g. error rows without measurement
     columns) are backfilled with empty cells, so the file always has a
-    rectangular, consistent schema.
+    rectangular, consistent schema.  The file is rendered in memory and
+    published via :func:`repro.utils.atomicio.atomic_write_text` (temp
+    file + fsync + rename), so a crash mid-export can never leave a
+    truncated CSV next to a complete journal.
     """
     if not rows:
         raise ValueError("no rows to write")
@@ -253,12 +295,11 @@ def sweep_to_csv(rows: Sequence[Dict], path: Union[str, Path]) -> Path:
         for key in row:
             if key not in header:
                 header.append(key)
-    path = Path(path)
-    with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=header, restval="")
-        writer.writeheader()
-        writer.writerows(rows)
-    return path
+    buffer = io.StringIO(newline="")
+    writer = csv.DictWriter(buffer, fieldnames=header, restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+    return atomic_write_text(Path(path), buffer.getvalue())
 
 
 def pivot(
@@ -276,3 +317,32 @@ def pivot(
     if not table:
         raise ValueError(f"no rows carry all of {index!r}, {column!r}, {value!r}")
     return table
+
+
+def pivot_to_csv(
+    table: Dict,
+    path: Union[str, Path],
+    index_name: str = "index",
+) -> Path:
+    """Atomically export a :func:`pivot` table as a CSV.
+
+    Column order is first-seen across the table's rows; missing cells
+    are left empty.  Publishes through
+    :func:`repro.utils.atomicio.atomic_write_text`, same crash contract
+    as :func:`sweep_to_csv`.
+    """
+    if not table:
+        raise ValueError("no pivot table to write")
+    columns: List = []
+    for cells in table.values():
+        for column in cells:
+            if column not in columns:
+                columns.append(column)
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow([index_name, *[str(column) for column in columns]])
+    for index_value, cells in table.items():
+        writer.writerow(
+            [index_value, *[cells.get(column, "") for column in columns]]
+        )
+    return atomic_write_text(Path(path), buffer.getvalue())

@@ -83,6 +83,38 @@ def atomic_write_text(path: Union[str, Path], text: str) -> Path:
     return path
 
 
+def atomic_write_bytes(path: Union[str, Path], payload: bytes) -> Path:
+    """Durably replace ``path``'s contents with binary ``payload``.
+
+    The binary twin of :func:`atomic_write_text`, used by the columnar
+    sweep ledger to publish struct-packed segments: same temp file +
+    fsync + ``os.replace`` dance, same all-or-nothing guarantee, same
+    :class:`~repro.errors.StorageError` containment of medium failures.
+    """
+    path = Path(path)
+    try:
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
+        )
+    except OSError as exc:
+        raise _storage_error("create temp file beside", path, exc) from exc
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException as failure:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        if isinstance(failure, OSError) and not isinstance(failure, StorageError):
+            raise _storage_error("write", path, failure) from failure
+        raise
+    return path
+
+
 def atomic_write_json(path: Union[str, Path], payload: object, indent: int = 2) -> Path:
     """Serialize ``payload`` as JSON and atomically write it to ``path``."""
     return atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

@@ -16,6 +16,7 @@ from repro.errors import (
     ExecutionError,
     InstrumentKindError,
     InvariantError,
+    LedgerCorruptionError,
     MappingError,
     PerfRegressionError,
     PointTimeoutError,
@@ -28,6 +29,7 @@ from repro.errors import (
     StorageError,
     StoreCorruptionError,
     SupervisorExhaustedError,
+    SweepError,
     SweepInterrupted,
     TopologyError,
     VerificationError,
@@ -213,6 +215,24 @@ def _raise_store_corruption_error():
         ResultStore(handle.name)
 
 
+def _raise_sweep_error():
+    from repro.sweep import grid_points
+
+    grid_points(macs=4096)  # scalar where a sequence axis is required
+
+
+def _raise_ledger_corruption_error():
+    import tempfile
+    from pathlib import Path
+
+    from repro.store.segment import Segment
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "torn.seg"
+        path.write_bytes(b"RSG1 half a segment")
+        Segment(path)
+
+
 def _raise_service_error():
     from repro.serve.jobs import normalize_request
 
@@ -277,8 +297,10 @@ DOCUMENTED_SITES = {
     ResilienceError: _raise_resilience_error,
     WorkerCrashError: _raise_worker_crash_error,
     SupervisorExhaustedError: _raise_supervisor_exhausted_error,
+    SweepError: _raise_sweep_error,
     SweepInterrupted: _raise_sweep_interrupted,
     StorageError: _raise_storage_error,
+    LedgerCorruptionError: _raise_ledger_corruption_error,
     StoreCorruptionError: _raise_store_corruption_error,
     ServiceError: _raise_service_error,
     ServiceUnavailableError: _raise_service_unavailable_error,

@@ -1,0 +1,198 @@
+"""The columnar segment codec: round-trips, zero-copy reads, corruption.
+
+A sealed segment must reconstruct its journal entries byte-identically
+(key order and all — the ledger's equivalence with the JSONL checkpoint
+rests on it), serve numeric columns as zero-copy views over the mmap,
+and refuse to parse when truncated, bit-flipped or mislabeled.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import LedgerCorruptionError
+from repro.store.segment import (
+    FORMAT_VERSION,
+    MAGIC,
+    Segment,
+    encode_segment,
+    write_segment,
+)
+
+
+def entry(index, rows, status="ok", **extra):
+    return {
+        "key": f"key-{index:04d}",
+        "version": "test",
+        "params": {"partitions": index},
+        "status": status,
+        "rows": rows,
+        "attempts": 1,
+        "duration": 0.0,
+        "error": None,
+        **extra,
+    }
+
+
+MIXED = [
+    entry(0, [{"partitions": 1, "cycles": 100, "avg_bw": 1.5, "array": "8x8"}]),
+    entry(1, [{"partitions": 4, "cycles": 90, "avg_bw": 2.5, "array": "4x4"},
+              {"partitions": 4, "cycles": 80, "avg_bw": 0.5, "array": "2x2"}]),
+    entry(2, [], status="failed", error="boom"),
+    entry(3, [{"partitions": 16, "cycles": 70, "flag": True,
+               "shape": [2, 8], "note": None}]),
+]
+
+
+@pytest.fixture
+def segment(tmp_path):
+    write_segment(tmp_path / "s.seg", MIXED)
+    with Segment(tmp_path / "s.seg") as seg:
+        yield seg
+
+
+# ----------------------------------------------------------------------
+# Round-trips
+# ----------------------------------------------------------------------
+
+def test_entries_round_trip_exactly(segment):
+    assert segment.entries() == MIXED
+
+
+def test_round_trip_is_byte_identical_json(segment):
+    # The ledger's byte-identity with the checkpoint journal depends on
+    # reconstructed entries serializing to the very same JSON.
+    for original, loaded in zip(MIXED, segment.entries()):
+        assert json.dumps(loaded, default=repr) == json.dumps(
+            original, default=repr
+        )
+
+
+def test_row_key_order_survives(segment):
+    rows = segment.entries()[3]["rows"]
+    assert list(rows[0]) == ["partitions", "cycles", "flag", "shape", "note"]
+
+
+def test_keys_and_metas(segment):
+    assert segment.keys() == [e["key"] for e in MIXED]
+    metas = segment.entry_metas()
+    assert [m["status"] for m in metas] == ["ok", "ok", "failed", "ok"]
+    assert len(segment) == 4  # entries, not rows
+    assert segment.rows == 4
+
+
+# ----------------------------------------------------------------------
+# Columns
+# ----------------------------------------------------------------------
+
+def test_int_column_is_int64_view(segment):
+    column = segment.column("cycles")
+    assert column.dtype == np.dtype("<i8")
+    assert list(column) == [100, 90, 80, 70]
+    assert segment.dtype("cycles") == "i8"
+
+
+def test_float_column(segment):
+    assert segment.dtype("avg_bw") == "f8"
+    values = segment.values("avg_bw")
+    assert values[:3] == [1.5, 2.5, 0.5]
+    assert math.isnan(values[3])  # dead slot; presence() masks it
+
+
+def test_presence_mask(segment):
+    assert list(segment.presence("avg_bw")) == [True, True, True, False]
+    assert list(segment.presence("flag")) == [False, False, False, True]
+
+
+def test_string_dictionary_column(segment):
+    assert segment.dtype("array") == "sd"
+    assert segment.values("array") == ["8x8", "4x4", "2x2", None]
+    assert set(segment.dictionary("array")) == {"8x8", "4x4", "2x2"}
+
+
+def test_json_fallback_column(segment):
+    # bools, lists and None don't fit a numeric column.
+    assert segment.dtype("flag") == "js"
+    assert segment.values("flag") == [None, None, None, True]
+    assert segment.values("shape") == [None, None, None, [2, 8]]
+
+
+def test_out_of_range_int_falls_back_to_json(tmp_path):
+    big = 2**70
+    write_segment(tmp_path / "b.seg", [entry(0, [{"huge": big}])])
+    with Segment(tmp_path / "b.seg") as seg:
+        assert seg.dtype("huge") == "js"
+        assert seg.values("huge") == [big]
+
+
+def test_write_segment_info(tmp_path):
+    info = write_segment(tmp_path / "s.seg", MIXED)
+    assert info.entries == 4
+    assert info.rows == 4
+    assert info.size_bytes == (tmp_path / "s.seg").stat().st_size
+    assert len(info.sha256) == 64
+
+
+def test_empty_rows_only_segment(tmp_path):
+    write_segment(tmp_path / "e.seg", [entry(0, [], status="failed")])
+    with Segment(tmp_path / "e.seg") as seg:
+        assert seg.entries()[0]["rows"] == []
+        assert seg.rows == 0
+
+
+# ----------------------------------------------------------------------
+# Corruption detection
+# ----------------------------------------------------------------------
+
+def test_single_bit_flip_detected(tmp_path):
+    path = tmp_path / "s.seg"
+    write_segment(path, MIXED)
+    raw = bytearray(path.read_bytes())
+    raw[len(raw) // 2] ^= 0x01
+    path.write_bytes(bytes(raw))
+    with pytest.raises(LedgerCorruptionError, match="checksum"):
+        Segment(path)
+
+
+def test_truncation_detected(tmp_path):
+    path = tmp_path / "s.seg"
+    write_segment(path, MIXED)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(LedgerCorruptionError):
+        Segment(path)
+
+
+def test_bad_magic_detected(tmp_path):
+    path = tmp_path / "s.seg"
+    write_segment(path, MIXED)
+    raw = bytearray(path.read_bytes())
+    raw[:4] = b"NOPE"
+    path.write_bytes(bytes(raw))
+    with pytest.raises(LedgerCorruptionError, match="magic"):
+        Segment(path)
+
+
+def test_future_format_version_detected(tmp_path):
+    path = tmp_path / "s.seg"
+    write_segment(path, MIXED)
+    raw = bytearray(path.read_bytes())
+    raw[4] = FORMAT_VERSION + 1  # little-endian u16 after the magic
+    path.write_bytes(bytes(raw))
+    with pytest.raises(LedgerCorruptionError, match="version"):
+        Segment(path)
+
+
+def test_empty_file_detected(tmp_path):
+    path = tmp_path / "s.seg"
+    path.write_bytes(b"")
+    with pytest.raises(LedgerCorruptionError):
+        Segment(path)
+
+
+def test_encode_starts_with_magic():
+    assert encode_segment(MIXED).startswith(MAGIC)
